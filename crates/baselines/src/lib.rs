@@ -1,0 +1,21 @@
+//! # elsm-baselines
+//!
+//! The comparison systems from the eLSM paper's evaluation:
+//!
+//! * [`EleosStore`] — the Eleos baseline (§6.1): in-enclave update-in-place
+//!   sorted array with user-space software paging and a 1 GB cap,
+//! * [`UnsecuredLsm`] — vanilla LevelDB with no enclave ("LevelDB
+//!   (Unsecure)" in Figure 5a) and the code-in-enclave/buffer-outside
+//!   unsecured "ideal" of Figures 2 and 6a,
+//! * [`MbtStore`] — the conventional update-in-place Merkle B-tree ADS the
+//!   paper's §3.4 argues against.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eleos;
+pub mod mbt_store;
+pub mod unsecured;
+
+pub use eleos::{EleosCapacityExceeded, EleosOptions, EleosStore};
+pub use mbt_store::MbtStore;
+pub use unsecured::{UnsecuredLsm, UnsecuredOptions};

@@ -1,0 +1,36 @@
+//! Regenerates every table and figure, printing both text and the markdown
+//! blocks recorded in EXPERIMENTS.md. Pass `--quick` for a fast pass.
+
+use elsm_bench::figures::*;
+use elsm_bench::{opts_from_args, Scale};
+
+fn main() {
+    let scale = Scale::default();
+    let opts = opts_from_args();
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let tables = vec![
+        table1(),
+        fig2(&scale, opts),
+        fig5a(&scale, opts),
+        fig5b(&scale, opts),
+        fig5c(&scale, opts),
+        fig6a(&scale, opts),
+        fig6b(&scale, opts),
+        fig6c(&scale, opts),
+        fig7a(&scale, opts),
+        fig7b(&scale, opts),
+        fig8(&scale, opts),
+        ablation_proofs(&scale, opts),
+        ablation_bloom(&scale, opts),
+        ablation_update_in_place(&scale, opts),
+        ablation_rollback(&scale, opts),
+    ];
+    for t in &tables {
+        if markdown {
+            println!("{}", t.to_markdown());
+        } else {
+            t.print();
+            println!();
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints Table 1 (the design-choice matrix).
+
+use elsm_bench::figures::table1;
+
+fn main() {
+    table1().print();
+}

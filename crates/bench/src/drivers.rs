@@ -1,0 +1,85 @@
+//! [`ycsb::KvDriver`] adapters for every system under test.
+
+use elsm::{AuthenticatedKv, ElsmP1, ElsmP2};
+use elsm_baselines::{EleosStore, MbtStore, UnsecuredLsm};
+
+/// Driver over eLSM-P2.
+#[derive(Debug)]
+pub struct P2Driver(pub ElsmP2);
+
+impl ycsb::KvDriver for P2Driver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.0.put(key, value).expect("p2 put");
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.0.get(key).expect("p2 get verifies").is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.0.scan(from, to).expect("p2 scan verifies").len()
+    }
+}
+
+/// Driver over eLSM-P1.
+#[derive(Debug)]
+pub struct P1Driver(pub ElsmP1);
+
+impl ycsb::KvDriver for P1Driver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.0.put(key, value).expect("p1 put");
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.0.get(key).expect("p1 get").is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.0.scan(from, to).expect("p1 scan").len()
+    }
+}
+
+/// Driver over the unsecured LSM configurations.
+#[derive(Debug)]
+pub struct UnsecuredDriver(pub UnsecuredLsm);
+
+impl ycsb::KvDriver for UnsecuredDriver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.0.put(key, value).expect("unsecured put");
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.0.get(key).expect("unsecured get").is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.0.scan(from, to).expect("unsecured scan").len()
+    }
+}
+
+/// Driver over the Eleos baseline. Puts beyond the capacity limit are
+/// dropped (the paper stops Eleos' curves at 1 GB).
+#[derive(Debug)]
+pub struct EleosDriver(pub EleosStore);
+
+impl ycsb::KvDriver for EleosDriver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        let _ = self.0.put(key.to_vec(), value.to_vec());
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.0.get(key).is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.0.range(from, to).len()
+    }
+}
+
+/// Driver over the update-in-place Merkle B-tree store.
+#[derive(Debug)]
+pub struct MbtDriver(pub MbtStore);
+
+impl ycsb::KvDriver for MbtDriver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.0.put(key.to_vec(), value.to_vec());
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.0.get(key).is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.0.range(from, to).len()
+    }
+}

@@ -1,0 +1,693 @@
+//! One regeneration function per table/figure of the paper.
+//!
+//! Each function builds the systems under test on their own simulated
+//! platform, loads the scaled dataset, drives the paper's workload and
+//! returns a [`Table`] whose rows mirror the figure's series. Latencies
+//! are *simulated microseconds* on the virtual clock; size axes are paper
+//! units (see [`crate::scale::Scale`]).
+
+use std::sync::Arc;
+
+use elsm::{ElsmP1, ElsmP2, P1Options, P2Options, ReadMode};
+use elsm_baselines::{EleosOptions, EleosStore, MbtStore, UnsecuredLsm, UnsecuredOptions};
+use sgx_sim::Platform;
+use sim_disk::{SimDisk, SimFs};
+use ycsb::{load_phase, run_phase, Table, Workload};
+
+use crate::drivers::{EleosDriver, MbtDriver, P1Driver, P2Driver, UnsecuredDriver};
+use crate::scale::{Scale, VALUE_BYTES};
+
+/// Run-size knobs (quick mode keeps CI fast; full mode for the record).
+#[derive(Debug, Clone, Copy)]
+pub struct FigOpts {
+    /// Use fewer sweep points and operations.
+    pub quick: bool,
+}
+
+impl FigOpts {
+    fn ops(&self) -> u64 {
+        if self.quick {
+            1_500
+        } else {
+            6_000
+        }
+    }
+}
+
+fn p2_options(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> P2Options {
+    P2Options {
+        read_mode,
+        block_cache_bytes: scale.mb(cache_paper_mb) as usize,
+        write_buffer_bytes: scale.write_buffer_bytes(),
+        level1_max_bytes: scale.level1_bytes(),
+        level_multiplier: 10,
+        max_levels: 7,
+        target_file_bytes: scale.file_bytes(),
+        block_size: 4096,
+        bloom_bits_per_key: 10,
+        compaction_enabled: true,
+        rollback: None,
+    }
+}
+
+fn p1_options(scale: &Scale, buffer_paper_mb: u64) -> P1Options {
+    P1Options {
+        buffer_bytes: scale.mb(buffer_paper_mb) as usize,
+        write_buffer_bytes: scale.write_buffer_bytes(),
+        level1_max_bytes: scale.level1_bytes(),
+        level_multiplier: 10,
+        max_levels: 7,
+        target_file_bytes: scale.file_bytes(),
+        block_size: 4096,
+        bloom_bits_per_key: 10,
+        compaction_enabled: true,
+    }
+}
+
+fn unsecured_options(scale: &Scale, in_enclave: bool, mmap: bool, cache_paper_mb: u64) -> UnsecuredOptions {
+    UnsecuredOptions {
+        in_enclave,
+        use_mmap: mmap,
+        block_cache_bytes: scale.mb(cache_paper_mb) as usize,
+        write_buffer_bytes: scale.write_buffer_bytes(),
+        level1_max_bytes: scale.level1_bytes(),
+        level_multiplier: 10,
+        max_levels: 7,
+        target_file_bytes: scale.file_bytes(),
+        compaction_enabled: true,
+    }
+}
+
+fn eleos_options(scale: &Scale) -> EleosOptions {
+    EleosOptions {
+        capacity_limit_bytes: scale.gb(1.0) * 2, // 1 GB of live data ≈ 2× raw
+        resident_bytes: scale.mb(128) as usize,
+        page_bytes: 4096,
+        monitor_ns: 150,
+        persist_buffer_bytes: scale.write_buffer_bytes(),
+        slack_percent: 30,
+    }
+}
+
+/// Builds an eLSM-P2 store on a fresh platform.
+pub fn build_p2(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> (ElsmP2, Arc<Platform>) {
+    let platform = Platform::new(scale.cost_model());
+    let store = ElsmP2::open(platform.clone(), p2_options(scale, read_mode, cache_paper_mb))
+        .expect("open p2");
+    (store, platform)
+}
+
+/// Builds an eLSM-P1 store on a fresh platform.
+pub fn build_p1(scale: &Scale, buffer_paper_mb: u64) -> (ElsmP1, Arc<Platform>) {
+    let platform = Platform::new(scale.cost_model());
+    let store = ElsmP1::open(platform.clone(), p1_options(scale, buffer_paper_mb)).expect("open p1");
+    (store, platform)
+}
+
+fn measured_reads(
+    driver: &dyn ycsb::KvDriver,
+    platform: &Arc<Platform>,
+    records: u64,
+    ops: u64,
+    dist: &str,
+) -> f64 {
+    let w = Workload::read_ratio(100).with_distribution(dist);
+    run_phase(driver, platform, &w, records, ops, 0xf16).overall.mean_us
+}
+
+fn measured_mix(
+    driver: &dyn ycsb::KvDriver,
+    platform: &Arc<Platform>,
+    w: &Workload,
+    records: u64,
+    ops: u64,
+) -> f64 {
+    run_phase(driver, platform, w, records, ops, 0xf17).overall.mean_us
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+/// Figure 2: read latency with the read buffer inside vs. outside the
+/// enclave, 5 GB disk-resident dataset, buffer swept 4 MB → 2048 MB.
+pub fn fig2(scale: &Scale, opts: FigOpts) -> Table {
+    let buffers: &[u64] = if opts.quick {
+        &[4, 32, 128, 600, 2000]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 200, 400, 600, 800, 1000, 1500, 2000]
+    };
+    let records = scale.records_for_gb(5.0);
+    let mut table = Table::new(
+        "Figure 2: buffer placement, 5 GB disk-resident data (latency µs/op)",
+        &["buffer_mb", "outside_enclave", "inside_enclave_p1"],
+    );
+    for &buf in buffers {
+        // Outside: code in enclave, user-space buffer in untrusted memory.
+        let outside = {
+            let platform = Platform::new(scale.cost_model());
+            let fs = SimFs::new(SimDisk::new(platform.clone()));
+            fs.set_os_cache_limit(scale.mb(64)); // 5 GB ≫ memory: reads hit disk
+            let store = UnsecuredLsm::open_with(
+                platform.clone(),
+                fs,
+                unsecured_options(scale, true, false, buf),
+            )
+            .expect("open");
+            let driver = UnsecuredDriver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+        };
+        // Inside: eLSM-P1's enclave buffer (plus SDK file protection).
+        let inside = {
+            let platform = Platform::new(scale.cost_model());
+            let fs = SimFs::new(SimDisk::new(platform.clone()));
+            fs.set_os_cache_limit(scale.mb(64));
+            let store = ElsmP1::open_with(platform.clone(), fs, p1_options(scale, buf))
+                .expect("open");
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+        };
+        table.row_f64(buf, &[outside, inside]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+/// Table 1: the design-choice matrix (descriptive).
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1: design choices of eLSM-P1 and eLSM-P2",
+        &["design", "code placement", "data placement", "digest structure"],
+    );
+    t.row(vec![
+        "eLSM-P1 (§4.1)".into(),
+        "inside enclave".into(),
+        "inside enclave".into(),
+        "file granularity (sealed blocks)".into(),
+    ]);
+    t.row(vec![
+        "eLSM-P2 (§5)".into(),
+        "inside enclave".into(),
+        "outside enclave".into(),
+        "record granularity (Merkle forest)".into(),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+/// Figure 5a: operation latency vs. read percentage (uniform keys, 3 GB).
+pub fn fig5a(scale: &Scale, opts: FigOpts) -> Table {
+    let points: &[u32] =
+        if opts.quick { &[0, 30, 70, 100] } else { &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] };
+    let data_gb = if opts.quick { 1.0 } else { 3.0 };
+    let records = scale.records_for_gb(data_gb);
+    let mut table = Table::new(
+        "Figure 5a: latency vs read ratio, 3 GB uniform (µs/op)",
+        &["read_pct", "elsm_p2_mmap", "elsm_p1", "leveldb_unsecure"],
+    );
+    for &pct in points {
+        let w = Workload::read_ratio(pct);
+        let p2 = {
+            let (store, platform) = build_p2(scale, ReadMode::Mmap, 8);
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_mix(&driver, &platform, &w, records, opts.ops())
+        };
+        let p1 = {
+            let (store, platform) = build_p1(scale, 64);
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_mix(&driver, &platform, &w, records, opts.ops())
+        };
+        let unsec = {
+            let platform = Platform::new(scale.cost_model());
+            let store =
+                UnsecuredLsm::open(platform.clone(), unsecured_options(scale, false, true, 8))
+                    .expect("open");
+            let driver = UnsecuredDriver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_mix(&driver, &platform, &w, records, opts.ops())
+        };
+        table.row_f64(pct, &[p2, p1, unsec]);
+    }
+    table
+}
+
+/// Figure 5b: latency vs. data size under YCSB-A (zipfian 50/50).
+pub fn fig5b(scale: &Scale, opts: FigOpts) -> Table {
+    let sizes: &[f64] = if opts.quick { &[0.6, 1.0, 3.0] } else { &[0.6, 0.8, 1.0, 2.0, 3.0] };
+    let mut table = Table::new(
+        "Figure 5b: YCSB-A latency vs data size (µs/op)",
+        &["data_gb", "elsm_p2_mmap", "elsm_p1", "eleos"],
+    );
+    let w = Workload::a();
+    for &gb in sizes {
+        let records = scale.records_for_gb(gb);
+        let p2 = {
+            let (store, platform) = build_p2(scale, ReadMode::Mmap, 8);
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_mix(&driver, &platform, &w, records, opts.ops())
+        };
+        let p1 = {
+            let (store, platform) = build_p1(scale, 64);
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_mix(&driver, &platform, &w, records, opts.ops())
+        };
+        let eleos = if gb <= 1.0 {
+            let platform = Platform::new(scale.cost_model());
+            let fs = SimFs::new(SimDisk::new(platform.clone()));
+            let store = EleosStore::new(platform.clone(), fs, eleos_options(scale));
+            let driver = EleosDriver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            format!("{:.1}", measured_mix(&driver, &platform, &w, records, opts.ops()))
+        } else {
+            "n/a (>1GB)".to_string() // the paper: Eleos scales only to 1 GB
+        };
+        table.row(vec![format!("{gb:.1}"), format!("{p2:.1}"), format!("{p1:.1}"), eleos]);
+    }
+    table
+}
+
+/// Figure 5c: latency vs. key distribution (3 GB, 50/50 mix).
+pub fn fig5c(scale: &Scale, opts: FigOpts) -> Table {
+    let data_gb = if opts.quick { 1.0 } else { 3.0 };
+    let records = scale.records_for_gb(data_gb);
+    let mut table = Table::new(
+        "Figure 5c: latency vs key distribution, 3 GB (µs/op)",
+        &["distribution", "elsm_p2_mmap", "elsm_p1"],
+    );
+    for dist in ["uniform", "zipfian", "latest"] {
+        let w = Workload::read_ratio(50).with_distribution(dist);
+        let p2 = {
+            let (store, platform) = build_p2(scale, ReadMode::Mmap, 8);
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_mix(&driver, &platform, &w, records, opts.ops())
+        };
+        let p1 = {
+            let (store, platform) = build_p1(scale, 64);
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_mix(&driver, &platform, &w, records, opts.ops())
+        };
+        table.row_f64(dist, &[p2, p1]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+/// Figure 6a: read latency vs. data size, all systems.
+pub fn fig6a(scale: &Scale, opts: FigOpts) -> Table {
+    let sizes_mb: &[u64] = if opts.quick {
+        &[8, 128, 1024, 3072]
+    } else {
+        &[8, 64, 128, 256, 512, 1024, 2048, 3072]
+    };
+    let mut table = Table::new(
+        "Figure 6a: read latency vs data size (µs/op)",
+        &["data_mb", "elsm_p2_mmap", "elsm_p1", "eleos", "outside_unsecured"],
+    );
+    for &mb in sizes_mb {
+        let records = scale.records_for_mb(mb).max(100);
+        let p2 = {
+            let (store, platform) = build_p2(scale, ReadMode::Mmap, 8);
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+        };
+        let p1 = {
+            // The paper gives P1 a buffer sized to the dataset (its design
+            // keeps data in enclave memory).
+            let (store, platform) = build_p1(scale, mb.max(8));
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+        };
+        let eleos = if mb <= 1024 {
+            let platform = Platform::new(scale.cost_model());
+            let fs = SimFs::new(SimDisk::new(platform.clone()));
+            let store = EleosStore::new(platform.clone(), fs, eleos_options(scale));
+            let driver = EleosDriver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            format!(
+                "{:.1}",
+                measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+            )
+        } else {
+            "n/a (>1GB)".to_string()
+        };
+        let ideal = {
+            let platform = Platform::new(scale.cost_model());
+            let store =
+                UnsecuredLsm::open(platform.clone(), unsecured_options(scale, true, true, 8))
+                    .expect("open");
+            let driver = UnsecuredDriver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+        };
+        table.row(vec![
+            mb.to_string(),
+            format!("{p2:.1}"),
+            format!("{p1:.1}"),
+            eleos,
+            format!("{ideal:.1}"),
+        ]);
+    }
+    table
+}
+
+/// Figure 6b: eLSM-P2 mmap vs. user-space buffer reads.
+pub fn fig6b(scale: &Scale, opts: FigOpts) -> Table {
+    let sizes_mb: &[u64] = if opts.quick {
+        &[8, 128, 1024, 3072]
+    } else {
+        &[8, 16, 64, 128, 256, 512, 1024, 2048, 3072]
+    };
+    let mut table = Table::new(
+        "Figure 6b: eLSM-P2 mmap vs buffer reads (µs/op)",
+        &["data_mb", "p2_mmap", "p2_buffer"],
+    );
+    for &mb in sizes_mb {
+        let records = scale.records_for_mb(mb).max(100);
+        let run = |mode: ReadMode| {
+            let (store, platform) = build_p2(scale, mode, 8);
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+        };
+        table.row_f64(mb, &[run(ReadMode::Mmap), run(ReadMode::Buffer)]);
+    }
+    table
+}
+
+/// Figure 6c: read latency vs. buffer size at fixed 2 GB data.
+pub fn fig6c(scale: &Scale, opts: FigOpts) -> Table {
+    let buffers: &[u64] = if opts.quick {
+        &[32, 128, 512, 2048]
+    } else {
+        &[32, 64, 128, 256, 512, 1024, 1536, 2048]
+    };
+    let data_gb = if opts.quick { 1.0 } else { 2.0 };
+    let records = scale.records_for_gb(data_gb);
+    let mut table = Table::new(
+        "Figure 6c: read latency vs buffer size, 2 GB data (µs/op)",
+        &["buffer_mb", "p2_buffer", "elsm_p1"],
+    );
+    for &buf in buffers {
+        let p2 = {
+            let (store, platform) = build_p2(scale, ReadMode::Buffer, buf);
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+        };
+        let p1 = {
+            let (store, platform) = build_p1(scale, buf);
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            measured_reads(&driver, &platform, records, opts.ops(), "uniform")
+        };
+        table.row_f64(buf, &[p2, p1]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+fn write_only(
+    driver: &dyn ycsb::KvDriver,
+    platform: &Arc<Platform>,
+    records: u64,
+    ops: u64,
+) -> f64 {
+    let w = Workload::read_ratio(0);
+    run_phase(driver, platform, &w, records, ops, 0x717).overall.mean_us
+}
+
+/// Figure 7a: write latency (with compaction) vs. data size.
+pub fn fig7a(scale: &Scale, opts: FigOpts) -> Table {
+    let sizes: &[f64] = if opts.quick { &[0.2, 1.0, 2.0] } else { &[0.2, 1.0, 2.0, 3.0, 4.0] };
+    let mut table = Table::new(
+        "Figure 7a: write latency w/ compaction vs data size (µs/op)",
+        &["data_gb", "elsm_p2_mmap", "elsm_p1", "eleos"],
+    );
+    for &gb in sizes {
+        let records = scale.records_for_gb(gb);
+        let p2 = {
+            let (store, platform) = build_p2(scale, ReadMode::Mmap, 8);
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            write_only(&driver, &platform, records, opts.ops())
+        };
+        let p1 = {
+            let (store, platform) = build_p1(scale, 64);
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            write_only(&driver, &platform, records, opts.ops())
+        };
+        let eleos = if gb <= 1.0 {
+            let platform = Platform::new(scale.cost_model());
+            let fs = SimFs::new(SimDisk::new(platform.clone()));
+            let store = EleosStore::new(platform.clone(), fs, eleos_options(scale));
+            let driver = EleosDriver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            format!("{:.1}", write_only(&driver, &platform, records, opts.ops()))
+        } else {
+            "n/a (>1GB)".to_string()
+        };
+        table.row(vec![format!("{gb:.1}"), format!("{p2:.1}"), format!("{p1:.1}"), eleos]);
+    }
+    table
+}
+
+/// Figure 7b: writes with vs. without compaction.
+pub fn fig7b(scale: &Scale, opts: FigOpts) -> Table {
+    let sizes: &[f64] = if opts.quick { &[0.2, 1.0] } else { &[0.2, 1.0, 2.0, 3.0, 4.0] };
+    let mut table = Table::new(
+        "Figure 7b: write latency with/without compaction (µs/op)",
+        &["data_gb", "p2_w_compaction", "p1_w_compaction", "p2_wo_compaction", "p1_wo_compaction"],
+    );
+    for &gb in sizes {
+        let records = scale.records_for_gb(gb);
+        let p2_run = |compaction: bool| {
+            let platform = Platform::new(scale.cost_model());
+            let mut options = p2_options(scale, ReadMode::Mmap, 8);
+            options.compaction_enabled = compaction;
+            let store = ElsmP2::open(platform.clone(), options).expect("open");
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            write_only(&driver, &platform, records, opts.ops())
+        };
+        let p1_run = |compaction: bool| {
+            let platform = Platform::new(scale.cost_model());
+            let mut options = p1_options(scale, 64);
+            options.compaction_enabled = compaction;
+            let store = ElsmP1::open(platform.clone(), options).expect("open");
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            write_only(&driver, &platform, records, opts.ops())
+        };
+        table.row_f64(
+            format!("{gb:.1}"),
+            &[p2_run(true), p1_run(true), p2_run(false), p1_run(false)],
+        );
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 (Appendix C)
+// ---------------------------------------------------------------------------
+
+/// Figure 8: write-buffer placement — write-only latency vs. write-buffer
+/// size, P1 vs. unsecured-outside.
+pub fn fig8(scale: &Scale, opts: FigOpts) -> Table {
+    let buffers: &[u64] = if opts.quick { &[4, 64, 512] } else { &[4, 8, 16, 32, 64, 128, 256, 512] };
+    let records = scale.records_for_gb(0.5);
+    let mut table = Table::new(
+        "Figure 8: write-buffer placement (write-only, µs/op)",
+        &["write_buffer_mb", "elsm_p1", "outside_unsecured"],
+    );
+    for &buf in buffers {
+        let p1 = {
+            let platform = Platform::new(scale.cost_model());
+            let mut options = p1_options(scale, 64);
+            options.write_buffer_bytes = scale.mb(buf) as usize;
+            let store = ElsmP1::open(platform.clone(), options).expect("open");
+            let driver = P1Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            write_only(&driver, &platform, records, opts.ops())
+        };
+        let outside = {
+            let platform = Platform::new(scale.cost_model());
+            let mut options = unsecured_options(scale, true, false, 8);
+            options.write_buffer_bytes = scale.mb(buf) as usize;
+            let store = UnsecuredLsm::open(platform.clone(), options).expect("open");
+            let driver = UnsecuredDriver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            write_only(&driver, &platform, records, opts.ops())
+        };
+        table.row_f64(buf, &[p1, outside]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (extension work beyond the paper's figures)
+// ---------------------------------------------------------------------------
+
+/// Ablation: early-stop proofs (eLSM) vs. all-level verification
+/// (Speicher-style) — measured as levels checked and proof bytes per GET.
+pub fn ablation_proofs(scale: &Scale, opts: FigOpts) -> Table {
+    let records = scale.records_for_gb(1.0);
+    let (store, platform) = build_p2(scale, ReadMode::Mmap, 8);
+    let driver = P2Driver(store);
+    load_phase(&driver, records, VALUE_BYTES);
+    driver.0.db().flush().expect("flush");
+    let before = driver.0.verify_stats();
+    let lat_hit = measured_reads(&driver, &platform, records, opts.ops(), "uniform");
+    let after = driver.0.verify_stats();
+    let gets = opts.ops().max(1);
+    let proofs_per_get = (after.proofs_verified - before.proofs_verified) as f64 / gets as f64;
+    let proof_bytes_per_get = (after.proof_bytes - before.proof_bytes) as f64 / gets as f64;
+    // All-level (Speicher-style) verification checks every occupied level
+    // per GET: two neighbor proofs per non-hit level plus the hit proof.
+    let occupied_levels = driver
+        .0
+        .db()
+        .level_bytes()
+        .iter()
+        .skip(1)
+        .filter(|&&b| b > 0)
+        .count() as f64;
+    let all_level_proofs = 2.0 * (occupied_levels - 1.0).max(0.0) + 1.0;
+    let bytes_per_proof = proof_bytes_per_get / proofs_per_get.max(0.01);
+    let mut table = Table::new(
+        "Ablation: early-stop vs all-level proofs (per GET)",
+        &["metric", "early_stop_elsm", "all_levels_speicher_style"],
+    );
+    table.row(vec![
+        "proofs verified".into(),
+        format!("{proofs_per_get:.2}"),
+        format!("{all_level_proofs:.2}"),
+    ]);
+    table.row(vec![
+        "proof bytes".into(),
+        format!("{proof_bytes_per_get:.0}"),
+        format!("{:.0}", bytes_per_proof * all_level_proofs),
+    ]);
+    table.row(vec!["GET latency µs".into(), format!("{lat_hit:.1}"), "-".into()]);
+    table
+}
+
+/// Ablation: Bloom filters on/off for present and absent keys.
+pub fn ablation_bloom(scale: &Scale, opts: FigOpts) -> Table {
+    let records = scale.records_for_gb(0.5);
+    let mut table = Table::new(
+        "Ablation: Bloom filter effect on GET latency (µs/op)",
+        &["config", "present_keys", "absent_keys"],
+    );
+    for (label, bits) in [("bloom_10bits", 10usize), ("bloom_off", 0)] {
+        let platform = Platform::new(scale.cost_model());
+        let mut options = p2_options(scale, ReadMode::Mmap, 8);
+        options.bloom_bits_per_key = bits;
+        let store = ElsmP2::open(platform.clone(), options).expect("open");
+        let driver = P2Driver(store);
+        load_phase(&driver, records, VALUE_BYTES);
+        driver.0.db().flush().expect("flush");
+        let present = measured_reads(&driver, &platform, records, opts.ops(), "uniform");
+        // Absent keys: probe beyond the loaded keyspace.
+        let sw = platform.clock().stopwatch();
+        let absent_ops = opts.ops() / 2;
+        for i in 0..absent_ops {
+            // Absent keys *inside* the populated range, so table Bloom
+            // filters actually get probed.
+            ycsb::KvDriver::get(&driver, format!("user{:012}x", i % records).as_bytes());
+        }
+        let absent = sw.elapsed_us(platform.clock()) / absent_ops as f64;
+        table.row_f64(label, &[present, absent]);
+    }
+    table
+}
+
+/// Ablation: the §3.4 motivation — update-in-place Merkle B-tree vs. LSM
+/// writes.
+pub fn ablation_update_in_place(scale: &Scale, opts: FigOpts) -> Table {
+    let records = scale.records_for_gb(0.25);
+    let mut table = Table::new(
+        "Ablation: update-in-place ADS vs eLSM (write latency µs/op)",
+        &["system", "write_latency_us"],
+    );
+    let mbt = {
+        let platform = Platform::new(scale.cost_model());
+        let driver = MbtDriver(MbtStore::new(platform.clone()));
+        load_phase(&driver, records / 4, VALUE_BYTES);
+        write_only(&driver, &platform, records / 4, opts.ops() / 4)
+    };
+    let p2 = {
+        let (store, platform) = build_p2(scale, ReadMode::Mmap, 8);
+        let driver = P2Driver(store);
+        load_phase(&driver, records, VALUE_BYTES);
+        write_only(&driver, &platform, records, opts.ops())
+    };
+    table.row_f64("merkle_btree_update_in_place", &[mbt]);
+    table.row_f64("elsm_p2", &[p2]);
+    table
+}
+
+/// Ablation: rollback-defence overhead vs. counter write-buffer size.
+pub fn ablation_rollback(scale: &Scale, opts: FigOpts) -> Table {
+    use sgx_sim::MonotonicCounter;
+    let records = scale.records_for_gb(0.25);
+    let mut table = Table::new(
+        "Ablation: rollback defence overhead vs counter buffer (µs/write)",
+        &["counter_buffer", "write_latency_us"],
+    );
+    for buffer in [0usize, 64, 512, 4096] {
+        let platform = Platform::new(scale.cost_model());
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        let mut options = p2_options(scale, ReadMode::Mmap, 8);
+        let counter = if buffer > 0 {
+            options.rollback = Some(elsm::RollbackOptions { counter_write_buffer: buffer });
+            Some(MonotonicCounter::new(platform.clone()))
+        } else {
+            None
+        };
+        let store = ElsmP2::open_with(platform.clone(), fs, options, counter).expect("open");
+        let driver = P2Driver(store);
+        load_phase(&driver, records, VALUE_BYTES);
+        let lat = write_only(&driver, &platform, records, opts.ops());
+        let label = if buffer == 0 { "off".to_string() } else { buffer.to_string() };
+        table.row_f64(label, &[lat]);
+    }
+    table
+}

@@ -1,0 +1,20 @@
+//! # elsm-bench
+//!
+//! The figure-regeneration harness: one function (and one binary) per
+//! table/figure of the eLSM paper, plus ablation studies. See DESIGN.md §3
+//! for the experiment index and EXPERIMENTS.md for recorded results.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod figures;
+pub mod scale;
+
+pub use figures::FigOpts;
+pub use scale::Scale;
+
+/// Parses the common `--quick` / `--full` flags of the figure binaries.
+pub fn opts_from_args() -> FigOpts {
+    let quick = std::env::args().any(|a| a == "--quick");
+    FigOpts { quick }
+}

@@ -1,0 +1,112 @@
+//! The untrusted host's prover material: full per-level digests.
+//!
+//! The untrusted world stores the complete Merkle trees (it stores all the
+//! data anyway) and uses them to answer proof requests — here, segment-tree
+//! range proofs for SCAN completeness (§5.4). Nothing in this module is
+//! trusted: a tampered digest store simply produces proofs that fail
+//! against the enclave's commitments.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use merkle::{LevelDigest, RangeProof};
+use parking_lot::Mutex;
+use sgx_sim::Platform;
+
+use crate::trusted::RangeProver;
+
+/// Host-side map from level number to its full digest structure.
+#[derive(Debug)]
+pub struct UntrustedDigests {
+    platform: Arc<Platform>,
+    levels: Mutex<HashMap<u32, LevelDigest>>,
+}
+
+impl UntrustedDigests {
+    /// Creates an empty digest store.
+    pub fn new(platform: Arc<Platform>) -> Arc<Self> {
+        Arc::new(UntrustedDigests { platform, levels: Mutex::new(HashMap::new()) })
+    }
+
+    /// Installs the digest for a level (after a compaction).
+    pub fn install(&self, digest: LevelDigest) {
+        self.levels.lock().insert(digest.level(), digest);
+    }
+
+    /// Removes a level's digest (its run was consumed).
+    pub fn clear(&self, level: u32) {
+        self.levels.lock().remove(&level);
+    }
+
+    /// Runs `f` over the digest of `level`, if present.
+    pub fn with_level<T>(&self, level: u32, f: impl FnOnce(&LevelDigest) -> T) -> Option<T> {
+        self.levels.lock().get(&level).map(f)
+    }
+
+    /// Number of levels with digests.
+    pub fn len(&self) -> usize {
+        self.levels.lock().len()
+    }
+
+    /// Whether no digests are stored.
+    pub fn is_empty(&self) -> bool {
+        self.levels.lock().is_empty()
+    }
+}
+
+impl RangeProver for UntrustedDigests {
+    fn prove_range(&self, level: u32, lo: u64, hi: u64) -> Option<RangeProof> {
+        let levels = self.levels.lock();
+        let digest = levels.get(&level)?;
+        if hi < lo || hi as usize >= digest.leaf_count() {
+            return None;
+        }
+        // Reading tree nodes from untrusted memory.
+        self.platform.dram_access(64 * ((hi - lo + 1) as usize).max(1));
+        Some(digest.prove_leaf_range(lo as usize, hi as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merkle::LevelDigest;
+
+    fn digest(level: u32) -> LevelDigest {
+        LevelDigest::from_records(
+            level,
+            vec![
+                (b"a".as_slice(), b"a1".to_vec()),
+                (b"b".as_slice(), b"b1".to_vec()),
+                (b"c".as_slice(), b"c1".to_vec()),
+            ],
+        )
+    }
+
+    #[test]
+    fn install_and_prove() {
+        let d = UntrustedDigests::new(Platform::with_defaults());
+        d.install(digest(1));
+        assert!(d.prove_range(1, 0, 2).is_some());
+        assert!(d.prove_range(1, 0, 3).is_none(), "out of bounds");
+        assert!(d.prove_range(2, 0, 0).is_none(), "unknown level");
+    }
+
+    #[test]
+    fn clear_removes() {
+        let d = UntrustedDigests::new(Platform::with_defaults());
+        d.install(digest(1));
+        d.clear(1);
+        assert!(d.is_empty());
+        assert!(d.prove_range(1, 0, 0).is_none());
+    }
+
+    #[test]
+    fn reinstall_replaces() {
+        let d = UntrustedDigests::new(Platform::with_defaults());
+        d.install(digest(1));
+        let single = LevelDigest::from_records(1, vec![(b"x".as_slice(), b"x1".to_vec())]);
+        d.install(single);
+        assert_eq!(d.with_level(1, |l| l.leaf_count()), Some(1));
+    }
+}

@@ -1,0 +1,188 @@
+//! The value envelope: how proofs are embedded inside stored values.
+//!
+//! §5.2: "each record at the level ⟨k, v⟩ is augmented with its eLSM proof
+//! πᵢ, that is, ⟨k, v‖πᵢ⟩". We encode the stored value as a tagged
+//! envelope so the same byte format flows through the vanilla store:
+//!
+//! ```text
+//! [0x00][varint len][app value]                  — fresh write (no proof yet)
+//! [0x01][varint len][app value][encoded proof]   — after compaction
+//! ```
+//!
+//! The *canonical bytes* digested by every Merkle structure are the record
+//! with its **bare** application value (the proof cannot be part of what it
+//! proves).
+
+use bytes::Bytes;
+use lsm_store::Record;
+use merkle::RecordProof;
+
+use crate::error::VerificationFailure;
+
+/// Wraps a fresh application value (no proof).
+pub fn wrap_plain(value: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(value.len() + 6);
+    out.push(0x00);
+    push_varint(&mut out, value.len() as u64);
+    out.extend_from_slice(value);
+    Bytes::from(out)
+}
+
+/// Wraps an application value together with its embedded proof.
+pub fn wrap_with_proof(value: &[u8], proof: &RecordProof) -> Bytes {
+    let mut out = Vec::with_capacity(value.len() + 6);
+    out.push(0x01);
+    push_varint(&mut out, value.len() as u64);
+    out.extend_from_slice(value);
+    out.extend_from_slice(&proof.encode());
+    Bytes::from(out)
+}
+
+/// Parses an envelope into `(application value, optional proof)`.
+///
+/// Returns `None` on malformed envelopes (which verification treats as
+/// forgery).
+pub fn unwrap(stored: &[u8]) -> Option<(Bytes, Option<RecordProof>)> {
+    if stored.is_empty() {
+        // Tombstones carry no value at all; treat as plain-empty.
+        return Some((Bytes::new(), None));
+    }
+    let (&tag, rest) = stored.split_first()?;
+    let (len, n) = read_varint(rest)?;
+    let len = usize::try_from(len).ok()?;
+    let value = rest.get(n..n + len)?;
+    let tail = &rest[n + len..];
+    match tag {
+        0x00 => tail.is_empty().then(|| (Bytes::copy_from_slice(value), None)),
+        0x01 => {
+            let (proof, used) = RecordProof::decode(tail)?;
+            (used == tail.len()).then(|| (Bytes::copy_from_slice(value), Some(proof)))
+        }
+        _ => None,
+    }
+}
+
+/// The canonical bytes of a record — bare application value, no envelope —
+/// the input to every chain and Merkle digest.
+pub fn canonical_bytes(record: &Record, bare_value: &[u8]) -> Vec<u8> {
+    let bare = Record {
+        key: record.key.clone(),
+        ts: record.ts,
+        kind: record.kind,
+        value: Bytes::copy_from_slice(bare_value),
+    };
+    bare.digest_bytes()
+}
+
+/// Unwraps a stored record into `(bare record bytes, app value, proof)`,
+/// mapping malformed envelopes to a verification failure at `level`.
+///
+/// # Errors
+///
+/// Returns [`VerificationFailure::ForgedRecord`]-class errors on malformed
+/// envelopes.
+pub fn open_record(
+    record: &Record,
+    level: u32,
+) -> Result<(Vec<u8>, Bytes, Option<RecordProof>), VerificationFailure> {
+    let Some((value, proof)) = unwrap(&record.value) else {
+        return Err(VerificationFailure::ForgedRecord {
+            level,
+            source: merkle::VerifyError::BadAuditPath,
+        });
+    };
+    Ok((canonical_bytes(record, &value), value, proof))
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn read_varint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        result |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some((result, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merkle::ChainPosition;
+
+    fn proof() -> RecordProof {
+        RecordProof {
+            level: 2,
+            leaf_index: 5,
+            leaf_count: 9,
+            chain: ChainPosition::Newest { older_digest: elsm_crypto::Digest::ZERO },
+            audit_path: vec![elsm_crypto::sha256(b"sib")],
+        }
+    }
+
+    #[test]
+    fn plain_round_trip() {
+        let w = wrap_plain(b"value bytes");
+        let (v, p) = unwrap(&w).unwrap();
+        assert_eq!(&v[..], b"value bytes");
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn proof_round_trip() {
+        let w = wrap_with_proof(b"value", &proof());
+        let (v, p) = unwrap(&w).unwrap();
+        assert_eq!(&v[..], b"value");
+        assert_eq!(p.unwrap(), proof());
+    }
+
+    #[test]
+    fn empty_value_round_trips() {
+        let w = wrap_plain(b"");
+        let (v, p) = unwrap(&w).unwrap();
+        assert!(v.is_empty() && p.is_none());
+    }
+
+    #[test]
+    fn empty_stored_value_is_plain_empty() {
+        let (v, p) = unwrap(b"").unwrap();
+        assert!(v.is_empty() && p.is_none());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(unwrap(&[0x02, 1, b'x']).is_none());
+        assert!(unwrap(&[0x00, 5, b'x']).is_none(), "declared length too long");
+        let mut w = wrap_plain(b"v").to_vec();
+        w.push(0xff);
+        assert!(unwrap(&w).is_none(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_envelope() {
+        let bare = Record::put(b"k".as_slice(), b"v".as_slice(), 3);
+        let enveloped = Record::put(b"k".as_slice(), wrap_plain(b"v"), 3);
+        let enveloped2 = Record::put(b"k".as_slice(), wrap_with_proof(b"v", &proof()), 3);
+        assert_eq!(canonical_bytes(&enveloped, b"v"), bare.digest_bytes());
+        assert_eq!(canonical_bytes(&enveloped2, b"v"), bare.digest_bytes());
+    }
+
+    #[test]
+    fn open_record_rejects_malformed() {
+        let bad = Record::put(b"k".as_slice(), b"\x07garbage".as_slice(), 3);
+        assert!(open_record(&bad, 1).is_err());
+    }
+}

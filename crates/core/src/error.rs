@@ -1,0 +1,179 @@
+//! Error types of the authenticated store.
+
+use std::fmt;
+
+use merkle::VerifyError;
+use sim_disk::FsError;
+
+/// Why a query failed verification — each variant corresponds to an attack
+/// class from the paper's threat model (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerificationFailure {
+    /// A returned record's proof does not reach the committed root:
+    /// forged or tampered data (query-integrity violation).
+    ForgedRecord {
+        /// Level the record claimed to be at.
+        level: u32,
+        /// The underlying proof error.
+        source: VerifyError,
+    },
+    /// The returned record verifies but is not the newest version — the
+    /// chain position exposed newer records (query-freshness violation).
+    StaleRecord {
+        /// Level the stale record resides at.
+        level: u32,
+        /// How many newer versions exist at that level.
+        newer_versions: usize,
+    },
+    /// A record lacks an embedded proof where one is required.
+    MissingProof {
+        /// Level of the offending record.
+        level: u32,
+    },
+    /// A non-membership claim failed: the presented neighbors are not
+    /// adjacent leaves bracketing the queried key (completeness violation).
+    BadNonMembership {
+        /// Level of the claim.
+        level: u32,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A range result failed completeness verification at a level.
+    IncompleteRange {
+        /// Level of the claim.
+        level: u32,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The store skipped or reordered levels in its response.
+    LevelSkipped {
+        /// The level expected next.
+        expected: u32,
+    },
+    /// The store claimed a level is empty but the enclave holds a
+    /// non-empty commitment for it.
+    HiddenLevel {
+        /// The hidden level.
+        level: u32,
+    },
+    /// The enclave's state was found inconsistent with the trusted
+    /// monotonic counter: a rollback attack (§5.6.1).
+    RolledBack,
+    /// A compaction's inputs failed digest verification; the store is
+    /// poisoned and refuses further authenticated answers.
+    CompactionInputMismatch {
+        /// The input level whose digest mismatched.
+        level: u32,
+    },
+    /// The sealed enclave state could not be unsealed (tampered or from a
+    /// different enclave).
+    SealBroken,
+}
+
+impl fmt::Display for VerificationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerificationFailure::ForgedRecord { level, source } => {
+                write!(f, "forged record at level {level}: {source}")
+            }
+            VerificationFailure::StaleRecord { level, newer_versions } => {
+                write!(f, "stale record at level {level} ({newer_versions} newer versions exist)")
+            }
+            VerificationFailure::MissingProof { level } => {
+                write!(f, "record at level {level} carries no embedded proof")
+            }
+            VerificationFailure::BadNonMembership { level, reason } => {
+                write!(f, "non-membership proof at level {level} rejected: {reason}")
+            }
+            VerificationFailure::IncompleteRange { level, reason } => {
+                write!(f, "range completeness at level {level} rejected: {reason}")
+            }
+            VerificationFailure::LevelSkipped { expected } => {
+                write!(f, "store response skipped level {expected}")
+            }
+            VerificationFailure::HiddenLevel { level } => {
+                write!(f, "store hid non-empty level {level}")
+            }
+            VerificationFailure::RolledBack => f.write_str("rollback attack detected"),
+            VerificationFailure::CompactionInputMismatch { level } => {
+                write!(f, "compaction input digest mismatch at level {level}")
+            }
+            VerificationFailure::SealBroken => f.write_str("sealed enclave state failed to unseal"),
+        }
+    }
+}
+
+impl std::error::Error for VerificationFailure {}
+
+/// Top-level error of the authenticated store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElsmError {
+    /// Storage-layer failure.
+    Io(FsError),
+    /// The host's answer failed authentication.
+    Verification(VerificationFailure),
+    /// The store refuses service after a failed compaction verification.
+    Poisoned,
+}
+
+impl fmt::Display for ElsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElsmError::Io(e) => write!(f, "io error: {e}"),
+            ElsmError::Verification(v) => write!(f, "verification failed: {v}"),
+            ElsmError::Poisoned => f.write_str("store poisoned by failed compaction verification"),
+        }
+    }
+}
+
+impl std::error::Error for ElsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ElsmError::Io(e) => Some(e),
+            ElsmError::Verification(v) => Some(v),
+            ElsmError::Poisoned => None,
+        }
+    }
+}
+
+impl From<FsError> for ElsmError {
+    fn from(e: FsError) -> Self {
+        ElsmError::Io(e)
+    }
+}
+
+impl From<VerificationFailure> for ElsmError {
+    fn from(v: VerificationFailure) -> Self {
+        ElsmError::Verification(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ElsmError::Verification(VerificationFailure::StaleRecord {
+            level: 2,
+            newer_versions: 1,
+        });
+        let s = format!("{e}");
+        assert!(s.contains("stale") && s.contains("level 2"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let io: ElsmError = FsError::NotFound("x".into()).into();
+        assert!(matches!(io, ElsmError::Io(_)));
+        let v: ElsmError = VerificationFailure::RolledBack.into();
+        assert!(matches!(v, ElsmError::Verification(_)));
+    }
+
+    #[test]
+    fn error_source_chains() {
+        use std::error::Error;
+        let e = ElsmError::Verification(VerificationFailure::RolledBack);
+        assert!(e.source().is_some());
+    }
+}

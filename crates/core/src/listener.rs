@@ -1,0 +1,294 @@
+//! The authenticated-compaction listener: eLSM as a store add-on.
+//!
+//! This is the paper's Figure 4 realized through `lsm-store`'s RocksDB-style
+//! callbacks, with **zero changes** to the storage engine:
+//!
+//! * `on_compaction_input` ↔ `auth_filter`: rebuilds each input level's
+//!   Merkle tree incrementally (`MHT_add`),
+//! * `transform_output` ↔ `auth_onTableFileCreated`: checks the rebuilt
+//!   input roots against the enclave's commitments, builds the output
+//!   level's digest, and embeds a proof in every output record,
+//! * `on_compaction_end`: installs the output commitment in the enclave
+//!   and the full digest in the untrusted store (and empties the consumed
+//!   input level) — the mutex-guarded root replacement of §5.5.2,
+//! * `on_wal_append`: maintains the in-enclave WAL digest (step w1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lsm_store::{CompactionInfo, Record, RecordSource, StoreListener};
+use merkle::{LevelDigest, LevelDigestBuilder};
+use parking_lot::Mutex;
+use sgx_sim::Platform;
+
+use crate::digests::UntrustedDigests;
+use crate::envelope::{open_record, wrap_with_proof};
+use crate::trusted::TrustedState;
+
+#[derive(Debug, Default)]
+struct Scratch {
+    input_builders: HashMap<u32, LevelDigestBuilder>,
+    pending_output: Option<LevelDigest>,
+}
+
+/// eLSM's authentication layer, attached to the vanilla store as a
+/// listener.
+#[derive(Debug)]
+pub struct AuthListener {
+    platform: Arc<Platform>,
+    trusted: Arc<TrustedState>,
+    digests: Arc<UntrustedDigests>,
+    scratch: Mutex<Scratch>,
+}
+
+impl AuthListener {
+    /// Builds the listener around the enclave state and host digest store.
+    pub fn new(
+        platform: Arc<Platform>,
+        trusted: Arc<TrustedState>,
+        digests: Arc<UntrustedDigests>,
+    ) -> Arc<Self> {
+        Arc::new(AuthListener { platform, trusted, digests, scratch: Mutex::new(Scratch::default()) })
+    }
+}
+
+impl StoreListener for AuthListener {
+    fn on_wal_append(&self, record: &Record) {
+        // Records enter the WAL with a plain envelope; digest bare bytes.
+        if let Ok((canonical, _, _)) = open_record(record, 0) {
+            self.trusted.absorb_wal(&canonical);
+        }
+    }
+
+    fn on_compaction_input(&self, source: RecordSource, record: &Record) {
+        // Rebuild the source level's tree from the streamed records
+        // (Figure 4, auth_filter → MHT_add on the input trees).
+        let level = source.level as u32;
+        let Ok((canonical, _, _)) = open_record(record, level) else {
+            // Malformed envelope in an input: the level can never match.
+            self.trusted.poison();
+            return;
+        };
+        self.platform.charge_hash(canonical.len());
+        let mut scratch = self.scratch.lock();
+        scratch
+            .input_builders
+            .entry(level)
+            .or_insert_with(|| LevelDigestBuilder::new(level))
+            .add(&record.key, canonical);
+    }
+
+    fn transform_output(&self, output_level: usize, records: Vec<Record>) -> Vec<Record> {
+        let mut scratch = self.scratch.lock();
+        // 1. Verify every input level's rebuilt root against the enclave
+        //    commitment (Figure 4 lines 31-33).
+        for (level, builder) in scratch.input_builders.drain() {
+            let rebuilt = builder.finish().commitment();
+            if rebuilt != self.trusted.commitment(level) {
+                self.trusted.poison();
+            }
+        }
+        // 2. Build the output level's digest over canonical record bytes.
+        let mut builder = LevelDigestBuilder::new(output_level as u32);
+        let mut opened = Vec::with_capacity(records.len());
+        for record in &records {
+            match open_record(record, output_level as u32) {
+                Ok((canonical, value, _old_proof)) => {
+                    self.platform.charge_hash(canonical.len());
+                    builder.add(&record.key, canonical);
+                    opened.push(value);
+                }
+                Err(_) => {
+                    self.trusted.poison();
+                    opened.push(record.value.clone());
+                }
+            }
+        }
+        let digest = builder.finish();
+        // 3. Embed a fresh proof in every output record
+        //    (auth_onTableFileCreated).
+        let mut out = Vec::with_capacity(records.len());
+        let mut leaf_idx = 0usize;
+        let mut version_idx = 0usize;
+        let mut prev_key: Option<&[u8]> = None;
+        for (record, value) in records.iter().zip(&opened) {
+            match prev_key {
+                Some(k) if k == &record.key[..] => version_idx += 1,
+                Some(_) => {
+                    leaf_idx += 1;
+                    version_idx = 0;
+                }
+                None => {}
+            }
+            prev_key = Some(&record.key[..]);
+            // Proof material was already hashed while building the tree;
+            // serialization is a plain memory copy.
+            let proof = digest.prove_version(leaf_idx, version_idx);
+            self.platform.dram_access(proof.encoded_len());
+            out.push(Record {
+                key: record.key.clone(),
+                ts: record.ts,
+                kind: record.kind,
+                value: wrap_with_proof(value, &proof),
+            });
+        }
+        scratch.pending_output = Some(digest);
+        out
+    }
+
+    fn on_compaction_end(&self, info: &CompactionInfo) {
+        let mut scratch = self.scratch.lock();
+        let output_level = info.output_level as u32;
+        // Install the output root in the enclave and the full digest in the
+        // untrusted store; empty the consumed input level. Refuse to sign
+        // when poisoned (the paper's "if the equality check passes, the
+        // Merkle root hash for the output file takes effect").
+        match scratch.pending_output.take() {
+            Some(digest) if !self.trusted.is_poisoned() && digest.leaf_count() > 0 => {
+                self.trusted.set_commitment(digest.commitment());
+                self.digests.install(digest);
+            }
+            _ => {
+                self.trusted.clear_commitment(output_level);
+                self.digests.clear(output_level);
+            }
+        }
+        if info.input_level >= 1 {
+            self.trusted.clear_commitment(info.input_level as u32);
+            self.digests.clear(info.input_level as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::wrap_plain;
+    use bytes::Bytes;
+
+    fn record(key: &str, ts: u64, value: &str) -> Record {
+        Record::put(
+            Bytes::copy_from_slice(key.as_bytes()),
+            wrap_plain(value.as_bytes()),
+            ts,
+        )
+    }
+
+    fn setup() -> (Arc<AuthListener>, Arc<TrustedState>, Arc<UntrustedDigests>) {
+        let platform = Platform::with_defaults();
+        let trusted = TrustedState::new(platform.clone(), 4);
+        let digests = UntrustedDigests::new(platform.clone());
+        (AuthListener::new(platform, trusted.clone(), digests.clone()), trusted, digests)
+    }
+
+    #[test]
+    fn flush_installs_level_commitment() {
+        let (listener, trusted, digests) = setup();
+        let records = vec![record("a", 2, "va"), record("b", 1, "vb")];
+        let out = listener.transform_output(1, records);
+        listener.on_compaction_end(&CompactionInfo {
+            input_level: 0,
+            output_level: 1,
+            input_records: 2,
+            output_records: 2,
+            output_files: vec![1],
+        });
+        assert!(!trusted.commitment(1).is_empty());
+        assert_eq!(trusted.commitment(1).leaf_count, 2);
+        assert_eq!(digests.len(), 1);
+        // Output records now carry proofs.
+        for r in &out {
+            let (_, _, proof) = open_record(&r, 1).unwrap();
+            assert!(proof.is_some());
+        }
+        assert!(!trusted.is_poisoned());
+    }
+
+    #[test]
+    fn matching_input_roots_keep_store_healthy() {
+        let (listener, trusted, _) = setup();
+        // First "flush" installs level 1.
+        let out1 = listener.transform_output(1, vec![record("a", 2, "va"), record("b", 1, "vb")]);
+        listener.on_compaction_end(&CompactionInfo {
+            input_level: 0,
+            output_level: 1,
+            input_records: 2,
+            output_records: 2,
+            output_files: vec![1],
+        });
+        // Now compact level 1 → 2, replaying the honest level-1 records.
+        for r in &out1 {
+            listener.on_compaction_input(RecordSource { level: 1, file_no: 1 }, r);
+        }
+        let _out2 = listener.transform_output(2, out1.clone());
+        listener.on_compaction_end(&CompactionInfo {
+            input_level: 1,
+            output_level: 2,
+            input_records: 2,
+            output_records: 2,
+            output_files: vec![2],
+        });
+        assert!(!trusted.is_poisoned());
+        assert!(trusted.commitment(1).is_empty(), "input level emptied");
+        assert!(!trusted.commitment(2).is_empty());
+    }
+
+    #[test]
+    fn tampered_input_poisons_store() {
+        let (listener, trusted, _) = setup();
+        let out1 = listener.transform_output(1, vec![record("a", 2, "va"), record("b", 1, "vb")]);
+        listener.on_compaction_end(&CompactionInfo {
+            input_level: 0,
+            output_level: 1,
+            input_records: 2,
+            output_records: 2,
+            output_files: vec![1],
+        });
+        // Adversary feeds a modified record stream into the compaction.
+        let mut tampered = out1.clone();
+        tampered[0] = record("a", 2, "EVIL");
+        for r in &tampered {
+            listener.on_compaction_input(RecordSource { level: 1, file_no: 1 }, r);
+        }
+        listener.transform_output(2, tampered);
+        assert!(trusted.is_poisoned(), "input digest mismatch must poison");
+    }
+
+    #[test]
+    fn wal_digest_changes_per_append() {
+        let (listener, trusted, _) = setup();
+        let d0 = trusted.wal_digest();
+        listener.on_wal_append(&record("k", 1, "v"));
+        let d1 = trusted.wal_digest();
+        listener.on_wal_append(&record("k", 2, "v2"));
+        let d2 = trusted.wal_digest();
+        assert_ne!(d0, d1);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn empty_output_clears_level() {
+        let (listener, trusted, digests) = setup();
+        listener.transform_output(1, vec![record("a", 1, "v")]);
+        listener.on_compaction_end(&CompactionInfo {
+            input_level: 0,
+            output_level: 1,
+            input_records: 1,
+            output_records: 1,
+            output_files: vec![1],
+        });
+        // A later compaction drops everything (e.g. tombstone purge).
+        let out = listener.transform_output(2, Vec::new());
+        assert!(out.is_empty());
+        listener.on_compaction_end(&CompactionInfo {
+            input_level: 1,
+            output_level: 2,
+            input_records: 1,
+            output_records: 0,
+            output_files: vec![],
+        });
+        assert!(trusted.commitment(2).is_empty());
+        assert!(trusted.commitment(1).is_empty());
+        assert_eq!(digests.len(), 0);
+    }
+}

@@ -1,0 +1,503 @@
+//! eLSM-P2: the paper's primary design (§5).
+//!
+//! Code inside the enclave; read buffers, SSTables and WAL outside,
+//! protected by the per-level Merkle forest. Reads verify membership /
+//! non-membership / freshness against in-enclave commitments with early
+//! stop; compactions are authenticated through the listener; an optional
+//! trusted monotonic counter defends rollback across power cycles
+//! (§5.6.1).
+
+use std::sync::Arc;
+
+use elsm_crypto::Digest;
+use lsm_store::{
+    Db, EnvConfig, GetTrace, LevelOutcome, Options, ScanTrace, StorageEnv, Timestamp, ValueKind,
+};
+use merkle::LevelCommitment;
+use sgx_sim::{BufferedCounter, MonotonicCounter, Platform, SealedBlob, Sealer};
+use sim_disk::{Placement, SimDisk, SimFs};
+
+use crate::api::{AuthenticatedKv, VerifiedRecord};
+use crate::digests::UntrustedDigests;
+use crate::envelope::{open_record, wrap_plain};
+use crate::error::{ElsmError, VerificationFailure};
+use crate::listener::AuthListener;
+use crate::trusted::{RangeProver, TrustedState, VerifyStats};
+
+/// File holding the sealed enclave state between runs.
+const STATE_FILE: &str = "ENCLAVE_STATE";
+
+/// How eLSM-P2 reads SSTables (§5.5.1, Figure 6b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Map files into untrusted memory and dereference directly.
+    Mmap,
+    /// Read through a user-space buffer in untrusted memory.
+    Buffer,
+}
+
+/// Rollback-defence configuration (§5.6.1).
+#[derive(Debug, Clone)]
+pub struct RollbackOptions {
+    /// Number of state updates batched per hardware counter write (the
+    /// paper's tunable write buffer).
+    pub counter_write_buffer: usize,
+}
+
+impl Default for RollbackOptions {
+    fn default() -> Self {
+        RollbackOptions { counter_write_buffer: 512 }
+    }
+}
+
+/// Configuration of an eLSM-P2 store.
+#[derive(Debug, Clone)]
+pub struct P2Options {
+    /// Read path (mmap is the paper's fastest configuration).
+    pub read_mode: ReadMode,
+    /// Block-cache capacity for [`ReadMode::Buffer`] (untrusted memory).
+    pub block_cache_bytes: usize,
+    /// Memtable size triggering a flush.
+    pub write_buffer_bytes: usize,
+    /// Level-1 size budget (levels grow geometrically above it).
+    pub level1_max_bytes: u64,
+    /// Geometric level growth factor.
+    pub level_multiplier: u64,
+    /// Number of on-disk levels.
+    pub max_levels: usize,
+    /// Target SSTable file size within a run.
+    pub target_file_bytes: u64,
+    /// SSTable block size.
+    pub block_size: usize,
+    /// Bloom-filter bits per key (0 disables).
+    pub bloom_bits_per_key: usize,
+    /// Automatic size-triggered compaction.
+    pub compaction_enabled: bool,
+    /// Optional rollback protection via a trusted monotonic counter.
+    pub rollback: Option<RollbackOptions>,
+}
+
+impl Default for P2Options {
+    fn default() -> Self {
+        P2Options {
+            read_mode: ReadMode::Mmap,
+            block_cache_bytes: 512 * 1024,
+            write_buffer_bytes: 64 * 1024,
+            level1_max_bytes: 256 * 1024,
+            level_multiplier: 10,
+            max_levels: 7,
+            target_file_bytes: 128 * 1024,
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+            compaction_enabled: true,
+            rollback: None,
+        }
+    }
+}
+
+/// The eLSM-P2 authenticated key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use elsm::{AuthenticatedKv, ElsmP2, P2Options};
+/// use sgx_sim::Platform;
+///
+/// # fn main() -> Result<(), elsm::ElsmError> {
+/// let store = ElsmP2::open(Platform::with_defaults(), P2Options::default())?;
+/// store.put(b"certificate/example.org", b"cert-hash")?;
+/// let rec = store.get(b"certificate/example.org")?.expect("present");
+/// assert_eq!(rec.value(), b"cert-hash");
+/// assert!(store.get(b"absent")?.is_none()); // verified non-membership
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ElsmP2 {
+    platform: Arc<Platform>,
+    fs: Arc<SimFs>,
+    db: Arc<Db>,
+    trusted: Arc<TrustedState>,
+    digests: Arc<UntrustedDigests>,
+    sealer: Sealer,
+    counter: Option<Arc<BufferedCounter>>,
+    options: P2Options,
+}
+
+impl ElsmP2 {
+    /// Opens a fresh store on a new simulated filesystem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElsmError`] on IO failure.
+    pub fn open(platform: Arc<Platform>, options: P2Options) -> Result<Self, ElsmError> {
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        Self::open_with(platform, fs, options, None)
+    }
+
+    /// Opens (or re-opens) a store on an existing filesystem, optionally
+    /// bound to a trusted monotonic counter (required for rollback
+    /// protection to survive power cycles).
+    ///
+    /// On re-open the enclave unseals its commitments, re-derives the WAL
+    /// digest from the log, and — when a counter is bound — checks the
+    /// dataset digest against the counter's current epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerificationFailure::RolledBack`] when the on-disk state
+    /// is an older (but authentic) version than the counter epoch, and
+    /// [`VerificationFailure::SealBroken`] when the sealed state fails to
+    /// unseal.
+    pub fn open_with(
+        platform: Arc<Platform>,
+        fs: Arc<SimFs>,
+        options: P2Options,
+        counter: Option<Arc<MonotonicCounter>>,
+    ) -> Result<Self, ElsmError> {
+        let trusted = TrustedState::new(platform.clone(), options.max_levels);
+        let digests = UntrustedDigests::new(platform.clone());
+        let listener = AuthListener::new(platform.clone(), trusted.clone(), digests.clone());
+        let env = StorageEnv::new(
+            platform.clone(),
+            fs.clone(),
+            EnvConfig {
+                in_enclave: true,
+                use_mmap: options.read_mode == ReadMode::Mmap,
+                cache_placement: Placement::Untrusted,
+                block_cache_bytes: if options.read_mode == ReadMode::Buffer {
+                    options.block_cache_bytes
+                } else {
+                    0
+                },
+                block_slot_bytes: options.block_size * 2,
+                sealed_files: false,
+            },
+            None,
+        );
+        let recovering = fs.open("MANIFEST").is_ok();
+        // Embedded proofs inflate stored records ~6x (audit path + chain
+        // digest versus a 100-byte value). Level budgets are configured in
+        // *logical* bytes, so physical budgets scale by the overhead
+        // factor — otherwise proof bytes would trigger spurious cascades.
+        const PROOF_INFLATION: u64 = 6;
+        let db_options = Options {
+            env: env.config().clone(),
+            table: lsm_store::TableOptions {
+                block_size: options.block_size,
+                bloom_bits_per_key: options.bloom_bits_per_key,
+            },
+            write_buffer_bytes: options.write_buffer_bytes,
+            target_file_bytes: options.target_file_bytes * PROOF_INFLATION,
+            level1_max_bytes: options.level1_max_bytes * PROOF_INFLATION,
+            level_multiplier: options.level_multiplier,
+            max_levels: options.max_levels,
+            compaction_enabled: options.compaction_enabled,
+            purge_tombstones_at_bottom: true,
+            keep_old_versions: true,
+        };
+        let db = Arc::new(Db::open(env, db_options, Some(listener))?);
+        let sealer = Sealer::new(elsm_crypto::sha256(b"elsm-p2 enclave v1"), b"machine-0");
+        let counter = counter.map(|c| {
+            Arc::new(BufferedCounter::new(
+                c,
+                options.rollback.as_ref().map_or(512, |r| r.counter_write_buffer),
+            ))
+        });
+        store_set_stacked(&trusted, &options);
+        let store = ElsmP2 { platform, fs, db, trusted, digests, sealer, counter, options };
+        if recovering {
+            store.recover_trusted_state()?;
+        }
+        Ok(store)
+    }
+
+    /// Restores enclave state after a power cycle: unseal commitments,
+    /// check the monotonic counter, verify the WAL digest and rebuild the
+    /// untrusted digest store from the (now re-verified) level contents.
+    fn recover_trusted_state(&self) -> Result<(), ElsmError> {
+        let state_file = self
+            .fs
+            .open(STATE_FILE)
+            .map_err(|_| VerificationFailure::SealBroken)?;
+        let raw = state_file.read_at(0, state_file.len())?;
+        let blob =
+            SealedBlob::from_bytes(&raw).map_err(|_| VerificationFailure::SealBroken)?;
+        let plain = self
+            .sealer
+            .unseal(b"elsm-p2/state", &blob)
+            .map_err(|_| VerificationFailure::SealBroken)?;
+        let (commitments, wal_digest) =
+            decode_state(&plain).ok_or(VerificationFailure::SealBroken)?;
+        self.trusted.restore_commitments(commitments);
+        self.trusted.restore_wal_digest(wal_digest);
+        // Rollback check: the dataset digest must match the counter epoch.
+        if let Some(counter) = &self.counter {
+            let digest = self.trusted.dataset_digest();
+            if !counter.counter().verify_current(&digest) {
+                return Err(VerificationFailure::RolledBack.into());
+            }
+        }
+        // Rebuild the host's digest trees from the stored levels. If the
+        // host tampered with them, proofs will fail against the restored
+        // commitments at query time.
+        self.rebuild_untrusted_digests()?;
+        Ok(())
+    }
+
+    fn rebuild_untrusted_digests(&self) -> Result<(), ElsmError> {
+        for level in 1..=self.options.max_levels as u32 {
+            let records = self.db.level_record_dump(level as usize)?;
+            if records.is_empty() {
+                self.digests.clear(level);
+                continue;
+            }
+            let mut builder = merkle::LevelDigestBuilder::new(level);
+            for record in &records {
+                if let Ok((canonical, _, _)) = open_record(record, level) {
+                    builder.add(&record.key, canonical);
+                }
+            }
+            self.digests.install(builder.finish());
+        }
+        Ok(())
+    }
+
+    /// Seals the enclave state to untrusted storage and flushes the
+    /// rollback counter — the clean-shutdown path that makes restart
+    /// verification possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElsmError`] on IO failure.
+    pub fn close(&self) -> Result<(), ElsmError> {
+        let plain = encode_state(&self.trusted.commitments(), self.trusted.wal_digest());
+        let blob = self.sealer.seal(b"elsm-p2/state", &plain);
+        let _ = self.fs.delete(STATE_FILE);
+        let file = self.fs.create(STATE_FILE)?;
+        file.append(&blob.to_bytes());
+        if let Some(counter) = &self.counter {
+            counter.update(self.trusted.dataset_digest());
+            counter.flush();
+        }
+        Ok(())
+    }
+
+    /// The platform (clock, stats) this store charges against.
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.platform
+    }
+
+    /// The simulated filesystem (exposed for restart/adversary tests).
+    pub fn fs(&self) -> &Arc<SimFs> {
+        &self.fs
+    }
+
+    /// The underlying vanilla store (exposed for benchmarks/statistics).
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// The enclave state (exposed for adversary unit tests).
+    pub fn trusted(&self) -> &Arc<TrustedState> {
+        &self.trusted
+    }
+
+    /// The host-side digest store.
+    pub fn digests(&self) -> &Arc<UntrustedDigests> {
+        &self.digests
+    }
+
+    /// Verification-work counters.
+    pub fn verify_stats(&self) -> VerifyStats {
+        self.trusted.verify_stats()
+    }
+
+    /// Options this store was opened with.
+    pub fn options(&self) -> &P2Options {
+        &self.options
+    }
+
+    fn ensure_healthy(&self) -> Result<(), ElsmError> {
+        if self.trusted.is_poisoned() {
+            Err(ElsmError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn after_write(&self) {
+        if let Some(counter) = &self.counter {
+            counter.update(self.trusted.dataset_digest());
+        }
+    }
+
+    /// Assembles the verified answer from a GET trace.
+    fn answer_from_trace(&self, trace: &GetTrace) -> Option<VerifiedRecord> {
+        let record = trace.memtable.as_ref().or(trace.result.as_ref())?;
+        if record.kind != ValueKind::Put {
+            return None; // verified tombstone: key absent
+        }
+        let (_, value, proof) = open_record(record, 0).ok()?;
+        let proof_bytes = proof.map_or(0, |p| p.encoded_len());
+        Some(VerifiedRecord::new(
+            record.key.clone(),
+            value,
+            record.ts,
+            proof_bytes,
+            trace.levels.len(),
+        ))
+    }
+}
+
+impl AuthenticatedKv for ElsmP2 {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, ElsmError> {
+        self.ensure_healthy()?;
+        // The YCSB driver wraps each operation in an ECall (§6.1).
+        let ts = self.platform.ecall(|| self.db.put(key, &wrap_plain(value)))?;
+        self.after_write();
+        Ok(ts)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<Timestamp, ElsmError> {
+        self.ensure_healthy()?;
+        let ts = self.platform.ecall(|| self.db.delete(key))?;
+        self.after_write();
+        Ok(ts)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
+        self.ensure_healthy()?;
+        let trace = self
+            .platform
+            .ecall(|| self.db.get_with_trace(key, Timestamp::MAX >> 1))?;
+        self.trusted.verify_get(key, &trace)?;
+        Ok(self.answer_from_trace(&trace))
+    }
+
+    fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
+        self.ensure_healthy()?;
+        let trace = self
+            .platform
+            .ecall(|| self.db.scan_with_trace(from, to, Timestamp::MAX >> 1))?;
+        self.trusted.verify_scan(from, to, &trace, self.digests.as_ref())?;
+        let mut out = Vec::with_capacity(trace.merged.len());
+        for record in &trace.merged {
+            let (_, value, proof) =
+                open_record(record, 0).map_err(ElsmError::Verification)?;
+            out.push(VerifiedRecord::new(
+                record.key.clone(),
+                value,
+                record.ts,
+                proof.map_or(0, |p| p.encoded_len()),
+                trace.levels.len(),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Exposes trace-level entry points so adversary tests can feed tampered
+/// traces directly into the verifier.
+impl ElsmP2 {
+    /// Runs the GET verifier on an externally supplied trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the detected [`VerificationFailure`].
+    pub fn verify_get_trace(
+        &self,
+        key: &[u8],
+        trace: &GetTrace,
+    ) -> Result<(), VerificationFailure> {
+        self.trusted.verify_get(key, trace)
+    }
+
+    /// Runs the SCAN verifier on an externally supplied trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the detected [`VerificationFailure`].
+    pub fn verify_scan_trace(
+        &self,
+        from: &[u8],
+        to: &[u8],
+        trace: &ScanTrace,
+    ) -> Result<(), VerificationFailure> {
+        self.trusted.verify_scan(from, to, trace, self.digests.as_ref())
+    }
+
+    /// Produces a raw (unverified) trace — adversary tests tamper with
+    /// this before feeding it back to the verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElsmError::Io`] on storage errors.
+    pub fn raw_get_trace(&self, key: &[u8]) -> Result<GetTrace, ElsmError> {
+        Ok(self.db.get_with_trace(key, Timestamp::MAX >> 1)?)
+    }
+
+    /// Produces a raw (unverified) scan trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElsmError::Io`] on storage errors.
+    pub fn raw_scan_trace(&self, from: &[u8], to: &[u8]) -> Result<ScanTrace, ElsmError> {
+        Ok(self.db.scan_with_trace(from, to, Timestamp::MAX >> 1)?)
+    }
+
+    /// Reference to a trace's hit record (handy in tests).
+    pub fn hit_of(trace: &GetTrace) -> Option<&lsm_store::Record> {
+        trace.levels.iter().find_map(|l| match &l.outcome {
+            LevelOutcome::Hit(r) => Some(r),
+            _ => None,
+        })
+    }
+}
+
+fn store_set_stacked(trusted: &Arc<TrustedState>, options: &P2Options) {
+    trusted.set_stacked(!options.compaction_enabled);
+}
+
+fn encode_state(commitments: &[LevelCommitment], wal_digest: Digest) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(commitments.len() as u32).to_le_bytes());
+    for c in commitments {
+        out.extend_from_slice(&c.level.to_le_bytes());
+        out.extend_from_slice(c.root.as_bytes());
+        out.extend_from_slice(&c.leaf_count.to_le_bytes());
+    }
+    out.extend_from_slice(wal_digest.as_bytes());
+    out
+}
+
+fn decode_state(buf: &[u8]) -> Option<(Vec<LevelCommitment>, Digest)> {
+    let n = u32::from_le_bytes(buf.get(0..4)?.try_into().ok()?) as usize;
+    let mut pos = 4;
+    let mut commitments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let level = u32::from_le_bytes(buf.get(pos..pos + 4)?.try_into().ok()?);
+        pos += 4;
+        let mut root = [0u8; 32];
+        root.copy_from_slice(buf.get(pos..pos + 32)?);
+        pos += 32;
+        let leaf_count = u64::from_le_bytes(buf.get(pos..pos + 8)?.try_into().ok()?);
+        pos += 8;
+        commitments.push(LevelCommitment {
+            level,
+            root: Digest::from_bytes(root),
+            leaf_count,
+        });
+    }
+    let mut wal = [0u8; 32];
+    wal.copy_from_slice(buf.get(pos..pos + 32)?);
+    Some((commitments, Digest::from_bytes(wal)))
+}
+
+// A small accessor used by scan verification; kept here to avoid exposing
+// the prover trait at the API surface.
+impl RangeProver for ElsmP2 {
+    fn prove_range(&self, level: u32, lo: u64, hi: u64) -> Option<merkle::RangeProof> {
+        self.digests.prove_range(level, lo, hi)
+    }
+}

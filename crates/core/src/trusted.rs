@@ -1,0 +1,512 @@
+//! The enclave-resident trusted state and the VRFY algorithms (§5.3).
+//!
+//! [`TrustedState`] holds exactly what the paper keeps inside the enclave:
+//! one Merkle commitment per LSM level (root + leaf count, guarded by a
+//! mutex for the compaction/read synchronization of §5.5.2), the running
+//! WAL digest, and the poisoned flag set when a compaction's inputs fail
+//! digest verification.
+//!
+//! [`TrustedState::verify_get`] implements the GET verification of
+//! Theorem 5.3: membership + freshness at the hit level, non-membership at
+//! every earlier level, early stop justified by Lemma 5.4.
+//! [`TrustedState::verify_scan`] implements the §5.4 range completeness
+//! check using segment-tree range proofs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use elsm_crypto::{sha256_concat, Digest};
+use lsm_store::{GetTrace, LevelOutcome, Record, ScanTrace, ValueKind};
+use merkle::{verify_range, ChainPosition, LevelCommitment, RangeProof, RecordProof};
+use parking_lot::Mutex;
+use sgx_sim::Platform;
+
+use crate::envelope::open_record;
+use crate::error::VerificationFailure;
+
+/// Supplies range proofs for a level — implemented by the untrusted host's
+/// digest store ([`crate::digests::UntrustedDigests`]).
+pub trait RangeProver {
+    /// Produces the proof for leaves `lo..=hi` of `level`, or `None` if
+    /// the host cannot (treated as a completeness failure).
+    fn prove_range(&self, level: u32, lo: u64, hi: u64) -> Option<RangeProof>;
+}
+
+/// Counters describing verification work (proof-size ablations read these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Individual record proofs verified.
+    pub proofs_verified: u64,
+    /// Total serialized proof bytes inspected.
+    pub proof_bytes: u64,
+    /// Levels checked across all queries (proof-size proxy: the early stop
+    /// keeps this small).
+    pub levels_checked: u64,
+}
+
+/// Enclave-held state of an eLSM-P2 store.
+#[derive(Debug)]
+pub struct TrustedState {
+    platform: Arc<Platform>,
+    max_levels: usize,
+    commitments: Mutex<Vec<LevelCommitment>>,
+    wal_digest: Mutex<Digest>,
+    /// Stacked-run mode (compaction disabled): freshness order is highest
+    /// level first, and GET traces arrive in that order.
+    stacked: AtomicBool,
+    poisoned: AtomicBool,
+    proofs_verified: AtomicU64,
+    proof_bytes: AtomicU64,
+    levels_checked: AtomicU64,
+}
+
+impl TrustedState {
+    /// Fresh state with empty commitments for levels `1..=max_levels`.
+    pub fn new(platform: Arc<Platform>, max_levels: usize) -> Arc<Self> {
+        Arc::new(TrustedState {
+            platform,
+            max_levels,
+            commitments: Mutex::new(
+                (0..=max_levels as u32).map(LevelCommitment::empty).collect(),
+            ),
+            wal_digest: Mutex::new(Digest::ZERO),
+            stacked: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            proofs_verified: AtomicU64::new(0),
+            proof_bytes: AtomicU64::new(0),
+            levels_checked: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of on-disk levels currently tracked (grows when the store
+    /// stacks runs with compaction disabled).
+    pub fn max_levels(&self) -> usize {
+        self.commitments.lock().len().saturating_sub(1).max(self.max_levels)
+    }
+
+    /// The commitment for `level` (empty for levels never installed).
+    pub fn commitment(&self, level: u32) -> LevelCommitment {
+        let c = self.commitments.lock();
+        c.get(level as usize).copied().unwrap_or_else(|| LevelCommitment::empty(level))
+    }
+
+    /// Installs a commitment (the compaction-completion ECall of §5.5.2),
+    /// growing the level table if needed.
+    pub fn set_commitment(&self, commitment: LevelCommitment) {
+        let mut c = self.commitments.lock();
+        let idx = commitment.level as usize;
+        while c.len() <= idx {
+            let next = c.len() as u32;
+            c.push(LevelCommitment::empty(next));
+        }
+        c[idx] = commitment;
+    }
+
+    /// Clears a level's commitment (its run was consumed by compaction).
+    pub fn clear_commitment(&self, level: u32) {
+        self.set_commitment(LevelCommitment::empty(level));
+    }
+
+    /// All commitments (for sealing).
+    pub fn commitments(&self) -> Vec<LevelCommitment> {
+        self.commitments.lock().clone()
+    }
+
+    /// Restores commitments from sealed state.
+    pub fn restore_commitments(&self, commitments: Vec<LevelCommitment>) {
+        *self.commitments.lock() = commitments;
+    }
+
+    /// Folds a WAL append into the running digest (§5.3, step w1).
+    pub fn absorb_wal(&self, record_bytes: &[u8]) {
+        self.platform.charge_hash(record_bytes.len() + 32);
+        let mut dig = self.wal_digest.lock();
+        *dig = sha256_concat(&[&[0x05], record_bytes, dig.as_bytes()]);
+    }
+
+    /// Current WAL digest.
+    pub fn wal_digest(&self) -> Digest {
+        *self.wal_digest.lock()
+    }
+
+    /// Overwrites the WAL digest (recovery from sealed state).
+    pub fn restore_wal_digest(&self, digest: Digest) {
+        *self.wal_digest.lock() = digest;
+    }
+
+    /// Digest of the whole dataset: all level commitments plus the WAL
+    /// digest — what the rollback counter binds (§5.6.1).
+    pub fn dataset_digest(&self) -> Digest {
+        let commitments = self.commitments.lock();
+        let digests: Vec<Digest> = commitments.iter().map(|c| c.digest()).collect();
+        let wal = self.wal_digest.lock();
+        let mut parts: Vec<&[u8]> = vec![&[0x06]];
+        for d in &digests {
+            parts.push(d.as_bytes());
+        }
+        parts.push(wal.as_bytes());
+        self.platform.charge_hash(parts.iter().map(|p| p.len()).sum());
+        sha256_concat(&parts)
+    }
+
+    /// Switches the verifier to stacked-run order (compaction disabled).
+    pub fn set_stacked(&self, stacked: bool) {
+        self.stacked.store(stacked, Ordering::SeqCst);
+    }
+
+    /// Whether stacked-run order is in effect.
+    pub fn is_stacked(&self) -> bool {
+        self.stacked.load(Ordering::SeqCst)
+    }
+
+    /// Marks the store poisoned: a compaction input failed verification.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether authenticated service is refused.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Verification-work counters.
+    pub fn verify_stats(&self) -> VerifyStats {
+        VerifyStats {
+            proofs_verified: self.proofs_verified.load(Ordering::Relaxed),
+            proof_bytes: self.proof_bytes.load(Ordering::Relaxed),
+            levels_checked: self.levels_checked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Verifies one record proof against a level commitment, charging the
+    /// hashing work.
+    fn check_proof(
+        &self,
+        commitment: &LevelCommitment,
+        proof: &RecordProof,
+        canonical: &[u8],
+    ) -> Result<(), VerificationFailure> {
+        let newer_bytes: usize = proof.chain.exposed_newer().iter().map(Vec::len).sum();
+        self.platform.charge_hash(canonical.len() + newer_bytes + 64 * proof.audit_path.len());
+        self.proofs_verified.fetch_add(1, Ordering::Relaxed);
+        self.proof_bytes.fetch_add(proof.encoded_len() as u64, Ordering::Relaxed);
+        proof
+            .verify(commitment, canonical)
+            .map_err(|source| VerificationFailure::ForgedRecord { level: commitment.level, source })
+    }
+
+    // ----- GET verification (Theorem 5.3) ---------------------------------
+
+    /// Verifies a traced point query for `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VerificationFailure`] naming the attack detected.
+    pub fn verify_get(&self, key: &[u8], trace: &GetTrace) -> Result<(), VerificationFailure> {
+        if trace.memtable.is_some() {
+            // Served from trusted enclave memory; nothing to verify.
+            return Ok(());
+        }
+        self.levels_checked.fetch_add(trace.levels.len() as u64, Ordering::Relaxed);
+        // Expected search order: ascending with compaction (lower =
+        // fresher, Lemma 5.4), descending in stacked-run mode (later run =
+        // fresher).
+        let stacked = self.is_stacked();
+        let mut expected: i64 = if stacked { self.max_levels() as i64 } else { 1 };
+        let step: i64 = if stacked { -1 } else { 1 };
+        let mut hit = false;
+        for search in &trace.levels {
+            if search.level as i64 != expected {
+                return Err(VerificationFailure::LevelSkipped { expected: expected.max(0) as u32 });
+            }
+            if hit {
+                // Nothing may follow the hit level (early stop).
+                return Err(VerificationFailure::LevelSkipped { expected: expected.max(0) as u32 });
+            }
+            let commitment = self.commitment(expected as u32);
+            match &search.outcome {
+                LevelOutcome::Empty => {
+                    if !commitment.is_empty() {
+                        return Err(VerificationFailure::HiddenLevel { level: expected as u32 });
+                    }
+                }
+                LevelOutcome::Miss { left, right } => {
+                    self.verify_non_membership(&commitment, key, left.as_ref(), right.as_ref())?;
+                }
+                LevelOutcome::Hit(record) => {
+                    self.verify_hit(&commitment, key, record)?;
+                    hit = true;
+                }
+            }
+            expected += step;
+        }
+        let exhausted = if stacked { expected < 1 } else { expected as usize > self.max_levels() };
+        if !hit && !exhausted {
+            // The store must account for every level when nothing is found.
+            return Err(VerificationFailure::LevelSkipped { expected: expected.max(0) as u32 });
+        }
+        Ok(())
+    }
+
+    fn verify_hit(
+        &self,
+        commitment: &LevelCommitment,
+        key: &[u8],
+        record: &Record,
+    ) -> Result<(), VerificationFailure> {
+        let level = commitment.level;
+        if record.key != key {
+            return Err(VerificationFailure::BadNonMembership {
+                level,
+                reason: "hit record key differs from query",
+            });
+        }
+        let (canonical, _value, proof) = open_record(record, level)?;
+        let Some(proof) = proof else {
+            return Err(VerificationFailure::MissingProof { level });
+        };
+        self.check_proof(commitment, &proof, &canonical)?;
+        // Freshness: the answer must be the newest version at its level
+        // (any newer version would appear in the chain position — the
+        // paper's ⟨Z,6⟩/⟨Z,7⟩ detection).
+        if let ChainPosition::Older { newer_records, .. } = &proof.chain {
+            return Err(VerificationFailure::StaleRecord {
+                level,
+                newer_versions: newer_records.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn verify_non_membership(
+        &self,
+        commitment: &LevelCommitment,
+        key: &[u8],
+        left: Option<&Record>,
+        right: Option<&Record>,
+    ) -> Result<(), VerificationFailure> {
+        let level = commitment.level;
+        if commitment.is_empty() {
+            return if left.is_none() && right.is_none() {
+                Ok(())
+            } else {
+                Err(VerificationFailure::BadNonMembership {
+                    level,
+                    reason: "neighbors presented for an empty level",
+                })
+            };
+        }
+        let left_proof = match left {
+            Some(rec) => {
+                if !(rec.key[..] < *key) {
+                    return Err(VerificationFailure::BadNonMembership {
+                        level,
+                        reason: "left neighbor not below query key",
+                    });
+                }
+                let (canonical, _, proof) = open_record(rec, level)?;
+                let proof = proof.ok_or(VerificationFailure::MissingProof { level })?;
+                self.check_proof(commitment, &proof, &canonical)?;
+                Some(proof)
+            }
+            None => None,
+        };
+        let right_proof = match right {
+            Some(rec) => {
+                if !(rec.key[..] > *key) {
+                    return Err(VerificationFailure::BadNonMembership {
+                        level,
+                        reason: "right neighbor not above query key",
+                    });
+                }
+                let (canonical, _, proof) = open_record(rec, level)?;
+                let proof = proof.ok_or(VerificationFailure::MissingProof { level })?;
+                self.check_proof(commitment, &proof, &canonical)?;
+                Some(proof)
+            }
+            None => None,
+        };
+        match (left_proof, right_proof) {
+            (Some(l), Some(r)) => {
+                if r.leaf_index != l.leaf_index + 1 {
+                    return Err(VerificationFailure::BadNonMembership {
+                        level,
+                        reason: "neighbors are not adjacent leaves",
+                    });
+                }
+            }
+            (None, Some(r)) => {
+                if r.leaf_index != 0 {
+                    return Err(VerificationFailure::BadNonMembership {
+                        level,
+                        reason: "right neighbor is not the first leaf",
+                    });
+                }
+            }
+            (Some(l), None) => {
+                if l.leaf_index + 1 != commitment.leaf_count {
+                    return Err(VerificationFailure::BadNonMembership {
+                        level,
+                        reason: "left neighbor is not the last leaf",
+                    });
+                }
+            }
+            (None, None) => {
+                return Err(VerificationFailure::BadNonMembership {
+                    level,
+                    reason: "no neighbors for a non-empty level",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ----- SCAN verification (§5.4) ----------------------------------------
+
+    /// Verifies a traced range query over `[from, to]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VerificationFailure`] naming the attack detected.
+    pub fn verify_scan(
+        &self,
+        from: &[u8],
+        to: &[u8],
+        trace: &ScanTrace,
+        prover: &dyn RangeProver,
+    ) -> Result<(), VerificationFailure> {
+        let mut expected: u32 = 1;
+        for range in &trace.levels {
+            if range.level as u32 != expected {
+                return Err(VerificationFailure::LevelSkipped { expected });
+            }
+            let commitment = self.commitment(expected);
+            self.levels_checked.fetch_add(1, Ordering::Relaxed);
+            if range.empty {
+                if !commitment.is_empty() {
+                    return Err(VerificationFailure::HiddenLevel { level: expected });
+                }
+                expected += 1;
+                continue;
+            }
+            self.verify_level_range(&commitment, from, to, range, prover)?;
+            expected += 1;
+        }
+        if (expected as usize) <= self.max_levels() {
+            return Err(VerificationFailure::LevelSkipped { expected });
+        }
+        Ok(())
+    }
+
+    fn verify_level_range(
+        &self,
+        commitment: &LevelCommitment,
+        from: &[u8],
+        to: &[u8],
+        range: &lsm_store::LevelRange,
+        prover: &dyn RangeProver,
+    ) -> Result<(), VerificationFailure> {
+        let level = commitment.level;
+        let fail = |reason: &'static str| VerificationFailure::IncompleteRange { level, reason };
+
+        // Group in-range records by key; compute each group's leaf hash
+        // from the newest version's chain position.
+        let mut leaf_seq: Vec<(u64, Digest)> = Vec::new();
+        let mut idx = 0usize;
+        while idx < range.records.len() {
+            let newest = &range.records[idx];
+            if newest.key[..] < *from || newest.key[..] > *to {
+                return Err(fail("record outside the queried range"));
+            }
+            let (canonical, _, proof) = open_record(newest, level)?;
+            let proof = proof.ok_or(VerificationFailure::MissingProof { level })?;
+            if proof.leaf_count != commitment.leaf_count {
+                return Err(fail("proof leaf count mismatch"));
+            }
+            if matches!(proof.chain, ChainPosition::Older { .. }) {
+                return Err(VerificationFailure::StaleRecord { level, newer_versions: 1 });
+            }
+            self.platform.charge_hash(canonical.len());
+            let leaf_hash = proof.chain.chain_head(&canonical);
+            leaf_seq.push((proof.leaf_index, leaf_hash));
+            // Verify the older versions of this key individually.
+            let mut j = idx + 1;
+            while j < range.records.len() && range.records[j].key == newest.key {
+                let older = &range.records[j];
+                if older.ts >= range.records[j - 1].ts {
+                    return Err(fail("versions not in descending timestamp order"));
+                }
+                let (canon_old, _, proof_old) = open_record(older, level)?;
+                let proof_old = proof_old.ok_or(VerificationFailure::MissingProof { level })?;
+                self.check_proof(commitment, &proof_old, &canon_old)?;
+                j += 1;
+            }
+            if j < range.records.len() && range.records[j].key < newest.key {
+                return Err(fail("records not in ascending key order"));
+            }
+            idx = j;
+        }
+
+        // Boundary neighbors extend the proven leaf run by one on each side.
+        if let Some(rec) = &range.left {
+            if !(rec.key[..] < *from) {
+                return Err(fail("left boundary not below range"));
+            }
+            let (canonical, _, proof) = open_record(rec, level)?;
+            let proof = proof.ok_or(VerificationFailure::MissingProof { level })?;
+            self.platform.charge_hash(canonical.len());
+            leaf_seq.insert(0, (proof.leaf_index, proof.chain.chain_head(&canonical)));
+        }
+        if let Some(rec) = &range.right {
+            if !(rec.key[..] > *to) {
+                return Err(fail("right boundary not above range"));
+            }
+            let (canonical, _, proof) = open_record(rec, level)?;
+            let proof = proof.ok_or(VerificationFailure::MissingProof { level })?;
+            self.platform.charge_hash(canonical.len());
+            leaf_seq.push((proof.leaf_index, proof.chain.chain_head(&canonical)));
+        }
+
+        if leaf_seq.is_empty() {
+            return Err(fail("no leaves presented for a non-empty level"));
+        }
+        // Leaf indices must be one consecutive run.
+        for w in leaf_seq.windows(2) {
+            if w[1].0 != w[0].0 + 1 {
+                return Err(fail("leaf indices not consecutive"));
+            }
+        }
+        let lo = leaf_seq[0].0;
+        let hi = leaf_seq[leaf_seq.len() - 1].0;
+        // Edges: no left boundary means the run starts at leaf 0; no right
+        // boundary means it ends at the last leaf.
+        if range.left.is_none() && lo != 0 {
+            return Err(fail("range start not anchored at the first leaf"));
+        }
+        if range.right.is_none() && hi + 1 != commitment.leaf_count {
+            return Err(fail("range end not anchored at the last leaf"));
+        }
+        let proof = prover
+            .prove_range(level, lo, hi)
+            .ok_or(fail("host failed to produce a range proof"))?;
+        let leaves: Vec<Digest> = leaf_seq.iter().map(|(_, d)| *d).collect();
+        self.platform.charge_hash(64 * (leaves.len() + proof.len()));
+        if !verify_range(
+            commitment.root,
+            commitment.leaf_count as usize,
+            lo as usize,
+            &leaves,
+            &proof,
+        ) {
+            return Err(fail("range proof does not reach the committed root"));
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: interprets a verified GET trace as the final user-visible
+/// answer (tombstones hide).
+pub fn visible_result(trace: &GetTrace) -> Option<&Record> {
+    let r = trace.memtable.as_ref().or(trace.result.as_ref())?;
+    (r.kind == ValueKind::Put).then_some(r)
+}

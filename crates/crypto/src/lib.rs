@@ -1,0 +1,49 @@
+//! # elsm-crypto
+//!
+//! Cryptographic substrate for the eLSM reproduction ("Authenticated
+//! Key-Value Stores with Hardware Enclaves", Tang et al., MIDDLEWARE 2021).
+//!
+//! The paper relies on the Intel SGX SDK for hashing, AEAD
+//! (`sgx_rijndael128gcm_encrypt`), deterministic encryption of data keys and
+//! order-preserving encryption for range queries. The offline crate set
+//! contains no cryptography, so every primitive is implemented here from its
+//! specification:
+//!
+//! * [`sha256`](mod@crate::sha256) — FIPS 180-4 SHA-256 (NIST vectors in tests),
+//! * [`hmac`] — RFC 2104 HMAC-SHA256 (RFC 4231 vectors in tests),
+//! * [`aead`] — encrypt-then-MAC AEAD (stream cipher from SHA-256-CTR),
+//! * [`det`] — deterministic encryption via a 4-round Feistel PRP,
+//! * [`ope`] — keyed order-preserving encoding for range-queryable keys.
+//!
+//! The [`Digest`] newtype is the hash value used by every Merkle structure
+//! in the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use elsm_crypto::{sha256::sha256, hmac::hmac_sha256};
+//!
+//! let record_digest = sha256(b"key=value,ts=7");
+//! let tag = hmac_sha256(b"session key", record_digest.as_bytes());
+//! assert_eq!(tag.as_bytes().len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod det;
+pub mod digest;
+pub mod hmac;
+pub mod ope;
+pub mod sha256;
+
+pub use aead::{AeadError, AeadKey};
+pub use det::{DetError, DetKey};
+pub use digest::{Digest, ParseDigestError};
+pub use ope::OpeKey;
+pub use sha256::{sha256, sha256_concat, Sha256};
+
+/// SHA-256 block size in bytes; cost-model consumers in `sgx-sim` charge
+/// hashing time per block of this size.
+pub const HASH_BLOCK_BYTES: usize = 64;

@@ -1,0 +1,337 @@
+//! SSTable data blocks with prefix-compressed keys and restart points,
+//! following the LevelDB block format:
+//!
+//! ```text
+//! entry*   := shared_len varint | unshared_len varint | value_len varint
+//!             | key_delta bytes | value bytes
+//! trailer  := restart_offset u32 * n | n u32
+//! ```
+//!
+//! Every `restart_interval` entries the full key is stored, so iterators
+//! can binary-search restart points and then scan at most one interval.
+
+use bytes::Bytes;
+
+use crate::encoding::{
+    get_fixed_u32, get_varint_u32, put_fixed_u32, put_varint_u32,
+};
+use crate::record::internal_cmp;
+
+/// Default number of entries between restart points (LevelDB uses 16).
+pub const RESTART_INTERVAL: usize = 16;
+
+/// Builds one data block.
+#[derive(Debug)]
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    count_since_restart: usize,
+    last_key: Vec<u8>,
+    entries: usize,
+}
+
+impl Default for BlockBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BlockBuilder {
+            buf: Vec::new(),
+            restarts: vec![0],
+            count_since_restart: 0,
+            last_key: Vec::new(),
+            entries: 0,
+        }
+    }
+
+    /// Appends an entry. Keys must arrive in strictly increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not greater than the previous key (corrupt order
+    /// would silently break binary search).
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        assert!(
+            self.entries == 0
+                || internal_cmp(key, self.last_key.as_slice()) == std::cmp::Ordering::Greater,
+            "block keys must be strictly increasing"
+        );
+        let shared = if self.count_since_restart < RESTART_INTERVAL {
+            common_prefix(&self.last_key, key)
+        } else {
+            self.restarts.push(self.buf.len() as u32);
+            self.count_since_restart = 0;
+            0
+        };
+        let unshared = key.len() - shared;
+        put_varint_u32(&mut self.buf, shared as u32);
+        put_varint_u32(&mut self.buf, unshared as u32);
+        put_varint_u32(&mut self.buf, value.len() as u32);
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.count_since_restart += 1;
+        self.entries += 1;
+    }
+
+    /// Current encoded size (data + trailer).
+    pub fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 4
+    }
+
+    /// Number of entries added.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// The last key added (empty before the first add).
+    pub fn last_key(&self) -> &[u8] {
+        &self.last_key
+    }
+
+    /// Finishes the block, returning its encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for &r in &self.restarts {
+            put_fixed_u32(&mut self.buf, r);
+        }
+        put_fixed_u32(&mut self.buf, self.restarts.len() as u32);
+        self.buf
+    }
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// A parsed, immutable data block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    data: Bytes,
+    restarts_offset: usize,
+    num_restarts: usize,
+}
+
+impl Block {
+    /// Parses block bytes. Returns `None` when the trailer is malformed.
+    pub fn parse(data: Bytes) -> Option<Self> {
+        if data.len() < 4 {
+            return None;
+        }
+        let num_restarts = get_fixed_u32(&data, data.len() - 4)? as usize;
+        let trailer = num_restarts.checked_mul(4)?.checked_add(4)?;
+        if trailer > data.len() || num_restarts == 0 {
+            return None;
+        }
+        let restarts_offset = data.len() - trailer;
+        Some(Block { data, restarts_offset, num_restarts })
+    }
+
+    fn restart_point(&self, i: usize) -> usize {
+        get_fixed_u32(&self.data, self.restarts_offset + i * 4).expect("restart in bounds") as usize
+    }
+
+    /// Iterates all entries from the beginning.
+    pub fn iter(&self) -> BlockIter<'_> {
+        BlockIter { block: self, pos: 0, key: Vec::new(), done: false }
+    }
+
+    /// Iterator positioned at the first entry with key `>= target`.
+    pub fn seek(&self, target: &[u8]) -> BlockIter<'_> {
+        // Binary search the restart array for the last restart whose key
+        // is <= target, then scan forward.
+        let (mut lo, mut hi) = (0usize, self.num_restarts - 1);
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            let key = self.key_at_restart(mid);
+            if internal_cmp(key.as_slice(), target) != std::cmp::Ordering::Greater {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let mut iter = BlockIter { block: self, pos: self.restart_point(lo), key: Vec::new(), done: false };
+        // Fix-up: if even the first restart key is > target, start at 0.
+        loop {
+            let save = iter.clone_state();
+            match iter.next() {
+                Some((k, _)) if internal_cmp(k.as_slice(), target) == std::cmp::Ordering::Less => {
+                    continue
+                }
+                Some(_) => {
+                    iter.restore(save);
+                    return iter;
+                }
+                None => return iter,
+            }
+        }
+    }
+
+    fn key_at_restart(&self, i: usize) -> Vec<u8> {
+        let mut it = BlockIter { block: self, pos: self.restart_point(i), key: Vec::new(), done: false };
+        it.next().map(|(k, _)| k).unwrap_or_default()
+    }
+
+    /// Number of restart points.
+    pub fn num_restarts(&self) -> usize {
+        self.num_restarts
+    }
+}
+
+/// Iterator over block entries, yielding owned `(key, value)` pairs.
+#[derive(Debug)]
+pub struct BlockIter<'a> {
+    block: &'a Block,
+    pos: usize,
+    key: Vec<u8>,
+    done: bool,
+}
+
+impl<'a> BlockIter<'a> {
+    fn clone_state(&self) -> (usize, Vec<u8>, bool) {
+        (self.pos, self.key.clone(), self.done)
+    }
+
+    fn restore(&mut self, state: (usize, Vec<u8>, bool)) {
+        self.pos = state.0;
+        self.key = state.1;
+        self.done = state.2;
+    }
+}
+
+impl<'a> Iterator for BlockIter<'a> {
+    type Item = (Vec<u8>, Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.pos >= self.block.restarts_offset {
+            self.done = true;
+            return None;
+        }
+        let data = &self.block.data;
+        let (shared, n1) = get_varint_u32(&data[self.pos..])?;
+        let (unshared, n2) = get_varint_u32(&data[self.pos + n1..])?;
+        let (value_len, n3) = get_varint_u32(&data[self.pos + n1 + n2..])?;
+        let key_start = self.pos + n1 + n2 + n3;
+        let value_start = key_start + unshared as usize;
+        let value_end = value_start + value_len as usize;
+        if value_end > self.block.restarts_offset || shared as usize > self.key.len() {
+            self.done = true;
+            return None;
+        }
+        self.key.truncate(shared as usize);
+        self.key.extend_from_slice(&data[key_start..value_start]);
+        let value = data.slice(value_start..value_end);
+        self.pos = value_end;
+        Some((self.key.clone(), value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(entries: &[(&[u8], &[u8])]) -> Block {
+        let mut b = BlockBuilder::new();
+        for (k, v) in entries {
+            b.add(k, v);
+        }
+        Block::parse(Bytes::from(b.finish())).unwrap()
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let block = build(&[(b"apple", b"1"), (b"banana", b"2"), (b"cherry", b"3")]);
+        let got: Vec<(Vec<u8>, Bytes)> = block.iter().collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, b"apple");
+        assert_eq!(&got[2].1[..], b"3");
+    }
+
+    #[test]
+    fn prefix_compression_shrinks_block() {
+        let keys: Vec<String> = (0..100).map(|i| format!("common_prefix_key_{i:04}")).collect();
+        let mut compressed = BlockBuilder::new();
+        for k in &keys {
+            compressed.add(k.as_bytes(), b"v");
+        }
+        let raw_key_bytes: usize = keys.iter().map(|k| k.len()).sum();
+        assert!(
+            compressed.size_estimate() < raw_key_bytes + 100 * 4,
+            "prefix compression should beat storing full keys"
+        );
+        // And it still round-trips.
+        let block = Block::parse(Bytes::from(compressed.finish())).unwrap();
+        let got: Vec<_> = block.iter().map(|(k, _)| k).collect();
+        assert_eq!(got.len(), 100);
+        for (g, k) in got.iter().zip(&keys) {
+            assert_eq!(g, k.as_bytes());
+        }
+    }
+
+    #[test]
+    fn seek_finds_exact_and_successor() {
+        let block = build(&[(b"b", b"1"), (b"d", b"2"), (b"f", b"3")]);
+        assert_eq!(block.seek(b"d").next().unwrap().0, b"d");
+        assert_eq!(block.seek(b"c").next().unwrap().0, b"d");
+        assert_eq!(block.seek(b"a").next().unwrap().0, b"b");
+        assert!(block.seek(b"g").next().is_none());
+    }
+
+    #[test]
+    fn seek_across_restart_points() {
+        let keys: Vec<String> = (0..100).map(|i| format!("k{i:04}")).collect();
+        let entries: Vec<(&[u8], &[u8])> =
+            keys.iter().map(|k| (k.as_bytes(), b"v".as_slice())).collect();
+        let block = build(&entries);
+        assert!(block.num_restarts() > 1, "test must span restarts");
+        for i in (0..100).step_by(7) {
+            let target = format!("k{i:04}");
+            let got = block.seek(target.as_bytes()).next().unwrap().0;
+            assert_eq!(got, target.as_bytes());
+        }
+    }
+
+    #[test]
+    fn empty_block_iterates_nothing() {
+        let block = Block::parse(Bytes::from(BlockBuilder::new().finish())).unwrap();
+        assert!(block.iter().next().is_none());
+        assert!(block.seek(b"x").next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_add_panics() {
+        let mut b = BlockBuilder::new();
+        b.add(b"b", b"1");
+        b.add(b"a", b"2");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Block::parse(Bytes::from_static(b"xy")).is_none());
+        assert!(Block::parse(Bytes::from_static(&[255, 255, 255, 255])).is_none());
+    }
+
+    #[test]
+    fn values_survive_restart_boundaries() {
+        let entries: Vec<(String, String)> =
+            (0..50).map(|i| (format!("k{i:03}"), format!("value-{i}"))).collect();
+        let refs: Vec<(&[u8], &[u8])> =
+            entries.iter().map(|(k, v)| (k.as_bytes(), v.as_bytes())).collect();
+        let block = build(&refs);
+        for (k, v) in &entries {
+            let (gk, gv) = block.seek(k.as_bytes()).next().unwrap();
+            assert_eq!(gk, k.as_bytes());
+            assert_eq!(&gv[..], v.as_bytes());
+        }
+    }
+}

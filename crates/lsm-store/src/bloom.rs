@@ -1,0 +1,168 @@
+//! Bloom filters over SSTable keys.
+//!
+//! LevelDB attaches a Bloom filter to each table so negative lookups skip
+//! the data blocks entirely. In eLSM the filters are metadata kept *inside*
+//! the enclave (§5.3, "meta-data authenticity"), so they are also a source
+//! of EPC traffic under memory pressure — the reader models that by
+//! touching the probed byte offsets.
+
+use crate::encoding::{get_fixed_u32, put_fixed_u32};
+
+/// Double-hashing Bloom filter (Kirsch–Mitzenmacher), as in LevelDB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+/// Fast non-cryptographic 64-bit hash (FNV-1a variant with avalanche).
+fn base_hash(data: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // Final avalanche (xorshift-multiply).
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+impl BloomFilter {
+    /// Builds a filter over `keys` with `bits_per_key` bits per key.
+    pub fn from_keys<K: AsRef<[u8]>>(keys: &[K], bits_per_key: usize) -> Self {
+        // k = bits_per_key * ln2, clamped as LevelDB does.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let nbits = (keys.len() * bits_per_key).max(64);
+        let nbytes = nbits.div_ceil(8);
+        let nbits = nbytes * 8;
+        let mut bits = vec![0u8; nbytes];
+        for key in keys {
+            let h1 = base_hash(key.as_ref(), 0);
+            let h2 = base_hash(key.as_ref(), 0x9e37_79b9);
+            for i in 0..k {
+                let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % nbits as u64) as usize;
+                bits[bit / 8] |= 1 << (bit % 8);
+            }
+        }
+        BloomFilter { bits, k }
+    }
+
+    /// Tests membership. False positives possible, false negatives not.
+    /// Returns the byte offsets probed so the caller can model memory
+    /// touches of the in-enclave filter.
+    pub fn probe(&self, key: &[u8]) -> (bool, Vec<usize>) {
+        let nbits = self.bits.len() * 8;
+        let h1 = base_hash(key, 0);
+        let h2 = base_hash(key, 0x9e37_79b9);
+        let mut offsets = Vec::with_capacity(self.k as usize);
+        let mut hit = true;
+        for i in 0..self.k {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % nbits as u64) as usize;
+            offsets.push(bit / 8);
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                hit = false;
+                break;
+            }
+        }
+        (hit, offsets)
+    }
+
+    /// Convenience wrapper discarding probe offsets.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.probe(key).0
+    }
+
+    /// Size of the bit array in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Serializes the filter.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bits.len() + 8);
+        put_fixed_u32(&mut out, self.k);
+        put_fixed_u32(&mut out, self.bits.len() as u32);
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Parses a filter serialized by [`BloomFilter::encode`].
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let k = get_fixed_u32(buf, 0)?;
+        let len = get_fixed_u32(buf, 4)? as usize;
+        let bits = buf.get(8..8 + len)?.to_vec();
+        if k == 0 || k > 30 {
+            return None;
+        }
+        Some(BloomFilter { bits, k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("user{i:06}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(1000);
+        let f = BloomFilter::from_keys(&ks, 10);
+        for k in &ks {
+            assert!(f.may_contain(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let ks = keys(1000);
+        let f = BloomFilter::from_keys(&ks, 10);
+        let mut fp = 0;
+        let trials = 10_000;
+        for i in 0..trials {
+            let probe = format!("absent{i:06}");
+            if f.may_contain(probe.as_bytes()) {
+                fp += 1;
+            }
+        }
+        // 10 bits/key gives ~1% theoretical FPR; allow generous slack.
+        assert!(fp < trials / 20, "false positive rate too high: {fp}/{trials}");
+    }
+
+    #[test]
+    fn empty_filter_rejects() {
+        let f = BloomFilter::from_keys::<&[u8]>(&[], 10);
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ks = keys(100);
+        let f = BloomFilter::from_keys(&ks, 8);
+        let g = BloomFilter::decode(&f.encode()).unwrap();
+        assert_eq!(f, g);
+        for k in &ks {
+            assert!(g.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BloomFilter::decode(&[]).is_none());
+        assert!(BloomFilter::decode(&[0, 0, 0, 0, 255, 255, 255, 255]).is_none());
+    }
+
+    #[test]
+    fn probe_reports_offsets() {
+        let ks = keys(10);
+        let f = BloomFilter::from_keys(&ks, 10);
+        let (hit, offsets) = f.probe(ks[0].as_slice());
+        assert!(hit);
+        assert!(!offsets.is_empty());
+        assert!(offsets.iter().all(|&o| o < f.byte_len()));
+    }
+}

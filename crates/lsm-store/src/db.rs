@@ -1,0 +1,1061 @@
+//! The key-value store: memtable + WAL + leveled runs + compaction.
+//!
+//! Implements the paper's storage model (§2, §5.3):
+//!
+//! * writes go to the WAL (outside the enclave) and the memtable (inside),
+//! * a full memtable flushes by merging into level 1,
+//! * `COMPACTION(Li, Li+1)` merges two whole adjacent levels when `Li`
+//!   exceeds its size budget (geometric level targets),
+//! * point reads search memtable then levels in order with **early stop**,
+//! * range reads visit every level (§5.4),
+//! * deletes are tombstones, purged at the bottom level.
+//!
+//! All observable events fire on the configured [`StoreListener`], which is
+//! how the `elsm` crate adds authentication without modifying this crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sgx_sim::EnclaveRegion;
+use sim_disk::FsError;
+
+use crate::encoding::{get_fixed_u64, get_varint_u64, put_fixed_u64, put_varint_u64};
+use crate::env::StorageEnv;
+use crate::events::{CompactionInfo, FilterDecision, RecordSource, StoreListener};
+use crate::memtable::MemTable;
+use crate::merge::{KWayMerge, MergeInput};
+use crate::options::Options;
+use crate::record::{Record, Timestamp, ValueKind};
+use crate::sstable::{TableBuilder, TableGet, TableReader};
+use crate::version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace};
+use crate::wal::{recover, WalWriter};
+
+const MANIFEST: &str = "MANIFEST";
+
+/// Cumulative operation counters.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    gets: AtomicU64,
+    scans: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    compaction_input_records: AtomicU64,
+    compaction_output_records: AtomicU64,
+}
+
+/// Snapshot of [`DbStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct DbStatsSnapshot {
+    pub puts: u64,
+    pub deletes: u64,
+    pub gets: u64,
+    pub scans: u64,
+    pub flushes: u64,
+    pub compactions: u64,
+    pub compaction_input_records: u64,
+    pub compaction_output_records: u64,
+}
+
+struct DbInner {
+    memtable: MemTable,
+    wal: WalWriter,
+    wal_no: u64,
+    /// `levels[0]` is unused; `levels[i]` holds level `i`'s run.
+    levels: Vec<Option<Run>>,
+    next_file_no: u64,
+}
+
+/// A LevelDB-class LSM key-value store over the simulated platform.
+///
+/// # Examples
+///
+/// ```
+/// use lsm_store::{Db, Options};
+/// use sgx_sim::Platform;
+/// use sim_disk::{SimDisk, SimFs};
+///
+/// # fn main() -> Result<(), sim_disk::FsError> {
+/// let platform = Platform::with_defaults();
+/// let fs = SimFs::new(SimDisk::new(platform.clone()));
+/// let env = lsm_store::StorageEnv::new(platform, fs, lsm_store::EnvConfig::default(), None);
+/// let db = Db::open(env, Options::default(), None)?;
+/// db.put(b"k", b"v")?;
+/// assert_eq!(&db.get(b"k")?.unwrap().value[..], b"v");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Db {
+    env: Arc<StorageEnv>,
+    options: Options,
+    listener: Arc<dyn StoreListener>,
+    inner: Mutex<DbInner>,
+    ts: AtomicU64,
+    memtable_region: Option<EnclaveRegion>,
+    stats: DbStats,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Db(ts={}, levels={})", self.ts.load(Ordering::Relaxed), self.options.max_levels)
+    }
+}
+
+impl Db {
+    /// Opens (or recovers) a store in the environment's filesystem.
+    ///
+    /// If a manifest exists, levels and the WAL are recovered; otherwise a
+    /// fresh store is initialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO or corruption errors.
+    pub fn open(
+        env: Arc<StorageEnv>,
+        options: Options,
+        listener: Option<Arc<dyn StoreListener>>,
+    ) -> Result<Self, FsError> {
+        let listener = listener.unwrap_or_else(|| Arc::new(crate::events::NoopListener));
+        let memtable_region = env
+            .config()
+            .in_enclave
+            .then(|| env.platform().enclave_alloc(options.write_buffer_bytes * 2));
+        let recovering = env.fs().open(MANIFEST).is_ok();
+        let (inner, last_ts) = if recovering {
+            Self::recover_parts(&env, &options)?
+        } else {
+            let wal_file = env.fs().create(&wal_name(1))?;
+            (
+                DbInner {
+                    memtable: MemTable::new(),
+                    wal: WalWriter::new(env.clone(), wal_file),
+                    wal_no: 1,
+                    levels: (0..=options.max_levels).map(|_| None).collect(),
+                    next_file_no: 1,
+                },
+                0,
+            )
+        };
+        let db = Db {
+            env,
+            options,
+            listener,
+            inner: Mutex::new(inner),
+            ts: AtomicU64::new(last_ts),
+            memtable_region,
+            stats: DbStats::default(),
+        };
+        if !recovering {
+            db.write_manifest()?;
+        }
+        Ok(db)
+    }
+
+    fn recover_parts(
+        env: &Arc<StorageEnv>,
+        options: &Options,
+    ) -> Result<(DbInner, u64), FsError> {
+        let manifest = env.fs().open(MANIFEST)?;
+        let bytes = env.host_call(|| manifest.read_at(0, manifest.len()))?;
+        let corrupt = || FsError::OutOfBounds {
+            name: MANIFEST.to_string(),
+            requested_end: 0,
+            len: 0,
+        };
+        let next_file_no = get_fixed_u64(&bytes, 0).ok_or_else(corrupt)?;
+        let last_ts = get_fixed_u64(&bytes, 8).ok_or_else(corrupt)?;
+        let wal_no = get_fixed_u64(&bytes, 16).ok_or_else(corrupt)?;
+        let mut pos = 24usize;
+        let (nlevels, n) = get_varint_u64(&bytes[pos..]).ok_or_else(corrupt)?;
+        pos += n;
+        let mut levels: Vec<Option<Run>> =
+            (0..=options.max_levels.max(nlevels as usize)).map(|_| None).collect();
+        for level in 1..=nlevels as usize {
+            let (nfiles, n) = get_varint_u64(&bytes[pos..]).ok_or_else(corrupt)?;
+            pos += n;
+            if nfiles == 0 {
+                continue;
+            }
+            let mut tables = Vec::new();
+            for _ in 0..nfiles {
+                let (file_no, n) = get_varint_u64(&bytes[pos..]).ok_or_else(corrupt)?;
+                pos += n;
+                let file = env.fs().open(&table_name(file_no))?;
+                tables.push(Arc::new(TableReader::open(env.clone(), file, file_no)?));
+            }
+            levels[level] = Some(Run::new(tables));
+        }
+        // Replay the WAL into a fresh memtable.
+        let wal_file = match env.fs().open(&wal_name(wal_no)) {
+            Ok(f) => f,
+            Err(_) => env.fs().create(&wal_name(wal_no))?,
+        };
+        let recovered = recover(env, &wal_file)?;
+        let mut max_ts = last_ts;
+        let mut memtable = MemTable::new();
+        for r in recovered {
+            max_ts = max_ts.max(r.ts);
+            memtable.insert(r);
+        }
+        Ok((
+            DbInner {
+                memtable,
+                wal: WalWriter::new(env.clone(), wal_file),
+                wal_no,
+                levels,
+                next_file_no,
+            },
+            max_ts,
+        ))
+    }
+
+    /// The storage environment.
+    pub fn env(&self) -> &Arc<StorageEnv> {
+        &self.env
+    }
+
+    /// The options this store was opened with.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DbStatsSnapshot {
+        DbStatsSnapshot {
+            puts: self.stats.puts.load(Ordering::Relaxed),
+            deletes: self.stats.deletes.load(Ordering::Relaxed),
+            gets: self.stats.gets.load(Ordering::Relaxed),
+            scans: self.stats.scans.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            compactions: self.stats.compactions.load(Ordering::Relaxed),
+            compaction_input_records: self.stats.compaction_input_records.load(Ordering::Relaxed),
+            compaction_output_records: self
+                .stats
+                .compaction_output_records
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// Latest assigned timestamp.
+    pub fn latest_ts(&self) -> Timestamp {
+        self.ts.load(Ordering::SeqCst)
+    }
+
+    /// Every record of one on-disk level, in internal-key order. Used by
+    /// recovery paths that must rebuild derived structures (e.g. eLSM's
+    /// untrusted digest store after a restart).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn level_record_dump(&self, level: usize) -> Result<Vec<Record>, FsError> {
+        let inner = self.inner.lock();
+        let Some(run) = inner.levels.get(level).and_then(|l| l.as_ref()) else {
+            return Ok(Vec::new());
+        };
+        Ok(run.iter_records().collect())
+    }
+
+    /// Bytes stored at each level (index 0 = memtable approximation).
+    pub fn level_bytes(&self) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut out = vec![inner.memtable.approximate_bytes() as u64];
+        for level in 1..inner.levels.len() {
+            out.push(inner.levels[level].as_ref().map_or(0, |r| r.total_bytes()));
+        }
+        out
+    }
+
+    /// Record count at each level (index 0 = memtable).
+    pub fn level_records(&self) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut out = vec![inner.memtable.len() as u64];
+        for level in 1..inner.levels.len() {
+            out.push(inner.levels[level].as_ref().map_or(0, |r| r.total_records()));
+        }
+        out
+    }
+
+    // ----- write path -----------------------------------------------------
+
+    /// Inserts a key-value record; returns its timestamp (Equation 1:
+    /// `ts = PUT(k, v)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] if flushing or compaction IO fails.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, FsError> {
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        let ts = self.ts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.write_record(Record::put(
+            Bytes::copy_from_slice(key),
+            Bytes::copy_from_slice(value),
+            ts,
+        ))?;
+        Ok(ts)
+    }
+
+    /// Deletes a key by writing a tombstone; returns its timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] if flushing or compaction IO fails.
+    pub fn delete(&self, key: &[u8]) -> Result<Timestamp, FsError> {
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        let ts = self.ts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.write_record(Record::tombstone(Bytes::copy_from_slice(key), ts))?;
+        Ok(ts)
+    }
+
+    fn write_record(&self, record: Record) -> Result<(), FsError> {
+        self.env.platform().charge_op_base();
+        let mut inner = self.inner.lock();
+        self.listener.on_wal_append(&record);
+        inner.wal.append(&record);
+        // Model the in-enclave memtable write: touch the insertion point.
+        if let Some(region) = &self.memtable_region {
+            let off = inner.memtable.approximate_bytes() % region.len().max(1);
+            let len = record.approximate_size().min(region.len() - off.min(region.len())).max(1);
+            self.env.platform().enclave_touch(region, off.min(region.len() - len), len);
+        }
+        inner.memtable.insert(record);
+        if inner.memtable.approximate_bytes() >= self.options.write_buffer_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Forces a memtable flush (merging into level 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn flush(&self) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)
+    }
+
+    // ----- read path ------------------------------------------------------
+
+    /// Point query at the latest timestamp; tombstones read as absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Record>, FsError> {
+        let trace = self.get_with_trace(key, Timestamp::MAX >> 1)?;
+        Ok(trace.result.filter(|r| r.kind == ValueKind::Put))
+    }
+
+    /// Point query returning the full per-level trace (the middleware
+    /// interface eLSM builds proofs from). Search stops at the first level
+    /// with a record for the key — the paper's early stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn get_with_trace(&self, key: &[u8], ts_q: Timestamp) -> Result<GetTrace, FsError> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.env.platform().charge_op_base();
+        let inner = self.inner.lock();
+        // Model the in-enclave memtable probe.
+        if let Some(region) = &self.memtable_region {
+            let h = fxhash(key) as usize;
+            let len = region.len().max(2);
+            self.env.platform().enclave_touch(region, h % (len / 2), 32.min(len / 2));
+        }
+        if let Some(r) = inner.memtable.get(key, ts_q) {
+            return Ok(GetTrace { memtable: Some(r.clone()), levels: Vec::new(), result: Some(r) });
+        }
+        let mut levels = Vec::new();
+        let mut result = None;
+        // With compaction on, lower levels are fresher (Lemma 5.4). With
+        // compaction off, runs stack upward as they flush, so the freshest
+        // run has the highest index and search order reverses.
+        let order: Vec<usize> = if self.options.compaction_enabled {
+            (1..inner.levels.len()).collect()
+        } else {
+            (1..inner.levels.len()).rev().collect()
+        };
+        for level in order {
+            match &inner.levels[level] {
+                None => levels.push(LevelSearch { level, outcome: LevelOutcome::Empty }),
+                Some(run) => match run.get(key, ts_q)? {
+                    TableGet::Hit(r) => {
+                        levels.push(LevelSearch { level, outcome: LevelOutcome::Hit(r.clone()) });
+                        result = Some(r);
+                        break; // early stop (§5.3)
+                    }
+                    TableGet::Miss { left, right } => {
+                        levels.push(LevelSearch { level, outcome: LevelOutcome::Miss { left, right } });
+                    }
+                },
+            }
+        }
+        Ok(GetTrace { memtable: None, levels, result })
+    }
+
+    /// Range query at the latest timestamp (Equation 1's SCAN).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<Record>, FsError> {
+        Ok(self.scan_with_trace(from, to, Timestamp::MAX >> 1)?.merged)
+    }
+
+    /// Range query with the full per-level trace. Unlike GET, every level
+    /// is visited (§5.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn scan_with_trace(
+        &self,
+        from: &[u8],
+        to: &[u8],
+        ts_q: Timestamp,
+    ) -> Result<ScanTrace, FsError> {
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        self.env.platform().charge_op_base();
+        let inner = self.inner.lock();
+        let memtable: Vec<Record> =
+            inner.memtable.range_records(from, to).into_iter().filter(|r| r.ts <= ts_q).collect();
+        let mut levels = Vec::new();
+        for level in 1..inner.levels.len() {
+            match &inner.levels[level] {
+                None => levels.push(LevelRange {
+                    level,
+                    empty: true,
+                    records: Vec::new(),
+                    left: None,
+                    right: None,
+                }),
+                Some(run) => levels.push(LevelRange {
+                    level,
+                    empty: false,
+                    records: run.range(from, to)?,
+                    left: run.neighbor_below(from, ts_q)?,
+                    right: run.neighbor_above(to, ts_q)?,
+                }),
+            }
+        }
+        // Merge: newest visible version per key, tombstones hide.
+        let mut all: Vec<&Record> = memtable
+            .iter()
+            .chain(levels.iter().flat_map(|l| l.records.iter()))
+            .filter(|r| r.ts <= ts_q)
+            .collect();
+        all.sort_by(|a, b| a.key.cmp(&b.key).then(b.ts.cmp(&a.ts)));
+        let mut merged = Vec::new();
+        let mut last_key: Option<&[u8]> = None;
+        for r in all {
+            if last_key == Some(&r.key[..]) {
+                continue;
+            }
+            last_key = Some(&r.key[..]);
+            if r.kind == ValueKind::Put {
+                merged.push(r.clone());
+            }
+        }
+        Ok(ScanTrace { memtable, levels, merged })
+    }
+
+    // ----- flush & compaction ----------------------------------------------
+
+    fn flush_locked(&self, inner: &mut DbInner) -> Result<(), FsError> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let mem_records: Vec<Record> = inner.memtable.iter_records().collect();
+        for r in &mem_records {
+            self.listener.on_flush_record(r);
+        }
+        let mut inputs = vec![MergeInput {
+            source: RecordSource { level: 0, file_no: 0 },
+            iter: Box::new(mem_records.into_iter()),
+        }];
+        let target = if self.options.compaction_enabled {
+            // Rolling merge into level 1 (the paper's model).
+            push_run_inputs(&mut inputs, inner.levels[1].as_ref(), 1);
+            1
+        } else {
+            // Compaction off: stack the run at the first empty level —
+            // write amplification 1, read cost grows with run count
+            // (Figure 7b's wo-compaction mode).
+            let mut i = 1;
+            while i < inner.levels.len() && inner.levels[i].is_some() {
+                i += 1;
+            }
+            if i == inner.levels.len() {
+                inner.levels.push(None);
+            }
+            i
+        };
+        self.merge_into(inner, inputs, 0, target)?;
+        // Fresh memtable and WAL.
+        inner.memtable = MemTable::new();
+        let new_wal_no = inner.wal_no + 1;
+        let wal_file = self.env.fs().create(&wal_name(new_wal_no))?;
+        let old_wal = wal_name(inner.wal_no);
+        inner.wal = WalWriter::new(self.env.clone(), wal_file);
+        inner.wal_no = new_wal_no;
+        let _ = self.env.fs().delete(&old_wal);
+        self.write_manifest_locked(inner)?;
+        if self.options.compaction_enabled {
+            self.maybe_compact(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Runs size-triggered compactions until all levels are within budget.
+    fn maybe_compact(&self, inner: &mut DbInner) -> Result<(), FsError> {
+        let mut level = 1;
+        while level < self.options.max_levels {
+            let over = inner.levels[level]
+                .as_ref()
+                .is_some_and(|r| r.total_bytes() > self.options.level_target_bytes(level));
+            if over {
+                self.compact_levels(inner, level)?;
+            }
+            level += 1;
+        }
+        Ok(())
+    }
+
+    /// Compacts level `i` into level `i+1` (the paper's
+    /// `COMPACTION(Li, Li+1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn compact(&self, level: usize) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        self.compact_levels(&mut inner, level)
+    }
+
+    fn compact_levels(&self, inner: &mut DbInner, level: usize) -> Result<(), FsError> {
+        assert!(level >= 1 && level < self.options.max_levels, "invalid compaction level");
+        if inner.levels[level].is_none() {
+            return Ok(());
+        }
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        let mut inputs = Vec::new();
+        push_run_inputs(&mut inputs, inner.levels[level].as_ref(), level);
+        push_run_inputs(&mut inputs, inner.levels[level + 1].as_ref(), level + 1);
+        self.merge_into(inner, inputs, level, level + 1)?;
+        self.write_manifest_locked(inner)?;
+        Ok(())
+    }
+
+    /// Merges the given inputs into `output_level`, replacing both the
+    /// input level's run (if `input_level >= 1`) and the output run.
+    fn merge_into(
+        &self,
+        inner: &mut DbInner,
+        inputs: Vec<MergeInput>,
+        input_level: usize,
+        output_level: usize,
+    ) -> Result<(), FsError> {
+        // Tombstones may only be purged when merges propagate downward;
+        // stacked (no-compaction) runs must keep them.
+        let is_bottom = self.options.compaction_enabled && output_level >= self.options.max_levels;
+        let mut output: Vec<Record> = Vec::new();
+        let mut input_count = 0u64;
+        let mut cur_key: Option<Bytes> = None;
+        let mut drop_rest = false;
+        let mut seen_version = false;
+        for (source, record) in KWayMerge::new(inputs) {
+            input_count += 1;
+            if source.level != 0 {
+                self.listener.on_compaction_input(source, &record);
+            }
+            let same_key = cur_key.as_ref() == Some(&record.key);
+            if !same_key {
+                cur_key = Some(record.key.clone());
+                drop_rest = false;
+                seen_version = false;
+            }
+            if drop_rest {
+                continue;
+            }
+            if is_bottom
+                && self.options.purge_tombstones_at_bottom
+                && record.kind == ValueKind::Delete
+                && !seen_version
+            {
+                // Newest surviving version is a tombstone at the bottom:
+                // the key disappears entirely (§5.4).
+                drop_rest = true;
+                continue;
+            }
+            if seen_version && !self.options.keep_old_versions {
+                continue;
+            }
+            seen_version = true;
+            if self.listener.filter_output(&record) == FilterDecision::Drop {
+                continue;
+            }
+            output.push(record);
+        }
+        self.stats.compaction_input_records.fetch_add(input_count, Ordering::Relaxed);
+        let output = self.listener.transform_output(output_level, output);
+        self.stats.compaction_output_records.fetch_add(output.len() as u64, Ordering::Relaxed);
+
+        // Write the output run, chunked into files.
+        let mut output_files = Vec::new();
+        let mut tables = Vec::new();
+        let mut idx = 0usize;
+        while idx < output.len() {
+            let file_no = inner.next_file_no;
+            inner.next_file_no += 1;
+            let file = self.env.fs().create(&table_name(file_no))?;
+            let mut builder =
+                TableBuilder::new(self.env.clone(), file.clone(), file_no, self.options.table.clone());
+            let mut bytes = 0u64;
+            while idx < output.len() {
+                let r = &output[idx];
+                // Never split versions of one key across files (chains stay
+                // within one file's leaf).
+                let key_boundary = builder.count() > 0 && output[idx - 1].key != r.key;
+                if bytes >= self.options.target_file_bytes && key_boundary {
+                    break;
+                }
+                builder.add(r);
+                bytes += r.approximate_size() as u64;
+                idx += 1;
+            }
+            let meta = builder.finish();
+            output_files.push(meta.file_no);
+            tables.push(Arc::new(TableReader::open(self.env.clone(), file, file_no)?));
+        }
+
+        self.listener.on_compaction_end(&CompactionInfo {
+            input_level,
+            output_level,
+            input_records: input_count,
+            output_records: output.len() as u64,
+            output_files: output_files.clone(),
+        });
+
+        // Install: drop input-level run and old output run, delete files.
+        if input_level >= 1 {
+            if let Some(old) = inner.levels[input_level].take() {
+                self.retire_run(&old);
+            }
+        }
+        if let Some(old) = inner.levels[output_level].take() {
+            self.retire_run(&old);
+        }
+        if !tables.is_empty() {
+            inner.levels[output_level] = Some(Run::new(tables));
+        }
+        Ok(())
+    }
+
+    fn retire_run(&self, run: &Run) {
+        run.close();
+        for t in run.tables() {
+            let _ = self.env.fs().delete(&table_name(t.meta().file_no));
+        }
+    }
+
+    // ----- manifest ---------------------------------------------------------
+
+    fn write_manifest(&self) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        // Reborrow as &mut DbInner for the shared path.
+        self.write_manifest_locked(&mut inner)
+    }
+
+    fn write_manifest_locked(&self, inner: &mut DbInner) -> Result<(), FsError> {
+        let mut bytes = Vec::new();
+        put_fixed_u64(&mut bytes, inner.next_file_no);
+        put_fixed_u64(&mut bytes, self.ts.load(Ordering::SeqCst));
+        put_fixed_u64(&mut bytes, inner.wal_no);
+        put_varint_u64(&mut bytes, (inner.levels.len() - 1) as u64);
+        for level in 1..inner.levels.len() {
+            match &inner.levels[level] {
+                None => put_varint_u64(&mut bytes, 0),
+                Some(run) => {
+                    put_varint_u64(&mut bytes, run.tables().len() as u64);
+                    for t in run.tables() {
+                        put_varint_u64(&mut bytes, t.meta().file_no);
+                    }
+                }
+            }
+        }
+        let _ = self.env.fs().delete(MANIFEST);
+        let file = self.env.fs().create(MANIFEST)?;
+        self.env.append(&file, &bytes);
+        Ok(())
+    }
+}
+
+fn push_run_inputs(inputs: &mut Vec<MergeInput>, run: Option<&Run>, level: usize) {
+    if let Some(run) = run {
+        for t in run.tables() {
+            let records: Vec<Record> = t.iter().collect();
+            inputs.push(MergeInput {
+                source: RecordSource { level, file_no: t.meta().file_no },
+                iter: Box::new(records.into_iter()),
+            });
+        }
+    }
+}
+
+fn table_name(file_no: u64) -> String {
+    format!("{file_no:06}.sst")
+}
+
+fn wal_name(wal_no: u64) -> String {
+    format!("wal-{wal_no:06}.log")
+}
+
+fn fxhash(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvConfig;
+    use sgx_sim::Platform;
+    use sim_disk::{SimDisk, SimFs};
+
+    fn open_db(options: Options) -> Arc<Db> {
+        let platform = Platform::with_defaults();
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        let env = StorageEnv::new(platform, fs, options.env.clone(), None);
+        Arc::new(Db::open(env, options, None).unwrap())
+    }
+
+    fn small_options() -> Options {
+        Options {
+            write_buffer_bytes: 4 * 1024,
+            target_file_bytes: 8 * 1024,
+            level1_max_bytes: 16 * 1024,
+            level_multiplier: 4,
+            max_levels: 4,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let db = open_db(small_options());
+        db.put(b"alpha", b"1").unwrap();
+        db.put(b"beta", b"2").unwrap();
+        assert_eq!(&db.get(b"alpha").unwrap().unwrap().value[..], b"1");
+        assert_eq!(&db.get(b"beta").unwrap().unwrap().value[..], b"2");
+        assert!(db.get(b"gamma").unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrites_return_newest() {
+        let db = open_db(small_options());
+        db.put(b"k", b"v1").unwrap();
+        db.put(b"k", b"v2").unwrap();
+        assert_eq!(&db.get(b"k").unwrap().unwrap().value[..], b"v2");
+    }
+
+    #[test]
+    fn timestamps_are_unique_and_monotone() {
+        let db = open_db(small_options());
+        let t1 = db.put(b"a", b"1").unwrap();
+        let t2 = db.put(b"b", b"2").unwrap();
+        let t3 = db.delete(b"a").unwrap();
+        assert!(t1 < t2 && t2 < t3);
+    }
+
+    #[test]
+    fn delete_hides_key() {
+        let db = open_db(small_options());
+        db.put(b"k", b"v").unwrap();
+        db.delete(b"k").unwrap();
+        assert!(db.get(b"k").unwrap().is_none());
+    }
+
+    #[test]
+    fn flush_moves_data_to_level1_and_reads_still_work() {
+        let db = open_db(small_options());
+        for i in 0..100 {
+            db.put(format!("key{i:04}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        let lb = db.level_bytes();
+        assert_eq!(lb[0], 0, "memtable empty after flush");
+        assert!(lb[1] > 0 || lb[2] > 0, "data must be on disk");
+        for i in (0..100).step_by(7) {
+            let key = format!("key{i:04}");
+            assert_eq!(
+                &db.get(key.as_bytes()).unwrap().unwrap().value[..],
+                format!("val{i}").as_bytes(),
+                "{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn many_writes_trigger_flushes_and_compactions() {
+        let db = open_db(small_options());
+        for i in 0..2000u32 {
+            let key = format!("key{:05}", i % 500);
+            db.put(key.as_bytes(), &vec![b'x'; 40]).unwrap();
+        }
+        let s = db.stats();
+        assert!(s.flushes > 0, "expected flushes");
+        assert!(s.compactions > 0, "expected compactions");
+        // All keys still readable with the newest value.
+        for i in 0..500u32 {
+            let key = format!("key{i:05}");
+            assert!(db.get(key.as_bytes()).unwrap().is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn get_trace_early_stops() {
+        let db = open_db(Options { compaction_enabled: false, ..small_options() });
+        for i in 0..200 {
+            db.put(format!("k{i:04}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        // New write of k0000 stays in the memtable.
+        db.put(b"k0000", b"new").unwrap();
+        let trace = db.get_with_trace(b"k0000", Timestamp::MAX >> 1).unwrap();
+        assert!(trace.memtable.is_some(), "memtable hit must not search levels");
+        assert!(trace.levels.is_empty());
+
+        let trace = db.get_with_trace(b"k0001", Timestamp::MAX >> 1).unwrap();
+        assert!(trace.memtable.is_none());
+        assert!(matches!(trace.levels.last().unwrap().outcome, LevelOutcome::Hit(_)));
+    }
+
+    #[test]
+    fn get_trace_miss_has_neighbors() {
+        let db = open_db(small_options());
+        db.put(b"b", b"1").unwrap();
+        db.put(b"d", b"2").unwrap();
+        db.flush().unwrap();
+        let trace = db.get_with_trace(b"c", Timestamp::MAX >> 1).unwrap();
+        let hit_level = trace
+            .levels
+            .iter()
+            .find(|l| !matches!(l.outcome, LevelOutcome::Empty))
+            .expect("one searched level");
+        match &hit_level.outcome {
+            LevelOutcome::Miss { left, right } => {
+                assert_eq!(&left.as_ref().unwrap().key[..], b"b");
+                assert_eq!(&right.as_ref().unwrap().key[..], b"d");
+            }
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_merges_levels_and_memtable() {
+        let db = open_db(Options { compaction_enabled: false, ..small_options() });
+        db.put(b"a", b"old").unwrap();
+        db.put(b"c", b"1").unwrap();
+        db.flush().unwrap();
+        db.put(b"a", b"new").unwrap();
+        db.put(b"b", b"2").unwrap();
+        let got = db.scan(b"a", b"c").unwrap();
+        let pairs: Vec<(&[u8], &[u8])> = got.iter().map(|r| (&r.key[..], &r.value[..])).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (b"a".as_slice(), b"new".as_slice()),
+                (b"b".as_slice(), b"2".as_slice()),
+                (b"c".as_slice(), b"1".as_slice())
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_hides_deleted_keys() {
+        let db = open_db(small_options());
+        db.put(b"a", b"1").unwrap();
+        db.put(b"b", b"2").unwrap();
+        db.delete(b"a").unwrap();
+        let got = db.scan(b"a", b"z").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].key[..], b"b");
+    }
+
+    #[test]
+    fn tombstones_purged_at_bottom_level() {
+        let mut opts = small_options();
+        opts.max_levels = 2;
+        let db = open_db(opts);
+        db.put(b"k", b"v").unwrap();
+        db.delete(b"k").unwrap();
+        db.flush().unwrap();
+        db.compact(1).unwrap();
+        assert!(db.get(b"k").unwrap().is_none());
+        // At the bottom level the key is physically gone.
+        let recs = db.level_records();
+        assert_eq!(recs.iter().sum::<u64>(), 0, "tombstone and value purged: {recs:?}");
+    }
+
+    #[test]
+    fn old_versions_retained_by_default() {
+        let db = open_db(Options { compaction_enabled: false, ..small_options() });
+        db.put(b"k", b"v1").unwrap();
+        db.put(b"k", b"v2").unwrap();
+        db.flush().unwrap();
+        let recs = db.level_records();
+        assert_eq!(recs.iter().sum::<u64>(), 2, "both versions kept: {recs:?}");
+    }
+
+    #[test]
+    fn old_versions_dropped_when_configured() {
+        let db = open_db(Options {
+            keep_old_versions: false,
+            compaction_enabled: false,
+            ..small_options()
+        });
+        db.put(b"k", b"v1").unwrap();
+        db.put(b"k", b"v2").unwrap();
+        db.flush().unwrap();
+        let recs = db.level_records();
+        assert_eq!(recs.iter().sum::<u64>(), 1, "only newest kept: {recs:?}");
+        assert_eq!(&db.get(b"k").unwrap().unwrap().value[..], b"v2");
+    }
+
+    #[test]
+    fn recovery_from_manifest_and_wal() {
+        let platform = Platform::with_defaults();
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        let options = small_options();
+        let env = StorageEnv::new(platform.clone(), fs.clone(), options.env.clone(), None);
+        {
+            let db = Db::open(env.clone(), options.clone(), None).unwrap();
+            for i in 0..300 {
+                db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            // Some data flushed, some still in WAL/memtable.
+        }
+        // "Power cycle": reopen from the same filesystem.
+        let db2 = Db::open(env, options, None).unwrap();
+        for i in 0..300 {
+            let key = format!("key{i:04}");
+            assert_eq!(
+                &db2.get(key.as_bytes()).unwrap().unwrap().value[..],
+                format!("v{i}").as_bytes(),
+                "lost {key} across restart"
+            );
+        }
+        // Timestamps must continue past the recovered maximum.
+        let t = db2.put(b"post", b"restart").unwrap();
+        assert!(t > 300);
+    }
+
+    #[test]
+    fn listener_sees_flush_and_compaction_events() {
+        use std::sync::atomic::AtomicU64;
+        #[derive(Default)]
+        struct Spy {
+            wal: AtomicU64,
+            flush: AtomicU64,
+            inputs: AtomicU64,
+            ends: AtomicU64,
+        }
+        impl StoreListener for Spy {
+            fn on_wal_append(&self, _: &Record) {
+                self.wal.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_flush_record(&self, _: &Record) {
+                self.flush.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_compaction_input(&self, _: RecordSource, _: &Record) {
+                self.inputs.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_compaction_end(&self, _: &CompactionInfo) {
+                self.ends.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let spy = Arc::new(Spy::default());
+        let platform = Platform::with_defaults();
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        let options = small_options();
+        let env = StorageEnv::new(platform, fs, options.env.clone(), None);
+        let db = Db::open(env, options, Some(spy.clone())).unwrap();
+        for i in 0..400 {
+            db.put(format!("key{i:05}").as_bytes(), &vec![b'x'; 30]).unwrap();
+        }
+        db.flush().unwrap();
+        assert_eq!(spy.wal.load(Ordering::Relaxed), 400);
+        assert!(spy.flush.load(Ordering::Relaxed) >= 400);
+        assert!(spy.ends.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn transform_output_rewrites_values() {
+        struct Embed;
+        impl StoreListener for Embed {
+            fn transform_output(&self, _: usize, records: Vec<Record>) -> Vec<Record> {
+                records
+                    .into_iter()
+                    .map(|mut r| {
+                        let mut v = r.value.to_vec();
+                        v.extend_from_slice(b"+proof");
+                        r.value = Bytes::from(v);
+                        r
+                    })
+                    .collect()
+            }
+        }
+        let platform = Platform::with_defaults();
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        let options = small_options();
+        let env = StorageEnv::new(platform, fs, options.env.clone(), None);
+        let db = Db::open(env, options, Some(Arc::new(Embed))).unwrap();
+        db.put(b"k", b"v").unwrap();
+        db.flush().unwrap();
+        assert_eq!(&db.get(b"k").unwrap().unwrap().value[..], b"v+proof");
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets_are_safe() {
+        let db = open_db(small_options());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let db = &db;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("t{t}-key{i:04}");
+                        db.put(key.as_bytes(), b"v").unwrap();
+                        assert!(db.get(key.as_bytes()).unwrap().is_some());
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            for i in (0..200).step_by(13) {
+                let key = format!("t{t}-key{i:04}");
+                assert!(db.get(key.as_bytes()).unwrap().is_some(), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reads_see_history() {
+        let db = open_db(Options { compaction_enabled: false, ..small_options() });
+        let t1 = db.put(b"k", b"v1").unwrap();
+        let t2 = db.put(b"k", b"v2").unwrap();
+        let tr1 = db.get_with_trace(b"k", t1).unwrap();
+        assert_eq!(&tr1.result.unwrap().value[..], b"v1");
+        let tr2 = db.get_with_trace(b"k", t2).unwrap();
+        assert_eq!(&tr2.result.unwrap().value[..], b"v2");
+    }
+}

@@ -1,0 +1,208 @@
+//! Binary encodings shared by the WAL, blocks, SSTables and the manifest:
+//! LEB128 varints, length-prefixed slices and CRC-32 (the Castagnoli
+//! polynomial LevelDB/RocksDB use for record framing).
+
+/// Appends a LEB128 varint encoding of `v`.
+pub fn put_varint_u64(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Decodes a LEB128 varint from the front of `buf`, returning the value and
+/// the number of bytes consumed.
+///
+/// Returns `None` on truncated or over-long input.
+pub fn get_varint_u64(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        result |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some((result, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Appends a `u32` varint.
+pub fn put_varint_u32(buf: &mut Vec<u8>, v: u32) {
+    put_varint_u64(buf, u64::from(v));
+}
+
+/// Decodes a `u32` varint; fails if the value exceeds `u32::MAX`.
+pub fn get_varint_u32(buf: &[u8]) -> Option<(u32, usize)> {
+    let (v, n) = get_varint_u64(buf)?;
+    u32::try_from(v).ok().map(|v| (v, n))
+}
+
+/// Appends a varint length followed by the bytes.
+pub fn put_length_prefixed(buf: &mut Vec<u8>, data: &[u8]) {
+    put_varint_u64(buf, data.len() as u64);
+    buf.extend_from_slice(data);
+}
+
+/// Reads a length-prefixed slice from the front of `buf`, returning the
+/// slice and total bytes consumed.
+pub fn get_length_prefixed(buf: &[u8]) -> Option<(&[u8], usize)> {
+    let (len, n) = get_varint_u64(buf)?;
+    let len = usize::try_from(len).ok()?;
+    let end = n.checked_add(len)?;
+    if end > buf.len() {
+        return None;
+    }
+    Some((&buf[n..end], end))
+}
+
+/// Appends a little-endian fixed `u32`.
+pub fn put_fixed_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian fixed `u32` at `offset`.
+pub fn get_fixed_u32(buf: &[u8], offset: usize) -> Option<u32> {
+    let bytes = buf.get(offset..offset + 4)?;
+    Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+/// Appends a little-endian fixed `u64`.
+pub fn put_fixed_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian fixed `u64` at `offset`.
+pub fn get_fixed_u64(buf: &[u8], offset: usize) -> Option<u64> {
+    let bytes = buf.get(offset..offset + 8)?;
+    Some(u64::from_le_bytes([
+        bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+    ]))
+}
+
+/// CRC-32C (Castagnoli) lookup table, computed at first use.
+fn crc32c_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        const POLY: u32 = 0x82f6_3b78; // reflected 0x1EDC6F41
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut j = 0;
+            while j < 8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                j += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    })
+}
+
+/// CRC-32C checksum of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let table = crc32c_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint_u64(&mut buf, v);
+            let (got, n) = get_varint_u64(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_sizes_match_leb128() {
+        let mut buf = Vec::new();
+        put_varint_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint_u64(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn varint_truncated_fails() {
+        assert!(get_varint_u64(&[0x80]).is_none());
+        assert!(get_varint_u64(&[]).is_none());
+    }
+
+    #[test]
+    fn varint_overlong_fails() {
+        // 11 continuation bytes exceed a u64.
+        let buf = [0xffu8; 11];
+        assert!(get_varint_u64(&buf).is_none());
+    }
+
+    #[test]
+    fn u32_varint_rejects_big_values() {
+        let mut buf = Vec::new();
+        put_varint_u64(&mut buf, u64::from(u32::MAX) + 1);
+        assert!(get_varint_u32(&buf).is_none());
+    }
+
+    #[test]
+    fn length_prefixed_round_trip() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        put_length_prefixed(&mut buf, b"");
+        let (a, n) = get_length_prefixed(&buf).unwrap();
+        assert_eq!(a, b"hello");
+        let (b, m) = get_length_prefixed(&buf[n..]).unwrap();
+        assert_eq!(b, b"");
+        assert_eq!(n + m, buf.len());
+    }
+
+    #[test]
+    fn length_prefixed_truncated_fails() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        assert!(get_length_prefixed(&buf[..3]).is_none());
+    }
+
+    #[test]
+    fn fixed_round_trip() {
+        let mut buf = Vec::new();
+        put_fixed_u32(&mut buf, 0xdead_beef);
+        put_fixed_u64(&mut buf, 0x0123_4567_89ab_cdef);
+        assert_eq!(get_fixed_u32(&buf, 0), Some(0xdead_beef));
+        assert_eq!(get_fixed_u64(&buf, 4), Some(0x0123_4567_89ab_cdef));
+        assert_eq!(get_fixed_u32(&buf, 9), None);
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 test vectors for CRC-32C.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+        let ascending: Vec<u8> = (0..32u8).collect();
+        assert_eq!(crc32c(&ascending), 0x46dd_794e);
+    }
+
+    #[test]
+    fn crc32c_detects_corruption() {
+        let a = crc32c(b"payload");
+        let b = crc32c(b"paYload");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,160 @@
+//! RocksDB-style event callbacks.
+//!
+//! The paper's key implementation claim (§5.5.3) is that eLSM can be built
+//! as an *add-on* over an unmodified LSM store using only its callback
+//! interface. This module is that interface, modelled on RocksDB's:
+//!
+//! * [`StoreListener::on_compaction_input`] ↔ the `Filter()` event of the
+//!   compaction filter API — fires for every record the compaction reads,
+//!   tagged with its source level/file so the listener can rebuild input
+//!   Merkle trees (Figure 4, `auth_filter`);
+//! * [`StoreListener::transform_output`] ↔ `OnTableFileCreated()` — lets
+//!   the listener rewrite output records (embed proofs) before they hit
+//!   disk (Figure 4, `auth_onTableFileCreated`);
+//! * [`StoreListener::on_compaction_end`] ↔ `OnCompactionCompleted()` —
+//!   where eLSM checks input roots and installs the output root;
+//! * [`StoreListener::on_flush_record`] ↔ the pluggable-MemTable iterator
+//!   hook used for authenticated flush (§5.5.3 item 3);
+//! * [`StoreListener::on_wal_append`] ↔ the WAL write hook used for the
+//!   in-enclave WAL digest (§5.3, step w1).
+
+use std::fmt;
+
+use crate::record::Record;
+
+/// Identifies where a compaction input record came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordSource {
+    /// Source level (0 = the memtable being flushed).
+    pub level: usize,
+    /// Source SSTable file number (0 for the memtable).
+    pub file_no: u64,
+}
+
+/// Keep or drop a record during compaction (compaction-filter decision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// Keep the record in the output.
+    Keep,
+    /// Drop it (e.g., application-level TTL expiry).
+    Drop,
+}
+
+/// Summary of a finished compaction, passed to
+/// [`StoreListener::on_compaction_end`].
+#[derive(Debug, Clone)]
+pub struct CompactionInfo {
+    /// Input level (the lower-numbered one; 0 for a memtable flush).
+    pub input_level: usize,
+    /// Output level.
+    pub output_level: usize,
+    /// Records read from inputs.
+    pub input_records: u64,
+    /// Records written to the output run.
+    pub output_records: u64,
+    /// Output file numbers, in key order.
+    pub output_files: Vec<u64>,
+}
+
+/// Observer/extension interface of the vanilla store.
+///
+/// All methods have no-op defaults, so a listener implements only what it
+/// needs. The store invokes these callbacks *inside the enclave* when the
+/// environment runs in enclave mode (the listener is part of the trusted
+/// code, exactly like RocksDB callbacks run inside the Speicher/eLSM
+/// enclave).
+pub trait StoreListener: Send + Sync {
+    /// A record was read from a compaction input (Figure 4's `Filter`).
+    fn on_compaction_input(&self, source: RecordSource, record: &Record) {
+        let _ = (source, record);
+    }
+
+    /// Decide whether an output record survives. Runs after the store's own
+    /// version/tombstone logic.
+    fn filter_output(&self, record: &Record) -> FilterDecision {
+        let _ = record;
+        FilterDecision::Keep
+    }
+
+    /// The full output run is assembled; the listener may rewrite values
+    /// (embed proofs) before the files are written
+    /// (Figure 4's `onTableFileCreated`).
+    fn transform_output(&self, output_level: usize, records: Vec<Record>) -> Vec<Record> {
+        let _ = output_level;
+        records
+    }
+
+    /// A compaction finished and its output is about to be installed.
+    fn on_compaction_end(&self, info: &CompactionInfo) {
+        let _ = info;
+    }
+
+    /// A record is being flushed from the memtable (pluggable-MemTable
+    /// iterator hook).
+    fn on_flush_record(&self, record: &Record) {
+        let _ = record;
+    }
+
+    /// A record was appended to the write-ahead log.
+    fn on_wal_append(&self, record: &Record) {
+        let _ = record;
+    }
+}
+
+/// A listener that does nothing (the vanilla, unsecured configuration).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopListener;
+
+impl StoreListener for NoopListener {}
+
+impl fmt::Debug for dyn StoreListener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("dyn StoreListener")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Counting {
+        inputs: AtomicU64,
+        flushes: AtomicU64,
+        wal: AtomicU64,
+    }
+
+    impl StoreListener for Counting {
+        fn on_compaction_input(&self, _: RecordSource, _: &Record) {
+            self.inputs.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_flush_record(&self, _: &Record) {
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_wal_append(&self, _: &Record) {
+            self.wal.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn defaults_are_noops() {
+        let l = NoopListener;
+        let r = Record::put(b"k".as_slice(), b"v".as_slice(), 1);
+        assert_eq!(l.filter_output(&r), FilterDecision::Keep);
+        let out = l.transform_output(1, vec![r.clone()]);
+        assert_eq!(out, vec![r]);
+    }
+
+    #[test]
+    fn custom_listener_observes() {
+        let l = Counting::default();
+        let r = Record::put(b"k".as_slice(), b"v".as_slice(), 1);
+        l.on_compaction_input(RecordSource { level: 1, file_no: 3 }, &r);
+        l.on_flush_record(&r);
+        l.on_wal_append(&r);
+        assert_eq!(l.inputs.load(Ordering::Relaxed), 1);
+        assert_eq!(l.flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(l.wal.load(Ordering::Relaxed), 1);
+    }
+}

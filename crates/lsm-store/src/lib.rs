@@ -1,0 +1,46 @@
+//! # lsm-store
+//!
+//! A from-scratch LevelDB-class LSM-tree storage engine, the substrate the
+//! eLSM paper builds on. It provides:
+//!
+//! * [`memtable`] — skiplist write buffer (level L0, in-enclave),
+//! * [`wal`] — framed, checksummed write-ahead log,
+//! * [`block`]/[`sstable`] — prefix-compressed blocks, Bloom filters,
+//!   block indexes, footers,
+//! * [`version`] — levels as whole sorted runs (the paper's model),
+//! * [`db`] — puts/gets/scans/deletes, flushes and whole-level compactions
+//!   with recovery from manifest + WAL,
+//! * [`events`] — RocksDB-style callbacks through which the `elsm` crate
+//!   adds authentication **without modifying this crate** (§5.5.3),
+//! * [`env`](mod@crate::env) — the placement/cost configuration matrix of Table 1.
+//!
+//! The traced read APIs ([`db::Db::get_with_trace`],
+//! [`db::Db::scan_with_trace`]) expose per-level outcomes including miss
+//! neighbors, which is exactly the information the paper's modified GET
+//! path returns (§5.5.1).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod bloom;
+pub mod db;
+pub mod encoding;
+pub mod env;
+pub mod events;
+pub mod memtable;
+pub mod merge;
+pub mod options;
+pub mod record;
+pub mod sstable;
+pub mod version;
+#[cfg(test)]
+mod version_tests;
+pub mod wal;
+
+pub use db::{Db, DbStats, DbStatsSnapshot};
+pub use env::{EnvConfig, StorageEnv};
+pub use events::{CompactionInfo, FilterDecision, NoopListener, RecordSource, StoreListener};
+pub use options::Options;
+pub use record::{internal_cmp, InternalKey, Record, Timestamp, ValueKind};
+pub use sstable::{TableBuilder, TableGet, TableMeta, TableOptions, TableReader};
+pub use version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace};

@@ -1,0 +1,366 @@
+//! The in-memory write buffer (level L0 in the paper's terminology).
+//!
+//! A skiplist over encoded internal keys, as in LevelDB/RocksDB. The arena
+//! is a plain `Vec` of nodes with `u32` tower links, which keeps the
+//! implementation in safe Rust while preserving the skiplist's O(log n)
+//! search and its append-only memory behaviour (nodes are never moved or
+//! freed — exactly like LevelDB's arena).
+//!
+//! In both eLSM designs the write buffer lives **inside** the enclave
+//! (Table 1); it is small (4 MB by default) so it never causes EPC paging.
+
+use bytes::Bytes;
+
+use crate::record::{internal_cmp, InternalKey, Record, Timestamp, ValueKind};
+
+const MAX_HEIGHT: usize = 12;
+/// Branching probability 1/4, as in LevelDB.
+const BRANCH_DENOM: u64 = 4;
+
+#[derive(Debug)]
+struct Node {
+    /// Encoded internal key (empty for the head sentinel).
+    key: Vec<u8>,
+    value: Bytes,
+    /// next[h] = arena index of the next node at height h (0 = none).
+    next: Vec<u32>,
+}
+
+/// An append-only skiplist keyed by encoded internal keys.
+#[derive(Debug)]
+pub struct SkipList {
+    nodes: Vec<Node>,
+    height: usize,
+    rng_state: u64,
+    approx_bytes: usize,
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SkipList {
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        SkipList {
+            nodes: vec![Node { key: Vec::new(), value: Bytes::new(), next: vec![0; MAX_HEIGHT] }],
+            height: 1,
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+            approx_bytes: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory usage in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    fn random_height(&mut self) -> usize {
+        let mut h = 1;
+        loop {
+            self.rng_state = self
+                .rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if h < MAX_HEIGHT && (self.rng_state >> 33) % BRANCH_DENOM == 0 {
+                h += 1;
+            } else {
+                return h;
+            }
+        }
+    }
+
+    /// Finds, per level, the last node whose key is `< key`.
+    fn find_predecessors(&self, key: &[u8]) -> [u32; MAX_HEIGHT] {
+        let mut prev = [0u32; MAX_HEIGHT];
+        let mut node = 0u32;
+        for h in (0..self.height).rev() {
+            loop {
+                let next = self.nodes[node as usize].next[h];
+                if next != 0
+                    && internal_cmp(self.nodes[next as usize].key.as_slice(), key)
+                        == std::cmp::Ordering::Less
+                {
+                    node = next;
+                } else {
+                    break;
+                }
+            }
+            prev[h] = node;
+        }
+        prev
+    }
+
+    /// Inserts an entry. Keys must be unique (internal keys carry a unique
+    /// timestamp, so duplicates cannot occur in correct usage).
+    pub fn insert(&mut self, key: Vec<u8>, value: Bytes) {
+        let prev = self.find_predecessors(&key);
+        let h = self.random_height();
+        if h > self.height {
+            self.height = h;
+        }
+        let idx = self.nodes.len() as u32;
+        self.approx_bytes += key.len() + value.len() + 8 * h + 24;
+        let mut next = vec![0u32; h];
+        #[allow(clippy::needless_range_loop)]
+        for level in 0..h {
+            next[level] = self.nodes[prev[level] as usize].next[level];
+        }
+        self.nodes.push(Node { key, value, next });
+        for level in 0..h {
+            self.nodes[prev[level] as usize].next[level] = idx;
+        }
+    }
+
+    /// Arena index of the first node with key `>= key` (0 if none).
+    fn seek_index(&self, key: &[u8]) -> u32 {
+        let prev = self.find_predecessors(key);
+        self.nodes[prev[0] as usize].next[0]
+    }
+
+    /// Iterates entries with keys `>=` the given encoded key.
+    pub fn range_from<'a>(&'a self, key: &[u8]) -> SkipIter<'a> {
+        SkipIter { list: self, node: self.seek_index(key) }
+    }
+
+    /// Iterates all entries in order.
+    pub fn iter(&self) -> SkipIter<'_> {
+        SkipIter { list: self, node: self.nodes[0].next[0] }
+    }
+}
+
+/// Iterator over skiplist entries as `(encoded_key, value)` pairs.
+#[derive(Debug, Clone)]
+pub struct SkipIter<'a> {
+    list: &'a SkipList,
+    node: u32,
+}
+
+impl<'a> Iterator for SkipIter<'a> {
+    type Item = (&'a [u8], &'a Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.node == 0 {
+            return None;
+        }
+        let n = &self.list.nodes[self.node as usize];
+        self.node = n.next[0];
+        Some((n.key.as_slice(), &n.value))
+    }
+}
+
+/// The write buffer: a skiplist of [`Record`]s plus bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use lsm_store::memtable::MemTable;
+/// use lsm_store::record::Record;
+///
+/// let mut mt = MemTable::new();
+/// mt.insert(Record::put(b"k".as_slice(), b"v1".as_slice(), 1));
+/// mt.insert(Record::put(b"k".as_slice(), b"v2".as_slice(), 2));
+/// let newest = mt.get(b"k", u64::MAX >> 1).unwrap();
+/// assert_eq!(newest.ts, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct MemTable {
+    list: SkipList,
+}
+
+impl MemTable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        MemTable { list: SkipList::new() }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the memtable holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Approximate memory usage (flush trigger input).
+    pub fn approximate_bytes(&self) -> usize {
+        self.list.approximate_bytes()
+    }
+
+    /// Inserts a record.
+    pub fn insert(&mut self, record: Record) {
+        let ik = record.internal_key();
+        self.list.insert(ik.encoded().to_vec(), record.value);
+    }
+
+    /// Returns the newest record for `key` with `ts <= ts_q`, including
+    /// tombstones (the caller interprets them).
+    pub fn get(&self, key: &[u8], ts_q: Timestamp) -> Option<Record> {
+        let seek = InternalKey::new(key, ts_q, ValueKind::Put);
+        let (ik_bytes, value) = self.list.range_from(seek.encoded()).next()?;
+        let ik = InternalKey::from_encoded(ik_bytes)?;
+        if ik.user_key() != key {
+            return None;
+        }
+        Some(Record {
+            key: Bytes::copy_from_slice(ik.user_key()),
+            ts: ik.ts(),
+            kind: ik.kind(),
+            value: value.clone(),
+        })
+    }
+
+    /// All records in internal-key order (for flush and scans).
+    pub fn iter_records(&self) -> impl Iterator<Item = Record> + '_ {
+        self.list.iter().filter_map(|(k, v)| {
+            let ik = InternalKey::from_encoded(k)?;
+            Some(Record {
+                key: Bytes::copy_from_slice(ik.user_key()),
+                ts: ik.ts(),
+                kind: ik.kind(),
+                value: v.clone(),
+            })
+        })
+    }
+
+    /// Records with user key in `[from, to]`, all versions, newest first
+    /// within a key.
+    pub fn range_records(&self, from: &[u8], to: &[u8]) -> Vec<Record> {
+        let seek = InternalKey::seek_to(from);
+        let mut out = Vec::new();
+        for (k, v) in self.list.range_from(seek.encoded()) {
+            let Some(ik) = InternalKey::from_encoded(k) else { continue };
+            if ik.user_key() > to {
+                break;
+            }
+            out.push(Record {
+                key: Bytes::copy_from_slice(ik.user_key()),
+                ts: ik.ts(),
+                kind: ik.kind(),
+                value: v.clone(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_get_is_none() {
+        let mt = MemTable::new();
+        assert!(mt.get(b"k", u64::MAX >> 1).is_none());
+        assert!(mt.is_empty());
+    }
+
+    #[test]
+    fn newest_version_wins() {
+        let mut mt = MemTable::new();
+        mt.insert(Record::put(b"k".as_slice(), b"v1".as_slice(), 1));
+        mt.insert(Record::put(b"k".as_slice(), b"v2".as_slice(), 5));
+        mt.insert(Record::put(b"k".as_slice(), b"v3".as_slice(), 3));
+        let r = mt.get(b"k", u64::MAX >> 1).unwrap();
+        assert_eq!((r.ts, &r.value[..]), (5, b"v2".as_slice()));
+    }
+
+    #[test]
+    fn snapshot_reads_respect_ts() {
+        let mut mt = MemTable::new();
+        mt.insert(Record::put(b"k".as_slice(), b"v1".as_slice(), 1));
+        mt.insert(Record::put(b"k".as_slice(), b"v2".as_slice(), 5));
+        assert_eq!(mt.get(b"k", 4).unwrap().ts, 1);
+        assert_eq!(mt.get(b"k", 5).unwrap().ts, 5);
+        assert!(mt.get(b"k", 0).is_none());
+    }
+
+    #[test]
+    fn tombstones_are_returned() {
+        let mut mt = MemTable::new();
+        mt.insert(Record::put(b"k".as_slice(), b"v".as_slice(), 1));
+        mt.insert(Record::tombstone(b"k".as_slice(), 2));
+        let r = mt.get(b"k", u64::MAX >> 1).unwrap();
+        assert_eq!(r.kind, ValueKind::Delete);
+    }
+
+    #[test]
+    fn keys_do_not_bleed() {
+        let mut mt = MemTable::new();
+        mt.insert(Record::put(b"a".as_slice(), b"1".as_slice(), 1));
+        mt.insert(Record::put(b"c".as_slice(), b"2".as_slice(), 2));
+        assert!(mt.get(b"b", u64::MAX >> 1).is_none());
+    }
+
+    #[test]
+    fn iteration_is_sorted_newest_first_within_key() {
+        let mut mt = MemTable::new();
+        mt.insert(Record::put(b"b".as_slice(), b"old".as_slice(), 1));
+        mt.insert(Record::put(b"a".as_slice(), b"x".as_slice(), 2));
+        mt.insert(Record::put(b"b".as_slice(), b"new".as_slice(), 3));
+        let recs: Vec<Record> = mt.iter_records().collect();
+        let keys: Vec<&[u8]> = recs.iter().map(|r| &r.key[..]).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b".as_slice(), b"b".as_slice()]);
+        assert_eq!(recs[1].ts, 3, "newest version of b first");
+        assert_eq!(recs[2].ts, 1);
+    }
+
+    #[test]
+    fn range_records_bounds_inclusive() {
+        let mut mt = MemTable::new();
+        for (i, k) in [b"a", b"b", b"c", b"d"].iter().enumerate() {
+            mt.insert(Record::put(k.as_slice(), b"v".as_slice(), i as u64 + 1));
+        }
+        let got = mt.range_records(b"b", b"c");
+        let keys: Vec<&[u8]> = got.iter().map(|r| &r.key[..]).collect();
+        assert_eq!(keys, vec![b"b".as_slice(), b"c".as_slice()]);
+    }
+
+    #[test]
+    fn large_insert_set_stays_sorted() {
+        let mut mt = MemTable::new();
+        // Insert shuffled keys.
+        let mut keys: Vec<u32> = (0..2000).collect();
+        let mut state = 7u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            keys.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        for (ts, k) in keys.iter().enumerate() {
+            let key = format!("{k:08}");
+            mt.insert(Record::put(key.into_bytes(), b"v".as_slice(), ts as u64 + 1));
+        }
+        let collected: Vec<Record> = mt.iter_records().collect();
+        assert_eq!(collected.len(), 2000);
+        for w in collected.windows(2) {
+            assert!(w[0].key <= w[1].key);
+        }
+        // Every key findable.
+        for k in 0..2000u32 {
+            let key = format!("{k:08}");
+            assert!(mt.get(key.as_bytes(), u64::MAX >> 1).is_some(), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn approximate_bytes_grows() {
+        let mut mt = MemTable::new();
+        let before = mt.approximate_bytes();
+        mt.insert(Record::put(b"key".as_slice(), vec![0u8; 100], 1));
+        assert!(mt.approximate_bytes() > before + 100);
+    }
+}

@@ -1,0 +1,197 @@
+//! K-way merging of sorted record streams (the compaction merge step).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::events::RecordSource;
+use crate::record::{internal_cmp, Record};
+
+/// One sorted input stream, tagged with its source level/file.
+pub struct MergeInput {
+    /// Where the records come from (level/file), for listener callbacks.
+    pub source: RecordSource,
+    /// Records in internal-key order.
+    pub iter: Box<dyn Iterator<Item = Record>>,
+}
+
+impl std::fmt::Debug for MergeInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MergeInput(source={:?})", self.source)
+    }
+}
+
+struct HeapEntry {
+    record: Record,
+    input_idx: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for ascending merge. Ties (same
+        // internal key cannot happen — unique timestamps) fall back to
+        // input index for determinism.
+        internal_cmp(
+            other.record.internal_key().encoded(),
+            self.record.internal_key().encoded(),
+        )
+        .then_with(|| other.input_idx.cmp(&self.input_idx))
+    }
+}
+
+/// Merges sorted inputs into one sorted stream of `(source, record)`.
+///
+/// # Examples
+///
+/// ```
+/// use lsm_store::merge::{KWayMerge, MergeInput};
+/// use lsm_store::events::RecordSource;
+/// use lsm_store::record::Record;
+///
+/// let a = vec![Record::put(b"a".as_slice(), b"1".as_slice(), 1)];
+/// let b = vec![Record::put(b"b".as_slice(), b"2".as_slice(), 2)];
+/// let merged: Vec<_> = KWayMerge::new(vec![
+///     MergeInput { source: RecordSource { level: 1, file_no: 1 }, iter: Box::new(a.into_iter()) },
+///     MergeInput { source: RecordSource { level: 2, file_no: 2 }, iter: Box::new(b.into_iter()) },
+/// ])
+/// .collect();
+/// assert_eq!(merged.len(), 2);
+/// assert_eq!(&merged[0].1.key[..], b"a");
+/// ```
+pub struct KWayMerge {
+    inputs: Vec<MergeInput>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl std::fmt::Debug for KWayMerge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KWayMerge({} inputs)", self.inputs.len())
+    }
+}
+
+impl KWayMerge {
+    /// Builds a merge over the given inputs.
+    pub fn new(mut inputs: Vec<MergeInput>) -> Self {
+        let mut heap = BinaryHeap::new();
+        for (i, input) in inputs.iter_mut().enumerate() {
+            if let Some(record) = input.iter.next() {
+                heap.push(HeapEntry { record, input_idx: i });
+            }
+        }
+        KWayMerge { inputs, heap }
+    }
+}
+
+impl Iterator for KWayMerge {
+    type Item = (RecordSource, Record);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let entry = self.heap.pop()?;
+        let source = self.inputs[entry.input_idx].source;
+        if let Some(next) = self.inputs[entry.input_idx].iter.next() {
+            self.heap.push(HeapEntry { record: next, input_idx: entry.input_idx });
+        }
+        Some((source, entry.record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(level: usize, recs: Vec<Record>) -> MergeInput {
+        MergeInput {
+            source: RecordSource { level, file_no: level as u64 },
+            iter: Box::new(recs.into_iter()),
+        }
+    }
+
+    #[test]
+    fn merges_disjoint_streams() {
+        let a: Vec<Record> =
+            (0..10).map(|i| Record::put(format!("a{i}").into_bytes(), b"x".as_slice(), i)).collect();
+        let b: Vec<Record> =
+            (0..10).map(|i| Record::put(format!("b{i}").into_bytes(), b"y".as_slice(), 100 + i)).collect();
+        let merged: Vec<_> = KWayMerge::new(vec![input(1, a), input(2, b)]).collect();
+        assert_eq!(merged.len(), 20);
+        for w in merged.windows(2) {
+            assert!(
+                internal_cmp(
+                    w[0].1.internal_key().encoded(),
+                    w[1].1.internal_key().encoded()
+                ) == Ordering::Less
+            );
+        }
+    }
+
+    #[test]
+    fn interleaves_same_key_newest_first() {
+        // Level 1 has the newer version (Lemma 5.4).
+        let newer = vec![Record::put(b"k".as_slice(), b"new".as_slice(), 10)];
+        let older = vec![Record::put(b"k".as_slice(), b"old".as_slice(), 2)];
+        let merged: Vec<_> = KWayMerge::new(vec![input(1, newer), input(2, older)]).collect();
+        assert_eq!(&merged[0].1.value[..], b"new");
+        assert_eq!(&merged[1].1.value[..], b"old");
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        let a = vec![Record::put(b"a".as_slice(), b"1".as_slice(), 1)];
+        let b = vec![Record::put(b"b".as_slice(), b"2".as_slice(), 2)];
+        let merged: Vec<_> = KWayMerge::new(vec![input(1, a), input(2, b)]).collect();
+        assert_eq!(merged[0].0.level, 1);
+        assert_eq!(merged[1].0.level, 2);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let merged: Vec<_> = KWayMerge::new(vec![input(1, vec![]), input(2, vec![])]).collect();
+        assert!(merged.is_empty());
+        let merged: Vec<_> = KWayMerge::new(vec![]).collect();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn three_way_merge_is_sorted() {
+        let mk = |offset: u64| -> Vec<Record> {
+            (0..30u64)
+                .map(|i| {
+                    Record::put(
+                        format!("key{:04}", (i * 7 + offset) % 100).into_bytes(),
+                        b"v".as_slice(),
+                        offset * 1000 + i,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let sort = |mut v: Vec<Record>| {
+            v.sort_by(|a, b| internal_cmp(a.internal_key().encoded(), b.internal_key().encoded()));
+            v
+        };
+        let merged: Vec<_> = KWayMerge::new(vec![
+            input(1, sort(mk(0))),
+            input(2, sort(mk(1))),
+            input(3, sort(mk(2))),
+        ])
+        .collect();
+        assert_eq!(merged.len(), 90);
+        for w in merged.windows(2) {
+            assert!(
+                internal_cmp(w[0].1.internal_key().encoded(), w[1].1.internal_key().encoded())
+                    != Ordering::Greater
+            );
+        }
+    }
+}

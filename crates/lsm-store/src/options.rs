@@ -1,0 +1,69 @@
+//! Store configuration.
+
+use crate::env::EnvConfig;
+use crate::sstable::TableOptions;
+
+/// Options for opening a [`crate::db::Db`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Environment (enclave mode, buffer placement, mmap, sealing).
+    pub env: EnvConfig,
+    /// SSTable construction parameters.
+    pub table: TableOptions,
+    /// Memtable size that triggers a flush (the paper uses 4 MB).
+    pub write_buffer_bytes: usize,
+    /// Target size of one SSTable file within a run.
+    pub target_file_bytes: u64,
+    /// Size budget of level 1; level `i` holds `level1 * multiplier^(i-1)`.
+    pub level1_max_bytes: u64,
+    /// Geometric growth factor between levels (LevelDB uses 10).
+    pub level_multiplier: u64,
+    /// Maximum number of on-disk levels.
+    pub max_levels: usize,
+    /// Run size-triggered compactions automatically after flushes.
+    pub compaction_enabled: bool,
+    /// Drop tombstones (and the versions they shadow) when merging into the
+    /// bottom level (§5.4 "Handling Deletes").
+    pub purge_tombstones_at_bottom: bool,
+    /// Keep shadowed old versions (the paper's hash chains digest them;
+    /// transparency-log deployments retain full history).
+    pub keep_old_versions: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            env: EnvConfig::default(),
+            table: TableOptions::default(),
+            write_buffer_bytes: 64 * 1024,
+            target_file_bytes: 128 * 1024,
+            level1_max_bytes: 256 * 1024,
+            level_multiplier: 10,
+            max_levels: 7,
+            compaction_enabled: true,
+            purge_tombstones_at_bottom: true,
+            keep_old_versions: true,
+        }
+    }
+}
+
+impl Options {
+    /// Size budget for level `i` (1-based).
+    pub fn level_target_bytes(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        self.level1_max_bytes * self.level_multiplier.pow(level.saturating_sub(1) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_targets_grow_geometrically() {
+        let o = Options { level1_max_bytes: 100, level_multiplier: 10, ..Options::default() };
+        assert_eq!(o.level_target_bytes(1), 100);
+        assert_eq!(o.level_target_bytes(2), 1_000);
+        assert_eq!(o.level_target_bytes(3), 10_000);
+    }
+}

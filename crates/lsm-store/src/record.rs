@@ -1,0 +1,342 @@
+//! Key-value records and internal keys.
+//!
+//! The paper's interface (§3.2, Equation 1) is timestamped:
+//! `ts = PUT(k, v)`, `⟨k, v, ts⟩ = GET(k, ts_q)`. The enclave's timestamp
+//! manager assigns every operation a unique, monotonically increasing
+//! timestamp; tombstones implement deletes (§5.4).
+//!
+//! Internally a record is identified by its *internal key*: the user key
+//! followed by an 8-byte suffix packing `(timestamp, kind)` so that plain
+//! byte comparison orders records by key ascending and, within a key, by
+//! timestamp **descending** (newest first) — the order the eLSM hash chains
+//! and Lemma 5.4 rely on.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::encoding::{get_fixed_u64, get_length_prefixed, put_fixed_u64, put_length_prefixed};
+
+/// Whether a record stores a value or a tombstone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValueKind {
+    /// A live key-value record.
+    Put,
+    /// A delete marker; compaction at the bottom level drops the key.
+    Delete,
+}
+
+impl ValueKind {
+    fn to_bit(self) -> u64 {
+        match self {
+            ValueKind::Put => 1,
+            ValueKind::Delete => 0,
+        }
+    }
+
+    fn from_bit(bit: u64) -> Self {
+        if bit & 1 == 1 {
+            ValueKind::Put
+        } else {
+            ValueKind::Delete
+        }
+    }
+}
+
+/// A timestamp assigned by the enclave's timestamp manager.
+pub type Timestamp = u64;
+
+/// A full key-value record: user key, timestamp, kind and value bytes.
+///
+/// # Examples
+///
+/// ```
+/// use lsm_store::record::{Record, ValueKind};
+///
+/// let r = Record::put(b"key".as_slice(), b"value".as_slice(), 7);
+/// let bytes = r.encode();
+/// assert_eq!(Record::decode(&bytes).unwrap(), r);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// User-visible key.
+    pub key: Bytes,
+    /// Operation timestamp (unique, monotone).
+    pub ts: Timestamp,
+    /// Put or tombstone.
+    pub kind: ValueKind,
+    /// Value bytes (empty for tombstones).
+    pub value: Bytes,
+}
+
+impl Record {
+    /// Creates a live record.
+    pub fn put(key: impl Into<Bytes>, value: impl Into<Bytes>, ts: Timestamp) -> Self {
+        Record { key: key.into(), ts, kind: ValueKind::Put, value: value.into() }
+    }
+
+    /// Creates a tombstone.
+    pub fn tombstone(key: impl Into<Bytes>, ts: Timestamp) -> Self {
+        Record { key: key.into(), ts, kind: ValueKind::Delete, value: Bytes::new() }
+    }
+
+    /// The internal key identifying this record.
+    pub fn internal_key(&self) -> InternalKey {
+        InternalKey::new(self.key.clone(), self.ts, self.kind)
+    }
+
+    /// Serializes the record (length-prefixed key and value, fixed suffix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.key.len() + self.value.len() + 16);
+        put_length_prefixed(&mut buf, &self.key);
+        put_fixed_u64(&mut buf, pack(self.ts, self.kind));
+        put_length_prefixed(&mut buf, &self.value);
+        buf
+    }
+
+    /// Parses a record serialized by [`Record::encode`].
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Record> {
+        let (key, n) = get_length_prefixed(buf)?;
+        let packed = get_fixed_u64(buf, n)?;
+        let (value, m) = get_length_prefixed(&buf[n + 8..])?;
+        if n + 8 + m != buf.len() {
+            return None;
+        }
+        let (ts, kind) = unpack(packed);
+        Some(Record {
+            key: Bytes::copy_from_slice(key),
+            ts,
+            kind,
+            value: Bytes::copy_from_slice(value),
+        })
+    }
+
+    /// Canonical bytes hashed by the eLSM digest structures: the paper
+    /// digests ⟨k, v, ts⟩ records, so all three fields (and the kind, which
+    /// distinguishes tombstones) are covered.
+    pub fn digest_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Approximate in-memory footprint, used for flush triggers.
+    pub fn approximate_size(&self) -> usize {
+        self.key.len() + self.value.len() + 24
+    }
+}
+
+fn pack(ts: Timestamp, kind: ValueKind) -> u64 {
+    (ts << 1) | kind.to_bit()
+}
+
+fn unpack(packed: u64) -> (Timestamp, ValueKind) {
+    (packed >> 1, ValueKind::from_bit(packed))
+}
+
+/// Compares two *encoded* internal keys: user key ascending, then suffix
+/// ascending (which is timestamp **descending**, because the suffix stores
+/// the bitwise complement of the packed timestamp).
+///
+/// Raw byte comparison would be wrong when one user key is a prefix of
+/// another (the 0xff-leading suffix of the shorter key would sort it after
+/// the longer key), so every block, table and memtable comparison goes
+/// through this function — the same design as LevelDB's
+/// `InternalKeyComparator`.
+pub fn internal_cmp(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+    let (ua, sa) = split_suffix(a);
+    let (ub, sb) = split_suffix(b);
+    ua.cmp(ub).then_with(|| sa.cmp(sb))
+}
+
+fn split_suffix(k: &[u8]) -> (&[u8], &[u8]) {
+    k.split_at(k.len().saturating_sub(8))
+}
+
+/// An internal key: user key plus `(timestamp, kind)` suffix.
+///
+/// The encoded form is `user_key ‖ be_bytes(!packed)`; ordering is defined
+/// by [`internal_cmp`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct InternalKey {
+    encoded: Vec<u8>,
+    key_len: usize,
+}
+
+impl PartialOrd for InternalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InternalKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        internal_cmp(&self.encoded, &other.encoded)
+    }
+}
+
+impl InternalKey {
+    /// Builds an internal key.
+    pub fn new(key: impl AsRef<[u8]>, ts: Timestamp, kind: ValueKind) -> Self {
+        let key = key.as_ref();
+        let mut encoded = Vec::with_capacity(key.len() + 8);
+        encoded.extend_from_slice(key);
+        encoded.extend_from_slice(&(!pack(ts, kind)).to_be_bytes());
+        InternalKey { encoded, key_len: key.len() }
+    }
+
+    /// The smallest internal key for `key`: seeks placed here find the
+    /// *newest* record of `key` first.
+    pub fn seek_to(key: impl AsRef<[u8]>) -> Self {
+        Self::new(key, Timestamp::MAX >> 1, ValueKind::Put)
+    }
+
+    /// Reconstructs an internal key from its encoded bytes.
+    ///
+    /// Returns `None` if shorter than the 8-byte suffix.
+    pub fn from_encoded(encoded: &[u8]) -> Option<Self> {
+        if encoded.len() < 8 {
+            return None;
+        }
+        Some(InternalKey { encoded: encoded.to_vec(), key_len: encoded.len() - 8 })
+    }
+
+    /// The encoded bytes (comparison form).
+    pub fn encoded(&self) -> &[u8] {
+        &self.encoded
+    }
+
+    /// The user key portion.
+    pub fn user_key(&self) -> &[u8] {
+        &self.encoded[..self.key_len]
+    }
+
+    /// The record timestamp.
+    pub fn ts(&self) -> Timestamp {
+        let (ts, _) = self.unpacked();
+        ts
+    }
+
+    /// The record kind.
+    pub fn kind(&self) -> ValueKind {
+        let (_, kind) = self.unpacked();
+        kind
+    }
+
+    fn unpacked(&self) -> (Timestamp, ValueKind) {
+        let mut suffix = [0u8; 8];
+        suffix.copy_from_slice(&self.encoded[self.key_len..]);
+        unpack(!u64::from_be_bytes(suffix))
+    }
+}
+
+impl fmt::Debug for InternalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "InternalKey({:?}@{}{})",
+            String::from_utf8_lossy(self.user_key()),
+            self.ts(),
+            if self.kind() == ValueKind::Delete { " DEL" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_encode_decode_round_trip() {
+        let r = Record::put(b"alpha".as_slice(), b"beta".as_slice(), 99);
+        assert_eq!(Record::decode(&r.encode()).unwrap(), r);
+        let t = Record::tombstone(b"gone".as_slice(), 5);
+        assert_eq!(Record::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = Record::put(b"k".as_slice(), b"v".as_slice(), 1).encode();
+        bytes.push(0);
+        assert!(Record::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = Record::put(b"k".as_slice(), b"v".as_slice(), 1).encode();
+        assert!(Record::decode(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn internal_key_orders_keys_ascending() {
+        let a = InternalKey::new(b"a", 1, ValueKind::Put);
+        let b = InternalKey::new(b"b", 1, ValueKind::Put);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn internal_key_orders_timestamps_descending() {
+        let newer = InternalKey::new(b"k", 10, ValueKind::Put);
+        let older = InternalKey::new(b"k", 3, ValueKind::Put);
+        assert!(newer < older, "newest must sort first");
+    }
+
+    #[test]
+    fn seek_to_precedes_all_versions() {
+        let seek = InternalKey::seek_to(b"k");
+        let newest = InternalKey::new(b"k", u64::MAX >> 2, ValueKind::Put);
+        assert!(seek <= newest);
+    }
+
+    #[test]
+    fn internal_key_round_trips_fields() {
+        let ik = InternalKey::new(b"user", 42, ValueKind::Delete);
+        assert_eq!(ik.user_key(), b"user");
+        assert_eq!(ik.ts(), 42);
+        assert_eq!(ik.kind(), ValueKind::Delete);
+        let again = InternalKey::from_encoded(ik.encoded()).unwrap();
+        assert_eq!(again, ik);
+    }
+
+    #[test]
+    fn from_encoded_rejects_short_input() {
+        assert!(InternalKey::from_encoded(b"short").is_none());
+    }
+
+    #[test]
+    fn prefix_keys_do_not_interleave_versions() {
+        // "ab" with any ts must not sort between versions of "abc".
+        let ab = InternalKey::new(b"ab", 1, ValueKind::Put);
+        let abc_new = InternalKey::new(b"abc", 100, ValueKind::Put);
+        let abc_old = InternalKey::new(b"abc", 1, ValueKind::Put);
+        assert!(ab < abc_new);
+        assert!(abc_new < abc_old);
+    }
+
+    #[test]
+    fn internal_cmp_matches_field_order() {
+        use std::cmp::Ordering;
+        let cases = [
+            (("a", 5u64), ("b", 1u64), Ordering::Less),
+            (("k", 9), ("k", 2), Ordering::Less), // newer first
+            (("k", 2), ("k", 2), Ordering::Equal),
+            (("kk", 1), ("k", 9), Ordering::Greater),
+        ];
+        for ((ka, ta), (kb, tb), want) in cases {
+            let a = InternalKey::new(ka.as_bytes(), ta, ValueKind::Put);
+            let b = InternalKey::new(kb.as_bytes(), tb, ValueKind::Put);
+            assert_eq!(internal_cmp(a.encoded(), b.encoded()), want, "{ka}@{ta} vs {kb}@{tb}");
+        }
+    }
+
+    #[test]
+    fn digest_bytes_cover_all_fields() {
+        let a = Record::put(b"k".as_slice(), b"v".as_slice(), 1);
+        let mut b = a.clone();
+        b.ts = 2;
+        assert_ne!(a.digest_bytes(), b.digest_bytes());
+        let mut c = a.clone();
+        c.kind = ValueKind::Delete;
+        assert_ne!(a.digest_bytes(), c.digest_bytes());
+    }
+}

@@ -1,0 +1,813 @@
+//! SSTables: immutable sorted files of records.
+//!
+//! Layout (offsets are file positions; data blocks may be individually
+//! sealed when the environment enables eLSM-P1 file protection):
+//!
+//! ```text
+//! [data block 0] [data block 1] … [bloom filter] [index block] [props] [footer]
+//! ```
+//!
+//! * the **index block** maps each data block's last internal key to its
+//!   `(offset, stored_len)`;
+//! * the **Bloom filter** covers all user keys in the table;
+//! * **props** stores smallest/largest user keys and the record count;
+//! * the fixed-size **footer** locates everything else.
+//!
+//! Per the paper, the Bloom filter and index are metadata kept *inside* the
+//! enclave (§5.3); the reader allocates enclave regions for them and touches
+//! the probed offsets, so metadata becomes a realistic source of EPC
+//! pressure.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use sim_disk::{FsError, MmapFile, SimFile};
+
+use crate::block::{Block, BlockBuilder};
+use crate::bloom::BloomFilter;
+use crate::encoding::{
+    get_fixed_u64, get_length_prefixed, put_fixed_u64, put_length_prefixed,
+};
+use crate::env::StorageEnv;
+use crate::record::{InternalKey, Record, Timestamp, ValueKind};
+
+const FOOTER_LEN: usize = 56;
+const MAGIC: u64 = 0xe15a_5700_ab1e_d157;
+/// Builders buffer output and issue one file append (OCall) per chunk,
+/// like a buffered `fwrite`.
+const WRITE_CHUNK: usize = 64 * 1024;
+
+/// Options controlling table construction.
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// Target uncompressed data-block size.
+    pub block_size: usize,
+    /// Bloom filter bits per key (0 disables the filter).
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions { block_size: 4096, bloom_bits_per_key: 10 }
+    }
+}
+
+/// Summary of a finished table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// File number (also names the file: `{file_no}.sst`).
+    pub file_no: u64,
+    /// Smallest user key.
+    pub smallest: Bytes,
+    /// Largest user key.
+    pub largest: Bytes,
+    /// Number of records.
+    pub count: u64,
+    /// Total file size in bytes.
+    pub file_size: u64,
+}
+
+/// Streams sorted records into an SSTable file.
+#[derive(Debug)]
+pub struct TableBuilder {
+    env: Arc<StorageEnv>,
+    file: Arc<SimFile>,
+    file_no: u64,
+    options: TableOptions,
+    block: BlockBuilder,
+    index: Vec<(Vec<u8>, u64, u64)>,
+    user_keys: Vec<Vec<u8>>,
+    offset: u64,
+    count: u64,
+    smallest: Option<Bytes>,
+    largest: Option<Bytes>,
+    pending: Vec<u8>,
+}
+
+impl TableBuilder {
+    /// Starts building `file` (already created, empty).
+    pub fn new(
+        env: Arc<StorageEnv>,
+        file: Arc<SimFile>,
+        file_no: u64,
+        options: TableOptions,
+    ) -> Self {
+        TableBuilder {
+            env,
+            file,
+            file_no,
+            options,
+            block: BlockBuilder::new(),
+            index: Vec::new(),
+            user_keys: Vec::new(),
+            offset: 0,
+            count: 0,
+            smallest: None,
+            largest: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Buffers output bytes, appending to the file one chunk at a time.
+    fn write(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+        self.offset += bytes.len() as u64;
+        if self.pending.len() >= WRITE_CHUNK {
+            let chunk = std::mem::take(&mut self.pending);
+            self.env.append(&self.file, &chunk);
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        if !self.pending.is_empty() {
+            let chunk = std::mem::take(&mut self.pending);
+            self.env.append(&self.file, &chunk);
+        }
+    }
+
+    /// Appends a record. Records must arrive in internal-key order.
+    pub fn add(&mut self, record: &Record) {
+        let ik = record.internal_key();
+        self.block.add(ik.encoded(), &record.value);
+        self.user_keys.push(record.key.to_vec());
+        if self.smallest.is_none() {
+            self.smallest = Some(record.key.clone());
+        }
+        self.largest = Some(record.key.clone());
+        self.count += 1;
+        if self.block.size_estimate() >= self.options.block_size {
+            self.flush_block();
+        }
+    }
+
+    /// Bytes written so far (flushed blocks only).
+    pub fn written_bytes(&self) -> u64 {
+        self.offset
+    }
+
+    /// Number of records added.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn flush_block(&mut self) {
+        if self.block.is_empty() {
+            return;
+        }
+        let last_key = self.block.last_key().to_vec();
+        let block = std::mem::take(&mut self.block);
+        let bytes = block.finish();
+        let stored = self.env.prepare_block(self.file_no, self.offset as usize, bytes);
+        self.index.push((last_key, self.offset, stored.len() as u64));
+        self.write(&stored);
+    }
+
+    /// Finishes the table, writing filter, index, props and footer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no records were added (empty tables are a logic error —
+    /// callers skip creating them).
+    pub fn finish(mut self) -> TableMeta {
+        assert!(self.count > 0, "refusing to build an empty SSTable");
+        self.flush_block();
+        // Bloom filter (plaintext metadata: loaded into the enclave at
+        // open; authenticity of metadata is the enclave's job, §5.3).
+        let bloom = if self.options.bloom_bits_per_key > 0 {
+            BloomFilter::from_keys(&self.user_keys, self.options.bloom_bits_per_key).encode()
+        } else {
+            Vec::new()
+        };
+        let bloom_offset = self.offset;
+        self.write(&bloom.clone());
+        // Index block.
+        let mut index_block = BlockBuilder::new();
+        for (key, off, len) in &self.index {
+            let mut v = Vec::with_capacity(16);
+            put_fixed_u64(&mut v, *off);
+            put_fixed_u64(&mut v, *len);
+            index_block.add(key, &v);
+        }
+        let index_bytes = index_block.finish();
+        let index_offset = self.offset;
+        self.write(&index_bytes.clone());
+        // Props.
+        let mut props = Vec::new();
+        let smallest = self.smallest.clone().expect("non-empty table");
+        let largest = self.largest.clone().expect("non-empty table");
+        put_length_prefixed(&mut props, &smallest);
+        put_length_prefixed(&mut props, &largest);
+        put_fixed_u64(&mut props, self.count);
+        let props_offset = self.offset;
+        self.write(&props.clone());
+        // Footer.
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        put_fixed_u64(&mut footer, bloom_offset);
+        put_fixed_u64(&mut footer, (index_offset - bloom_offset) as u64);
+        put_fixed_u64(&mut footer, index_offset);
+        put_fixed_u64(&mut footer, index_bytes.len() as u64);
+        put_fixed_u64(&mut footer, props_offset);
+        put_fixed_u64(&mut footer, props.len() as u64);
+        debug_assert_eq!(footer.len() + 8, FOOTER_LEN);
+        put_fixed_u64(&mut footer, MAGIC);
+        let footer_bytes = footer.clone();
+        self.write(&footer_bytes);
+        self.flush_pending();
+        TableMeta {
+            file_no: self.file_no,
+            smallest,
+            largest,
+            count: self.count,
+            file_size: self.offset,
+        }
+    }
+}
+
+/// Outcome of a point lookup within one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableGet {
+    /// Newest record for the key (with `ts <= ts_q`) in this table.
+    Hit(Record),
+    /// No record for the key; bounding neighbors within this table, if any.
+    Miss {
+        /// Newest record of the greatest user key `< key`.
+        left: Option<Record>,
+        /// Newest record of the smallest user key `> key`.
+        right: Option<Record>,
+    },
+}
+
+/// Reads an SSTable, keeping its metadata (index + Bloom filter) in enclave
+/// memory when the environment runs in enclave mode.
+#[derive(Debug)]
+pub struct TableReader {
+    env: Arc<StorageEnv>,
+    file: Arc<SimFile>,
+    mmap: Option<Arc<MmapFile>>,
+    meta: TableMeta,
+    index: Vec<(Vec<u8>, u64, u64)>,
+    bloom: Option<BloomFilter>,
+    bloom_region: Option<crate::env::MetaSlice>,
+    index_region: Option<crate::env::MetaSlice>,
+}
+
+impl TableReader {
+    /// Opens a table file, loading footer, props, index and filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] when the file is truncated or corrupt.
+    pub fn open(env: Arc<StorageEnv>, file: Arc<SimFile>, file_no: u64) -> Result<Self, FsError> {
+        let file_len = file.len();
+        let corrupt = || FsError::OutOfBounds {
+            name: file.name(),
+            requested_end: file_len,
+            len: file_len,
+        };
+        if file_len < FOOTER_LEN {
+            return Err(corrupt());
+        }
+        // Footer and metadata are read once at open (sequential IO).
+        let footer = env.host_call(|| file.read_at(file_len - FOOTER_LEN, FOOTER_LEN))?;
+        if get_fixed_u64(&footer, 48) != Some(MAGIC) {
+            return Err(corrupt());
+        }
+        let bloom_offset = get_fixed_u64(&footer, 0).ok_or_else(corrupt)? as usize;
+        let bloom_len = get_fixed_u64(&footer, 8).ok_or_else(corrupt)? as usize;
+        let index_offset = get_fixed_u64(&footer, 16).ok_or_else(corrupt)? as usize;
+        let index_len = get_fixed_u64(&footer, 24).ok_or_else(corrupt)? as usize;
+        let props_offset = get_fixed_u64(&footer, 32).ok_or_else(corrupt)? as usize;
+        let props_len = get_fixed_u64(&footer, 40).ok_or_else(corrupt)? as usize;
+
+        let props = env.host_call(|| file.read_at(props_offset, props_len))?;
+        let (smallest, n) = get_length_prefixed(&props).ok_or_else(corrupt)?;
+        let (largest, m) = get_length_prefixed(&props[n..]).ok_or_else(corrupt)?;
+        let count = get_fixed_u64(&props, n + m).ok_or_else(corrupt)?;
+        let meta = TableMeta {
+            file_no,
+            smallest: Bytes::copy_from_slice(smallest),
+            largest: Bytes::copy_from_slice(largest),
+            count,
+            file_size: file_len as u64,
+        };
+
+        let index_bytes = env.host_call(|| file.read_at(index_offset, index_len))?;
+        let index_block = Block::parse(index_bytes).ok_or_else(corrupt)?;
+        let mut index = Vec::new();
+        for (key, value) in index_block.iter() {
+            let off = get_fixed_u64(&value, 0).ok_or_else(corrupt)?;
+            let len = get_fixed_u64(&value, 8).ok_or_else(corrupt)?;
+            index.push((key, off, len));
+        }
+
+        let bloom = if bloom_len > 0 {
+            let bloom_bytes = env.host_call(|| file.read_at(bloom_offset, bloom_len))?;
+            BloomFilter::decode(&bloom_bytes)
+        } else {
+            None
+        };
+
+        // Metadata moves into the enclave: one boundary copy at open, then
+        // enclave-resident regions that are touched on every probe.
+        let bloom_region = bloom.as_ref().and_then(|b| {
+            if env.config().in_enclave {
+                env.platform().cross_copy(b.byte_len());
+            }
+            env.metadata_region(b.byte_len())
+        });
+        let index_bytes_total: usize = index.iter().map(|(k, _, _)| k.len() + 16).sum();
+        let index_region = if env.config().in_enclave {
+            env.platform().cross_copy(index_bytes_total);
+            env.metadata_region(index_bytes_total.max(1))
+        } else {
+            None
+        };
+
+        let mmap = env.config().use_mmap.then(|| MmapFile::map(file.clone()));
+
+        Ok(TableReader { env, file, mmap, meta, index, bloom, bloom_region, index_region })
+    }
+
+    /// Table summary.
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// Releases enclave metadata (call when the table is replaced by a
+    /// compaction). Arena slices are bump-allocated, so this only exists
+    /// to mirror the real resource lifecycle; residency fades by eviction.
+    pub fn close(&self) {}
+
+    fn read_block(&self, block_idx: usize) -> Result<Block, FsError> {
+        let (_, off, len) = self.index[block_idx];
+        let stored =
+            self.env
+                .read_block(self.meta.file_no, &self.file, self.mmap.as_ref(), off as usize, len as usize)?;
+        Block::parse(stored).ok_or(FsError::OutOfBounds {
+            name: self.file.name(),
+            requested_end: (off + len) as usize,
+            len: self.file.len(),
+        })
+    }
+
+    /// Index of the first block whose last key is `>= target`, or `None`
+    /// past the end.
+    fn block_for(&self, target: &[u8]) -> Option<usize> {
+        let idx = self.index.partition_point(|(last, _, _)| {
+            crate::record::internal_cmp(last.as_slice(), target) == std::cmp::Ordering::Less
+        });
+        (idx < self.index.len()).then_some(idx)
+    }
+
+    fn charge_index_probe(&self) {
+        // Binary search over the index: ~log2(n) probes. The upper probes
+        // share pages (the search tree's hot top); we model the batch as
+        // one root-page touch plus one data-dependent touch, which keeps
+        // the page-granularity pressure faithful to the unscaled system
+        // (see DESIGN.md §4.1) while still faulting under EPC pollution.
+        let probes = (self.index.len().max(2)).ilog2() as usize + 1;
+        let total: usize = self.index.iter().map(|(k, _, _)| k.len() + 16).sum();
+        let off = (self.index.len() / 2) * 32 % total.max(1);
+        self.env
+            .touch_metadata(self.index_region.as_ref(), [(0, 32usize), (off, probes * 32)]);
+    }
+
+    fn charge_bloom_probe(&self, offsets: &[usize]) {
+        // Same page-granularity argument: the k probed bits are charged as
+        // one batch anchored at the first probed offset.
+        let anchor = offsets.first().copied().unwrap_or(0);
+        self.env
+            .touch_metadata(self.bloom_region.as_ref(), [(anchor, offsets.len().max(1))]);
+    }
+
+    /// Point lookup: newest record for `key` with `ts <= ts_q`, or the
+    /// bounding neighbors if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO/corruption errors.
+    pub fn get(&self, key: &[u8], ts_q: Timestamp) -> Result<TableGet, FsError> {
+        if let Some(bloom) = &self.bloom {
+            let (maybe, offsets) = bloom.probe(key);
+            self.charge_bloom_probe(&offsets);
+            if !maybe {
+                // Definitely absent: neighbors are still needed by eLSM for
+                // non-membership proofs, so fall through only when the
+                // caller asks; the cheap common case returns no neighbors.
+                return self.miss_with_neighbors(key, ts_q);
+            }
+        }
+        self.charge_index_probe();
+        let seek = InternalKey::new(key, ts_q, ValueKind::Put);
+        let Some(block_idx) = self.block_for(seek.encoded()) else {
+            return self.miss_with_neighbors(key, ts_q);
+        };
+        let block = self.read_block(block_idx)?;
+        if let Some((ik_bytes, value)) = block.seek(seek.encoded()).next() {
+            if let Some(ik) = InternalKey::from_encoded(&ik_bytes) {
+                if ik.user_key() == key {
+                    return Ok(TableGet::Hit(record_from(ik, value)));
+                }
+            }
+        }
+        self.miss_with_neighbors(key, ts_q)
+    }
+
+    /// Builds the miss outcome with the newest records of the neighboring
+    /// user keys.
+    fn miss_with_neighbors(&self, key: &[u8], ts_q: Timestamp) -> Result<TableGet, FsError> {
+        Ok(TableGet::Miss {
+            left: self.newest_before(key, ts_q)?,
+            right: self.newest_after(key, ts_q)?,
+        })
+    }
+
+    /// Newest record of the greatest user key strictly `< key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn newest_before(&self, key: &[u8], ts_q: Timestamp) -> Result<Option<Record>, FsError> {
+        if key <= &self.meta.smallest[..] {
+            return Ok(None);
+        }
+        let seek = InternalKey::seek_to(key);
+        let start = self.block_for(seek.encoded()).unwrap_or(self.index.len() - 1);
+        // Scan the candidate block (and earlier ones if needed) for the last
+        // record with user key < key.
+        let mut block_idx = start;
+        loop {
+            let block = self.read_block(block_idx)?;
+            let mut best: Option<Record> = None;
+            for (ik_bytes, value) in block.iter() {
+                let Some(ik) = InternalKey::from_encoded(&ik_bytes) else { continue };
+                if ik.user_key() >= key {
+                    break;
+                }
+                match &best {
+                    Some(b) if b.key == ik.user_key() => {
+                        // Keep the newest visible version of this key.
+                        if ik.ts() <= ts_q && b.ts < ik.ts() {
+                            best = Some(record_from(ik, value));
+                        }
+                    }
+                    _ => {
+                        if ik.ts() <= ts_q {
+                            best = Some(record_from(ik, value));
+                        } else {
+                            // Version too new for the snapshot; remember key
+                            // by falling through to older versions later in
+                            // the block (they sort after).
+                        }
+                    }
+                }
+            }
+            if let Some(b) = best {
+                return Ok(Some(b));
+            }
+            if block_idx == 0 {
+                return Ok(None);
+            }
+            block_idx -= 1;
+        }
+    }
+
+    /// Newest record of the smallest user key strictly `> key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn newest_after(&self, key: &[u8], ts_q: Timestamp) -> Result<Option<Record>, FsError> {
+        if key >= &self.meta.largest[..] {
+            return Ok(None);
+        }
+        // Seek past all versions of `key`: the successor of (key, ts=0).
+        let after = InternalKey::new(key, 0, ValueKind::Delete);
+        let mut block_idx = match self.block_for(after.encoded()) {
+            Some(i) => i,
+            None => return Ok(None),
+        };
+        loop {
+            let block = self.read_block(block_idx)?;
+            let mut iter = block.seek(after.encoded());
+            for (ik_bytes, value) in iter.by_ref() {
+                let Some(ik) = InternalKey::from_encoded(&ik_bytes) else { continue };
+                if ik.user_key() <= key {
+                    continue;
+                }
+                if ik.ts() <= ts_q {
+                    return Ok(Some(record_from(ik, value)));
+                }
+                // Newer than snapshot: older versions of the same key follow.
+            }
+            block_idx += 1;
+            if block_idx >= self.index.len() {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Iterates every record in order.
+    pub fn iter(&self) -> TableIter<'_> {
+        TableIter { reader: self, block_idx: 0, entries: Vec::new(), pos: 0 }
+    }
+
+    /// All records with user key in `[from, to]` (inclusive), every version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn range(&self, from: &[u8], to: &[u8]) -> Result<Vec<Record>, FsError> {
+        let seek = InternalKey::seek_to(from);
+        let Some(mut block_idx) = self.block_for(seek.encoded()) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        'outer: while block_idx < self.index.len() {
+            let block = self.read_block(block_idx)?;
+            for (ik_bytes, value) in block.seek(seek.encoded()) {
+                let Some(ik) = InternalKey::from_encoded(&ik_bytes) else { continue };
+                if ik.user_key() > to {
+                    break 'outer;
+                }
+                if ik.user_key() >= from {
+                    out.push(record_from(ik, value));
+                }
+            }
+            block_idx += 1;
+        }
+        Ok(out)
+    }
+
+    /// The first record in the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn first_record(&self) -> Result<Record, FsError> {
+        let block = self.read_block(0)?;
+        let (ik_bytes, value) = block.iter().next().expect("non-empty table");
+        let ik = InternalKey::from_encoded(&ik_bytes).expect("valid key");
+        Ok(record_from(ik, value))
+    }
+
+    /// The newest record of the largest user key in the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn last_key_newest(&self) -> Result<Record, FsError> {
+        let largest = self.meta.largest.clone();
+        match self.get(&largest, Timestamp::MAX >> 1)? {
+            TableGet::Hit(r) => Ok(r),
+            TableGet::Miss { .. } => unreachable!("largest key must be present"),
+        }
+    }
+}
+
+fn record_from(ik: InternalKey, value: Bytes) -> Record {
+    Record {
+        key: Bytes::copy_from_slice(ik.user_key()),
+        ts: ik.ts(),
+        kind: ik.kind(),
+        value,
+    }
+}
+
+/// Sequential iterator over all records of a table.
+#[derive(Debug)]
+pub struct TableIter<'a> {
+    reader: &'a TableReader,
+    block_idx: usize,
+    entries: Vec<(Vec<u8>, Bytes)>,
+    pos: usize,
+}
+
+impl<'a> Iterator for TableIter<'a> {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos < self.entries.len() {
+                let (ik_bytes, value) = &self.entries[self.pos];
+                self.pos += 1;
+                let ik = InternalKey::from_encoded(ik_bytes)?;
+                return Some(record_from(ik, value.clone()));
+            }
+            if self.block_idx >= self.reader.index.len() {
+                return None;
+            }
+            let block = self.reader.read_block(self.block_idx).ok()?;
+            self.entries = block.iter().collect();
+            self.pos = 0;
+            self.block_idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvConfig;
+    use sgx_sim::{CostModel, Platform};
+    use sim_disk::{SimDisk, SimFs};
+
+    fn test_env(config: EnvConfig) -> (Arc<StorageEnv>, Arc<SimFs>) {
+        let platform = Platform::new(CostModel::paper_defaults());
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        let sealer = sgx_sim::Sealer::new(elsm_crypto::sha256(b"t"), b"m");
+        (StorageEnv::new(platform, fs.clone(), config, Some(sealer)), fs)
+    }
+
+    fn build_table(env: &Arc<StorageEnv>, fs: &Arc<SimFs>, records: &[Record]) -> TableReader {
+        let file = fs.create("1.sst").unwrap();
+        let mut b = TableBuilder::new(env.clone(), file.clone(), 1, TableOptions::default());
+        for r in records {
+            b.add(r);
+        }
+        let meta = b.finish();
+        assert_eq!(meta.count, records.len() as u64);
+        TableReader::open(env.clone(), file, 1).unwrap()
+    }
+
+    fn sample_records() -> Vec<Record> {
+        // Keys k0000..k0199, two versions for every 10th key.
+        let mut recs = Vec::new();
+        let mut ts = 1000u64;
+        for i in 0..200 {
+            let key = format!("k{i:04}");
+            if i % 10 == 0 {
+                recs.push(Record::put(key.clone().into_bytes(), format!("new{i}").into_bytes(), ts));
+                recs.push(Record::put(key.into_bytes(), format!("old{i}").into_bytes(), ts - 500));
+            } else {
+                recs.push(Record::put(key.into_bytes(), format!("v{i}").into_bytes(), ts));
+            }
+            ts += 1;
+        }
+        recs
+    }
+
+    #[test]
+    fn build_and_get_every_key() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let reader = build_table(&env, &fs, &sample_records());
+        for i in 0..200 {
+            let key = format!("k{i:04}");
+            match reader.get(key.as_bytes(), u64::MAX >> 1).unwrap() {
+                TableGet::Hit(r) => {
+                    assert_eq!(&r.key[..], key.as_bytes());
+                    if i % 10 == 0 {
+                        assert_eq!(&r.value[..], format!("new{i}").as_bytes(), "newest wins");
+                    }
+                }
+                TableGet::Miss { .. } => panic!("missing {key}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_get_sees_old_version() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let reader = build_table(&env, &fs, &sample_records());
+        // k0000 has versions at ts=1000 (new) and ts=500 (old).
+        match reader.get(b"k0000", 999).unwrap() {
+            TableGet::Hit(r) => assert_eq!(&r.value[..], b"old0"),
+            _ => panic!("expected old version"),
+        }
+    }
+
+    #[test]
+    fn miss_returns_bounding_neighbors() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let recs = vec![
+            Record::put(b"b".as_slice(), b"1".as_slice(), 1),
+            Record::put(b"d".as_slice(), b"2".as_slice(), 2),
+            Record::put(b"f".as_slice(), b"3".as_slice(), 3),
+        ];
+        let reader = build_table(&env, &fs, &recs);
+        match reader.get(b"c", u64::MAX >> 1).unwrap() {
+            TableGet::Miss { left, right } => {
+                assert_eq!(&left.unwrap().key[..], b"b");
+                assert_eq!(&right.unwrap().key[..], b"d");
+            }
+            _ => panic!("expected miss"),
+        }
+        match reader.get(b"a", u64::MAX >> 1).unwrap() {
+            TableGet::Miss { left, right } => {
+                assert!(left.is_none());
+                assert_eq!(&right.unwrap().key[..], b"b");
+            }
+            _ => panic!("expected miss"),
+        }
+        match reader.get(b"z", u64::MAX >> 1).unwrap() {
+            TableGet::Miss { left, right } => {
+                assert_eq!(&left.unwrap().key[..], b"f");
+                assert!(right.is_none());
+            }
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn neighbors_return_newest_version() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let recs = vec![
+            Record::put(b"b".as_slice(), b"new".as_slice(), 10),
+            Record::put(b"b".as_slice(), b"old".as_slice(), 1),
+            Record::put(b"d".as_slice(), b"x".as_slice(), 5),
+        ];
+        let reader = build_table(&env, &fs, &recs);
+        match reader.get(b"c", u64::MAX >> 1).unwrap() {
+            TableGet::Miss { left, .. } => {
+                let l = left.unwrap();
+                assert_eq!((&l.key[..], l.ts), (b"b".as_slice(), 10));
+            }
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn iter_returns_all_in_order() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let recs = sample_records();
+        let reader = build_table(&env, &fs, &recs);
+        let got: Vec<Record> = reader.iter().collect();
+        assert_eq!(got.len(), recs.len());
+        for w in got.windows(2) {
+            assert!(
+                w[0].internal_key().encoded() < w[1].internal_key().encoded(),
+                "iterator must be sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive_and_complete() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let reader = build_table(&env, &fs, &sample_records());
+        let got = reader.range(b"k0010", b"k0020").unwrap();
+        let keys: Vec<String> =
+            got.iter().map(|r| String::from_utf8_lossy(&r.key).into_owned()).collect();
+        assert!(keys.contains(&"k0010".to_string()));
+        assert!(keys.contains(&"k0020".to_string()));
+        assert!(!keys.contains(&"k0021".to_string()));
+        // k0010 and k0020 have 2 versions each: 11 keys + 2 extra versions.
+        assert_eq!(got.len(), 13);
+    }
+
+    #[test]
+    fn sealed_tables_round_trip() {
+        let (env, fs) = test_env(EnvConfig {
+            sealed_files: true,
+            block_cache_bytes: 0,
+            ..EnvConfig::default()
+        });
+        let reader = build_table(&env, &fs, &sample_records());
+        match reader.get(b"k0042", u64::MAX >> 1).unwrap() {
+            TableGet::Hit(r) => assert_eq!(&r.value[..], b"v42"),
+            _ => panic!("sealed table must still serve reads"),
+        }
+    }
+
+    #[test]
+    fn mmap_tables_round_trip() {
+        let (env, fs) = test_env(EnvConfig {
+            use_mmap: true,
+            block_cache_bytes: 0,
+            ..EnvConfig::default()
+        });
+        let reader = build_table(&env, &fs, &sample_records());
+        let ocalls_before = env.platform().stats().ocalls;
+        match reader.get(b"k0042", u64::MAX >> 1).unwrap() {
+            TableGet::Hit(r) => assert_eq!(&r.value[..], b"v42"),
+            _ => panic!("mmap table must serve reads"),
+        }
+        assert_eq!(env.platform().stats().ocalls, ocalls_before, "mmap read has no OCall");
+    }
+
+    #[test]
+    fn bloom_probe_charges_metadata_touches() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let reader = build_table(&env, &fs, &sample_records());
+        let before = env.platform().stats().enclave_copy_bytes;
+        let _ = reader.get(b"absent-key", u64::MAX >> 1).unwrap();
+        assert!(env.platform().stats().enclave_copy_bytes > before, "probe must touch enclave metadata");
+    }
+
+    #[test]
+    fn corrupt_footer_rejected() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let file = fs.create("bad.sst").unwrap();
+        file.append(&vec![0u8; 100]);
+        assert!(TableReader::open(env, file, 9).is_err());
+    }
+
+    #[test]
+    fn meta_tracks_bounds() {
+        let (env, fs) = test_env(EnvConfig::default());
+        let reader = build_table(&env, &fs, &sample_records());
+        assert_eq!(&reader.meta().smallest[..], b"k0000");
+        assert_eq!(&reader.meta().largest[..], b"k0199");
+        assert_eq!(reader.meta().count, 220);
+    }
+}

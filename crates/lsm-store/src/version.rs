@@ -1,0 +1,242 @@
+//! Levels and sorted runs.
+//!
+//! Following the paper's model (§2, §5.3), each level `L1..Lq` holds one
+//! sorted run, physically stored as one or more non-overlapping SSTable
+//! files (Figure 3b shows a level spanning two files). `COMPACTION(Li,
+//! Li+1)` merges two whole adjacent levels — the "most basic form" the
+//! paper's protocol and Lemma 5.4 are stated for.
+//!
+//! A [`Run`] answers point lookups with *bounding neighbors* on a miss:
+//! the newest records of the adjacent user keys. eLSM turns those neighbors
+//! into non-membership proofs (§5.5.1: "instead of returning null …
+//! eLSM-P2 returns the two neighboring records").
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use sim_disk::FsError;
+
+use crate::record::{Record, Timestamp};
+use crate::sstable::{TableGet, TableReader};
+
+/// One sorted run: non-overlapping tables in ascending key order.
+#[derive(Debug)]
+pub struct Run {
+    tables: Vec<Arc<TableReader>>,
+}
+
+impl Run {
+    /// Builds a run from tables sorted by key range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tables overlap or are out of order (a corrupt manifest).
+    pub fn new(tables: Vec<Arc<TableReader>>) -> Self {
+        for w in tables.windows(2) {
+            assert!(
+                w[0].meta().largest < w[1].meta().smallest,
+                "run tables must be disjoint and sorted"
+            );
+        }
+        Run { tables }
+    }
+
+    /// The tables of this run, in key order.
+    pub fn tables(&self) -> &[Arc<TableReader>] {
+        &self.tables
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.meta().file_size).sum()
+    }
+
+    /// Total record count.
+    pub fn total_records(&self) -> u64 {
+        self.tables.iter().map(|t| t.meta().count).sum()
+    }
+
+    /// Whether the run holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Smallest user key of the run.
+    pub fn smallest(&self) -> Option<Bytes> {
+        self.tables.first().map(|t| t.meta().smallest.clone())
+    }
+
+    /// Largest user key of the run.
+    pub fn largest(&self) -> Option<Bytes> {
+        self.tables.last().map(|t| t.meta().largest.clone())
+    }
+
+    /// Index of the table whose range covers `key`, if any.
+    fn covering_table(&self, key: &[u8]) -> Option<usize> {
+        let idx = self.tables.partition_point(|t| &t.meta().largest[..] < key);
+        (idx < self.tables.len() && &self.tables[idx].meta().smallest[..] <= key).then_some(idx)
+    }
+
+    /// Newest record of the greatest user key strictly below `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn neighbor_below(&self, key: &[u8], ts_q: Timestamp) -> Result<Option<Record>, FsError> {
+        // Last table whose smallest key is < key.
+        let idx = self.tables.partition_point(|t| &t.meta().smallest[..] < key);
+        let mut i = match idx.checked_sub(1) {
+            Some(i) => i,
+            None => return Ok(None),
+        };
+        loop {
+            if let Some(r) = self.tables[i].newest_before(key, ts_q)? {
+                return Ok(Some(r));
+            }
+            match i.checked_sub(1) {
+                Some(prev) => i = prev,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Newest record of the smallest user key strictly above `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn neighbor_above(&self, key: &[u8], ts_q: Timestamp) -> Result<Option<Record>, FsError> {
+        // First table that might contain a key above: largest >= key.
+        let mut idx = self.tables.partition_point(|t| &t.meta().largest[..] <= key);
+        while idx < self.tables.len() {
+            if let Some(r) = self.tables[idx].newest_after(key, ts_q)? {
+                return Ok(Some(r));
+            }
+            idx += 1;
+        }
+        Ok(None)
+    }
+
+    /// Point lookup across the run with cross-file neighbor resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn get(&self, key: &[u8], ts_q: Timestamp) -> Result<TableGet, FsError> {
+        match self.covering_table(key) {
+            Some(idx) => match self.tables[idx].get(key, ts_q)? {
+                TableGet::Hit(r) => Ok(TableGet::Hit(r)),
+                TableGet::Miss { left, right } => {
+                    let left = match left {
+                        Some(l) => Some(l),
+                        None => self.neighbor_below(key, ts_q)?,
+                    };
+                    let right = match right {
+                        Some(r) => Some(r),
+                        None => self.neighbor_above(key, ts_q)?,
+                    };
+                    Ok(TableGet::Miss { left, right })
+                }
+            },
+            None => Ok(TableGet::Miss {
+                left: self.neighbor_below(key, ts_q)?,
+                right: self.neighbor_above(key, ts_q)?,
+            }),
+        }
+    }
+
+    /// All records (every version) with user key in `[from, to]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn range(&self, from: &[u8], to: &[u8]) -> Result<Vec<Record>, FsError> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            if &t.meta().largest[..] < from || &t.meta().smallest[..] > to {
+                continue;
+            }
+            out.extend(t.range(from, to)?);
+        }
+        Ok(out)
+    }
+
+    /// Iterates every record of the run in key order.
+    pub fn iter_records(&self) -> impl Iterator<Item = Record> + '_ {
+        self.tables.iter().flat_map(|t| t.iter())
+    }
+
+    /// Releases enclave metadata held by the run's tables.
+    pub fn close(&self) {
+        for t in &self.tables {
+            t.close();
+        }
+    }
+}
+
+/// Outcome of searching one level during a traced GET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LevelOutcome {
+    /// The level holds a record for the key (possibly a tombstone).
+    Hit(Record),
+    /// The level has no record for the key; bounding neighbors returned.
+    Miss {
+        /// Newest record of the greatest smaller user key.
+        left: Option<Record>,
+        /// Newest record of the smallest larger user key.
+        right: Option<Record>,
+    },
+    /// The level currently holds no run at all.
+    Empty,
+}
+
+/// One level's result within a [`GetTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSearch {
+    /// Level number (1-based; 0 is the in-enclave memtable).
+    pub level: usize,
+    /// What the search found.
+    pub outcome: LevelOutcome,
+}
+
+/// Full account of a point query: which levels were searched and what each
+/// returned. This is the interface eLSM's middleware consumes to build
+/// query proofs without modifying the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetTrace {
+    /// Record found in the memtable (trusted memory), if any.
+    pub memtable: Option<Record>,
+    /// Per-level outcomes, in search order. Search stops at the first hit
+    /// (the paper's early-stop, §5.3).
+    pub levels: Vec<LevelSearch>,
+    /// The record that answers the query (newest visible), if any;
+    /// tombstones appear here and are interpreted by the caller.
+    pub result: Option<Record>,
+}
+
+/// One level's slice of a traced SCAN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelRange {
+    /// Level number.
+    pub level: usize,
+    /// Whether the level held no run.
+    pub empty: bool,
+    /// All records (every version) in `[from, to]` at this level.
+    pub records: Vec<Record>,
+    /// Newest record of the greatest user key `< from` (completeness edge).
+    pub left: Option<Record>,
+    /// Newest record of the smallest user key `> to`.
+    pub right: Option<Record>,
+}
+
+/// Full account of a range query across memtable and levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanTrace {
+    /// Matching records from the memtable.
+    pub memtable: Vec<Record>,
+    /// Per-level slices, every level included (no early stop for ranges —
+    /// §5.4: "it iterates through all levels").
+    pub levels: Vec<LevelRange>,
+    /// Merged, newest-version-wins, tombstone-filtered result.
+    pub merged: Vec<Record>,
+}

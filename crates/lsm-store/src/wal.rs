@@ -1,0 +1,190 @@
+//! Write-ahead log.
+//!
+//! Every PUT appends a framed record to the WAL before touching the
+//! memtable, so the memtable can be rebuilt after a crash. Framing is
+//! `[len u32][crc32c u32][payload]`; recovery stops at the first corrupt or
+//! truncated frame (standard LevelDB behaviour).
+//!
+//! In eLSM the WAL *storage* lives outside the enclave while the enclave
+//! keeps a running hash of its contents (§5.3, step w1); the hash
+//! maintenance is the `elsm` crate's job via
+//! [`crate::events::StoreListener::on_wal_append`].
+
+use std::sync::Arc;
+
+use sim_disk::{FsError, SimFile};
+
+use crate::encoding::{crc32c, get_fixed_u32, put_fixed_u32};
+use crate::env::StorageEnv;
+use crate::record::Record;
+
+/// Appends framed records to a log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    env: Arc<StorageEnv>,
+    file: Arc<SimFile>,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Wraps an (empty or existing) log file for appending.
+    pub fn new(env: Arc<StorageEnv>, file: Arc<SimFile>) -> Self {
+        WalWriter { env, file, records: 0 }
+    }
+
+    /// Appends one record (charged as an enclave-exit write when the store
+    /// runs in enclave mode — step w3 of the paper's write path).
+    pub fn append(&mut self, record: &Record) {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        put_fixed_u32(&mut frame, payload.len() as u32);
+        put_fixed_u32(&mut frame, crc32c(&payload));
+        frame.extend_from_slice(&payload);
+        self.env.append(&self.file, &frame);
+        self.records += 1;
+    }
+
+    /// Number of records appended through this writer.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The underlying file.
+    pub fn file(&self) -> &Arc<SimFile> {
+        &self.file
+    }
+}
+
+/// Reads back all intact records from a WAL file.
+///
+/// Stops silently at the first corrupt/truncated frame; returns the records
+/// recovered up to that point (crash-recovery semantics).
+///
+/// # Errors
+///
+/// Returns [`FsError`] only for IO-level failures, not for torn frames.
+pub fn recover(env: &StorageEnv, file: &Arc<SimFile>) -> Result<Vec<Record>, FsError> {
+    let len = file.len();
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let data = env.host_call(|| file.read_at(0, len))?;
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= data.len() {
+        let Some(frame_len) = get_fixed_u32(&data, pos) else { break };
+        let Some(crc) = get_fixed_u32(&data, pos + 4) else { break };
+        let start = pos + 8;
+        let end = start + frame_len as usize;
+        if end > data.len() {
+            break; // torn tail write
+        }
+        let payload = &data[start..end];
+        if crc32c(payload) != crc {
+            break; // corruption: stop recovery here
+        }
+        match Record::decode(payload) {
+            Some(r) => out.push(r),
+            None => break,
+        }
+        pos = end;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{EnvConfig, StorageEnv};
+    use sgx_sim::Platform;
+    use sim_disk::{SimDisk, SimFs};
+
+    fn env() -> (Arc<StorageEnv>, Arc<sim_disk::SimFs>) {
+        let platform = Platform::with_defaults();
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        (StorageEnv::new(platform, fs.clone(), EnvConfig::default(), None), fs)
+    }
+
+    fn sample(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::put(format!("key{i:04}").into_bytes(), format!("val{i}").into_bytes(), i as u64 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn write_then_recover_all() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = WalWriter::new(env.clone(), file.clone());
+        let records = sample(50);
+        for r in &records {
+            w.append(r);
+        }
+        assert_eq!(w.records(), 50);
+        let got = recover(&env, &file).unwrap();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn empty_wal_recovers_empty() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        assert!(recover(&env, &file).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = WalWriter::new(env.clone(), file.clone());
+        let records = sample(3);
+        for r in &records {
+            w.append(r);
+        }
+        // Simulate a torn final write: append half a frame.
+        file.append(&[9, 0, 0, 0, 1, 2]);
+        let got = recover(&env, &file).unwrap();
+        assert_eq!(got, records, "intact prefix recovered, torn tail dropped");
+    }
+
+    #[test]
+    fn corrupt_frame_stops_recovery() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = WalWriter::new(env.clone(), file.clone());
+        let records = sample(2);
+        for r in &records {
+            w.append(r);
+        }
+        // Append a frame with a wrong CRC, then a good record after it.
+        let payload = Record::put(b"evil".as_slice(), b"x".as_slice(), 99).encode();
+        let mut frame = Vec::new();
+        put_fixed_u32(&mut frame, payload.len() as u32);
+        put_fixed_u32(&mut frame, 0xdead_beef);
+        frame.extend_from_slice(&payload);
+        file.append(&frame);
+        w.append(&Record::put(b"after".as_slice(), b"y".as_slice(), 100));
+        let got = recover(&env, &file).unwrap();
+        assert_eq!(got, records, "recovery must stop at the corrupt frame");
+    }
+
+    #[test]
+    fn tombstones_survive_recovery() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = WalWriter::new(env.clone(), file.clone());
+        let t = Record::tombstone(b"gone".as_slice(), 7);
+        w.append(&t);
+        assert_eq!(recover(&env, &file).unwrap(), vec![t]);
+    }
+
+    #[test]
+    fn appends_issue_ocalls_in_enclave_mode() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = WalWriter::new(env.clone(), file);
+        let before = env.platform().stats().ocalls;
+        w.append(&Record::put(b"k".as_slice(), b"v".as_slice(), 1));
+        assert_eq!(env.platform().stats().ocalls, before + 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Per-level digests: the eLSM digest structure (§5.2).
+//!
+//! One LSM level digests as a Merkle tree whose leaves are, in key order,
+//! the *chain heads* of each distinct user key (records of the same key
+//! form a temporal hash chain, newest outermost). The
+//! [`LevelDigestBuilder`] consumes the level's records in exactly the
+//! order a compaction emits them — key ascending, timestamp descending —
+//! which is the paper's streaming `MHT_add` construction (Figure 4).
+
+use elsm_crypto::Digest;
+
+use crate::chain::{chain_digest, ChainPosition};
+use crate::proof::{LevelCommitment, RecordProof};
+use crate::range::{prove_range, RangeProof};
+use crate::tree::MerkleTree;
+
+/// Streaming builder for a level digest (the paper's `MHT_add`).
+#[derive(Debug, Default)]
+pub struct LevelDigestBuilder {
+    level: u32,
+    keys: Vec<Vec<u8>>,
+    chains: Vec<Vec<Vec<u8>>>,
+    cur_key: Option<Vec<u8>>,
+    cur_records: Vec<Vec<u8>>,
+}
+
+impl LevelDigestBuilder {
+    /// Starts building the digest of `level`.
+    pub fn new(level: u32) -> Self {
+        LevelDigestBuilder { level, ..Default::default() }
+    }
+
+    /// Adds the next record of the sorted stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys arrive out of ascending order (a correctness bug in
+    /// the feeding compaction, never data-dependent).
+    pub fn add(&mut self, user_key: &[u8], record_bytes: Vec<u8>) {
+        match &self.cur_key {
+            Some(k) if k.as_slice() == user_key => {
+                self.cur_records.push(record_bytes);
+            }
+            Some(k) => {
+                assert!(
+                    k.as_slice() < user_key,
+                    "level records must arrive in ascending key order"
+                );
+                self.seal_current();
+                self.cur_key = Some(user_key.to_vec());
+                self.cur_records.push(record_bytes);
+            }
+            None => {
+                self.cur_key = Some(user_key.to_vec());
+                self.cur_records.push(record_bytes);
+            }
+        }
+    }
+
+    fn seal_current(&mut self) {
+        if let Some(k) = self.cur_key.take() {
+            self.keys.push(k);
+            self.chains.push(std::mem::take(&mut self.cur_records));
+        }
+    }
+
+    /// Number of records added so far.
+    pub fn record_count(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum::<usize>() + self.cur_records.len()
+    }
+
+    /// Finishes the digest.
+    pub fn finish(mut self) -> LevelDigest {
+        self.seal_current();
+        let leaves: Vec<Digest> = self.chains.iter().map(|c| chain_digest(c)).collect();
+        LevelDigest {
+            level: self.level,
+            tree: MerkleTree::from_leaves(leaves),
+            keys: self.keys,
+            chains: self.chains,
+        }
+    }
+}
+
+/// Result of locating a key among a level's leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafLookup {
+    /// The key is leaf `index`.
+    Found {
+        /// Leaf index of the key.
+        index: usize,
+    },
+    /// The key is absent; it would insert before leaf `successor`.
+    Absent {
+        /// Index of the first leaf with a larger key (== leaf count when
+        /// the key is beyond the last leaf).
+        successor: usize,
+    },
+}
+
+/// The digest of one LSM level plus the prover-side material (leaf keys and
+/// chain bytes) the *untrusted* host keeps to answer queries.
+#[derive(Debug, Clone)]
+pub struct LevelDigest {
+    level: u32,
+    tree: MerkleTree,
+    keys: Vec<Vec<u8>>,
+    chains: Vec<Vec<Vec<u8>>>,
+}
+
+impl LevelDigest {
+    /// Builds a digest in one shot from `(key, record_bytes)` pairs in
+    /// compaction order.
+    pub fn from_records<'a>(
+        level: u32,
+        records: impl IntoIterator<Item = (&'a [u8], Vec<u8>)>,
+    ) -> Self {
+        let mut b = LevelDigestBuilder::new(level);
+        for (k, r) in records {
+            b.add(k, r);
+        }
+        b.finish()
+    }
+
+    /// The commitment the enclave stores for this level.
+    pub fn commitment(&self) -> LevelCommitment {
+        LevelCommitment {
+            level: self.level,
+            root: self.tree.root(),
+            leaf_count: self.tree.leaf_count() as u64,
+        }
+    }
+
+    /// Level number.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of distinct keys (leaves).
+    pub fn leaf_count(&self) -> usize {
+        self.tree.leaf_count()
+    }
+
+    /// Leaf keys in order.
+    pub fn keys(&self) -> &[Vec<u8>] {
+        &self.keys
+    }
+
+    /// Locates `key` among the leaves.
+    pub fn lookup(&self, key: &[u8]) -> LeafLookup {
+        match self.keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+            Ok(index) => LeafLookup::Found { index },
+            Err(successor) => LeafLookup::Absent { successor },
+        }
+    }
+
+    /// Proof for the version at `version_idx` (0 = newest) of leaf
+    /// `leaf_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn prove_version(&self, leaf_idx: usize, version_idx: usize) -> RecordProof {
+        let chain = &self.chains[leaf_idx];
+        assert!(version_idx < chain.len(), "version index out of range");
+        let older_digest = chain_digest(&chain[version_idx + 1..]);
+        let position = if version_idx == 0 {
+            ChainPosition::Newest { older_digest }
+        } else {
+            ChainPosition::Older {
+                newer_records: chain[..version_idx].to_vec(),
+                older_digest,
+            }
+        };
+        RecordProof {
+            level: self.level,
+            leaf_index: leaf_idx as u64,
+            leaf_count: self.tree.leaf_count() as u64,
+            chain: position,
+            audit_path: self.tree.audit_path(leaf_idx),
+        }
+    }
+
+    /// Proof for the newest version of leaf `leaf_idx` — the common case
+    /// embedded in records.
+    pub fn prove_newest(&self, leaf_idx: usize) -> RecordProof {
+        self.prove_version(leaf_idx, 0)
+    }
+
+    /// Range proof covering leaves `lo..=hi` (§5.4 segment-tree view).
+    pub fn prove_leaf_range(&self, lo: usize, hi: usize) -> RangeProof {
+        prove_range(&self.tree, lo, hi)
+    }
+
+    /// The leaf digests (chain heads), for range verification.
+    pub fn leaf_digests(&self) -> &[Digest] {
+        self.tree.leaves()
+    }
+
+    /// All versions' bytes of leaf `leaf_idx`, newest first.
+    pub fn chain_records(&self, leaf_idx: usize) -> &[Vec<u8>] {
+        &self.chains[leaf_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::verify_range;
+
+    /// The paper's Figure 3 example: level L2 = [⟨T,4⟩, ⟨Z,7⟩, ⟨Z,6⟩],
+    /// level L3 = [⟨A,2⟩, ⟨T,0⟩, ⟨Y,3⟩, ⟨Z,1⟩].
+    fn level2() -> LevelDigest {
+        LevelDigest::from_records(
+            2,
+            vec![
+                (b"T".as_slice(), b"T,4".to_vec()),
+                (b"Z".as_slice(), b"Z,7".to_vec()),
+                (b"Z".as_slice(), b"Z,6".to_vec()),
+            ],
+        )
+    }
+
+    fn level3() -> LevelDigest {
+        LevelDigest::from_records(
+            3,
+            vec![
+                (b"A".as_slice(), b"A,2".to_vec()),
+                (b"T".as_slice(), b"T,0".to_vec()),
+                (b"Y".as_slice(), b"Y,3".to_vec()),
+                (b"Z".as_slice(), b"Z,1".to_vec()),
+            ],
+        )
+    }
+
+    #[test]
+    fn leaf_count_is_distinct_keys() {
+        assert_eq!(level2().leaf_count(), 2, "T and Z chains");
+        assert_eq!(level3().leaf_count(), 4);
+    }
+
+    #[test]
+    fn newest_version_proof_verifies() {
+        let l2 = level2();
+        let c = l2.commitment();
+        let LeafLookup::Found { index } = l2.lookup(b"Z") else { panic!("Z present") };
+        let proof = l2.prove_newest(index);
+        assert_eq!(proof.verify(&c, b"Z,7"), Ok(()));
+    }
+
+    #[test]
+    fn stale_version_cannot_claim_newest() {
+        let l2 = level2();
+        let c = l2.commitment();
+        let LeafLookup::Found { index } = l2.lookup(b"Z") else { panic!() };
+        // The only verifying proof for Z,6 exposes Z,7's bytes.
+        let honest = l2.prove_version(index, 1);
+        assert_eq!(honest.verify(&c, b"Z,6"), Ok(()));
+        assert_eq!(honest.chain.exposed_newer(), &[b"Z,7".to_vec()]);
+        // A "Newest" claim for Z,6 fails.
+        let lying = RecordProof {
+            chain: ChainPosition::Newest { older_digest: Digest::ZERO },
+            ..honest.clone()
+        };
+        assert!(lying.verify(&c, b"Z,6").is_err());
+    }
+
+    #[test]
+    fn lookup_absent_gives_successor() {
+        let l3 = level3();
+        assert_eq!(l3.lookup(b"B"), LeafLookup::Absent { successor: 1 });
+        assert_eq!(l3.lookup(b"0"), LeafLookup::Absent { successor: 0 });
+        assert_eq!(l3.lookup(b"z"), LeafLookup::Absent { successor: 4 });
+        assert_eq!(l3.lookup(b"T"), LeafLookup::Found { index: 1 });
+    }
+
+    #[test]
+    fn adjacent_leaf_proofs_support_non_membership() {
+        // Non-membership of "B" at L3: neighbors A (leaf 0) and T (leaf 1).
+        let l3 = level3();
+        let c = l3.commitment();
+        let pa = l3.prove_newest(0);
+        let pt = l3.prove_newest(1);
+        assert_eq!(pa.verify(&c, b"A,2"), Ok(()));
+        assert_eq!(pt.verify(&c, b"T,0"), Ok(()));
+        assert_eq!(pa.leaf_index + 1, pt.leaf_index, "adjacency check");
+    }
+
+    #[test]
+    fn range_proof_over_level_verifies() {
+        // SCAN([S,U]) against L3 covers leaf T (the paper's §5.4 example
+        // plus boundaries).
+        let l3 = level3();
+        let c = l3.commitment();
+        let proof = l3.prove_leaf_range(1, 2); // T..Y
+        let leaves = &l3.leaf_digests()[1..=2];
+        assert!(verify_range(c.root, c.leaf_count as usize, 1, leaves, &proof));
+    }
+
+    #[test]
+    fn builder_rejects_unsorted_keys() {
+        let mut b = LevelDigestBuilder::new(1);
+        b.add(b"b", b"1".to_vec());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.add(b"a", b"2".to_vec());
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_level_commitment() {
+        let d = LevelDigestBuilder::new(5).finish();
+        let c = d.commitment();
+        assert!(c.is_empty());
+        assert_eq!(c.root, Digest::ZERO);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let records = vec![
+            (b"a".as_slice(), b"a9".to_vec()),
+            (b"a".as_slice(), b"a3".to_vec()),
+            (b"b".as_slice(), b"b1".to_vec()),
+            (b"c".as_slice(), b"c7".to_vec()),
+            (b"c".as_slice(), b"c5".to_vec()),
+            (b"c".as_slice(), b"c2".to_vec()),
+        ];
+        let one_shot = LevelDigest::from_records(1, records.clone());
+        let mut b = LevelDigestBuilder::new(1);
+        for (k, r) in records {
+            b.add(k, r);
+        }
+        let streamed = b.finish();
+        assert_eq!(one_shot.commitment(), streamed.commitment());
+    }
+
+    #[test]
+    fn different_levels_different_commitments() {
+        let a = LevelDigest::from_records(1, vec![(b"k".as_slice(), b"v".to_vec())]);
+        let b = LevelDigest::from_records(2, vec![(b"k".as_slice(), b"v".to_vec())]);
+        assert_eq!(a.commitment().root, b.commitment().root);
+        assert_ne!(a.commitment().digest(), b.commitment().digest());
+    }
+}

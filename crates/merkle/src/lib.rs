@@ -1,0 +1,47 @@
+//! # merkle
+//!
+//! Authenticated data structures for the eLSM reproduction:
+//!
+//! * [`tree`] — RFC 6962-style Merkle hash trees with audit paths,
+//! * [`chain`] — temporal hash chains over record versions (§5.2),
+//! * [`level`] — per-LSM-level digests: chains at the leaves of a tree,
+//!   built streaming in compaction order (Figure 4's `MHT_add`),
+//! * [`proof`] — embedded record proofs and the per-level commitments the
+//!   enclave stores,
+//! * [`range`] — segment-tree range proofs for query completeness (§5.4),
+//! * [`mbt`] — the conventional update-in-place Merkle B-tree baseline
+//!   (§3.4).
+//!
+//! # Examples
+//!
+//! ```
+//! use merkle::level::{LeafLookup, LevelDigest};
+//!
+//! // Digest the paper's level L2 = [⟨T,4⟩, ⟨Z,7⟩, ⟨Z,6⟩]:
+//! let l2 = LevelDigest::from_records(2, vec![
+//!     (b"T".as_slice(), b"T,4".to_vec()),
+//!     (b"Z".as_slice(), b"Z,7".to_vec()),
+//!     (b"Z".as_slice(), b"Z,6".to_vec()),
+//! ]);
+//! let commitment = l2.commitment(); // lives in the enclave
+//! let LeafLookup::Found { index } = l2.lookup(b"Z") else { panic!() };
+//! let proof = l2.prove_newest(index); // embedded in the record
+//! assert!(proof.verify(&commitment, b"Z,7").is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod level;
+pub mod mbt;
+pub mod proof;
+pub mod range;
+pub mod tree;
+
+pub use chain::{chain_digest, chain_link, ChainPosition};
+pub use level::{LeafLookup, LevelDigest, LevelDigestBuilder};
+pub use mbt::{MerkleBTree, UpdateStats};
+pub use proof::{LevelCommitment, RecordProof, VerifyError};
+pub use range::{prove_range, verify_range, RangeProof};
+pub use tree::{leaf_hash, node_hash, MerkleTree};

@@ -1,0 +1,196 @@
+//! Range (completeness) proofs over a Merkle tree (§5.4).
+//!
+//! The paper views the per-level Merkle tree as a segment tree: a queried
+//! key range maps to a contiguous run of leaves `[lo, hi]`, and the proof
+//! consists of the sibling hashes bounding that run — `O(log n)` hashes
+//! regardless of the range width. The verifier reconstructs the root from
+//! the in-range leaf hashes (computed from the returned records) plus the
+//! boundary hashes, which proves no leaf inside the range was withheld.
+
+use elsm_crypto::Digest;
+
+use crate::tree::{node_hash, MerkleTree};
+
+/// Boundary hashes proving a contiguous leaf range.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeProof {
+    /// Left-boundary siblings, bottom-up.
+    pub left: Vec<Digest>,
+    /// Right-boundary siblings, bottom-up.
+    pub right: Vec<Digest>,
+}
+
+impl RangeProof {
+    /// Total number of hashes in the proof.
+    pub fn len(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Whether the proof carries no hashes (full-tree range).
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty() && self.right.is_empty()
+    }
+}
+
+/// Produces the range proof for leaves `lo..=hi` of `tree`.
+///
+/// # Panics
+///
+/// Panics if the range is empty or out of bounds.
+pub fn prove_range(tree: &MerkleTree, lo: usize, hi: usize) -> RangeProof {
+    assert!(lo <= hi && hi < tree.leaf_count(), "invalid leaf range {lo}..={hi}");
+    let mut proof = RangeProof::default();
+    let mut a = lo;
+    let mut b = hi;
+    let levels = tree.levels();
+    for level in &levels[..levels.len().saturating_sub(1)] {
+        if a % 2 == 1 {
+            proof.left.push(level[a - 1]);
+        }
+        if b % 2 == 0 && b + 1 < level.len() {
+            proof.right.push(level[b + 1]);
+        }
+        a /= 2;
+        b /= 2;
+    }
+    proof
+}
+
+/// Verifies that `leaves` are exactly the leaves `lo..=lo+leaves.len()-1`
+/// of the tree with the given `root` and `leaf_count`.
+pub fn verify_range(
+    root: Digest,
+    leaf_count: usize,
+    lo: usize,
+    leaves: &[Digest],
+    proof: &RangeProof,
+) -> bool {
+    if leaves.is_empty() || lo + leaves.len() > leaf_count {
+        return false;
+    }
+    let mut a = lo;
+    let mut count = leaf_count;
+    let mut known = leaves.to_vec();
+    let mut li = proof.left.iter();
+    let mut ri = proof.right.iter();
+    while count > 1 {
+        let mut b = a + known.len() - 1;
+        if a % 2 == 1 {
+            let Some(h) = li.next() else { return false };
+            known.insert(0, *h);
+            a -= 1;
+        }
+        if b % 2 == 0 && b + 1 < count {
+            let Some(h) = ri.next() else { return false };
+            known.push(*h);
+            b += 1;
+        }
+        let mut next = Vec::with_capacity(known.len() / 2 + 1);
+        let mut i = 0;
+        while i + 1 < known.len() {
+            next.push(node_hash(&known[i], &known[i + 1]));
+            i += 2;
+        }
+        if i < known.len() {
+            // Unpaired trailing node promotes (must be the level's last).
+            if b != count - 1 {
+                return false;
+            }
+            next.push(known[i]);
+        }
+        known = next;
+        a /= 2;
+        count = count.div_ceil(2);
+    }
+    li.next().is_none() && ri.next().is_none() && known.len() == 1 && known[0] == root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::leaf_hash;
+
+    fn tree(n: usize) -> (MerkleTree, Vec<Digest>) {
+        let leaves: Vec<Digest> = (0..n).map(|i| leaf_hash(format!("L{i}").as_bytes())).collect();
+        (MerkleTree::from_leaves(leaves.clone()), leaves)
+    }
+
+    #[test]
+    fn all_ranges_of_all_small_trees_verify() {
+        for n in 1..=17 {
+            let (t, l) = tree(n);
+            for lo in 0..n {
+                for hi in lo..n {
+                    let p = prove_range(&t, lo, hi);
+                    assert!(
+                        verify_range(t.root(), n, lo, &l[lo..=hi], &p),
+                        "n={n} range={lo}..={hi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn withheld_leaf_fails() {
+        let (t, l) = tree(10);
+        let p = prove_range(&t, 2, 6);
+        // Drop leaf 4 from the presented range: wrong.
+        let mut partial = l[2..=6].to_vec();
+        partial.remove(2);
+        assert!(!verify_range(t.root(), 10, 2, &partial, &p));
+    }
+
+    #[test]
+    fn shifted_range_fails() {
+        let (t, l) = tree(10);
+        let p = prove_range(&t, 2, 6);
+        assert!(!verify_range(t.root(), 10, 3, &l[2..=6], &p));
+        assert!(!verify_range(t.root(), 10, 1, &l[2..=6], &p));
+    }
+
+    #[test]
+    fn substituted_leaf_fails() {
+        let (t, l) = tree(10);
+        let p = prove_range(&t, 2, 6);
+        let mut forged = l[2..=6].to_vec();
+        forged[1] = leaf_hash(b"forged");
+        assert!(!verify_range(t.root(), 10, 2, &forged, &p));
+    }
+
+    #[test]
+    fn full_range_needs_no_proof() {
+        let (t, l) = tree(8);
+        let p = prove_range(&t, 0, 7);
+        assert!(p.is_empty());
+        assert!(verify_range(t.root(), 8, 0, &l, &p));
+    }
+
+    #[test]
+    fn proof_is_logarithmic() {
+        let (t, _) = tree(1024);
+        let p = prove_range(&t, 400, 420);
+        assert!(p.len() <= 2 * 10, "range proof should be O(log n), got {}", p.len());
+    }
+
+    #[test]
+    fn single_leaf_range_matches_audit_path_size() {
+        let (t, l) = tree(64);
+        let p = prove_range(&t, 10, 10);
+        assert!(verify_range(t.root(), 64, 10, &l[10..=10], &p));
+        assert_eq!(p.len(), t.audit_path(10).len());
+    }
+
+    #[test]
+    fn empty_leaves_rejected() {
+        let (t, _) = tree(4);
+        assert!(!verify_range(t.root(), 4, 0, &[], &RangeProof::default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid leaf range")]
+    fn out_of_bounds_prove_panics() {
+        let (t, _) = tree(4);
+        prove_range(&t, 2, 4);
+    }
+}

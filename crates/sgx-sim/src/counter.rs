@@ -1,0 +1,211 @@
+//! Trusted monotonic counter (§5.6.1 of the paper).
+//!
+//! eLSM defends rollback attacks by periodically binding the current dataset
+//! digest to a hardware monotonic counter (TPM / Intel ME /
+//! `sgx_create_monotonic_counter`). Counter writes are very slow (tens of
+//! milliseconds), which is why the paper adds a tunable write buffer that
+//! batches counter updates.
+//!
+//! The simulator models the counter as state that *survives power cycles and
+//! rollback attacks* — unlike untrusted storage, which an adversary can
+//! replace with an older version. Tests and the `elsm::rollback` module use
+//! this asymmetry to demonstrate detection.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use elsm_crypto::Digest;
+use parking_lot::Mutex;
+
+use crate::platform::Platform;
+
+/// A hardware-backed monotonic counter with an associated digest slot.
+///
+/// `increment_to` atomically bumps the counter and records the digest the
+/// enclave binds to that epoch. Both survive simulated power cycles.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{MonotonicCounter, Platform};
+/// use elsm_crypto::sha256::sha256;
+///
+/// let p = Platform::with_defaults();
+/// let counter = MonotonicCounter::new(p);
+/// let epoch = counter.increment_to(sha256(b"dataset v1"));
+/// assert_eq!(epoch, 1);
+/// assert_eq!(counter.read().0, 1);
+/// ```
+#[derive(Debug)]
+pub struct MonotonicCounter {
+    platform: Arc<Platform>,
+    value: AtomicU64,
+    bound_digest: Mutex<Digest>,
+}
+
+impl MonotonicCounter {
+    /// Creates a counter at zero bound to the zero digest.
+    pub fn new(platform: Arc<Platform>) -> Arc<Self> {
+        Arc::new(MonotonicCounter {
+            platform,
+            value: AtomicU64::new(0),
+            bound_digest: Mutex::new(Digest::ZERO),
+        })
+    }
+
+    /// Bumps the counter, binding `digest` to the new epoch. Returns the new
+    /// counter value. Charges the (slow) hardware write.
+    pub fn increment_to(&self, digest: Digest) -> u64 {
+        self.platform.charge_counter_write();
+        let mut slot = self.bound_digest.lock();
+        let v = self.value.fetch_add(1, Ordering::SeqCst) + 1;
+        *slot = digest;
+        v
+    }
+
+    /// Reads the counter value and its bound digest. Charges the hardware
+    /// read.
+    pub fn read(&self) -> (u64, Digest) {
+        self.platform.charge_counter_read();
+        let slot = self.bound_digest.lock();
+        (self.value.load(Ordering::SeqCst), *slot)
+    }
+
+    /// Verifies that `digest` matches the digest bound to the current epoch
+    /// — the freshness check an enclave performs after restart.
+    pub fn verify_current(&self, digest: &Digest) -> bool {
+        let (_, bound) = self.read();
+        bound == *digest
+    }
+}
+
+/// Batches counter writes: the paper's tunable write buffer (§5.6.1) that
+/// amortizes the multi-millisecond hardware write over many updates.
+#[derive(Debug)]
+pub struct BufferedCounter {
+    counter: Arc<MonotonicCounter>,
+    buffer_capacity: usize,
+    pending: Mutex<PendingState>,
+}
+
+#[derive(Debug)]
+struct PendingState {
+    updates: usize,
+    latest: Digest,
+}
+
+impl BufferedCounter {
+    /// Wraps `counter`, flushing to hardware every `buffer_capacity`
+    /// updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_capacity` is zero.
+    pub fn new(counter: Arc<MonotonicCounter>, buffer_capacity: usize) -> Self {
+        assert!(buffer_capacity > 0, "buffer capacity must be positive");
+        BufferedCounter {
+            counter,
+            buffer_capacity,
+            pending: Mutex::new(PendingState { updates: 0, latest: Digest::ZERO }),
+        }
+    }
+
+    /// Records a new dataset digest; writes to hardware only when the
+    /// buffer fills. Returns `Some(epoch)` when a hardware write happened.
+    pub fn update(&self, digest: Digest) -> Option<u64> {
+        let mut pending = self.pending.lock();
+        pending.latest = digest;
+        pending.updates += 1;
+        if pending.updates >= self.buffer_capacity {
+            pending.updates = 0;
+            let d = pending.latest;
+            drop(pending);
+            Some(self.counter.increment_to(d))
+        } else {
+            None
+        }
+    }
+
+    /// Forces any pending digest out to hardware (e.g., on clean shutdown).
+    pub fn flush(&self) -> Option<u64> {
+        let mut pending = self.pending.lock();
+        if pending.updates == 0 {
+            return None;
+        }
+        pending.updates = 0;
+        let d = pending.latest;
+        drop(pending);
+        Some(self.counter.increment_to(d))
+    }
+
+    /// The wrapped hardware counter.
+    pub fn counter(&self) -> &Arc<MonotonicCounter> {
+        &self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elsm_crypto::sha256::sha256;
+
+    #[test]
+    fn increments_are_monotonic() {
+        let p = Platform::with_defaults();
+        let c = MonotonicCounter::new(p);
+        assert_eq!(c.increment_to(sha256(b"a")), 1);
+        assert_eq!(c.increment_to(sha256(b"b")), 2);
+        let (v, d) = c.read();
+        assert_eq!(v, 2);
+        assert_eq!(d, sha256(b"b"));
+    }
+
+    #[test]
+    fn verify_detects_stale_digest() {
+        let p = Platform::with_defaults();
+        let c = MonotonicCounter::new(p);
+        c.increment_to(sha256(b"v1"));
+        c.increment_to(sha256(b"v2"));
+        assert!(c.verify_current(&sha256(b"v2")));
+        assert!(!c.verify_current(&sha256(b"v1")), "rolled-back digest must fail");
+    }
+
+    #[test]
+    fn counter_writes_are_expensive() {
+        let p = Platform::with_defaults();
+        let c = MonotonicCounter::new(p.clone());
+        let before = p.clock().now_ns();
+        c.increment_to(sha256(b"x"));
+        assert!(p.clock().now_ns() - before >= p.cost().counter_write_ns);
+    }
+
+    #[test]
+    fn buffered_counter_batches_writes() {
+        let p = Platform::with_defaults();
+        let c = MonotonicCounter::new(p.clone());
+        let b = BufferedCounter::new(c, 4);
+        assert_eq!(b.update(sha256(b"1")), None);
+        assert_eq!(b.update(sha256(b"2")), None);
+        assert_eq!(b.update(sha256(b"3")), None);
+        assert_eq!(b.update(sha256(b"4")), Some(1));
+        assert_eq!(p.stats().counter_writes, 1);
+        // Hardware holds the *latest* digest at flush time.
+        assert!(b.counter().verify_current(&sha256(b"4")));
+    }
+
+    #[test]
+    fn flush_pushes_pending() {
+        let p = Platform::with_defaults();
+        let b = BufferedCounter::new(MonotonicCounter::new(p), 100);
+        b.update(sha256(b"only"));
+        assert_eq!(b.flush(), Some(1));
+        assert_eq!(b.flush(), None, "nothing pending after flush");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let p = Platform::with_defaults();
+        BufferedCounter::new(MonotonicCounter::new(p), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! The simulated platform: one untrusted host plus one enclave.
+//!
+//! [`Platform`] bundles the virtual [`Clock`], the [`CostModel`], the EPC
+//! residency state and the event counters. Every other crate in the
+//! workspace charges its work through these methods, so all latencies and
+//! statistics are produced in one place.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::cost::{CostModel, PAGE_SIZE};
+use crate::epc::{EpcState, PageId};
+use crate::stats::{PlatformStats, StatsSnapshot};
+
+/// A handle to one enclave memory allocation.
+///
+/// Obtained from [`Platform::enclave_alloc`]; pass it back to
+/// [`Platform::enclave_touch`] to model reads/writes of that memory and to
+/// [`Platform::enclave_free`] when the allocation dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnclaveRegion {
+    id: u64,
+    len: usize,
+}
+
+impl EnclaveRegion {
+    /// Size of the allocation in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Region identifier (unique per platform).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// The simulated SGX machine shared by all components.
+///
+/// Cheap to clone through [`Arc`]; thread-safe throughout.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{CostModel, Platform};
+///
+/// let p = Platform::new(CostModel::paper_defaults());
+/// let region = p.enclave_alloc(64 * 1024);
+/// p.enclave_touch(&region, 0, 4096); // faults one page in
+/// assert_eq!(p.stats().epc_page_ins, 1);
+/// ```
+#[derive(Debug)]
+pub struct Platform {
+    clock: Arc<Clock>,
+    cost: CostModel,
+    stats: PlatformStats,
+    epc: Mutex<EpcState>,
+    next_region: AtomicU64,
+    enclave_alloc_bytes: AtomicU64,
+}
+
+impl Platform {
+    /// Creates a platform with the given cost model.
+    pub fn new(cost: CostModel) -> Arc<Self> {
+        let epc = EpcState::new(cost.epc_pages().max(1));
+        Arc::new(Platform {
+            clock: Clock::new(),
+            cost,
+            stats: PlatformStats::new(),
+            epc: Mutex::new(epc),
+            next_region: AtomicU64::new(1),
+            enclave_alloc_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates a platform with [`CostModel::paper_defaults`].
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(CostModel::paper_defaults())
+    }
+
+    /// The platform's virtual clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Snapshot of the event counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Advances virtual time by a raw amount (used by substrates that have
+    /// costs not covered by a dedicated charge method).
+    pub fn advance(&self, ns: u64) {
+        self.clock.advance_ns(ns);
+    }
+
+    // ----- world switches ---------------------------------------------
+
+    /// Charges one ECall (host → enclave switch) and runs `f` "inside".
+    pub fn ecall<T>(&self, f: impl FnOnce() -> T) -> T {
+        PlatformStats::add(&self.stats.ecalls, 1);
+        self.clock.advance_ns(self.cost.ecall_ns);
+        f()
+    }
+
+    /// Charges one OCall (enclave → host switch) and runs `f` "outside".
+    pub fn ocall<T>(&self, f: impl FnOnce() -> T) -> T {
+        PlatformStats::add(&self.stats.ocalls, 1);
+        self.clock.advance_ns(self.cost.ocall_ns);
+        f()
+    }
+
+    // ----- memory traffic ----------------------------------------------
+
+    /// Charges a copy of `len` bytes across the enclave boundary.
+    pub fn cross_copy(&self, len: usize) {
+        PlatformStats::add(&self.stats.cross_copy_bytes, len as u64);
+        self.clock.advance_ns(CostModel::copy_cost(self.cost.cross_copy_ns_per_kb, len));
+    }
+
+    /// Charges an access of `len` bytes in ordinary untrusted DRAM.
+    pub fn dram_access(&self, len: usize) {
+        PlatformStats::add(&self.stats.dram_bytes, len as u64);
+        self.clock.advance_ns(CostModel::copy_cost(self.cost.dram_ns_per_kb, len));
+    }
+
+    /// Charges hashing of `len` bytes (SHA-256) on the virtual clock.
+    pub fn charge_hash(&self, len: usize) {
+        PlatformStats::add(&self.stats.hash_blocks, (len / 64 + 1) as u64);
+        self.clock.advance_ns(self.cost.hash_cost(len));
+    }
+
+    // ----- disk ----------------------------------------------------------
+
+    /// Charges one random-access (seek) penalty on the simulated disk.
+    pub fn charge_disk_seek(&self) {
+        PlatformStats::add(&self.stats.disk_seeks, 1);
+        self.clock.advance_ns(self.cost.disk_seek_ns);
+    }
+
+    /// Charges a sequential transfer of `len` bytes on the simulated disk.
+    pub fn charge_disk_transfer(&self, len: usize) {
+        PlatformStats::add(&self.stats.disk_bytes, len as u64);
+        self.clock.advance_ns(CostModel::copy_cost(self.cost.disk_ns_per_kb, len));
+    }
+
+    /// Charges the fixed per-operation bookkeeping cost.
+    pub fn charge_op_base(&self) {
+        self.clock.advance_ns(self.cost.op_base_ns);
+    }
+
+    // ----- trusted counter ----------------------------------------------
+
+    /// Charges one trusted monotonic-counter write.
+    pub fn charge_counter_write(&self) {
+        PlatformStats::add(&self.stats.counter_writes, 1);
+        self.clock.advance_ns(self.cost.counter_write_ns);
+    }
+
+    /// Charges one trusted monotonic-counter read.
+    pub fn charge_counter_read(&self) {
+        self.clock.advance_ns(self.cost.counter_read_ns);
+    }
+
+    // ----- enclave memory -------------------------------------------------
+
+    /// Allocates `len` bytes of enclave virtual memory.
+    ///
+    /// Allocation itself is cheap; the cost comes from touching the pages
+    /// ([`Platform::enclave_touch`]) once the working set exceeds the EPC.
+    pub fn enclave_alloc(&self, len: usize) -> EnclaveRegion {
+        let id = self.next_region.fetch_add(1, Ordering::Relaxed);
+        self.enclave_alloc_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        EnclaveRegion { id, len }
+    }
+
+    /// Frees an enclave allocation, dropping its EPC residency.
+    pub fn enclave_free(&self, region: EnclaveRegion) {
+        self.enclave_alloc_bytes.fetch_sub(region.len as u64, Ordering::Relaxed);
+        self.epc.lock().evict_region(region.id);
+    }
+
+    /// Total enclave virtual memory currently allocated.
+    pub fn enclave_allocated_bytes(&self) -> u64 {
+        self.enclave_alloc_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Models the enclave reading/writing `len` bytes at `offset` within
+    /// `region`: touches every covered EPC page (charging page-ins/outs as
+    /// needed) and charges the in-enclave copy cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the allocation (the simulated equivalent
+    /// of an enclave segfault).
+    pub fn enclave_touch(&self, region: &EnclaveRegion, offset: usize, len: usize) {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= region.len),
+            "enclave access out of bounds: {offset}+{len} > {}",
+            region.len
+        );
+        if len == 0 {
+            return;
+        }
+        let first = (offset / PAGE_SIZE) as u64;
+        let last = ((offset + len - 1) / PAGE_SIZE) as u64;
+        let mut page_ins = 0u64;
+        let mut page_outs = 0u64;
+        {
+            let mut epc = self.epc.lock();
+            for page in first..=last {
+                let outcome = epc.touch(PageId { region: region.id, page });
+                page_ins += u64::from(outcome.page_in);
+                page_outs += u64::from(outcome.page_out);
+            }
+        }
+        if page_ins > 0 {
+            PlatformStats::add(&self.stats.epc_page_ins, page_ins);
+            self.clock.advance_ns(page_ins * self.cost.epc_page_in_ns);
+        }
+        if page_outs > 0 {
+            PlatformStats::add(&self.stats.epc_page_outs, page_outs);
+            self.clock.advance_ns(page_outs * self.cost.epc_page_out_ns);
+        }
+        PlatformStats::add(&self.stats.enclave_copy_bytes, len as u64);
+        self.clock.advance_ns(CostModel::copy_cost(self.cost.enclave_copy_ns_per_kb, len));
+    }
+
+    /// Current EPC residency, in pages (for assertions and debugging).
+    pub fn epc_resident_pages(&self) -> usize {
+        self.epc.lock().resident()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_platform(epc_pages: usize) -> Arc<Platform> {
+        Platform::new(CostModel::paper_defaults().with_epc_bytes(epc_pages * PAGE_SIZE))
+    }
+
+    #[test]
+    fn ecall_ocall_charge_and_count() {
+        let p = Platform::with_defaults();
+        let v = p.ecall(|| 41) + 1;
+        assert_eq!(v, 42);
+        p.ocall(|| ());
+        let s = p.stats();
+        assert_eq!((s.ecalls, s.ocalls), (1, 1));
+        assert_eq!(p.clock().now_ns(), p.cost().ecall_ns + p.cost().ocall_ns);
+    }
+
+    #[test]
+    fn touch_within_epc_faults_once() {
+        let p = tiny_platform(16);
+        let r = p.enclave_alloc(8 * PAGE_SIZE);
+        p.enclave_touch(&r, 0, 8 * PAGE_SIZE);
+        let after_warm = p.stats().epc_page_ins;
+        assert_eq!(after_warm, 8);
+        p.enclave_touch(&r, 0, 8 * PAGE_SIZE);
+        assert_eq!(p.stats().epc_page_ins, after_warm, "warm touches must not fault");
+    }
+
+    #[test]
+    fn oversized_working_set_thrashes() {
+        let p = tiny_platform(4);
+        let r = p.enclave_alloc(16 * PAGE_SIZE);
+        for _ in 0..5 {
+            p.enclave_touch(&r, 0, 16 * PAGE_SIZE);
+        }
+        let s = p.stats();
+        assert!(s.epc_page_ins > 16, "expected repeated faulting, got {}", s.epc_page_ins);
+        assert!(s.epc_page_outs > 0);
+    }
+
+    #[test]
+    fn paging_costs_dominate_when_thrashing() {
+        let p_small = tiny_platform(4);
+        let p_big = tiny_platform(64);
+        let (rs, rb) = (p_small.enclave_alloc(32 * PAGE_SIZE), p_big.enclave_alloc(32 * PAGE_SIZE));
+        for _ in 0..10 {
+            p_small.enclave_touch(&rs, 0, 32 * PAGE_SIZE);
+            p_big.enclave_touch(&rb, 0, 32 * PAGE_SIZE);
+        }
+        assert!(
+            p_small.clock().now_ns() > 3 * p_big.clock().now_ns(),
+            "thrashing platform should be much slower: {} vs {}",
+            p_small.clock().now_ns(),
+            p_big.clock().now_ns()
+        );
+    }
+
+    #[test]
+    fn free_releases_residency_and_bytes() {
+        let p = tiny_platform(16);
+        let r = p.enclave_alloc(4 * PAGE_SIZE);
+        p.enclave_touch(&r, 0, 4 * PAGE_SIZE);
+        assert_eq!(p.epc_resident_pages(), 4);
+        p.enclave_free(r);
+        assert_eq!(p.epc_resident_pages(), 0);
+        assert_eq!(p.enclave_allocated_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_touch_panics() {
+        let p = tiny_platform(4);
+        let r = p.enclave_alloc(PAGE_SIZE);
+        p.enclave_touch(&r, 0, PAGE_SIZE + 1);
+    }
+
+    #[test]
+    fn disk_charges_accumulate() {
+        let p = Platform::with_defaults();
+        p.charge_disk_seek();
+        p.charge_disk_transfer(4096);
+        let s = p.stats();
+        assert_eq!(s.disk_seeks, 1);
+        assert_eq!(s.disk_bytes, 4096);
+        assert!(p.clock().now_ns() >= p.cost().disk_seek_ns);
+    }
+
+    #[test]
+    fn zero_len_touch_is_noop() {
+        let p = tiny_platform(4);
+        let r = p.enclave_alloc(PAGE_SIZE);
+        p.enclave_touch(&r, 0, 0);
+        assert_eq!(p.stats().epc_page_ins, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Platform-wide event counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters for every chargeable platform event.
+///
+/// Useful both for assertions in tests ("this GET must not page") and for
+/// the benchmark harness to explain *why* a configuration is slow.
+#[derive(Debug, Default)]
+pub struct PlatformStats {
+    /// Number of ECalls (world switches into the enclave).
+    pub ecalls: AtomicU64,
+    /// Number of OCalls (world switches out of the enclave).
+    pub ocalls: AtomicU64,
+    /// EPC pages faulted in.
+    pub epc_page_ins: AtomicU64,
+    /// EPC pages evicted (written back).
+    pub epc_page_outs: AtomicU64,
+    /// Bytes copied across the enclave boundary.
+    pub cross_copy_bytes: AtomicU64,
+    /// Bytes copied/accessed inside the enclave.
+    pub enclave_copy_bytes: AtomicU64,
+    /// Bytes accessed in untrusted DRAM.
+    pub dram_bytes: AtomicU64,
+    /// Disk seeks (random-access penalties charged).
+    pub disk_seeks: AtomicU64,
+    /// Bytes transferred from/to the simulated disk.
+    pub disk_bytes: AtomicU64,
+    /// SHA-256 blocks hashed (charged through the platform).
+    pub hash_blocks: AtomicU64,
+    /// Trusted monotonic-counter writes.
+    pub counter_writes: AtomicU64,
+}
+
+impl PlatformStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            ecalls: self.ecalls.load(Ordering::Relaxed),
+            ocalls: self.ocalls.load(Ordering::Relaxed),
+            epc_page_ins: self.epc_page_ins.load(Ordering::Relaxed),
+            epc_page_outs: self.epc_page_outs.load(Ordering::Relaxed),
+            cross_copy_bytes: self.cross_copy_bytes.load(Ordering::Relaxed),
+            enclave_copy_bytes: self.enclave_copy_bytes.load(Ordering::Relaxed),
+            dram_bytes: self.dram_bytes.load(Ordering::Relaxed),
+            disk_seeks: self.disk_seeks.load(Ordering::Relaxed),
+            disk_bytes: self.disk_bytes.load(Ordering::Relaxed),
+            hash_blocks: self.hash_blocks.load(Ordering::Relaxed),
+            counter_writes: self.counter_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`PlatformStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub ecalls: u64,
+    pub ocalls: u64,
+    pub epc_page_ins: u64,
+    pub epc_page_outs: u64,
+    pub cross_copy_bytes: u64,
+    pub enclave_copy_bytes: u64,
+    pub dram_bytes: u64,
+    pub disk_seeks: u64,
+    pub disk_bytes: u64,
+    pub hash_blocks: u64,
+    pub counter_writes: u64,
+}
+
+impl StatsSnapshot {
+    /// Per-field difference `self - earlier`, saturating at zero.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            ecalls: self.ecalls.saturating_sub(earlier.ecalls),
+            ocalls: self.ocalls.saturating_sub(earlier.ocalls),
+            epc_page_ins: self.epc_page_ins.saturating_sub(earlier.epc_page_ins),
+            epc_page_outs: self.epc_page_outs.saturating_sub(earlier.epc_page_outs),
+            cross_copy_bytes: self.cross_copy_bytes.saturating_sub(earlier.cross_copy_bytes),
+            enclave_copy_bytes: self
+                .enclave_copy_bytes
+                .saturating_sub(earlier.enclave_copy_bytes),
+            dram_bytes: self.dram_bytes.saturating_sub(earlier.dram_bytes),
+            disk_seeks: self.disk_seeks.saturating_sub(earlier.disk_seeks),
+            disk_bytes: self.disk_bytes.saturating_sub(earlier.disk_bytes),
+            hash_blocks: self.hash_blocks.saturating_sub(earlier.hash_blocks),
+            counter_writes: self.counter_writes.saturating_sub(earlier.counter_writes),
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ecalls={} ocalls={} page_ins={} page_outs={} cross_kb={} dram_kb={} seeks={} disk_kb={} hash_blocks={}",
+            self.ecalls,
+            self.ocalls,
+            self.epc_page_ins,
+            self.epc_page_outs,
+            self.cross_copy_bytes / 1024,
+            self.dram_bytes / 1024,
+            self.disk_seeks,
+            self.disk_bytes / 1024,
+            self.hash_blocks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = PlatformStats::new();
+        PlatformStats::add(&s.ecalls, 3);
+        let a = s.snapshot();
+        PlatformStats::add(&s.ecalls, 2);
+        PlatformStats::add(&s.disk_seeks, 1);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.ecalls, 2);
+        assert_eq!(d.disk_seeks, 1);
+        assert_eq!(d.ocalls, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = PlatformStats::new().snapshot();
+        assert!(format!("{s}").contains("ecalls=0"));
+    }
+}

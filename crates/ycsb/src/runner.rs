@@ -1,0 +1,217 @@
+//! The load/run driver (§6.1): "YCSB framework works in two phases: the
+//! load phase when it initializes the system by populating the dataset, and
+//! the evaluation phase when it drives the target workload to the system
+//! and measures the performance."
+//!
+//! Latency is measured on the platform's virtual clock, so every number
+//! reflects the cost model (EPC paging, world switches, disk, hashing) and
+//! nothing else.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use sgx_sim::Platform;
+
+use crate::generator::{format_key, make_value, seeded_rng, KeyChooser};
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use crate::workload::{Op, Workload};
+
+/// Adapter over any key-value store the harness drives.
+pub trait KvDriver {
+    /// Inserts or updates a record.
+    fn put(&self, key: &[u8], value: &[u8]);
+    /// Point read; returns whether the key was found.
+    fn get(&self, key: &[u8]) -> bool;
+    /// Range scan; returns the number of records.
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize;
+}
+
+/// Outcome of a run phase.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Overall per-operation latency summary.
+    pub overall: LatencySummary,
+    /// Read-only latency summary.
+    pub reads: LatencySummary,
+    /// Write (update+insert) latency summary.
+    pub writes: LatencySummary,
+    /// Operations executed.
+    pub ops: u64,
+    /// Fraction of reads that found their key.
+    pub read_hit_rate: f64,
+}
+
+/// Loads `record_count` records (the YCSB load phase).
+pub fn load_phase(
+    driver: &dyn KvDriver,
+    record_count: u64,
+    value_len: usize,
+) {
+    for i in 0..record_count {
+        driver.put(&format_key(i), &make_value(i, value_len));
+    }
+}
+
+/// Runs `ops` operations of `workload` against `driver`, measuring each on
+/// the virtual clock. `record_count` must match the load phase.
+pub fn run_phase(
+    driver: &dyn KvDriver,
+    platform: &Arc<Platform>,
+    workload: &Workload,
+    record_count: u64,
+    ops: u64,
+    seed: u64,
+) -> RunReport {
+    let mut rng = seeded_rng(seed);
+    let chooser = KeyChooser::by_name(&workload.distribution, record_count.max(1));
+    let mut insert_cursor = record_count;
+    let mut overall = LatencyHistogram::new();
+    let mut reads = LatencyHistogram::new();
+    let mut writes = LatencyHistogram::new();
+    let mut read_hits = 0u64;
+    let mut read_total = 0u64;
+    for _ in 0..ops {
+        let op = workload.next_op(&mut rng);
+        let sw = platform.clock().stopwatch();
+        match op {
+            Op::Read => {
+                let i = chooser.next(&mut rng, insert_cursor, insert_cursor);
+                read_total += 1;
+                if driver.get(&format_key(i)) {
+                    read_hits += 1;
+                }
+                let ns = sw.elapsed_ns(platform.clock());
+                overall.record_ns(ns);
+                reads.record_ns(ns);
+            }
+            Op::Update => {
+                let i = chooser.next(&mut rng, insert_cursor, insert_cursor);
+                driver.put(&format_key(i), &make_value(i, workload.value_len));
+                let ns = sw.elapsed_ns(platform.clock());
+                overall.record_ns(ns);
+                writes.record_ns(ns);
+            }
+            Op::Insert => {
+                let i = insert_cursor;
+                insert_cursor += 1;
+                driver.put(&format_key(i), &make_value(i, workload.value_len));
+                let ns = sw.elapsed_ns(platform.clock());
+                overall.record_ns(ns);
+                writes.record_ns(ns);
+            }
+            Op::Scan => {
+                let i = chooser.next(&mut rng, insert_cursor, insert_cursor);
+                let len = rng.gen_range(1..=workload.max_scan_len as u64);
+                let to = (i + len).min(insert_cursor.saturating_sub(1));
+                driver.scan(&format_key(i), &format_key(to));
+                let ns = sw.elapsed_ns(platform.clock());
+                overall.record_ns(ns);
+                reads.record_ns(ns);
+            }
+            Op::ReadModifyWrite => {
+                let i = chooser.next(&mut rng, insert_cursor, insert_cursor);
+                let key = format_key(i);
+                read_total += 1;
+                if driver.get(&key) {
+                    read_hits += 1;
+                }
+                driver.put(&key, &make_value(i, workload.value_len));
+                let ns = sw.elapsed_ns(platform.clock());
+                overall.record_ns(ns);
+                writes.record_ns(ns);
+            }
+        }
+    }
+    RunReport {
+        workload: workload.name.clone(),
+        overall: overall.summary(),
+        reads: reads.summary(),
+        writes: writes.summary(),
+        ops,
+        read_hit_rate: if read_total == 0 { 1.0 } else { read_hits as f64 / read_total as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::BTreeMap;
+
+    /// In-memory reference driver charging a fixed per-op cost.
+    struct MapDriver {
+        platform: Arc<Platform>,
+        map: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
+        read_cost_ns: u64,
+        write_cost_ns: u64,
+    }
+
+    impl KvDriver for MapDriver {
+        fn put(&self, key: &[u8], value: &[u8]) {
+            self.platform.advance(self.write_cost_ns);
+            self.map.lock().insert(key.to_vec(), value.to_vec());
+        }
+        fn get(&self, key: &[u8]) -> bool {
+            self.platform.advance(self.read_cost_ns);
+            self.map.lock().contains_key(key)
+        }
+        fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+            self.platform.advance(self.read_cost_ns * 3);
+            self.map.lock().range(from.to_vec()..=to.to_vec()).count()
+        }
+    }
+
+    fn driver(read_ns: u64, write_ns: u64) -> (MapDriver, Arc<Platform>) {
+        let platform = Platform::with_defaults();
+        (
+            MapDriver {
+                platform: platform.clone(),
+                map: Mutex::new(BTreeMap::new()),
+                read_cost_ns: read_ns,
+                write_cost_ns: write_ns,
+            },
+            platform,
+        )
+    }
+
+    #[test]
+    fn load_then_reads_hit() {
+        let (d, p) = driver(1_000, 2_000);
+        load_phase(&d, 1000, 100);
+        let report = run_phase(&d, &p, &Workload::c(), 1000, 2000, 42);
+        assert_eq!(report.ops, 2000);
+        assert!(report.read_hit_rate > 0.999, "all loaded keys must hit");
+        assert!((report.overall.mean_us - 1.0).abs() < 0.1, "{:?}", report.overall);
+    }
+
+    #[test]
+    fn mixed_workload_latency_blends_costs() {
+        let (d, p) = driver(1_000, 9_000);
+        load_phase(&d, 500, 100);
+        let report = run_phase(&d, &p, &Workload::read_ratio(50), 500, 4000, 7);
+        // Mean should sit between read and write cost.
+        assert!(report.overall.mean_us > 2.0 && report.overall.mean_us < 8.0, "{:?}", report.overall);
+        assert!(report.reads.mean_us < report.writes.mean_us);
+    }
+
+    #[test]
+    fn inserts_extend_keyspace() {
+        let (d, p) = driver(100, 100);
+        load_phase(&d, 100, 10);
+        run_phase(&d, &p, &Workload::d(), 100, 2000, 1);
+        assert!(d.map.lock().len() > 100, "workload D inserts new keys");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (d1, p1) = driver(1_000, 2_000);
+        load_phase(&d1, 200, 10);
+        let r1 = run_phase(&d1, &p1, &Workload::a(), 200, 1000, 99);
+        let (d2, p2) = driver(1_000, 2_000);
+        load_phase(&d2, 200, 10);
+        let r2 = run_phase(&d2, &p2, &Workload::a(), 200, 1000, 99);
+        assert_eq!(r1.overall, r2.overall, "same seed, same virtual latencies");
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests on the core data structures and protocol
+//! invariants, spanning crates.
+
+use elsm_repro::crypto::{AeadKey, DetKey, OpeKey};
+use elsm_repro::merkle::{
+    chain_digest, prove_range, verify_range, LevelDigest, MerkleTree, RecordProof,
+};
+use elsm_repro::merkle::tree::leaf_hash;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every leaf of every tree shape verifies; any single-bit index shift
+    /// fails.
+    #[test]
+    fn merkle_audit_paths_sound(n in 1usize..80, probe in 0usize..80) {
+        let leaves: Vec<_> = (0..n).map(|i| leaf_hash(format!("L{i}").as_bytes())).collect();
+        let tree = MerkleTree::from_leaves(leaves.clone());
+        let i = probe % n;
+        let path = tree.audit_path(i);
+        prop_assert!(MerkleTree::verify(tree.root(), n, i, leaves[i], &path));
+        if n > 1 {
+            let j = (i + 1) % n;
+            prop_assert!(!MerkleTree::verify(tree.root(), n, j, leaves[i], &path));
+        }
+    }
+
+    /// Range proofs verify exactly for the proven window and reject any
+    /// shifted or truncated presentation.
+    #[test]
+    fn range_proofs_sound(n in 1usize..60, a in 0usize..60, b in 0usize..60) {
+        let (lo, hi) = (a.min(b) % n, b.max(a) % n);
+        let (lo, hi) = (lo.min(hi), hi.max(lo));
+        let leaves: Vec<_> = (0..n).map(|i| leaf_hash(format!("R{i}").as_bytes())).collect();
+        let tree = MerkleTree::from_leaves(leaves.clone());
+        let proof = prove_range(&tree, lo, hi);
+        prop_assert!(verify_range(tree.root(), n, lo, &leaves[lo..=hi], &proof));
+        if lo > 0 {
+            prop_assert!(!verify_range(tree.root(), n, lo - 1, &leaves[lo..=hi], &proof));
+        }
+        if hi > lo {
+            prop_assert!(!verify_range(tree.root(), n, lo, &leaves[lo..hi], &proof));
+        }
+    }
+
+    /// Chain digests are injective over version order and content
+    /// (prefix-freedom of the record encoding is assumed by construction).
+    #[test]
+    fn chain_digest_orders_matter(records in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 1..20), 2..6)) {
+        let d1 = chain_digest(&records);
+        let mut reversed = records.clone();
+        reversed.reverse();
+        if records != reversed {
+            prop_assert_ne!(d1, chain_digest(&reversed));
+        }
+    }
+
+    /// Level digests: every version of every key proves against the
+    /// commitment; a newest-claim on an older version never verifies.
+    #[test]
+    fn level_digest_proofs_sound(keys in prop::collection::btree_map(
+        prop::collection::vec(any::<u8>(), 1..8),
+        1usize..4,
+        1..12,
+    )) {
+        let mut records = Vec::new();
+        for (k, versions) in &keys {
+            for v in 0..*versions {
+                records.push((k.clone(), format!("val-{v}").into_bytes()));
+            }
+        }
+        let digest = LevelDigest::from_records(
+            3,
+            records.iter().map(|(k, r)| (k.as_slice(), r.clone())),
+        );
+        let commitment = digest.commitment();
+        prop_assert_eq!(digest.leaf_count(), keys.len());
+        for (leaf, (_k, versions)) in keys.iter().enumerate() {
+            for v in 0..(*versions).min(3) {
+                let proof = digest.prove_version(leaf, v);
+                let bytes = &digest.chain_records(leaf)[v];
+                prop_assert_eq!(proof.verify(&commitment, bytes), Ok(()));
+            }
+        }
+    }
+
+    /// RecordProof serialization round-trips for arbitrary shapes.
+    #[test]
+    fn record_proof_codec_round_trips(
+        level in 0u32..10,
+        leaf_index in 0u64..1000,
+        leaf_count in 1u64..1000,
+        newer in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 0..4),
+        path_len in 0usize..12,
+    ) {
+        use elsm_repro::merkle::ChainPosition;
+        use elsm_repro::crypto::sha256;
+        let chain = if newer.is_empty() {
+            ChainPosition::Newest { older_digest: sha256(b"older") }
+        } else {
+            ChainPosition::Older { newer_records: newer, older_digest: sha256(b"older") }
+        };
+        let proof = RecordProof {
+            level,
+            leaf_index,
+            leaf_count,
+            chain,
+            audit_path: (0..path_len).map(|i| sha256(&[i as u8])).collect(),
+        };
+        let encoded = proof.encode();
+        let (decoded, used) = RecordProof::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, proof);
+        prop_assert_eq!(used, encoded.len());
+    }
+
+    /// Deterministic encryption round-trips and is injective.
+    #[test]
+    fn det_round_trips(a in prop::collection::vec(any::<u8>(), 0..64),
+                       b in prop::collection::vec(any::<u8>(), 0..64)) {
+        let key = DetKey::derive(b"prop master");
+        let ca = key.encrypt(&a);
+        prop_assert_eq!(key.decrypt(&ca).unwrap(), a.clone());
+        if a != b {
+            prop_assert_ne!(ca, key.encrypt(&b));
+        }
+    }
+
+    /// AEAD round-trips; any bit flip is rejected.
+    #[test]
+    fn aead_round_trips(pt in prop::collection::vec(any::<u8>(), 0..128),
+                        aad in prop::collection::vec(any::<u8>(), 0..32),
+                        flip in 0usize..160) {
+        let key = AeadKey::derive(b"prop aead");
+        let nonce = elsm_repro::crypto::aead::nonce_from_u64s(7, 7);
+        let mut ct = key.seal(&nonce, &aad, &pt);
+        prop_assert_eq!(key.open(&nonce, &aad, &ct).unwrap(), pt);
+        let idx = flip % ct.len();
+        ct[idx] ^= 1;
+        prop_assert!(key.open(&nonce, &aad, &ct).is_err());
+    }
+
+    /// OPE preserves order on arbitrary pairs.
+    #[test]
+    fn ope_preserves_order(a in any::<u64>(), b in any::<u64>()) {
+        let key = OpeKey::derive(b"prop ope");
+        prop_assert_eq!(a.cmp(&b), key.encode(a).cmp(&key.encode(b)));
+    }
+
+    /// SHA-256 incremental == one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariant(data in prop::collection::vec(any::<u8>(), 0..512),
+                                 cut in 0usize..512) {
+        use elsm_repro::crypto::{sha256, Sha256};
+        let cut = cut % (data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full store vs. a BTreeMap model under random operation
+    /// sequences (smaller case count: each case builds a store).
+    #[test]
+    fn store_matches_model(ops in prop::collection::vec((0u8..3, 0u16..60, any::<u16>()), 1..120)) {
+        use elsm_repro::elsm::{AuthenticatedKv, ElsmP2, P2Options};
+        use elsm_repro::sgx_sim::Platform;
+        let store = ElsmP2::open(
+            Platform::with_defaults(),
+            P2Options {
+                write_buffer_bytes: 2048,
+                level1_max_bytes: 8 * 1024,
+                level_multiplier: 4,
+                max_levels: 3,
+                ..P2Options::default()
+            },
+        ).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (op, keyno, val) in ops {
+            let key = format!("k{keyno:03}").into_bytes();
+            match op {
+                0 => {
+                    let value = format!("v{val}").into_bytes();
+                    store.put(&key, &value).unwrap();
+                    model.insert(key, value);
+                }
+                1 => {
+                    store.delete(&key).unwrap();
+                    model.remove(&key);
+                }
+                _ => {
+                    let got = store.get(&key).unwrap();
+                    prop_assert_eq!(
+                        got.map(|r| r.value().to_vec()),
+                        model.get(&key).cloned()
+                    );
+                }
+            }
+        }
+        for (k, v) in &model {
+            let got = store.get(k).unwrap().unwrap();
+            prop_assert_eq!(got.value(), &v[..]);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate security tests: attacks mounted at the *storage* layer
+//! (files, snapshots) rather than on in-memory traces — the adversary's
+//! real vantage point (§3.3: "the adversary is the untrusted host").
+
+use elsm_repro::elsm::{AuthenticatedKv, ElsmError, ElsmP2, P2Options, VerificationFailure};
+use elsm_repro::sgx_sim::{MonotonicCounter, Platform};
+use elsm_repro::sim_disk::{SimDisk, SimFs};
+
+fn opts() -> P2Options {
+    P2Options {
+        write_buffer_bytes: 4 * 1024,
+        level1_max_bytes: 16 * 1024,
+        level_multiplier: 4,
+        max_levels: 4,
+        ..P2Options::default()
+    }
+}
+
+fn loaded_store() -> ElsmP2 {
+    let store = ElsmP2::open(Platform::with_defaults(), opts()).unwrap();
+    for i in 0..400u32 {
+        store.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    store.db().flush().unwrap();
+    store
+}
+
+#[test]
+fn every_sstable_byte_is_load_bearing() {
+    // Corrupt several positions in one table; at least the covered reads
+    // must fail verification, and no read may return wrong data silently.
+    let store = loaded_store();
+    let sst = store
+        .fs()
+        .list()
+        .into_iter()
+        .filter(|n| n.ends_with(".sst"))
+        .max()
+        .expect("a table");
+    let file = store.fs().open(&sst).unwrap();
+    for offset in [50usize, 500, 1500] {
+        if offset < file.len() {
+            file.corrupt(offset, 0xa5);
+        }
+    }
+    let mut failures = 0;
+    for i in 0..400u32 {
+        let key = format!("key{i:04}");
+        match store.get(key.as_bytes()) {
+            Ok(Some(rec)) => {
+                // Any record that *does* verify must be the correct one.
+                assert_eq!(rec.value(), format!("v{i}").as_bytes(), "silent corruption on {key}");
+            }
+            Ok(None) => panic!("{key} verified as absent — corruption hidden"),
+            Err(_) => failures += 1,
+        }
+    }
+    assert!(failures > 0, "tampering must be observable");
+}
+
+#[test]
+fn scans_refuse_corrupted_levels() {
+    let store = loaded_store();
+    let sst = store.fs().list().into_iter().find(|n| n.ends_with(".sst")).unwrap();
+    store.fs().open(&sst).unwrap().corrupt(200, 0xff);
+    // A wide scan must either fail verification or return fully correct
+    // data (if the corrupt block wasn't touched) — never partial garbage.
+    match store.scan(b"key0000", b"key0399") {
+        Err(ElsmError::Verification(_)) | Err(ElsmError::Io(_)) => {}
+        Ok(records) => {
+            for r in records {
+                let i: u32 = std::str::from_utf8(&r.key()[3..]).unwrap().parse().unwrap();
+                assert_eq!(r.value(), format!("v{i}").as_bytes());
+            }
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn sealed_state_tamper_is_rejected_at_restart() {
+    let platform = Platform::with_defaults();
+    let fs = SimFs::new(SimDisk::new(platform.clone()));
+    {
+        let store = ElsmP2::open_with(platform.clone(), fs.clone(), opts(), None).unwrap();
+        for i in 0..100 {
+            store.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        store.close().unwrap();
+    }
+    // Flip a bit in the sealed enclave state.
+    fs.open("ENCLAVE_STATE").unwrap().corrupt(20, 0x01);
+    match ElsmP2::open_with(platform, fs, opts(), None) {
+        Err(ElsmError::Verification(VerificationFailure::SealBroken)) => {}
+        other => panic!("tampered seal must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn counter_survives_what_files_do_not() {
+    // The fundamental asymmetry behind §5.6.1: the host can roll files
+    // back, but not the hardware counter.
+    let platform = Platform::with_defaults();
+    let fs = SimFs::new(SimDisk::new(platform.clone()));
+    let counter = MonotonicCounter::new(platform.clone());
+    let options = P2Options {
+        rollback: Some(elsm_repro::elsm::RollbackOptions { counter_write_buffer: 1 }),
+        ..opts()
+    };
+    let snapshot_before_any_data = fs.snapshot();
+    {
+        let store =
+            ElsmP2::open_with(platform.clone(), fs.clone(), options.clone(), Some(counter.clone()))
+                .unwrap();
+        store.put(b"k", b"v").unwrap();
+        store.close().unwrap();
+    }
+    // Roll back to the pristine filesystem (no manifest at all): the
+    // enclave opens "fresh" — and a fresh open with a counter that has
+    // advanced must be treated as suspicious by deployments; our API
+    // surfaces it by the counter no longer matching a fresh dataset.
+    fs.restore(&snapshot_before_any_data);
+    let store = ElsmP2::open_with(platform, fs, options, Some(counter.clone())).unwrap();
+    let fresh_digest = store.trusted().dataset_digest();
+    assert!(
+        !counter.verify_current(&fresh_digest),
+        "a wiped store must not match the advanced counter epoch"
+    );
+}
+
+#[test]
+fn poisoned_store_refuses_service() {
+    let store = loaded_store();
+    store.trusted().poison();
+    assert!(matches!(store.get(b"key0001"), Err(ElsmError::Poisoned)));
+    assert!(matches!(store.put(b"x", b"y"), Err(ElsmError::Poisoned)));
+    assert!(matches!(store.scan(b"a", b"z"), Err(ElsmError::Poisoned)));
+}
+
+#[test]
+fn wal_corruption_truncates_but_never_fabricates() {
+    let platform = Platform::with_defaults();
+    let fs = SimFs::new(SimDisk::new(platform.clone()));
+    {
+        let store = ElsmP2::open_with(platform.clone(), fs.clone(), opts(), None).unwrap();
+        for i in 0..10 {
+            store.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        store.close().unwrap();
+    }
+    // Corrupt the WAL tail.
+    let wal = fs.list().into_iter().find(|n| n.starts_with("wal-")).unwrap();
+    let f = fs.open(&wal).unwrap();
+    if f.len() > 10 {
+        f.corrupt(f.len() - 5, 0xff);
+    }
+    let store = ElsmP2::open_with(platform, fs, opts(), None).unwrap();
+    // Recovered data is a prefix of what was written: values correct or
+    // absent, never wrong.
+    for i in 0..10 {
+        if let Some(rec) = store.get(format!("k{i}").as_bytes()).unwrap() {
+            assert_eq!(rec.value(), format!("v{i}").as_bytes());
+        }
+    }
+}
