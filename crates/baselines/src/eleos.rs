@@ -115,9 +115,9 @@ impl fmt::Debug for EleosStore {
 impl EleosStore {
     /// Creates an empty store persisting into `fs`.
     pub fn new(platform: Arc<Platform>, fs: Arc<SimFs>, options: EleosOptions) -> Self {
-        let log = fs.create("eleos.log").unwrap_or_else(|_| {
-            fs.open("eleos.log").expect("eleos log exists if create failed")
-        });
+        let log = fs
+            .create("eleos.log")
+            .unwrap_or_else(|_| fs.open("eleos.log").expect("eleos log exists if create failed"));
         EleosStore {
             platform,
             options,
@@ -156,8 +156,8 @@ impl EleosStore {
         inner.tick += 1;
         let tick = inner.tick;
         let max_pages = (self.options.resident_bytes / self.options.page_bytes).max(1);
-        if inner.resident.contains_key(&page) {
-            inner.resident.insert(page, tick);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = inner.resident.entry(page) {
+            e.insert(tick);
             self.platform.dram_access(64);
             return;
         }
@@ -176,11 +176,7 @@ impl EleosStore {
     }
 
     fn avg_entry_bytes(inner: &EleosInner) -> usize {
-        if inner.live == 0 {
-            64
-        } else {
-            (inner.data_bytes as usize / inner.live).max(16)
-        }
+        (inner.data_bytes as usize).checked_div(inner.live).map_or(64, |avg| avg.max(16))
     }
 
     /// Inserts or updates a record in place.
@@ -259,8 +255,7 @@ impl EleosStore {
             }
         }
         // The rewrite touches everything once (sequential, enclave-side).
-        self.platform
-            .advance(self.options.monitor_ns * slots.len() as u64 / 8);
+        self.platform.advance(self.options.monitor_ns * slots.len() as u64 / 8);
         let _ = entry_bytes;
         inner.slots = slots;
     }
@@ -409,10 +404,7 @@ mod tests {
             let s = EleosStore::new(
                 platform.clone(),
                 fs,
-                EleosOptions {
-                    resident_bytes: 16 * 4096,
-                    ..EleosOptions::default()
-                },
+                EleosOptions { resident_bytes: 16 * 4096, ..EleosOptions::default() },
             );
             for i in 0..n {
                 s.put(format!("key{i:06}").into_bytes(), vec![0u8; 64]).unwrap();

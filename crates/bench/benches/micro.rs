@@ -46,9 +46,8 @@ fn bench_merkle(c: &mut Criterion) {
         b.iter(|| verify_range(tree.root(), 4096, 1000, &leaves[1000..=1100], &rp))
     });
     // Level digest over a realistic compaction output.
-    let records: Vec<(Vec<u8>, Vec<u8>)> = (0..2000u32)
-        .map(|i| (format!("key{i:06}").into_bytes(), vec![0u8; 116]))
-        .collect();
+    let records: Vec<(Vec<u8>, Vec<u8>)> =
+        (0..2000u32).map(|i| (format!("key{i:06}").into_bytes(), vec![0u8; 116])).collect();
     g.bench_function("level_digest_2k_records", |b| {
         b.iter(|| {
             LevelDigest::from_records(3, records.iter().map(|(k, v)| (k.as_slice(), v.clone())))
@@ -101,7 +100,7 @@ fn bench_store(c: &mut Criterion) {
     )
     .unwrap();
     for i in 0..5000u32 {
-        store.put(format!("key{i:06}").as_bytes(), &vec![0u8; 100]).unwrap();
+        store.put(format!("key{i:06}").as_bytes(), &[0u8; 100]).unwrap();
     }
     store.db().flush().unwrap();
     let mut i = 0u32;

@@ -64,7 +64,12 @@ fn p1_options(scale: &Scale, buffer_paper_mb: u64) -> P1Options {
     }
 }
 
-fn unsecured_options(scale: &Scale, in_enclave: bool, mmap: bool, cache_paper_mb: u64) -> UnsecuredOptions {
+fn unsecured_options(
+    scale: &Scale,
+    in_enclave: bool,
+    mmap: bool,
+    cache_paper_mb: u64,
+) -> UnsecuredOptions {
     UnsecuredOptions {
         in_enclave,
         use_mmap: mmap,
@@ -90,7 +95,11 @@ fn eleos_options(scale: &Scale) -> EleosOptions {
 }
 
 /// Builds an eLSM-P2 store on a fresh platform.
-pub fn build_p2(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> (ElsmP2, Arc<Platform>) {
+pub fn build_p2(
+    scale: &Scale,
+    read_mode: ReadMode,
+    cache_paper_mb: u64,
+) -> (ElsmP2, Arc<Platform>) {
     let platform = Platform::new(scale.cost_model());
     let store = ElsmP2::open(platform.clone(), p2_options(scale, read_mode, cache_paper_mb))
         .expect("open p2");
@@ -100,7 +109,8 @@ pub fn build_p2(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> (Els
 /// Builds an eLSM-P1 store on a fresh platform.
 pub fn build_p1(scale: &Scale, buffer_paper_mb: u64) -> (ElsmP1, Arc<Platform>) {
     let platform = Platform::new(scale.cost_model());
-    let store = ElsmP1::open(platform.clone(), p1_options(scale, buffer_paper_mb)).expect("open p1");
+    let store =
+        ElsmP1::open(platform.clone(), p1_options(scale, buffer_paper_mb)).expect("open p1");
     (store, platform)
 }
 
@@ -164,8 +174,8 @@ pub fn fig2(scale: &Scale, opts: FigOpts) -> Table {
             let platform = Platform::new(scale.cost_model());
             let fs = SimFs::new(SimDisk::new(platform.clone()));
             fs.set_os_cache_limit(scale.mb(64));
-            let store = ElsmP1::open_with(platform.clone(), fs, p1_options(scale, buf))
-                .expect("open");
+            let store =
+                ElsmP1::open_with(platform.clone(), fs, p1_options(scale, buf)).expect("open");
             let driver = P1Driver(store);
             load_phase(&driver, records, VALUE_BYTES);
             driver.0.db().flush().expect("flush");
@@ -320,11 +330,8 @@ pub fn fig5c(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Figure 6a: read latency vs. data size, all systems.
 pub fn fig6a(scale: &Scale, opts: FigOpts) -> Table {
-    let sizes_mb: &[u64] = if opts.quick {
-        &[8, 128, 1024, 3072]
-    } else {
-        &[8, 64, 128, 256, 512, 1024, 2048, 3072]
-    };
+    let sizes_mb: &[u64] =
+        if opts.quick { &[8, 128, 1024, 3072] } else { &[8, 64, 128, 256, 512, 1024, 2048, 3072] };
     let mut table = Table::new(
         "Figure 6a: read latency vs data size (µs/op)",
         &["data_mb", "elsm_p2_mmap", "elsm_p1", "eleos", "outside_unsecured"],
@@ -353,10 +360,7 @@ pub fn fig6a(scale: &Scale, opts: FigOpts) -> Table {
             let store = EleosStore::new(platform.clone(), fs, eleos_options(scale));
             let driver = EleosDriver(store);
             load_phase(&driver, records, VALUE_BYTES);
-            format!(
-                "{:.1}",
-                measured_reads(&driver, &platform, records, opts.ops(), "uniform")
-            )
+            format!("{:.1}", measured_reads(&driver, &platform, records, opts.ops(), "uniform"))
         } else {
             "n/a (>1GB)".to_string()
         };
@@ -408,11 +412,8 @@ pub fn fig6b(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Figure 6c: read latency vs. buffer size at fixed 2 GB data.
 pub fn fig6c(scale: &Scale, opts: FigOpts) -> Table {
-    let buffers: &[u64] = if opts.quick {
-        &[32, 128, 512, 2048]
-    } else {
-        &[32, 64, 128, 256, 512, 1024, 1536, 2048]
-    };
+    let buffers: &[u64] =
+        if opts.quick { &[32, 128, 512, 2048] } else { &[32, 64, 128, 256, 512, 1024, 1536, 2048] };
     let data_gb = if opts.quick { 1.0 } else { 2.0 };
     let records = scale.records_for_gb(data_gb);
     let mut table = Table::new(
@@ -531,7 +532,8 @@ pub fn fig7b(scale: &Scale, opts: FigOpts) -> Table {
 /// Figure 8: write-buffer placement — write-only latency vs. write-buffer
 /// size, P1 vs. unsecured-outside.
 pub fn fig8(scale: &Scale, opts: FigOpts) -> Table {
-    let buffers: &[u64] = if opts.quick { &[4, 64, 512] } else { &[4, 8, 16, 32, 64, 128, 256, 512] };
+    let buffers: &[u64] =
+        if opts.quick { &[4, 64, 512] } else { &[4, 8, 16, 32, 64, 128, 256, 512] };
     let records = scale.records_for_gb(0.5);
     let mut table = Table::new(
         "Figure 8: write-buffer placement (write-only, µs/op)",
@@ -581,14 +583,8 @@ pub fn ablation_proofs(scale: &Scale, opts: FigOpts) -> Table {
     let proof_bytes_per_get = (after.proof_bytes - before.proof_bytes) as f64 / gets as f64;
     // All-level (Speicher-style) verification checks every occupied level
     // per GET: two neighbor proofs per non-hit level plus the hit proof.
-    let occupied_levels = driver
-        .0
-        .db()
-        .level_bytes()
-        .iter()
-        .skip(1)
-        .filter(|&&b| b > 0)
-        .count() as f64;
+    let occupied_levels =
+        driver.0.db().level_bytes().iter().skip(1).filter(|&&b| b > 0).count() as f64;
     let all_level_proofs = 2.0 * (occupied_levels - 1.0).max(0.0) + 1.0;
     let bytes_per_proof = proof_bytes_per_get / proofs_per_get.max(0.01);
     let mut table = Table::new(

@@ -13,8 +13,10 @@ pub mod scale;
 pub use figures::FigOpts;
 pub use scale::Scale;
 
-/// Parses the common `--quick` / `--full` flags of the figure binaries.
+/// Parses the common flags of the figure binaries: `--quick` (or its
+/// alias `--smoke`) selects the reduced sweep used by CI; `--full` (the
+/// default) regenerates the recorded figures.
 pub fn opts_from_args() -> FigOpts {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--smoke");
     FigOpts { quick }
 }

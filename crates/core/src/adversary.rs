@@ -103,11 +103,7 @@ pub fn swap_merged_values(trace: &mut ScanTrace, i: usize, j: usize) {
 
 /// Fabricates a record with a plain envelope (no proof at all).
 pub fn proofless_record(key: &[u8], value: &[u8], ts: u64) -> Record {
-    Record::put(
-        Bytes::copy_from_slice(key),
-        crate::envelope::wrap_plain(value),
-        ts,
-    )
+    Record::put(Bytes::copy_from_slice(key), crate::envelope::wrap_plain(value), ts)
 }
 
 #[cfg(test)]
@@ -200,10 +196,7 @@ mod tests {
         let mut tampered = trace;
         hide_level(&mut tampered, hit_level);
         let err = store.verify_get_trace(b"key0007", &tampered).unwrap_err();
-        assert!(
-            matches!(err, VerificationFailure::HiddenLevel { .. }),
-            "got {err:?}"
-        );
+        assert!(matches!(err, VerificationFailure::HiddenLevel { .. }), "got {err:?}");
     }
 
     #[test]
@@ -257,10 +250,7 @@ mod tests {
             .expect("key0020 stored at some level");
         drop_from_scan(&mut trace, victim_level, b"key0020");
         let err = store.verify_scan_trace(b"key0010", b"key0030", &trace).unwrap_err();
-        assert!(
-            matches!(err, VerificationFailure::IncompleteRange { .. }),
-            "got {err:?}"
-        );
+        assert!(matches!(err, VerificationFailure::IncompleteRange { .. }), "got {err:?}");
     }
 
     #[test]
@@ -306,8 +296,7 @@ mod tests {
         let mut trace = store.raw_get_trace(b"key0007").unwrap();
         for search in &mut trace.levels {
             if matches!(search.outcome, LevelOutcome::Hit(_)) {
-                search.outcome =
-                    LevelOutcome::Hit(proofless_record(b"key0007", b"v", 123));
+                search.outcome = LevelOutcome::Hit(proofless_record(b"key0007", b"v", 123));
             }
         }
         let err = store.verify_get_trace(b"key0007", &trace).unwrap_err();
@@ -329,9 +318,13 @@ mod tests {
         };
         // Epoch 1: some data, clean close.
         {
-            let store =
-                ElsmP2::open_with(platform.clone(), fs.clone(), options.clone(), Some(counter.clone()))
-                    .unwrap();
+            let store = ElsmP2::open_with(
+                platform.clone(),
+                fs.clone(),
+                options.clone(),
+                Some(counter.clone()),
+            )
+            .unwrap();
             for i in 0..100 {
                 store.put(format!("k{i:03}").as_bytes(), b"v1").unwrap();
             }
@@ -341,9 +334,13 @@ mod tests {
         let old_state = fs.snapshot();
         // Epoch 2: more writes, clean close — counter advances.
         {
-            let store =
-                ElsmP2::open_with(platform.clone(), fs.clone(), options.clone(), Some(counter.clone()))
-                    .unwrap();
+            let store = ElsmP2::open_with(
+                platform.clone(),
+                fs.clone(),
+                options.clone(),
+                Some(counter.clone()),
+            )
+            .unwrap();
             for i in 0..100 {
                 store.put(format!("k{i:03}").as_bytes(), b"v2").unwrap();
             }
@@ -353,10 +350,7 @@ mod tests {
         fs.restore(&old_state);
         let result = ElsmP2::open_with(platform, fs, options, Some(counter));
         assert!(
-            matches!(
-                result,
-                Err(ElsmError::Verification(VerificationFailure::RolledBack))
-            ),
+            matches!(result, Err(ElsmError::Verification(VerificationFailure::RolledBack))),
             "rollback must be detected at restart: {result:?}"
         );
     }
@@ -375,9 +369,13 @@ mod tests {
             ..P2Options::default()
         };
         {
-            let store =
-                ElsmP2::open_with(platform.clone(), fs.clone(), options.clone(), Some(counter.clone()))
-                    .unwrap();
+            let store = ElsmP2::open_with(
+                platform.clone(),
+                fs.clone(),
+                options.clone(),
+                Some(counter.clone()),
+            )
+            .unwrap();
             for i in 0..150 {
                 store.put(format!("k{i:03}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
             }

@@ -99,9 +99,7 @@ impl ConfidentialStore {
 
     fn decrypt_key(&self, enc: &[u8]) -> Result<Vec<u8>, ElsmError> {
         let det_part = enc.get(16..).ok_or(VerificationFailure::SealBroken)?;
-        self.det
-            .decrypt(det_part)
-            .map_err(|_| VerificationFailure::SealBroken.into())
+        self.det.decrypt(det_part).map_err(|_| VerificationFailure::SealBroken.into())
     }
 
     fn encrypt_value(&self, enc_key: &[u8], ts_hint: u64, value: &[u8]) -> Vec<u8> {
@@ -223,10 +221,7 @@ mod tests {
                 !bytes.windows(9).any(|w| w == b"topsecret"),
                 "plaintext value leaked into {name}"
             );
-            assert!(
-                !bytes.windows(4).any(|w| w == b"user"),
-                "plaintext key leaked into {name}"
-            );
+            assert!(!bytes.windows(4).any(|w| w == b"user"), "plaintext key leaked into {name}");
         }
     }
 

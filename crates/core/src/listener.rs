@@ -48,7 +48,12 @@ impl AuthListener {
         trusted: Arc<TrustedState>,
         digests: Arc<UntrustedDigests>,
     ) -> Arc<Self> {
-        Arc::new(AuthListener { platform, trusted, digests, scratch: Mutex::new(Scratch::default()) })
+        Arc::new(AuthListener {
+            platform,
+            trusted,
+            digests,
+            scratch: Mutex::new(Scratch::default()),
+        })
     }
 }
 
@@ -167,11 +172,7 @@ mod tests {
     use bytes::Bytes;
 
     fn record(key: &str, ts: u64, value: &str) -> Record {
-        Record::put(
-            Bytes::copy_from_slice(key.as_bytes()),
-            wrap_plain(value.as_bytes()),
-            ts,
-        )
+        Record::put(Bytes::copy_from_slice(key.as_bytes()), wrap_plain(value.as_bytes()), ts)
     }
 
     fn setup() -> (Arc<AuthListener>, Arc<TrustedState>, Arc<UntrustedDigests>) {
@@ -198,7 +199,7 @@ mod tests {
         assert_eq!(digests.len(), 1);
         // Output records now carry proofs.
         for r in &out {
-            let (_, _, proof) = open_record(&r, 1).unwrap();
+            let (_, _, proof) = open_record(r, 1).unwrap();
             assert!(proof.is_some());
         }
         assert!(!trusted.is_poisoned());

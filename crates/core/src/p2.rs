@@ -216,13 +216,9 @@ impl ElsmP2 {
     /// check the monotonic counter, verify the WAL digest and rebuild the
     /// untrusted digest store from the (now re-verified) level contents.
     fn recover_trusted_state(&self) -> Result<(), ElsmError> {
-        let state_file = self
-            .fs
-            .open(STATE_FILE)
-            .map_err(|_| VerificationFailure::SealBroken)?;
+        let state_file = self.fs.open(STATE_FILE).map_err(|_| VerificationFailure::SealBroken)?;
         let raw = state_file.read_at(0, state_file.len())?;
-        let blob =
-            SealedBlob::from_bytes(&raw).map_err(|_| VerificationFailure::SealBroken)?;
+        let blob = SealedBlob::from_bytes(&raw).map_err(|_| VerificationFailure::SealBroken)?;
         let plain = self
             .sealer
             .unseal(b"elsm-p2/state", &blob)
@@ -368,23 +364,30 @@ impl AuthenticatedKv for ElsmP2 {
 
     fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
         self.ensure_healthy()?;
-        let trace = self
-            .platform
-            .ecall(|| self.db.get_with_trace(key, Timestamp::MAX >> 1))?;
-        self.trusted.verify_get(key, &trace)?;
+        // Trace capture and verification are one critical section: the
+        // verifier must see the commitments that were current when the
+        // trace was collected, or a concurrent flush/compaction would
+        // replace roots underneath the read (§5.5.2).
+        let (trace, verdict) = self.platform.ecall(|| {
+            self.db.get_with_trace_sync(key, Timestamp::MAX >> 1, |trace| {
+                self.trusted.verify_get(key, trace)
+            })
+        })?;
+        verdict?;
         Ok(self.answer_from_trace(&trace))
     }
 
     fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
         self.ensure_healthy()?;
-        let trace = self
-            .platform
-            .ecall(|| self.db.scan_with_trace(from, to, Timestamp::MAX >> 1))?;
-        self.trusted.verify_scan(from, to, &trace, self.digests.as_ref())?;
+        let (trace, verdict) = self.platform.ecall(|| {
+            self.db.scan_with_trace_sync(from, to, Timestamp::MAX >> 1, |trace| {
+                self.trusted.verify_scan(from, to, trace, self.digests.as_ref())
+            })
+        })?;
+        verdict?;
         let mut out = Vec::with_capacity(trace.merged.len());
         for record in &trace.merged {
-            let (_, value, proof) =
-                open_record(record, 0).map_err(ElsmError::Verification)?;
+            let (_, value, proof) = open_record(record, 0).map_err(ElsmError::Verification)?;
             out.push(VerifiedRecord::new(
                 record.key.clone(),
                 value,
@@ -483,11 +486,7 @@ fn decode_state(buf: &[u8]) -> Option<(Vec<LevelCommitment>, Digest)> {
         pos += 32;
         let leaf_count = u64::from_le_bytes(buf.get(pos..pos + 8)?.try_into().ok()?);
         pos += 8;
-        commitments.push(LevelCommitment {
-            level,
-            root: Digest::from_bytes(root),
-            leaf_count,
-        });
+        commitments.push(LevelCommitment { level, root: Digest::from_bytes(root), leaf_count });
     }
     let mut wal = [0u8; 32];
     wal.copy_from_slice(buf.get(pos..pos + 32)?);

@@ -66,9 +66,7 @@ impl TrustedState {
         Arc::new(TrustedState {
             platform,
             max_levels,
-            commitments: Mutex::new(
-                (0..=max_levels as u32).map(LevelCommitment::empty).collect(),
-            ),
+            commitments: Mutex::new((0..=max_levels as u32).map(LevelCommitment::empty).collect()),
             wal_digest: Mutex::new(Digest::ZERO),
             stacked: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
@@ -298,7 +296,7 @@ impl TrustedState {
         }
         let left_proof = match left {
             Some(rec) => {
-                if !(rec.key[..] < *key) {
+                if rec.key[..] >= *key {
                     return Err(VerificationFailure::BadNonMembership {
                         level,
                         reason: "left neighbor not below query key",
@@ -313,7 +311,7 @@ impl TrustedState {
         };
         let right_proof = match right {
             Some(rec) => {
-                if !(rec.key[..] > *key) {
+                if rec.key[..] <= *key {
                     return Err(VerificationFailure::BadNonMembership {
                         level,
                         reason: "right neighbor not above query key",
@@ -449,7 +447,7 @@ impl TrustedState {
 
         // Boundary neighbors extend the proven leaf run by one on each side.
         if let Some(rec) = &range.left {
-            if !(rec.key[..] < *from) {
+            if rec.key[..] >= *from {
                 return Err(fail("left boundary not below range"));
             }
             let (canonical, _, proof) = open_record(rec, level)?;
@@ -458,7 +456,7 @@ impl TrustedState {
             leaf_seq.insert(0, (proof.leaf_index, proof.chain.chain_head(&canonical)));
         }
         if let Some(rec) = &range.right {
-            if !(rec.key[..] > *to) {
+            if rec.key[..] <= *to {
                 return Err(fail("right boundary not above range"));
             }
             let (canonical, _, proof) = open_record(rec, level)?;

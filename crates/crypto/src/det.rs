@@ -164,9 +164,7 @@ mod tests {
         let k = key();
         let ct = k.encrypt(b"hello world, this is a key");
         // The ciphertext must not contain the plaintext as a substring.
-        assert!(!ct
-            .windows(5)
-            .any(|w| w == b"hello" || w == b"world"));
+        assert!(!ct.windows(5).any(|w| w == b"hello" || w == b"world"));
     }
 
     #[test]

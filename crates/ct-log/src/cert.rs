@@ -133,10 +133,7 @@ mod tests {
 
     #[test]
     fn log_keys_group_domains() {
-        let a = Certificate {
-            hostname: "mail.example.org".into(),
-            ..synthesize(1, 2)[0].clone()
-        };
+        let a = Certificate { hostname: "mail.example.org".into(), ..synthesize(1, 2)[0].clone() };
         let b = Certificate { hostname: "www.example.org".into(), ..a.clone() };
         let c = Certificate { hostname: "www.other.com".into(), ..a.clone() };
         let (ka, kb, kc) = (a.log_key(), b.log_key(), c.log_key());

@@ -126,10 +126,7 @@ impl CtLogServer {
     /// # Errors
     ///
     /// Returns [`ElsmError::Verification`] on completeness violations.
-    pub fn domain_certificates(
-        &self,
-        domain: &str,
-    ) -> Result<Vec<LoggedCertificate>, ElsmError> {
+    pub fn domain_certificates(&self, domain: &str) -> Result<Vec<LoggedCertificate>, ElsmError> {
         let prefix = reverse_hostname(domain);
         let from = prefix.clone().into_bytes();
         let mut to = prefix.into_bytes();
@@ -200,7 +197,7 @@ mod tests {
         // Pick a domain present in the data.
         let domain = {
             let h = &certs[0].hostname;
-            h.splitn(2, '.').nth(1).unwrap().to_string()
+            h.split_once('.').unwrap().1.to_string()
         };
         let listed = server.domain_certificates(&domain).unwrap();
         let expected: std::collections::HashSet<String> = certs

@@ -12,9 +12,7 @@
 
 use bytes::Bytes;
 
-use crate::encoding::{
-    get_fixed_u32, get_varint_u32, put_fixed_u32, put_varint_u32,
-};
+use crate::encoding::{get_fixed_u32, get_varint_u32, put_fixed_u32, put_varint_u32};
 use crate::record::internal_cmp;
 
 /// Default number of entries between restart points (LevelDB uses 16).
@@ -151,7 +149,7 @@ impl Block {
         // is <= target, then scan forward.
         let (mut lo, mut hi) = (0usize, self.num_restarts - 1);
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             let key = self.key_at_restart(mid);
             if internal_cmp(key.as_slice(), target) != std::cmp::Ordering::Greater {
                 lo = mid;
@@ -159,7 +157,8 @@ impl Block {
                 hi = mid - 1;
             }
         }
-        let mut iter = BlockIter { block: self, pos: self.restart_point(lo), key: Vec::new(), done: false };
+        let mut iter =
+            BlockIter { block: self, pos: self.restart_point(lo), key: Vec::new(), done: false };
         // Fix-up: if even the first restart key is > target, start at 0.
         loop {
             let save = iter.clone_state();
@@ -177,7 +176,8 @@ impl Block {
     }
 
     fn key_at_restart(&self, i: usize) -> Vec<u8> {
-        let mut it = BlockIter { block: self, pos: self.restart_point(i), key: Vec::new(), done: false };
+        let mut it =
+            BlockIter { block: self, pos: self.restart_point(i), key: Vec::new(), done: false };
         it.next().map(|(k, _)| k).unwrap_or_default()
     }
 

@@ -155,17 +155,11 @@ impl Db {
         Ok(db)
     }
 
-    fn recover_parts(
-        env: &Arc<StorageEnv>,
-        options: &Options,
-    ) -> Result<(DbInner, u64), FsError> {
+    fn recover_parts(env: &Arc<StorageEnv>, options: &Options) -> Result<(DbInner, u64), FsError> {
         let manifest = env.fs().open(MANIFEST)?;
         let bytes = env.host_call(|| manifest.read_at(0, manifest.len()))?;
-        let corrupt = || FsError::OutOfBounds {
-            name: MANIFEST.to_string(),
-            requested_end: 0,
-            len: 0,
-        };
+        let corrupt =
+            || FsError::OutOfBounds { name: MANIFEST.to_string(), requested_end: 0, len: 0 };
         let next_file_no = get_fixed_u64(&bytes, 0).ok_or_else(corrupt)?;
         let last_ts = get_fixed_u64(&bytes, 8).ok_or_else(corrupt)?;
         let wal_no = get_fixed_u64(&bytes, 16).ok_or_else(corrupt)?;
@@ -174,7 +168,7 @@ impl Db {
         pos += n;
         let mut levels: Vec<Option<Run>> =
             (0..=options.max_levels.max(nlevels as usize)).map(|_| None).collect();
-        for level in 1..=nlevels as usize {
+        for slot in levels.iter_mut().take(nlevels as usize + 1).skip(1) {
             let (nfiles, n) = get_varint_u64(&bytes[pos..]).ok_or_else(corrupt)?;
             pos += n;
             if nfiles == 0 {
@@ -187,7 +181,7 @@ impl Db {
                 let file = env.fs().open(&table_name(file_no))?;
                 tables.push(Arc::new(TableReader::open(env.clone(), file, file_no)?));
             }
-            levels[level] = Some(Run::new(tables));
+            *slot = Some(Run::new(tables));
         }
         // Replay the WAL into a fresh memtable.
         let wal_file = match env.fs().open(&wal_name(wal_no)) {
@@ -233,10 +227,7 @@ impl Db {
             flushes: self.stats.flushes.load(Ordering::Relaxed),
             compactions: self.stats.compactions.load(Ordering::Relaxed),
             compaction_input_records: self.stats.compaction_input_records.load(Ordering::Relaxed),
-            compaction_output_records: self
-                .stats
-                .compaction_output_records
-                .load(Ordering::Relaxed),
+            compaction_output_records: self.stats.compaction_output_records.load(Ordering::Relaxed),
         }
     }
 
@@ -359,9 +350,41 @@ impl Db {
     ///
     /// Returns [`FsError`] on IO errors.
     pub fn get_with_trace(&self, key: &[u8], ts_q: Timestamp) -> Result<GetTrace, FsError> {
+        let inner = self.inner.lock();
+        self.get_with_trace_locked(&inner, key, ts_q)
+    }
+
+    /// Like [`Db::get_with_trace`], but runs `check` on the trace *before*
+    /// releasing the store-wide mutex. Because flush/compaction installs
+    /// (and their listener callbacks, where eLSM replaces Merkle roots)
+    /// also run under that mutex, the callback observes commitments that
+    /// are guaranteed consistent with the trace — the mutex-guarded
+    /// read/compaction synchronization of the paper's §5.5.2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors; `check`'s verdict is returned
+    /// alongside the trace.
+    pub fn get_with_trace_sync<T>(
+        &self,
+        key: &[u8],
+        ts_q: Timestamp,
+        check: impl FnOnce(&GetTrace) -> T,
+    ) -> Result<(GetTrace, T), FsError> {
+        let inner = self.inner.lock();
+        let trace = self.get_with_trace_locked(&inner, key, ts_q)?;
+        let verdict = check(&trace);
+        Ok((trace, verdict))
+    }
+
+    fn get_with_trace_locked(
+        &self,
+        inner: &DbInner,
+        key: &[u8],
+        ts_q: Timestamp,
+    ) -> Result<GetTrace, FsError> {
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.env.platform().charge_op_base();
-        let inner = self.inner.lock();
         // Model the in-enclave memtable probe.
         if let Some(region) = &self.memtable_region {
             let h = fxhash(key) as usize;
@@ -391,7 +414,10 @@ impl Db {
                         break; // early stop (§5.3)
                     }
                     TableGet::Miss { left, right } => {
-                        levels.push(LevelSearch { level, outcome: LevelOutcome::Miss { left, right } });
+                        levels.push(LevelSearch {
+                            level,
+                            outcome: LevelOutcome::Miss { left, right },
+                        });
                     }
                 },
             }
@@ -420,9 +446,40 @@ impl Db {
         to: &[u8],
         ts_q: Timestamp,
     ) -> Result<ScanTrace, FsError> {
+        let inner = self.inner.lock();
+        self.scan_with_trace_locked(&inner, from, to, ts_q)
+    }
+
+    /// Like [`Db::scan_with_trace`], but runs `check` on the trace before
+    /// releasing the store-wide mutex — the scan counterpart of
+    /// [`Db::get_with_trace_sync`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors; `check`'s verdict is returned
+    /// alongside the trace.
+    pub fn scan_with_trace_sync<T>(
+        &self,
+        from: &[u8],
+        to: &[u8],
+        ts_q: Timestamp,
+        check: impl FnOnce(&ScanTrace) -> T,
+    ) -> Result<(ScanTrace, T), FsError> {
+        let inner = self.inner.lock();
+        let trace = self.scan_with_trace_locked(&inner, from, to, ts_q)?;
+        let verdict = check(&trace);
+        Ok((trace, verdict))
+    }
+
+    fn scan_with_trace_locked(
+        &self,
+        inner: &DbInner,
+        from: &[u8],
+        to: &[u8],
+        ts_q: Timestamp,
+    ) -> Result<ScanTrace, FsError> {
         self.stats.scans.fetch_add(1, Ordering::Relaxed);
         self.env.platform().charge_op_base();
-        let inner = self.inner.lock();
         let memtable: Vec<Record> =
             inner.memtable.range_records(from, to).into_iter().filter(|r| r.ts <= ts_q).collect();
         let mut levels = Vec::new();
@@ -615,8 +672,12 @@ impl Db {
             let file_no = inner.next_file_no;
             inner.next_file_no += 1;
             let file = self.env.fs().create(&table_name(file_no))?;
-            let mut builder =
-                TableBuilder::new(self.env.clone(), file.clone(), file_no, self.options.table.clone());
+            let mut builder = TableBuilder::new(
+                self.env.clone(),
+                file.clone(),
+                file_no,
+                self.options.table.clone(),
+            );
             let mut bytes = 0u64;
             while idx < output.len() {
                 let r = &output[idx];
@@ -728,7 +789,7 @@ fn fxhash(data: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::env::EnvConfig;
+
     use sgx_sim::Platform;
     use sim_disk::{SimDisk, SimFs};
 
@@ -810,7 +871,7 @@ mod tests {
         let db = open_db(small_options());
         for i in 0..2000u32 {
             let key = format!("key{:05}", i % 500);
-            db.put(key.as_bytes(), &vec![b'x'; 40]).unwrap();
+            db.put(key.as_bytes(), &[b'x'; 40]).unwrap();
         }
         let s = db.stats();
         assert!(s.flushes > 0, "expected flushes");
@@ -991,7 +1052,7 @@ mod tests {
         let env = StorageEnv::new(platform, fs, options.env.clone(), None);
         let db = Db::open(env, options, Some(spy.clone())).unwrap();
         for i in 0..400 {
-            db.put(format!("key{i:05}").as_bytes(), &vec![b'x'; 30]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[b'x'; 30]).unwrap();
         }
         db.flush().unwrap();
         assert_eq!(spy.wal.load(Ordering::Relaxed), 400);

@@ -106,8 +106,8 @@ impl StorageEnv {
             !(config.use_mmap && config.cache_placement == Placement::Enclave),
             "mmap reads are incompatible with an in-enclave buffer (eLSM-P1 cannot mmap)"
         );
-        let cache = (config.block_cache_bytes >= config.block_slot_bytes && !config.use_mmap)
-            .then(|| {
+        let cache =
+            (config.block_cache_bytes >= config.block_slot_bytes && !config.use_mmap).then(|| {
                 BufferCache::new(
                     platform.clone(),
                     config.cache_placement,
@@ -256,9 +256,7 @@ impl StorageEnv {
     pub fn metadata_region(&self, len: usize) -> Option<MetaSlice> {
         let arena = self.meta_arena.as_ref()?;
         let len = len.max(1).min(arena.len() / 2);
-        let offset = self
-            .meta_cursor
-            .fetch_add(len, std::sync::atomic::Ordering::Relaxed)
+        let offset = self.meta_cursor.fetch_add(len, std::sync::atomic::Ordering::Relaxed)
             % (arena.len() - len);
         Some(MetaSlice { offset, len })
     }
@@ -362,11 +360,8 @@ mod tests {
 
     #[test]
     fn mmap_path_skips_ocalls() {
-        let (env, fs) = env_with(EnvConfig {
-            use_mmap: true,
-            block_cache_bytes: 0,
-            ..EnvConfig::default()
-        });
+        let (env, fs) =
+            env_with(EnvConfig { use_mmap: true, block_cache_bytes: 0, ..EnvConfig::default() });
         let f = fs.create("t").unwrap();
         f.append(&vec![7u8; 8192]);
         let map = MmapFile::map(f.clone());

@@ -70,10 +70,8 @@ impl SkipList {
     fn random_height(&mut self) -> usize {
         let mut h = 1;
         loop {
-            self.rng_state = self
-                .rng_state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+            self.rng_state =
+                self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             if h < MAX_HEIGHT && (self.rng_state >> 33) % BRANCH_DENOM == 0 {
                 h += 1;
             } else {
@@ -119,8 +117,8 @@ impl SkipList {
             next[level] = self.nodes[prev[level] as usize].next[level];
         }
         self.nodes.push(Node { key, value, next });
-        for level in 0..h {
-            self.nodes[prev[level] as usize].next[level] = idx;
+        for (level, &p) in prev.iter().enumerate().take(h) {
+            self.nodes[p as usize].next[level] = idx;
         }
     }
 

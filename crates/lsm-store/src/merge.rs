@@ -43,11 +43,8 @@ impl Ord for HeapEntry {
         // BinaryHeap is a max-heap; invert for ascending merge. Ties (same
         // internal key cannot happen — unique timestamps) fall back to
         // input index for determinism.
-        internal_cmp(
-            other.record.internal_key().encoded(),
-            self.record.internal_key().encoded(),
-        )
-        .then_with(|| other.input_idx.cmp(&self.input_idx))
+        internal_cmp(other.record.internal_key().encoded(), self.record.internal_key().encoded())
+            .then_with(|| other.input_idx.cmp(&self.input_idx))
     }
 }
 
@@ -120,18 +117,18 @@ mod tests {
 
     #[test]
     fn merges_disjoint_streams() {
-        let a: Vec<Record> =
-            (0..10).map(|i| Record::put(format!("a{i}").into_bytes(), b"x".as_slice(), i)).collect();
-        let b: Vec<Record> =
-            (0..10).map(|i| Record::put(format!("b{i}").into_bytes(), b"y".as_slice(), 100 + i)).collect();
+        let a: Vec<Record> = (0..10)
+            .map(|i| Record::put(format!("a{i}").into_bytes(), b"x".as_slice(), i))
+            .collect();
+        let b: Vec<Record> = (0..10)
+            .map(|i| Record::put(format!("b{i}").into_bytes(), b"y".as_slice(), 100 + i))
+            .collect();
         let merged: Vec<_> = KWayMerge::new(vec![input(1, a), input(2, b)]).collect();
         assert_eq!(merged.len(), 20);
         for w in merged.windows(2) {
             assert!(
-                internal_cmp(
-                    w[0].1.internal_key().encoded(),
-                    w[1].1.internal_key().encoded()
-                ) == Ordering::Less
+                internal_cmp(w[0].1.internal_key().encoded(), w[1].1.internal_key().encoded())
+                    == Ordering::Less
             );
         }
     }

@@ -25,9 +25,7 @@ use sim_disk::{FsError, MmapFile, SimFile};
 
 use crate::block::{Block, BlockBuilder};
 use crate::bloom::BloomFilter;
-use crate::encoding::{
-    get_fixed_u64, get_length_prefixed, put_fixed_u64, put_length_prefixed,
-};
+use crate::encoding::{get_fixed_u64, get_length_prefixed, put_fixed_u64, put_length_prefixed};
 use crate::env::StorageEnv;
 use crate::record::{InternalKey, Record, Timestamp, ValueKind};
 
@@ -203,7 +201,7 @@ impl TableBuilder {
         // Footer.
         let mut footer = Vec::with_capacity(FOOTER_LEN);
         put_fixed_u64(&mut footer, bloom_offset);
-        put_fixed_u64(&mut footer, (index_offset - bloom_offset) as u64);
+        put_fixed_u64(&mut footer, index_offset - bloom_offset);
         put_fixed_u64(&mut footer, index_offset);
         put_fixed_u64(&mut footer, index_bytes.len() as u64);
         put_fixed_u64(&mut footer, props_offset);
@@ -259,11 +257,8 @@ impl TableReader {
     /// Returns [`FsError`] when the file is truncated or corrupt.
     pub fn open(env: Arc<StorageEnv>, file: Arc<SimFile>, file_no: u64) -> Result<Self, FsError> {
         let file_len = file.len();
-        let corrupt = || FsError::OutOfBounds {
-            name: file.name(),
-            requested_end: file_len,
-            len: file_len,
-        };
+        let corrupt =
+            || FsError::OutOfBounds { name: file.name(), requested_end: file_len, len: file_len };
         if file_len < FOOTER_LEN {
             return Err(corrupt());
         }
@@ -340,9 +335,13 @@ impl TableReader {
 
     fn read_block(&self, block_idx: usize) -> Result<Block, FsError> {
         let (_, off, len) = self.index[block_idx];
-        let stored =
-            self.env
-                .read_block(self.meta.file_no, &self.file, self.mmap.as_ref(), off as usize, len as usize)?;
+        let stored = self.env.read_block(
+            self.meta.file_no,
+            &self.file,
+            self.mmap.as_ref(),
+            off as usize,
+            len as usize,
+        )?;
         Block::parse(stored).ok_or(FsError::OutOfBounds {
             name: self.file.name(),
             requested_end: (off + len) as usize,
@@ -368,16 +367,14 @@ impl TableReader {
         let probes = (self.index.len().max(2)).ilog2() as usize + 1;
         let total: usize = self.index.iter().map(|(k, _, _)| k.len() + 16).sum();
         let off = (self.index.len() / 2) * 32 % total.max(1);
-        self.env
-            .touch_metadata(self.index_region.as_ref(), [(0, 32usize), (off, probes * 32)]);
+        self.env.touch_metadata(self.index_region.as_ref(), [(0, 32usize), (off, probes * 32)]);
     }
 
     fn charge_bloom_probe(&self, offsets: &[usize]) {
         // Same page-granularity argument: the k probed bits are charged as
         // one batch anchored at the first probed offset.
         let anchor = offsets.first().copied().unwrap_or(0);
-        self.env
-            .touch_metadata(self.bloom_region.as_ref(), [(anchor, offsets.len().max(1))]);
+        self.env.touch_metadata(self.bloom_region.as_ref(), [(anchor, offsets.len().max(1))]);
     }
 
     /// Point lookup: newest record for `key` with `ts <= ts_q`, or the
@@ -566,12 +563,7 @@ impl TableReader {
 }
 
 fn record_from(ik: InternalKey, value: Bytes) -> Record {
-    Record {
-        key: Bytes::copy_from_slice(ik.user_key()),
-        ts: ik.ts(),
-        kind: ik.kind(),
-        value,
-    }
+    Record { key: Bytes::copy_from_slice(ik.user_key()), ts: ik.ts(), kind: ik.kind(), value }
 }
 
 /// Sequential iterator over all records of a table.
@@ -633,16 +625,18 @@ mod tests {
     fn sample_records() -> Vec<Record> {
         // Keys k0000..k0199, two versions for every 10th key.
         let mut recs = Vec::new();
-        let mut ts = 1000u64;
-        for i in 0..200 {
+        for (ts, i) in (1000u64..).zip(0..200) {
             let key = format!("k{i:04}");
             if i % 10 == 0 {
-                recs.push(Record::put(key.clone().into_bytes(), format!("new{i}").into_bytes(), ts));
+                recs.push(Record::put(
+                    key.clone().into_bytes(),
+                    format!("new{i}").into_bytes(),
+                    ts,
+                ));
                 recs.push(Record::put(key.into_bytes(), format!("old{i}").into_bytes(), ts - 500));
             } else {
                 recs.push(Record::put(key.into_bytes(), format!("v{i}").into_bytes(), ts));
             }
-            ts += 1;
         }
         recs
     }
@@ -771,11 +765,8 @@ mod tests {
 
     #[test]
     fn mmap_tables_round_trip() {
-        let (env, fs) = test_env(EnvConfig {
-            use_mmap: true,
-            block_cache_bytes: 0,
-            ..EnvConfig::default()
-        });
+        let (env, fs) =
+            test_env(EnvConfig { use_mmap: true, block_cache_bytes: 0, ..EnvConfig::default() });
         let reader = build_table(&env, &fs, &sample_records());
         let ocalls_before = env.platform().stats().ocalls;
         match reader.get(b"k0042", u64::MAX >> 1).unwrap() {
@@ -791,14 +782,17 @@ mod tests {
         let reader = build_table(&env, &fs, &sample_records());
         let before = env.platform().stats().enclave_copy_bytes;
         let _ = reader.get(b"absent-key", u64::MAX >> 1).unwrap();
-        assert!(env.platform().stats().enclave_copy_bytes > before, "probe must touch enclave metadata");
+        assert!(
+            env.platform().stats().enclave_copy_bytes > before,
+            "probe must touch enclave metadata"
+        );
     }
 
     #[test]
     fn corrupt_footer_rejected() {
         let (env, fs) = test_env(EnvConfig::default());
         let file = fs.create("bad.sst").unwrap();
-        file.append(&vec![0u8; 100]);
+        file.append(&[0u8; 100]);
         assert!(TableReader::open(env, file, 9).is_err());
     }
 

@@ -26,7 +26,11 @@ fn three_file_run() -> Run {
         let file = fs.create(&format!("{file_no}.sst")).unwrap();
         let mut b = TableBuilder::new(env.clone(), file.clone(), file_no, TableOptions::default());
         for (i, k) in range.enumerate() {
-            b.add(&Record::put(vec![k], format!("v{}", k as char).into_bytes(), i as u64 + file_no * 100));
+            b.add(&Record::put(
+                vec![k],
+                format!("v{}", k as char).into_bytes(),
+                i as u64 + file_no * 100,
+            ));
         }
         b.finish();
         tables.push(Arc::new(TableReader::open(env.clone(), file, file_no).unwrap()));

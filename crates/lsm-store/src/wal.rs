@@ -107,7 +107,13 @@ mod tests {
 
     fn sample(n: usize) -> Vec<Record> {
         (0..n)
-            .map(|i| Record::put(format!("key{i:04}").into_bytes(), format!("val{i}").into_bytes(), i as u64 + 1))
+            .map(|i| {
+                Record::put(
+                    format!("key{i:04}").into_bytes(),
+                    format!("val{i}").into_bytes(),
+                    i as u64 + 1,
+                )
+            })
             .collect()
     }
 

@@ -138,10 +138,8 @@ mod tests {
         // hides r[0].
         let r = recs(2);
         let full = chain_digest(&r);
-        let honest = ChainPosition::Older {
-            newer_records: vec![r[0].clone()],
-            older_digest: Digest::ZERO,
-        };
+        let honest =
+            ChainPosition::Older { newer_records: vec![r[0].clone()], older_digest: Digest::ZERO };
         assert_eq!(honest.chain_head(&r[1]), full);
         // Claiming "newest" for the stale record yields a different head.
         let lying = ChainPosition::Newest { older_digest: Digest::ZERO };

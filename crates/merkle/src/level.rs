@@ -167,10 +167,7 @@ impl LevelDigest {
         let position = if version_idx == 0 {
             ChainPosition::Newest { older_digest }
         } else {
-            ChainPosition::Older {
-                newer_records: chain[..version_idx].to_vec(),
-                older_digest,
-            }
+            ChainPosition::Older { newer_records: chain[..version_idx].to_vec(), older_digest }
         };
         RecordProof {
             level: self.level,

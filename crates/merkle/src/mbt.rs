@@ -179,7 +179,10 @@ impl MerkleBTree {
         loop {
             match node {
                 Node::Leaf { keys, values } => {
-                    return keys.binary_search_by(|k| k.as_slice().cmp(key)).ok().map(|i| values[i].clone());
+                    return keys
+                        .binary_search_by(|k| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| values[i].clone());
                 }
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|k| k.as_slice() <= key);

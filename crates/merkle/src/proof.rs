@@ -170,7 +170,10 @@ impl RecordProof {
                     pos += len;
                     newer.push(bytes);
                 }
-                ChainPosition::Older { newer_records: newer, older_digest: read_digest(buf, &mut pos)? }
+                ChainPosition::Older {
+                    newer_records: newer,
+                    older_digest: read_digest(buf, &mut pos)?,
+                }
             }
             _ => return None,
         };
@@ -271,10 +274,8 @@ mod tests {
     fn stale_version_claiming_newest_rejected() {
         let (c, p, _) = setup();
         // The old version with a "Newest" chain position cannot verify.
-        let lying = RecordProof {
-            chain: ChainPosition::Newest { older_digest: Digest::ZERO },
-            ..p
-        };
+        let lying =
+            RecordProof { chain: ChainPosition::Newest { older_digest: Digest::ZERO }, ..p };
         assert_eq!(lying.verify(&c, b"k2-old"), Err(VerifyError::BadAuditPath));
     }
 

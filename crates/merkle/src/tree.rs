@@ -164,10 +164,7 @@ mod tests {
             let t = MerkleTree::from_leaves(l.clone());
             for (i, leaf) in l.iter().enumerate() {
                 let path = t.audit_path(i);
-                assert!(
-                    MerkleTree::verify(t.root(), n, i, *leaf, &path),
-                    "n={n}, i={i}"
-                );
+                assert!(MerkleTree::verify(t.root(), n, i, *leaf, &path), "n={n}, i={i}");
             }
         }
     }

@@ -94,9 +94,7 @@ impl Sealer {
     /// Returns [`SealError`] if authentication fails (tampered blob, wrong
     /// location, or a different enclave's blob).
     pub fn unseal(&self, aad: &[u8], blob: &SealedBlob) -> Result<Vec<u8>, SealError> {
-        self.key
-            .open(&blob.nonce, aad, &blob.ciphertext)
-            .map_err(|AeadError| SealError)
+        self.key.open(&blob.nonce, aad, &blob.ciphertext).map_err(|AeadError| SealError)
     }
 }
 

@@ -88,9 +88,7 @@ impl StatsSnapshot {
             epc_page_ins: self.epc_page_ins.saturating_sub(earlier.epc_page_ins),
             epc_page_outs: self.epc_page_outs.saturating_sub(earlier.epc_page_outs),
             cross_copy_bytes: self.cross_copy_bytes.saturating_sub(earlier.cross_copy_bytes),
-            enclave_copy_bytes: self
-                .enclave_copy_bytes
-                .saturating_sub(earlier.enclave_copy_bytes),
+            enclave_copy_bytes: self.enclave_copy_bytes.saturating_sub(earlier.enclave_copy_bytes),
             dram_bytes: self.dram_bytes.saturating_sub(earlier.dram_bytes),
             disk_seeks: self.disk_seeks.saturating_sub(earlier.disk_seeks),
             disk_bytes: self.disk_bytes.saturating_sub(earlier.disk_bytes),

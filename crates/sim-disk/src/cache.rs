@@ -224,7 +224,8 @@ impl<K: Hash + Eq + Clone> BufferCache<K> {
         }
         let h = (slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         for i in 0..2u64 {
-            let off = data_bytes + ((h.rotate_left(17 * i as u32)) as usize % tail.max(64)).min(tail - 32);
+            let off = data_bytes
+                + ((h.rotate_left(17 * i as u32)) as usize % tail.max(64)).min(tail - 32);
             self.platform.enclave_touch(region, off, 32);
         }
     }

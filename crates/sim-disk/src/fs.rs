@@ -105,11 +105,7 @@ impl SimFile {
             data.extend_from_slice(bytes);
             off
         };
-        self.extents.lock().push(Extent {
-            file_off,
-            disk_off,
-            len: bytes.len() as u64,
-        });
+        self.extents.lock().push(Extent { file_off, disk_off, len: bytes.len() as u64 });
         self.fs.disk.write(disk_off, bytes.len());
         // Freshly written data sits in the page cache if there is room.
         self.fs.try_warm(self, bytes.len() as u64);
@@ -302,11 +298,7 @@ impl SimFs {
     ///
     /// Returns [`FsError::NotFound`] if absent.
     pub fn open(&self, name: &str) -> Result<Arc<SimFile>, FsError> {
-        self.files
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| FsError::NotFound(name.to_string()))
+        self.files.read().get(name).cloned().ok_or_else(|| FsError::NotFound(name.to_string()))
     }
 
     /// Deletes a file (its page-cache residency is released).
@@ -315,11 +307,8 @@ impl SimFs {
     ///
     /// Returns [`FsError::NotFound`] if absent.
     pub fn delete(&self, name: &str) -> Result<(), FsError> {
-        let file = self
-            .files
-            .write()
-            .remove(name)
-            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        let file =
+            self.files.write().remove(name).ok_or_else(|| FsError::NotFound(name.to_string()))?;
         if file.is_warm() {
             let mut used = self.inner.os_cache_used.lock();
             *used = used.saturating_sub(file.len() as u64);
@@ -371,10 +360,7 @@ impl SimFs {
     pub fn snapshot(&self) -> FsSnapshot {
         let files = self.files.read();
         FsSnapshot {
-            files: files
-                .iter()
-                .map(|(name, f)| (name.clone(), f.data.read().clone()))
-                .collect(),
+            files: files.iter().map(|(name, f)| (name.clone(), f.data.read().clone())).collect(),
         }
     }
 
@@ -535,6 +521,6 @@ mod tests {
         // Reading file a sequentially spans two discontiguous extents.
         let seeks_before = fs.platform().stats().disk_seeks;
         a.read_at(0, 8192).unwrap();
-        assert!(fs.platform().stats().disk_seeks >= seeks_before + 1);
+        assert!(fs.platform().stats().disk_seeks > seeks_before);
     }
 }

@@ -44,11 +44,7 @@ pub struct RunReport {
 }
 
 /// Loads `record_count` records (the YCSB load phase).
-pub fn load_phase(
-    driver: &dyn KvDriver,
-    record_count: u64,
-    value_len: usize,
-) {
+pub fn load_phase(driver: &dyn KvDriver, record_count: u64, value_len: usize) {
     for i in 0..record_count {
         driver.put(&format_key(i), &make_value(i, value_len));
     }
@@ -192,7 +188,11 @@ mod tests {
         load_phase(&d, 500, 100);
         let report = run_phase(&d, &p, &Workload::read_ratio(50), 500, 4000, 7);
         // Mean should sit between read and write cost.
-        assert!(report.overall.mean_us > 2.0 && report.overall.mean_us < 8.0, "{:?}", report.overall);
+        assert!(
+            report.overall.mean_us > 2.0 && report.overall.mean_us < 8.0,
+            "{:?}",
+            report.overall
+        );
         assert!(report.reads.mean_us < report.writes.mean_us);
     }
 

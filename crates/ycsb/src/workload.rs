@@ -130,7 +130,14 @@ mod tests {
 
     #[test]
     fn standard_mixes_sum_to_100() {
-        for w in [Workload::a(), Workload::b(), Workload::c(), Workload::d(), Workload::e(), Workload::f()] {
+        for w in [
+            Workload::a(),
+            Workload::b(),
+            Workload::c(),
+            Workload::d(),
+            Workload::e(),
+            Workload::f(),
+        ] {
             assert_eq!(
                 w.read_pct + w.update_pct + w.insert_pct + w.scan_pct + w.rmw_pct,
                 100,

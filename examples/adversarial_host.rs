@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run --example adversarial_host`
 
-use elsm_repro::elsm::{adversary, AuthenticatedKv, ElsmError, ElsmP2, P2Options, VerificationFailure};
+use elsm_repro::elsm::{
+    adversary, AuthenticatedKv, ElsmError, ElsmP2, P2Options, VerificationFailure,
+};
 use elsm_repro::sgx_sim::{MonotonicCounter, Platform};
 use elsm_repro::sim_disk::{SimDisk, SimFs};
 
@@ -60,9 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Bit-rot / tampering of on-disk SSTables.
     let sst = store.fs().list().into_iter().find(|n| n.ends_with(".sst")).unwrap();
     store.fs().open(&sst)?.corrupt(100, 0x40);
-    let detected = (0..500)
-        .map(|i| format!("key{i:04}"))
-        .any(|k| store.get(k.as_bytes()).is_err());
+    let detected = (0..500).map(|i| format!("key{i:04}")).any(|k| store.get(k.as_bytes()).is_err());
     println!("disk corruption     -> DETECTED: {detected}");
 
     // 6. Rollback across a power cycle (needs a trusted counter).
@@ -74,13 +74,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..P2Options::default()
     };
     {
-        let s = ElsmP2::open_with(platform.clone(), fs.clone(), options.clone(), Some(counter.clone()))?;
+        let s = ElsmP2::open_with(
+            platform.clone(),
+            fs.clone(),
+            options.clone(),
+            Some(counter.clone()),
+        )?;
         s.put(b"epoch", b"one")?;
         s.close()?;
     }
     let old_world = fs.snapshot();
     {
-        let s = ElsmP2::open_with(platform.clone(), fs.clone(), options.clone(), Some(counter.clone()))?;
+        let s = ElsmP2::open_with(
+            platform.clone(),
+            fs.clone(),
+            options.clone(),
+            Some(counter.clone()),
+        )?;
         s.put(b"epoch", b"two")?;
         s.close()?;
     }

@@ -9,8 +9,7 @@ use elsm_repro::sgx_sim::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::with_defaults();
-    let store =
-        ConfidentialStore::open(platform, P2Options::default(), b"tenant-42 master key")?;
+    let store = ConfidentialStore::open(platform, P2Options::default(), b"tenant-42 master key")?;
 
     // A Twitter-like outsourced workload (Appendix B): user posts keyed by
     // handle, values are private.

@@ -79,8 +79,7 @@ fn restart_preserves_and_verifies_everything() {
     let options = small_options(ReadMode::Mmap);
     let mut expected = BTreeMap::new();
     {
-        let store =
-            ElsmP2::open_with(platform.clone(), fs.clone(), options.clone(), None).unwrap();
+        let store = ElsmP2::open_with(platform.clone(), fs.clone(), options.clone(), None).unwrap();
         for i in 0..600u32 {
             let k = format!("key{:03}", i % 200);
             let v = format!("gen{i}");
@@ -155,9 +154,8 @@ fn concurrent_clients_verify_under_compaction() {
     // mutex-guarded commitments — every thread's reads must verify even
     // while flushes/compactions replace roots underneath.
     use std::sync::Arc;
-    let store = Arc::new(
-        ElsmP2::open(Platform::with_defaults(), small_options(ReadMode::Mmap)).unwrap(),
-    );
+    let store =
+        Arc::new(ElsmP2::open(Platform::with_defaults(), small_options(ReadMode::Mmap)).unwrap());
     std::thread::scope(|s| {
         for t in 0..4 {
             let store = store.clone();

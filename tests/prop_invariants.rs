@@ -2,10 +2,10 @@
 //! invariants, spanning crates.
 
 use elsm_repro::crypto::{AeadKey, DetKey, OpeKey};
+use elsm_repro::merkle::tree::leaf_hash;
 use elsm_repro::merkle::{
     chain_digest, prove_range, verify_range, LevelDigest, MerkleTree, RecordProof,
 };
-use elsm_repro::merkle::tree::leaf_hash;
 use proptest::prelude::*;
 
 proptest! {

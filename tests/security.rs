@@ -30,13 +30,7 @@ fn every_sstable_byte_is_load_bearing() {
     // Corrupt several positions in one table; at least the covered reads
     // must fail verification, and no read may return wrong data silently.
     let store = loaded_store();
-    let sst = store
-        .fs()
-        .list()
-        .into_iter()
-        .filter(|n| n.ends_with(".sst"))
-        .max()
-        .expect("a table");
+    let sst = store.fs().list().into_iter().filter(|n| n.ends_with(".sst")).max().expect("a table");
     let file = store.fs().open(&sst).unwrap();
     for offset in [50usize, 500, 1500] {
         if offset < file.len() {

@@ -45,12 +45,19 @@ fn p2() -> (P2Driver, std::sync::Arc<Platform>) {
 
 #[test]
 fn every_standard_workload_runs_verified_on_p2() {
-    for w in [Workload::a(), Workload::b(), Workload::c(), Workload::d(), Workload::e(), Workload::f()] {
+    for w in
+        [Workload::a(), Workload::b(), Workload::c(), Workload::d(), Workload::e(), Workload::f()]
+    {
         let (driver, platform) = p2();
         load_phase(&driver, 300, w.value_len);
         let report = run_phase(&driver, &platform, &w, 300, 600, 42);
         assert_eq!(report.ops, 600, "workload {}", w.workload_name());
-        assert!(report.read_hit_rate > 0.95, "workload {}: {}", w.workload_name(), report.read_hit_rate);
+        assert!(
+            report.read_hit_rate > 0.95,
+            "workload {}: {}",
+            w.workload_name(),
+            report.read_hit_rate
+        );
         assert!(report.overall.mean_us > 0.0);
     }
 }
@@ -81,9 +88,7 @@ fn p2_reads_beat_p1_beyond_the_epc() {
         let driver = P2Driver(store);
         load_phase(&driver, records, 100);
         driver.0.db().flush().unwrap();
-        run_phase(&driver, &platform, &Workload::read_ratio(100), records, 1000, 7)
-            .overall
-            .mean_us
+        run_phase(&driver, &platform, &Workload::read_ratio(100), records, 1000, 7).overall.mean_us
     };
     let p1_lat = {
         let platform = Platform::new(cost);
@@ -99,14 +104,9 @@ fn p2_reads_beat_p1_beyond_the_epc() {
         let driver = P1Driver(store);
         load_phase(&driver, records, 100);
         driver.0.db().flush().unwrap();
-        run_phase(&driver, &platform, &Workload::read_ratio(100), records, 1000, 7)
-            .overall
-            .mean_us
+        run_phase(&driver, &platform, &Workload::read_ratio(100), records, 1000, 7).overall.mean_us
     };
-    assert!(
-        p2_lat < p1_lat,
-        "P2 must beat P1 beyond the EPC: {p2_lat:.1}µs vs {p1_lat:.1}µs"
-    );
+    assert!(p2_lat < p1_lat, "P2 must beat P1 beyond the EPC: {p2_lat:.1}µs vs {p1_lat:.1}µs");
 }
 
 #[test]
@@ -138,8 +138,9 @@ fn unsecured_is_fastest_p1_pays_paging_p2_pays_proofs() {
     };
     let (p2_driver, p2_platform) = p2();
     load_phase(&p2_driver, records, 100);
-    let p2 =
-        run_phase(&p2_driver, &p2_platform, &Workload::read_ratio(70), records, 800, 3).overall.mean_us;
+    let p2 = run_phase(&p2_driver, &p2_platform, &Workload::read_ratio(70), records, 800, 3)
+        .overall
+        .mean_us;
     let unsec = run_unsec();
     assert!(unsec < p2, "unsecured must be fastest: {unsec:.1} vs p2 {p2:.1}");
 }
