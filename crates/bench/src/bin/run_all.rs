@@ -24,6 +24,7 @@ fn main() {
         ablation_bloom(&scale, opts),
         ablation_update_in_place(&scale, opts),
         ablation_rollback(&scale, opts),
+        fig9(&scale, opts),
     ];
     for t in &tables {
         if markdown {
@@ -33,4 +34,8 @@ fn main() {
             println!();
         }
     }
+    elsm_bench::results::write_results(
+        "BENCH_results.json",
+        if opts.quick { "smoke" } else { "full" },
+    );
 }

@@ -12,7 +12,7 @@ use elsm::{ElsmP1, ElsmP2, P1Options, P2Options, ReadMode};
 use elsm_baselines::{EleosOptions, EleosStore, MbtStore, UnsecuredLsm, UnsecuredOptions};
 use sgx_sim::Platform;
 use sim_disk::{SimDisk, SimFs};
-use ycsb::{load_phase, run_phase, Table, Workload};
+use ycsb::{load_phase, run_phase, run_phase_concurrent, Table, Workload};
 
 use crate::drivers::{EleosDriver, MbtDriver, P1Driver, P2Driver, UnsecuredDriver};
 use crate::scale::{Scale, VALUE_BYTES};
@@ -122,7 +122,9 @@ fn measured_reads(
     dist: &str,
 ) -> f64 {
     let w = Workload::read_ratio(100).with_distribution(dist);
-    run_phase(driver, platform, &w, records, ops, 0xf16).overall.mean_us
+    let report = run_phase(driver, platform, &w, records, ops, 0xf16);
+    crate::results::note_run(&report);
+    report.overall.mean_us
 }
 
 fn measured_mix(
@@ -132,7 +134,9 @@ fn measured_mix(
     records: u64,
     ops: u64,
 ) -> f64 {
-    run_phase(driver, platform, w, records, ops, 0xf17).overall.mean_us
+    let report = run_phase(driver, platform, w, records, ops, 0xf17);
+    crate::results::note_run(&report);
+    report.overall.mean_us
 }
 
 // ---------------------------------------------------------------------------
@@ -142,6 +146,7 @@ fn measured_mix(
 /// Figure 2: read latency with the read buffer inside vs. outside the
 /// enclave, 5 GB disk-resident dataset, buffer swept 4 MB → 2048 MB.
 pub fn fig2(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig2");
     let buffers: &[u64] = if opts.quick {
         &[4, 32, 128, 600, 2000]
     } else {
@@ -217,6 +222,7 @@ pub fn table1() -> Table {
 
 /// Figure 5a: operation latency vs. read percentage (uniform keys, 3 GB).
 pub fn fig5a(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig5a");
     let points: &[u32] =
         if opts.quick { &[0, 30, 70, 100] } else { &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] };
     let data_gb = if opts.quick { 1.0 } else { 3.0 };
@@ -258,6 +264,7 @@ pub fn fig5a(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Figure 5b: latency vs. data size under YCSB-A (zipfian 50/50).
 pub fn fig5b(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig5b");
     let sizes: &[f64] = if opts.quick { &[0.6, 1.0, 3.0] } else { &[0.6, 0.8, 1.0, 2.0, 3.0] };
     let mut table = Table::new(
         "Figure 5b: YCSB-A latency vs data size (µs/op)",
@@ -297,6 +304,7 @@ pub fn fig5b(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Figure 5c: latency vs. key distribution (3 GB, 50/50 mix).
 pub fn fig5c(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig5c");
     let data_gb = if opts.quick { 1.0 } else { 3.0 };
     let records = scale.records_for_gb(data_gb);
     let mut table = Table::new(
@@ -330,6 +338,7 @@ pub fn fig5c(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Figure 6a: read latency vs. data size, all systems.
 pub fn fig6a(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig6a");
     let sizes_mb: &[u64] =
         if opts.quick { &[8, 128, 1024, 3072] } else { &[8, 64, 128, 256, 512, 1024, 2048, 3072] };
     let mut table = Table::new(
@@ -387,6 +396,7 @@ pub fn fig6a(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Figure 6b: eLSM-P2 mmap vs. user-space buffer reads.
 pub fn fig6b(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig6b");
     let sizes_mb: &[u64] = if opts.quick {
         &[8, 128, 1024, 3072]
     } else {
@@ -412,6 +422,7 @@ pub fn fig6b(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Figure 6c: read latency vs. buffer size at fixed 2 GB data.
 pub fn fig6c(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig6c");
     let buffers: &[u64] =
         if opts.quick { &[32, 128, 512, 2048] } else { &[32, 64, 128, 256, 512, 1024, 1536, 2048] };
     let data_gb = if opts.quick { 1.0 } else { 2.0 };
@@ -451,11 +462,14 @@ fn write_only(
     ops: u64,
 ) -> f64 {
     let w = Workload::read_ratio(0);
-    run_phase(driver, platform, &w, records, ops, 0x717).overall.mean_us
+    let report = run_phase(driver, platform, &w, records, ops, 0x717);
+    crate::results::note_run(&report);
+    report.overall.mean_us
 }
 
 /// Figure 7a: write latency (with compaction) vs. data size.
 pub fn fig7a(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig7a");
     let sizes: &[f64] = if opts.quick { &[0.2, 1.0, 2.0] } else { &[0.2, 1.0, 2.0, 3.0, 4.0] };
     let mut table = Table::new(
         "Figure 7a: write latency w/ compaction vs data size (µs/op)",
@@ -492,6 +506,7 @@ pub fn fig7a(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Figure 7b: writes with vs. without compaction.
 pub fn fig7b(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig7b");
     let sizes: &[f64] = if opts.quick { &[0.2, 1.0] } else { &[0.2, 1.0, 2.0, 3.0, 4.0] };
     let mut table = Table::new(
         "Figure 7b: write latency with/without compaction (µs/op)",
@@ -532,6 +547,7 @@ pub fn fig7b(scale: &Scale, opts: FigOpts) -> Table {
 /// Figure 8: write-buffer placement — write-only latency vs. write-buffer
 /// size, P1 vs. unsecured-outside.
 pub fn fig8(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig8");
     let buffers: &[u64] =
         if opts.quick { &[4, 64, 512] } else { &[4, 8, 16, 32, 64, 128, 256, 512] };
     let records = scale.records_for_gb(0.5);
@@ -570,6 +586,7 @@ pub fn fig8(scale: &Scale, opts: FigOpts) -> Table {
 /// Ablation: early-stop proofs (eLSM) vs. all-level verification
 /// (Speicher-style) — measured as levels checked and proof bytes per GET.
 pub fn ablation_proofs(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("ablation_proofs");
     let records = scale.records_for_gb(1.0);
     let (store, platform) = build_p2(scale, ReadMode::Mmap, 8);
     let driver = P2Driver(store);
@@ -607,6 +624,7 @@ pub fn ablation_proofs(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Ablation: Bloom filters on/off for present and absent keys.
 pub fn ablation_bloom(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("ablation_bloom");
     let records = scale.records_for_gb(0.5);
     let mut table = Table::new(
         "Ablation: Bloom filter effect on GET latency (µs/op)",
@@ -638,6 +656,7 @@ pub fn ablation_bloom(scale: &Scale, opts: FigOpts) -> Table {
 /// Ablation: the §3.4 motivation — update-in-place Merkle B-tree vs. LSM
 /// writes.
 pub fn ablation_update_in_place(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("ablation_update_in_place");
     let records = scale.records_for_gb(0.25);
     let mut table = Table::new(
         "Ablation: update-in-place ADS vs eLSM (write latency µs/op)",
@@ -662,6 +681,7 @@ pub fn ablation_update_in_place(scale: &Scale, opts: FigOpts) -> Table {
 
 /// Ablation: rollback-defence overhead vs. counter write-buffer size.
 pub fn ablation_rollback(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("ablation_rollback");
     use sgx_sim::MonotonicCounter;
     let records = scale.records_for_gb(0.25);
     let mut table = Table::new(
@@ -684,6 +704,72 @@ pub fn ablation_rollback(scale: &Scale, opts: FigOpts) -> Table {
         let lat = write_only(&driver, &platform, records, opts.ops());
         let label = if buffer == 0 { "off".to_string() } else { buffer.to_string() };
         table.row_f64(label, &[lat]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 (new in this reproduction): thread scaling
+// ---------------------------------------------------------------------------
+
+/// Figure 9: read throughput vs. client threads, eLSM-P2 vs. the
+/// unsecured baseline.
+///
+/// Uses the virtual-thread scheduler ([`ycsb::run_phase_concurrent`]):
+/// virtual time charged inside store critical sections serializes across
+/// clients, the rest overlaps. With snapshot-isolated reads the serial
+/// fraction of a GET is only the brief snapshot acquisition, so
+/// throughput scales near-linearly; a store holding a global mutex across
+/// block IO and verification stays flat (the pre-snapshot baseline
+/// recorded in `BENCH_results.json` under `fig9_prechange`).
+pub fn fig9(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig9_thread_scaling");
+    let records = scale.records_for_mb(if opts.quick { 512 } else { 2048 }).max(1_000);
+    let ops = if opts.quick { 4_000 } else { 16_000 };
+    let w = Workload::c();
+    let mut table = Table::new(
+        "Figure 9: read throughput vs client threads (kops/s, simulated)",
+        &[
+            "threads",
+            "elsm_p2_kops",
+            "p2_speedup",
+            "unsecured_kops",
+            "unsec_speedup",
+            "p2_serial_pct",
+        ],
+    );
+    // Build each system once: workload C is read-only, so every thread
+    // count sweeps over an identical store state.
+    let (p2_store, p2_platform) = build_p2(scale, ReadMode::Mmap, 8);
+    let p2 = P2Driver(p2_store);
+    load_phase(&p2, records, VALUE_BYTES);
+    p2.0.db().flush().expect("flush");
+    let unsec_platform = Platform::new(scale.cost_model());
+    let unsec = UnsecuredDriver(
+        UnsecuredLsm::open(unsec_platform.clone(), unsecured_options(scale, false, true, 8))
+            .expect("open"),
+    );
+    load_phase(&unsec, records, VALUE_BYTES);
+    unsec.0.db().flush().expect("flush");
+    let mut p2_base = 0.0f64;
+    let mut unsec_base = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let r_p2 = run_phase_concurrent(&p2, &p2_platform, &w, records, ops, 0xf19, threads);
+        let r_un = run_phase_concurrent(&unsec, &unsec_platform, &w, records, ops, 0xf19, threads);
+        crate::results::note_concurrent("elsm_p2_mmap", &r_p2);
+        crate::results::note_concurrent("unsecured", &r_un);
+        if threads == 1 {
+            p2_base = r_p2.kops_per_sec;
+            unsec_base = r_un.kops_per_sec;
+        }
+        table.row(vec![
+            threads.to_string(),
+            format!("{:.1}", r_p2.kops_per_sec),
+            format!("{:.2}x", r_p2.kops_per_sec / p2_base.max(1e-9)),
+            format!("{:.1}", r_un.kops_per_sec),
+            format!("{:.2}x", r_un.kops_per_sec / unsec_base.max(1e-9)),
+            format!("{:.1}%", r_p2.serial_fraction * 100.0),
+        ]);
     }
     table
 }

@@ -8,6 +8,7 @@
 
 pub mod drivers;
 pub mod figures;
+pub mod results;
 pub mod scale;
 
 pub use figures::FigOpts;

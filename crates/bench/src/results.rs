@@ -1,0 +1,157 @@
+//! Machine-readable benchmark results.
+//!
+//! Every YCSB measurement the figure functions take is also recorded here
+//! and written to `BENCH_results.json` by the figure binaries and
+//! `run_all`, so the performance trajectory of the repository is tracked
+//! by commits and CI artifacts rather than by eyeballing text tables. The
+//! committed `BENCH_results.json` at the repository root is the baseline
+//! from the `--smoke` sweep; regenerate and compare before landing
+//! performance-sensitive changes.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use ycsb::{ConcurrentReport, RunReport};
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ResultEntry {
+    /// Figure/ablation the measurement belongs to.
+    pub figure: String,
+    /// Configuration label (deterministic per figure: the n-th measurement
+    /// of a figure is always the same configuration for a given mode).
+    pub config: String,
+    /// Workload name.
+    pub workload: String,
+    /// Throughput in operations per simulated second.
+    pub ops_per_sec: f64,
+    /// Median per-operation latency (simulated µs).
+    pub p50_us: f64,
+    /// 99th-percentile per-operation latency (simulated µs).
+    pub p99_us: f64,
+}
+
+struct Sink {
+    figure: String,
+    seq: u64,
+    entries: Vec<ResultEntry>,
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink { figure: String::new(), seq: 0, entries: Vec::new() });
+
+/// Declares the figure subsequent [`note_run`] calls belong to.
+pub fn set_figure(name: &str) {
+    let mut s = SINK.lock().unwrap();
+    s.figure = name.to_string();
+    s.seq = 0;
+}
+
+/// Records a single-threaded run-phase measurement under the current
+/// figure.
+pub fn note_run(report: &RunReport) {
+    let mut s = SINK.lock().unwrap();
+    let config = format!("{}#{}", s.figure, s.seq);
+    s.seq += 1;
+    let figure = s.figure.clone();
+    s.entries.push(ResultEntry {
+        figure,
+        config,
+        workload: report.workload.clone(),
+        ops_per_sec: if report.overall.mean_us > 0.0 { 1e6 / report.overall.mean_us } else { 0.0 },
+        p50_us: report.overall.p50_us,
+        p99_us: report.overall.p99_us,
+    });
+}
+
+/// Records a multi-client thread-scaling measurement under the current
+/// figure, labeled with the system under test and the thread count.
+pub fn note_concurrent(system: &str, report: &ConcurrentReport) {
+    let mut s = SINK.lock().unwrap();
+    let figure = s.figure.clone();
+    s.entries.push(ResultEntry {
+        figure,
+        config: format!("{system}@{}threads", report.threads),
+        workload: report.workload.clone(),
+        ops_per_sec: report.kops_per_sec * 1_000.0,
+        p50_us: report.overall.p50_us,
+        p99_us: report.overall.p99_us,
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders all recorded entries as a JSON document.
+pub fn to_json(mode: &str) -> String {
+    let s = SINK.lock().unwrap();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"generated_by\": \"elsm-bench\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(mode));
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, e) in s.entries.iter().enumerate() {
+        let comma = if i + 1 < s.entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"figure\": \"{}\", \"config\": \"{}\", \"workload\": \"{}\", \
+             \"ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}",
+            json_escape(&e.figure),
+            json_escape(&e.config),
+            json_escape(&e.workload),
+            e.ops_per_sec,
+            e.p50_us,
+            e.p99_us,
+            comma
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes all recorded entries to `path` (called by the figure binaries
+/// after printing their tables). Errors are reported, not fatal — result
+/// tracking must never fail a benchmark run.
+pub fn write_results(path: &str, mode: &str) {
+    if let Err(e) = std::fs::write(path, to_json(mode)) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("(machine-readable results written to {path})");
+    }
+}
+
+/// Number of entries currently recorded (for tests).
+pub fn len() -> usize {
+    SINK.lock().unwrap().entries.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ycsb::LatencySummary;
+
+    #[test]
+    fn json_round_trip_shape() {
+        set_figure("figX");
+        let report = RunReport {
+            workload: "C".into(),
+            overall: LatencySummary {
+                count: 10,
+                mean_us: 2.0,
+                p50_us: 1.5,
+                p95_us: 3.0,
+                p99_us: 4.0,
+                max_us: 5.0,
+            },
+            reads: LatencySummary::default(),
+            writes: LatencySummary::default(),
+            ops: 10,
+            read_hit_rate: 1.0,
+        };
+        note_run(&report);
+        let json = to_json("test");
+        assert!(json.contains("\"figure\": \"figX\""));
+        assert!(json.contains("\"config\": \"figX#0\""));
+        assert!(json.contains("\"ops_per_sec\": 500000.0"));
+        assert!(len() >= 1);
+    }
+}

@@ -68,6 +68,13 @@ pub enum VerificationFailure {
     /// The sealed enclave state could not be unsealed (tampered or from a
     /// different enclave).
     SealBroken,
+    /// A trace names an epoch the enclave holds no commitment snapshot
+    /// for — either a fabricated epoch or one that drained long ago (the
+    /// host replaying an ancient view).
+    UnknownEpoch {
+        /// The epoch the trace claimed.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for VerificationFailure {
@@ -99,6 +106,9 @@ impl fmt::Display for VerificationFailure {
                 write!(f, "compaction input digest mismatch at level {level}")
             }
             VerificationFailure::SealBroken => f.write_str("sealed enclave state failed to unseal"),
+            VerificationFailure::UnknownEpoch { epoch } => {
+                write!(f, "no commitment snapshot for epoch {epoch}")
+            }
         }
     }
 }

@@ -8,9 +8,14 @@
 //! * `transform_output` ↔ `auth_onTableFileCreated`: checks the rebuilt
 //!   input roots against the enclave's commitments, builds the output
 //!   level's digest, and embeds a proof in every output record,
-//! * `on_compaction_end`: installs the output commitment in the enclave
-//!   and the full digest in the untrusted store (and empties the consumed
-//!   input level) — the mutex-guarded root replacement of §5.5.2,
+//! * `on_compaction_end`: installs the output commitment in the enclave's
+//!   *working* vector and the full digest in the untrusted store (and
+//!   empties the consumed input level),
+//! * `on_version_install`: publishes the working commitments/digests as
+//!   the immutable snapshot for the installing version's epoch — the
+//!   §5.5.2 root replacement, made atomic by versioning instead of a
+//!   store-wide mutex,
+//! * `on_versions_retired`: prunes snapshots whose readers drained,
 //! * `on_wal_append`: maintains the in-enclave WAL digest (step w1).
 
 use std::collections::HashMap;
@@ -162,6 +167,16 @@ impl StoreListener for AuthListener {
             self.trusted.clear_commitment(info.input_level as u32);
             self.digests.clear(info.input_level as u32);
         }
+    }
+
+    fn on_version_install(&self, epoch: u64) {
+        self.trusted.publish_epoch(epoch);
+        self.digests.publish_epoch(epoch);
+    }
+
+    fn on_versions_retired(&self, live_epochs: &[u64]) {
+        self.trusted.prune_epochs(live_epochs);
+        self.digests.prune_epochs(live_epochs);
     }
 }
 

@@ -238,6 +238,9 @@ impl ElsmP2 {
         // host tampered with them, proofs will fail against the restored
         // commitments at query time.
         self.rebuild_untrusted_digests()?;
+        // Re-publish the rebuilt trees for the recovered store's current
+        // epoch, mirroring the restored commitment snapshot.
+        self.digests.publish_epoch(self.db.current_epoch());
         Ok(())
     }
 
@@ -364,10 +367,12 @@ impl AuthenticatedKv for ElsmP2 {
 
     fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
         self.ensure_healthy()?;
-        // Trace capture and verification are one critical section: the
-        // verifier must see the commitments that were current when the
-        // trace was collected, or a concurrent flush/compaction would
-        // replace roots underneath the read (§5.5.2).
+        // The trace is collected against a pinned version snapshot and
+        // verified against the commitment set published for that
+        // snapshot's epoch. Concurrent flush/compaction installs replace
+        // neither — readers never serialize behind them, yet verification
+        // always sees exactly the roots the trace was collected under
+        // (the §5.5.2 guarantee, lock-free).
         let (trace, verdict) = self.platform.ecall(|| {
             self.db.get_with_trace_sync(key, Timestamp::MAX >> 1, |trace| {
                 self.trusted.verify_get(key, trace)
@@ -496,7 +501,7 @@ fn decode_state(buf: &[u8]) -> Option<(Vec<LevelCommitment>, Digest)> {
 // A small accessor used by scan verification; kept here to avoid exposing
 // the prover trait at the API surface.
 impl RangeProver for ElsmP2 {
-    fn prove_range(&self, level: u32, lo: u64, hi: u64) -> Option<merkle::RangeProof> {
-        self.digests.prove_range(level, lo, hi)
+    fn prove_range(&self, epoch: u64, level: u32, lo: u64, hi: u64) -> Option<merkle::RangeProof> {
+        self.digests.prove_range(epoch, level, lo, hi)
     }
 }

@@ -1,10 +1,23 @@
 //! The enclave-resident trusted state and the VRFY algorithms (§5.3).
 //!
 //! [`TrustedState`] holds exactly what the paper keeps inside the enclave:
-//! one Merkle commitment per LSM level (root + leaf count, guarded by a
-//! mutex for the compaction/read synchronization of §5.5.2), the running
+//! one Merkle commitment per LSM level (root + leaf count), the running
 //! WAL digest, and the poisoned flag set when a compaction's inputs fail
 //! digest verification.
+//!
+//! # Epoch-versioned commitments
+//!
+//! The paper's §5.5.2 serializes reads against compaction installs with a
+//! mutex. This implementation keeps the *guarantee* — a trace is always
+//! verified against the exact commitments it was collected under — without
+//! the lock: every store version install publishes an immutable snapshot
+//! of the commitment vector tagged with the version's **epoch**
+//! ([`TrustedState::publish_epoch`]), and [`TrustedState::verify_get`] /
+//! [`TrustedState::verify_scan`] look the snapshot up by the trace's
+//! epoch. Snapshots are pruned once their readers drain
+//! ([`TrustedState::prune_epochs`]); a trace naming an unknown epoch is
+//! rejected ([`VerificationFailure::UnknownEpoch`]), so the host cannot
+//! replay arbitrarily old views.
 //!
 //! [`TrustedState::verify_get`] implements the GET verification of
 //! Theorem 5.3: membership + freshness at the hit level, non-membership at
@@ -12,6 +25,7 @@
 //! [`TrustedState::verify_scan`] implements the §5.4 range completeness
 //! check using segment-tree range proofs.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,9 +41,9 @@ use crate::error::VerificationFailure;
 /// Supplies range proofs for a level — implemented by the untrusted host's
 /// digest store ([`crate::digests::UntrustedDigests`]).
 pub trait RangeProver {
-    /// Produces the proof for leaves `lo..=hi` of `level`, or `None` if
-    /// the host cannot (treated as a completeness failure).
-    fn prove_range(&self, level: u32, lo: u64, hi: u64) -> Option<RangeProof>;
+    /// Produces the proof for leaves `lo..=hi` of `level` as of `epoch`,
+    /// or `None` if the host cannot (treated as a completeness failure).
+    fn prove_range(&self, epoch: u64, level: u32, lo: u64, hi: u64) -> Option<RangeProof>;
 }
 
 /// Counters describing verification work (proof-size ablations read these).
@@ -44,12 +58,21 @@ pub struct VerifyStats {
     pub levels_checked: u64,
 }
 
+/// The commitment vector plus its epoch-tagged published snapshots.
+#[derive(Debug)]
+struct CommitmentStore {
+    /// The working vector compactions mutate before their install.
+    current: Vec<LevelCommitment>,
+    /// Published snapshots, oldest first; verification reads these.
+    epochs: VecDeque<(u64, Arc<[LevelCommitment]>)>,
+}
+
 /// Enclave-held state of an eLSM-P2 store.
 #[derive(Debug)]
 pub struct TrustedState {
     platform: Arc<Platform>,
     max_levels: usize,
-    commitments: Mutex<Vec<LevelCommitment>>,
+    commitments: Mutex<CommitmentStore>,
     wal_digest: Mutex<Digest>,
     /// Stacked-run mode (compaction disabled): freshness order is highest
     /// level first, and GET traces arrive in that order.
@@ -61,12 +84,17 @@ pub struct TrustedState {
 }
 
 impl TrustedState {
-    /// Fresh state with empty commitments for levels `1..=max_levels`.
+    /// Fresh state with empty commitments for levels `1..=max_levels`,
+    /// published as the snapshot for epoch 0.
     pub fn new(platform: Arc<Platform>, max_levels: usize) -> Arc<Self> {
+        let current: Vec<LevelCommitment> =
+            (0..=max_levels as u32).map(LevelCommitment::empty).collect();
+        let mut epochs = VecDeque::new();
+        epochs.push_back((0, Arc::from(current.as_slice())));
         Arc::new(TrustedState {
             platform,
             max_levels,
-            commitments: Mutex::new((0..=max_levels as u32).map(LevelCommitment::empty).collect()),
+            commitments: Mutex::new(CommitmentStore { current, epochs }),
             wal_digest: Mutex::new(Digest::ZERO),
             stacked: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
@@ -79,25 +107,29 @@ impl TrustedState {
     /// Number of on-disk levels currently tracked (grows when the store
     /// stacks runs with compaction disabled).
     pub fn max_levels(&self) -> usize {
-        self.commitments.lock().len().saturating_sub(1).max(self.max_levels)
+        self.commitments.lock().current.len().saturating_sub(1).max(self.max_levels)
     }
 
-    /// The commitment for `level` (empty for levels never installed).
+    /// The *working* commitment for `level` (empty for levels never
+    /// installed). Compaction input checks read this; trace verification
+    /// reads epoch snapshots instead.
     pub fn commitment(&self, level: u32) -> LevelCommitment {
         let c = self.commitments.lock();
-        c.get(level as usize).copied().unwrap_or_else(|| LevelCommitment::empty(level))
+        c.current.get(level as usize).copied().unwrap_or_else(|| LevelCommitment::empty(level))
     }
 
-    /// Installs a commitment (the compaction-completion ECall of §5.5.2),
-    /// growing the level table if needed.
+    /// Installs a commitment into the working vector (the
+    /// compaction-completion ECall of §5.5.2), growing the level table if
+    /// needed. It becomes visible to verification when the owning store
+    /// version's epoch is published.
     pub fn set_commitment(&self, commitment: LevelCommitment) {
         let mut c = self.commitments.lock();
         let idx = commitment.level as usize;
-        while c.len() <= idx {
-            let next = c.len() as u32;
-            c.push(LevelCommitment::empty(next));
+        while c.current.len() <= idx {
+            let next = c.current.len() as u32;
+            c.current.push(LevelCommitment::empty(next));
         }
-        c[idx] = commitment;
+        c.current[idx] = commitment;
     }
 
     /// Clears a level's commitment (its run was consumed by compaction).
@@ -105,14 +137,55 @@ impl TrustedState {
         self.set_commitment(LevelCommitment::empty(level));
     }
 
-    /// All commitments (for sealing).
+    /// All working commitments (for sealing).
     pub fn commitments(&self) -> Vec<LevelCommitment> {
-        self.commitments.lock().clone()
+        self.commitments.lock().current.clone()
     }
 
-    /// Restores commitments from sealed state.
+    /// Restores commitments from sealed state, re-publishing the newest
+    /// epoch snapshot so recovered traces verify against the restored
+    /// roots.
     pub fn restore_commitments(&self, commitments: Vec<LevelCommitment>) {
-        *self.commitments.lock() = commitments;
+        let mut c = self.commitments.lock();
+        let snapshot: Arc<[LevelCommitment]> = Arc::from(commitments.as_slice());
+        c.current = commitments;
+        match c.epochs.back_mut() {
+            Some(back) => back.1 = snapshot,
+            None => c.epochs.push_back((0, snapshot)),
+        }
+    }
+
+    /// Publishes the working commitment vector as the snapshot for
+    /// `epoch` (called under the store's write lock, *before* the version
+    /// becomes visible — no reader can name an epoch without a snapshot).
+    pub fn publish_epoch(&self, epoch: u64) {
+        let mut c = self.commitments.lock();
+        let snapshot: Arc<[LevelCommitment]> = Arc::from(c.current.as_slice());
+        match c.epochs.back_mut() {
+            Some(back) if back.0 == epoch => back.1 = snapshot,
+            _ => c.epochs.push_back((epoch, snapshot)),
+        }
+    }
+
+    /// Drops snapshots for epochs no longer in the live set (their
+    /// readers have drained) — interior drained epochs included, so one
+    /// long-pinned old snapshot cannot make the history grow without
+    /// bound. The newest snapshot always survives.
+    pub fn prune_epochs(&self, live_epochs: &[u64]) {
+        let mut c = self.commitments.lock();
+        let newest = c.epochs.back().map(|(e, _)| *e);
+        c.epochs.retain(|(e, _)| Some(*e) == newest || live_epochs.contains(e));
+    }
+
+    /// Number of epoch snapshots currently held (diagnostics/tests).
+    pub fn epochs_tracked(&self) -> usize {
+        self.commitments.lock().epochs.len()
+    }
+
+    /// The commitment snapshot published for `epoch`, if still held.
+    fn commitments_at(&self, epoch: u64) -> Option<Arc<[LevelCommitment]>> {
+        let c = self.commitments.lock();
+        c.epochs.iter().find(|(e, _)| *e == epoch).map(|(_, s)| s.clone())
     }
 
     /// Folds a WAL append into the running digest (§5.3, step w1).
@@ -136,7 +209,7 @@ impl TrustedState {
     /// digest — what the rollback counter binds (§5.6.1).
     pub fn dataset_digest(&self) -> Digest {
         let commitments = self.commitments.lock();
-        let digests: Vec<Digest> = commitments.iter().map(|c| c.digest()).collect();
+        let digests: Vec<Digest> = commitments.current.iter().map(|c| c.digest()).collect();
         let wal = self.wal_digest.lock();
         let mut parts: Vec<&[u8]> = vec![&[0x06]];
         for d in &digests {
@@ -195,7 +268,8 @@ impl TrustedState {
 
     // ----- GET verification (Theorem 5.3) ---------------------------------
 
-    /// Verifies a traced point query for `key`.
+    /// Verifies a traced point query for `key` against the commitment
+    /// snapshot of the trace's epoch.
     ///
     /// # Errors
     ///
@@ -205,12 +279,19 @@ impl TrustedState {
             // Served from trusted enclave memory; nothing to verify.
             return Ok(());
         }
+        let snapshot = self
+            .commitments_at(trace.epoch)
+            .ok_or(VerificationFailure::UnknownEpoch { epoch: trace.epoch })?;
+        let commitment_at = |level: u32| {
+            snapshot.get(level as usize).copied().unwrap_or_else(|| LevelCommitment::empty(level))
+        };
+        let epoch_levels = snapshot.len().saturating_sub(1).max(self.max_levels);
         self.levels_checked.fetch_add(trace.levels.len() as u64, Ordering::Relaxed);
         // Expected search order: ascending with compaction (lower =
         // fresher, Lemma 5.4), descending in stacked-run mode (later run =
         // fresher).
         let stacked = self.is_stacked();
-        let mut expected: i64 = if stacked { self.max_levels() as i64 } else { 1 };
+        let mut expected: i64 = if stacked { epoch_levels as i64 } else { 1 };
         let step: i64 = if stacked { -1 } else { 1 };
         let mut hit = false;
         for search in &trace.levels {
@@ -221,7 +302,7 @@ impl TrustedState {
                 // Nothing may follow the hit level (early stop).
                 return Err(VerificationFailure::LevelSkipped { expected: expected.max(0) as u32 });
             }
-            let commitment = self.commitment(expected as u32);
+            let commitment = commitment_at(expected as u32);
             match &search.outcome {
                 LevelOutcome::Empty => {
                     if !commitment.is_empty() {
@@ -238,7 +319,7 @@ impl TrustedState {
             }
             expected += step;
         }
-        let exhausted = if stacked { expected < 1 } else { expected as usize > self.max_levels() };
+        let exhausted = if stacked { expected < 1 } else { expected as usize > epoch_levels };
         if !hit && !exhausted {
             // The store must account for every level when nothing is found.
             return Err(VerificationFailure::LevelSkipped { expected: expected.max(0) as u32 });
@@ -373,12 +454,19 @@ impl TrustedState {
         trace: &ScanTrace,
         prover: &dyn RangeProver,
     ) -> Result<(), VerificationFailure> {
+        let snapshot = self
+            .commitments_at(trace.epoch)
+            .ok_or(VerificationFailure::UnknownEpoch { epoch: trace.epoch })?;
+        let epoch_levels = snapshot.len().saturating_sub(1).max(self.max_levels);
         let mut expected: u32 = 1;
         for range in &trace.levels {
             if range.level as u32 != expected {
                 return Err(VerificationFailure::LevelSkipped { expected });
             }
-            let commitment = self.commitment(expected);
+            let commitment = snapshot
+                .get(expected as usize)
+                .copied()
+                .unwrap_or_else(|| LevelCommitment::empty(expected));
             self.levels_checked.fetch_add(1, Ordering::Relaxed);
             if range.empty {
                 if !commitment.is_empty() {
@@ -387,10 +475,10 @@ impl TrustedState {
                 expected += 1;
                 continue;
             }
-            self.verify_level_range(&commitment, from, to, range, prover)?;
+            self.verify_level_range(&commitment, trace.epoch, from, to, range, prover)?;
             expected += 1;
         }
-        if (expected as usize) <= self.max_levels() {
+        if (expected as usize) <= epoch_levels {
             return Err(VerificationFailure::LevelSkipped { expected });
         }
         Ok(())
@@ -399,6 +487,7 @@ impl TrustedState {
     fn verify_level_range(
         &self,
         commitment: &LevelCommitment,
+        epoch: u64,
         from: &[u8],
         to: &[u8],
         range: &lsm_store::LevelRange,
@@ -485,7 +574,7 @@ impl TrustedState {
             return Err(fail("range end not anchored at the last leaf"));
         }
         let proof = prover
-            .prove_range(level, lo, hi)
+            .prove_range(epoch, level, lo, hi)
             .ok_or(fail("host failed to produce a range proof"))?;
         let leaves: Vec<Digest> = leaf_seq.iter().map(|(_, d)| *d).collect();
         self.platform.charge_hash(64 * (leaves.len() + proof.len()));

@@ -10,6 +10,29 @@
 //! * range reads visit every level (§5.4),
 //! * deletes are tombstones, purged at the bottom level.
 //!
+//! # Concurrency model
+//!
+//! The store is built for concurrent readers. On-disk state is an
+//! immutable, epoch-tagged [`Version`] (copy-on-write, LevelDB-style)
+//! swapped atomically on every flush/compaction install:
+//!
+//! * **reads** briefly take the shared side of the write lock to probe the
+//!   memtable and clone the current `Arc<Version>`, then do all Bloom,
+//!   index and block IO — and any caller-supplied verification — with no
+//!   store lock held;
+//! * **writes** take the write lock only for the WAL append + memtable
+//!   insert;
+//! * **flush/compaction** (serialized by a maintenance mutex) do their
+//!   merge IO against a pinned version and re-enter the write lock only to
+//!   freeze the memtable and to install the successor version.
+//!
+//! Retired versions are garbage-collected as readers drain; the listener
+//! learns of installs and retirements
+//! ([`StoreListener::on_version_install`] /
+//! [`StoreListener::on_versions_retired`]), which is how eLSM keeps
+//! epoch-tagged commitment snapshots for trace verification without a
+//! store-wide mutex (the §5.5.2 guarantee, without §5.5.2's lock).
+//!
 //! All observable events fire on the configured [`StoreListener`], which is
 //! how the `elsm` crate adds authentication without modifying this crate.
 
@@ -17,8 +40,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
-use sgx_sim::EnclaveRegion;
+use parking_lot::{Mutex, RwLock};
+use sgx_sim::{EnclaveRegion, SerialClass};
 use sim_disk::FsError;
 
 use crate::encoding::{get_fixed_u64, get_varint_u64, put_fixed_u64, put_varint_u64};
@@ -28,11 +51,16 @@ use crate::memtable::MemTable;
 use crate::merge::{KWayMerge, MergeInput};
 use crate::options::Options;
 use crate::record::{Record, Timestamp, ValueKind};
-use crate::sstable::{TableBuilder, TableGet, TableReader};
-use crate::version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace};
+use crate::sstable::{NeighborPolicy, TableBuilder, TableGet, TableReader};
+use crate::version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace, Version};
 use crate::wal::{recover, WalWriter};
 
 const MANIFEST: &str = "MANIFEST";
+
+/// Epochs kept verifiable even with no live reader, so detached
+/// trace-then-verify flows (adversary harnesses, tests) survive a few
+/// concurrent installs between collection and verification.
+const MIN_EPOCH_HISTORY: u64 = 8;
 
 /// Cumulative operation counters.
 #[derive(Debug, Default)]
@@ -61,12 +89,23 @@ pub struct DbStatsSnapshot {
     pub compaction_output_records: u64,
 }
 
+/// The mutable write side: everything the write lock protects.
 struct DbInner {
     memtable: MemTable,
     wal: WalWriter,
+    /// Oldest WAL the manifest still names (differs from `wal_no` only
+    /// while a flush is merging the frozen memtable).
+    wal_lo: u64,
+    /// The active WAL receiving new appends.
     wal_no: u64,
-    /// `levels[0]` is unused; `levels[i]` holds level `i`'s run.
-    levels: Vec<Option<Run>>,
+    /// The version visible to new readers.
+    current: Arc<Version>,
+    /// Published versions not yet known to have drained (newest included).
+    live: Vec<Arc<Version>>,
+}
+
+/// State only flush/compaction touch, serialized by the maintenance mutex.
+struct MaintState {
     next_file_no: u64,
 }
 
@@ -93,7 +132,8 @@ pub struct Db {
     env: Arc<StorageEnv>,
     options: Options,
     listener: Arc<dyn StoreListener>,
-    inner: Mutex<DbInner>,
+    inner: RwLock<DbInner>,
+    maint: Mutex<MaintState>,
     ts: AtomicU64,
     memtable_region: Option<EnclaveRegion>,
     stats: DbStats,
@@ -125,48 +165,60 @@ impl Db {
             .in_enclave
             .then(|| env.platform().enclave_alloc(options.write_buffer_bytes * 2));
         let recovering = env.fs().open(MANIFEST).is_ok();
-        let (inner, last_ts) = if recovering {
+        let (inner, next_file_no, last_ts) = if recovering {
             Self::recover_parts(&env, &options)?
         } else {
             let wal_file = env.fs().create(&wal_name(1))?;
+            let current = Arc::new(Version::empty(options.max_levels));
             (
                 DbInner {
                     memtable: MemTable::new(),
                     wal: WalWriter::new(env.clone(), wal_file),
+                    wal_lo: 1,
                     wal_no: 1,
-                    levels: (0..=options.max_levels).map(|_| None).collect(),
-                    next_file_no: 1,
+                    live: vec![current.clone()],
+                    current,
                 },
+                1,
                 0,
             )
         };
+        // Publish epoch 0 to the listener before any reader exists, so
+        // every epoch a trace can name has listener-side state.
+        listener.on_version_install(inner.current.epoch());
         let db = Db {
             env,
             options,
             listener,
-            inner: Mutex::new(inner),
+            inner: RwLock::new(inner),
+            maint: Mutex::new(MaintState { next_file_no }),
             ts: AtomicU64::new(last_ts),
             memtable_region,
             stats: DbStats::default(),
         };
         if !recovering {
-            db.write_manifest()?;
+            let maint = db.maint.lock();
+            db.write_manifest(&maint)?;
         }
         Ok(db)
     }
 
-    fn recover_parts(env: &Arc<StorageEnv>, options: &Options) -> Result<(DbInner, u64), FsError> {
+    fn recover_parts(
+        env: &Arc<StorageEnv>,
+        options: &Options,
+    ) -> Result<(DbInner, u64, u64), FsError> {
         let manifest = env.fs().open(MANIFEST)?;
         let bytes = env.host_call(|| manifest.read_at(0, manifest.len()))?;
         let corrupt =
             || FsError::OutOfBounds { name: MANIFEST.to_string(), requested_end: 0, len: 0 };
         let next_file_no = get_fixed_u64(&bytes, 0).ok_or_else(corrupt)?;
         let last_ts = get_fixed_u64(&bytes, 8).ok_or_else(corrupt)?;
-        let wal_no = get_fixed_u64(&bytes, 16).ok_or_else(corrupt)?;
-        let mut pos = 24usize;
+        let wal_lo = get_fixed_u64(&bytes, 16).ok_or_else(corrupt)?;
+        let wal_no = get_fixed_u64(&bytes, 24).ok_or_else(corrupt)?;
+        let mut pos = 32usize;
         let (nlevels, n) = get_varint_u64(&bytes[pos..]).ok_or_else(corrupt)?;
         pos += n;
-        let mut levels: Vec<Option<Run>> =
+        let mut levels: Vec<Option<Arc<Run>>> =
             (0..=options.max_levels.max(nlevels as usize)).map(|_| None).collect();
         for slot in levels.iter_mut().take(nlevels as usize + 1).skip(1) {
             let (nfiles, n) = get_varint_u64(&bytes[pos..]).ok_or_else(corrupt)?;
@@ -181,28 +233,45 @@ impl Db {
                 let file = env.fs().open(&table_name(file_no))?;
                 tables.push(Arc::new(TableReader::open(env.clone(), file, file_no)?));
             }
-            *slot = Some(Run::new(tables));
+            *slot = Some(Arc::new(Run::new(tables)));
         }
-        // Replay the WAL into a fresh memtable.
+        // Replay every WAL the manifest names, oldest first (a crash
+        // mid-flush leaves both the pre-freeze log and the active log
+        // live; appends are strictly ordered across the rotation).
+        let mut max_ts = last_ts;
+        let mut memtable = MemTable::new();
+        for no in wal_lo..=wal_no {
+            let Ok(file) = env.fs().open(&wal_name(no)) else { continue };
+            for r in recover(env, &file)? {
+                max_ts = max_ts.max(r.ts);
+                memtable.insert(r);
+            }
+        }
         let wal_file = match env.fs().open(&wal_name(wal_no)) {
             Ok(f) => f,
             Err(_) => env.fs().create(&wal_name(wal_no))?,
         };
-        let recovered = recover(env, &wal_file)?;
-        let mut max_ts = last_ts;
-        let mut memtable = MemTable::new();
-        for r in recovered {
-            max_ts = max_ts.max(r.ts);
-            memtable.insert(r);
+        // Orphaned logs outside the manifest's range (e.g. a rotation the
+        // manifest never learned of) hold no acknowledged data; remove
+        // them so their numbers can be reused.
+        for name in env.fs().list() {
+            if let Some(no) = parse_wal_name(&name) {
+                if !(wal_lo..=wal_no).contains(&no) {
+                    let _ = env.fs().delete(&name);
+                }
+            }
         }
+        let current = Arc::new(Version::new(0, None, levels));
         Ok((
             DbInner {
                 memtable,
                 wal: WalWriter::new(env.clone(), wal_file),
+                wal_lo,
                 wal_no,
-                levels,
-                next_file_no,
+                live: vec![current.clone()],
+                current,
             },
+            next_file_no,
             max_ts,
         ))
     }
@@ -236,6 +305,18 @@ impl Db {
         self.ts.load(Ordering::SeqCst)
     }
 
+    /// The currently visible version snapshot. Readers may hold it
+    /// arbitrarily long; its epoch stays verifiable until the snapshot
+    /// drops.
+    pub fn current_version(&self) -> Arc<Version> {
+        self.inner.read().current.clone()
+    }
+
+    /// Epoch of the currently visible version.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.read().current.epoch()
+    }
+
     /// Every record of one on-disk level, in internal-key order. Used by
     /// recovery paths that must rebuild derived structures (e.g. eLSM's
     /// untrusted digest store after a restart).
@@ -244,29 +325,39 @@ impl Db {
     ///
     /// Returns [`FsError`] on IO errors.
     pub fn level_record_dump(&self, level: usize) -> Result<Vec<Record>, FsError> {
-        let inner = self.inner.lock();
-        let Some(run) = inner.levels.get(level).and_then(|l| l.as_ref()) else {
+        let version = self.current_version();
+        let Some(run) = version.level(level) else {
             return Ok(Vec::new());
         };
         Ok(run.iter_records().collect())
     }
 
-    /// Bytes stored at each level (index 0 = memtable approximation).
+    /// Bytes stored at each level (index 0 = memtable approximation,
+    /// including a frozen memtable mid-flush).
     pub fn level_bytes(&self) -> Vec<u64> {
-        let inner = self.inner.lock();
-        let mut out = vec![inner.memtable.approximate_bytes() as u64];
-        for level in 1..inner.levels.len() {
-            out.push(inner.levels[level].as_ref().map_or(0, |r| r.total_bytes()));
+        let (mem, version) = {
+            let inner = self.inner.read();
+            (inner.memtable.approximate_bytes() as u64, inner.current.clone())
+        };
+        let imm = version.imm().map_or(0, |m| m.approximate_bytes() as u64);
+        let mut out = vec![mem + imm];
+        for level in 1..version.levels().len() {
+            out.push(version.level(level).map_or(0, |r| r.total_bytes()));
         }
         out
     }
 
-    /// Record count at each level (index 0 = memtable).
+    /// Record count at each level (index 0 = memtable, including a frozen
+    /// memtable mid-flush).
     pub fn level_records(&self) -> Vec<u64> {
-        let inner = self.inner.lock();
-        let mut out = vec![inner.memtable.len() as u64];
-        for level in 1..inner.levels.len() {
-            out.push(inner.levels[level].as_ref().map_or(0, |r| r.total_records()));
+        let (mem, version) = {
+            let inner = self.inner.read();
+            (inner.memtable.len() as u64, inner.current.clone())
+        };
+        let imm = version.imm().map_or(0, |m| m.len() as u64);
+        let mut out = vec![mem + imm];
+        for level in 1..version.levels().len() {
+            out.push(version.level(level).map_or(0, |r| r.total_records()));
         }
         out
     }
@@ -281,13 +372,11 @@ impl Db {
     /// Returns [`FsError`] if flushing or compaction IO fails.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, FsError> {
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
-        let ts = self.ts.fetch_add(1, Ordering::SeqCst) + 1;
-        self.write_record(Record::put(
+        self.write_record(
             Bytes::copy_from_slice(key),
             Bytes::copy_from_slice(value),
-            ts,
-        ))?;
-        Ok(ts)
+            ValueKind::Put,
+        )
     }
 
     /// Deletes a key by writing a tombstone; returns its timestamp.
@@ -297,27 +386,39 @@ impl Db {
     /// Returns [`FsError`] if flushing or compaction IO fails.
     pub fn delete(&self, key: &[u8]) -> Result<Timestamp, FsError> {
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
-        let ts = self.ts.fetch_add(1, Ordering::SeqCst) + 1;
-        self.write_record(Record::tombstone(Bytes::copy_from_slice(key), ts))?;
-        Ok(ts)
+        self.write_record(Bytes::copy_from_slice(key), Bytes::new(), ValueKind::Delete)
     }
 
-    fn write_record(&self, record: Record) -> Result<(), FsError> {
-        self.env.platform().charge_op_base();
-        let mut inner = self.inner.lock();
-        self.listener.on_wal_append(&record);
-        inner.wal.append(&record);
-        // Model the in-enclave memtable write: touch the insertion point.
-        if let Some(region) = &self.memtable_region {
-            let off = inner.memtable.approximate_bytes() % region.len().max(1);
-            let len = record.approximate_size().min(region.len() - off.min(region.len())).max(1);
-            self.env.platform().enclave_touch(region, off.min(region.len() - len), len);
+    fn write_record(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        kind: ValueKind,
+    ) -> Result<Timestamp, FsError> {
+        let (ts, flush_needed) = {
+            let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
+            self.env.platform().charge_op_base();
+            let mut inner = self.inner.write();
+            // Timestamps are assigned under the write lock, so timestamp
+            // order equals insertion order even across racing writers.
+            let ts = self.ts.fetch_add(1, Ordering::SeqCst) + 1;
+            let record = Record { key, value, ts, kind };
+            self.listener.on_wal_append(&record);
+            inner.wal.append(&record);
+            // Model the in-enclave memtable write: touch the insertion point.
+            if let Some(region) = &self.memtable_region {
+                let off = inner.memtable.approximate_bytes() % region.len().max(1);
+                let len =
+                    record.approximate_size().min(region.len() - off.min(region.len())).max(1);
+                self.env.platform().enclave_touch(region, off.min(region.len() - len), len);
+            }
+            inner.memtable.insert(record);
+            (ts, inner.memtable.approximate_bytes() >= self.options.write_buffer_bytes)
+        };
+        if flush_needed {
+            self.flush_if_over()?;
         }
-        inner.memtable.insert(record);
-        if inner.memtable.approximate_bytes() >= self.options.write_buffer_bytes {
-            self.flush_locked(&mut inner)?;
-        }
-        Ok(())
+        Ok(ts)
     }
 
     /// Forces a memtable flush (merging into level 1).
@@ -326,19 +427,35 @@ impl Db {
     ///
     /// Returns [`FsError`] on IO errors.
     pub fn flush(&self) -> Result<(), FsError> {
-        let mut inner = self.inner.lock();
-        self.flush_locked(&mut inner)
+        let mut maint = self.maint.lock();
+        let _serial = self.env.platform().serial_section(SerialClass::Maintenance);
+        self.flush_locked(&mut maint, 0)
+    }
+
+    /// Flush triggered by a full memtable: once the maintenance lock is
+    /// ours, flush only if the memtable is still over the write-buffer
+    /// budget (another writer may have flushed it meanwhile).
+    fn flush_if_over(&self) -> Result<(), FsError> {
+        let mut maint = self.maint.lock();
+        let _serial = self.env.platform().serial_section(SerialClass::Maintenance);
+        self.flush_locked(&mut maint, self.options.write_buffer_bytes)
     }
 
     // ----- read path ------------------------------------------------------
 
     /// Point query at the latest timestamp; tombstones read as absent.
     ///
+    /// This is the unauthenticated fast path: definite Bloom misses return
+    /// without index/block IO, and misses resolve no bounding neighbors
+    /// ([`NeighborPolicy::Skip`]).
+    ///
     /// # Errors
     ///
     /// Returns [`FsError`] on IO errors.
     pub fn get(&self, key: &[u8]) -> Result<Option<Record>, FsError> {
-        let trace = self.get_with_trace(key, Timestamp::MAX >> 1)?;
+        let ts_q = Timestamp::MAX >> 1;
+        let (mem_hit, version) = self.read_view(key, ts_q);
+        let trace = self.get_on_version(&version, mem_hit, key, ts_q, NeighborPolicy::Skip)?;
         Ok(trace.result.filter(|r| r.kind == ValueKind::Put))
     }
 
@@ -346,20 +463,25 @@ impl Db {
     /// interface eLSM builds proofs from). Search stops at the first level
     /// with a record for the key — the paper's early stop.
     ///
+    /// The trace is collected against an immutable [`Version`] snapshot;
+    /// no store lock is held during level IO. [`GetTrace::epoch`] names
+    /// the snapshot so verifiers check against the matching commitments.
+    ///
     /// # Errors
     ///
     /// Returns [`FsError`] on IO errors.
     pub fn get_with_trace(&self, key: &[u8], ts_q: Timestamp) -> Result<GetTrace, FsError> {
-        let inner = self.inner.lock();
-        self.get_with_trace_locked(&inner, key, ts_q)
+        let (mem_hit, version) = self.read_view(key, ts_q);
+        self.get_on_version(&version, mem_hit, key, ts_q, NeighborPolicy::Required)
     }
 
-    /// Like [`Db::get_with_trace`], but runs `check` on the trace *before*
-    /// releasing the store-wide mutex. Because flush/compaction installs
-    /// (and their listener callbacks, where eLSM replaces Merkle roots)
-    /// also run under that mutex, the callback observes commitments that
-    /// are guaranteed consistent with the trace — the mutex-guarded
-    /// read/compaction synchronization of the paper's §5.5.2.
+    /// Like [`Db::get_with_trace`], but runs `check` on the trace while the
+    /// version snapshot is still pinned. Pinning guarantees the trace's
+    /// epoch has not been retired, so `check` can verify against the
+    /// epoch's published commitments even while concurrent
+    /// flushes/compactions install new versions — the §5.5.2
+    /// read/compaction synchronization, without holding any store lock
+    /// across block IO or verification.
     ///
     /// # Errors
     ///
@@ -371,18 +493,16 @@ impl Db {
         ts_q: Timestamp,
         check: impl FnOnce(&GetTrace) -> T,
     ) -> Result<(GetTrace, T), FsError> {
-        let inner = self.inner.lock();
-        let trace = self.get_with_trace_locked(&inner, key, ts_q)?;
+        let (mem_hit, version) = self.read_view(key, ts_q);
+        let trace = self.get_on_version(&version, mem_hit, key, ts_q, NeighborPolicy::Required)?;
         let verdict = check(&trace);
+        drop(version); // the epoch may drain only after verification
         Ok((trace, verdict))
     }
 
-    fn get_with_trace_locked(
-        &self,
-        inner: &DbInner,
-        key: &[u8],
-        ts_q: Timestamp,
-    ) -> Result<GetTrace, FsError> {
+    /// Probes the live memtable and pins the current version: the only
+    /// part of a read that takes (the shared side of) the store lock.
+    fn read_view(&self, key: &[u8], ts_q: Timestamp) -> (Option<Record>, Arc<Version>) {
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.env.platform().charge_op_base();
         // Model the in-enclave memtable probe.
@@ -391,8 +511,29 @@ impl Db {
             let len = region.len().max(2);
             self.env.platform().enclave_touch(region, h % (len / 2), 32.min(len / 2));
         }
-        if let Some(r) = inner.memtable.get(key, ts_q) {
-            return Ok(GetTrace { memtable: Some(r.clone()), levels: Vec::new(), result: Some(r) });
+        let inner = self.inner.read();
+        (inner.memtable.get(key, ts_q), inner.current.clone())
+    }
+
+    /// Searches a pinned version: frozen memtable first (trusted memory),
+    /// then the levels in freshness order with early stop. No lock held.
+    fn get_on_version(
+        &self,
+        version: &Version,
+        mem_hit: Option<Record>,
+        key: &[u8],
+        ts_q: Timestamp,
+        neighbors: NeighborPolicy,
+    ) -> Result<GetTrace, FsError> {
+        let epoch = version.epoch();
+        let from_memtable = mem_hit.or_else(|| version.imm().and_then(|imm| imm.get(key, ts_q)));
+        if let Some(r) = from_memtable {
+            return Ok(GetTrace {
+                epoch,
+                memtable: Some(r.clone()),
+                levels: Vec::new(),
+                result: Some(r),
+            });
         }
         let mut levels = Vec::new();
         let mut result = None;
@@ -400,14 +541,14 @@ impl Db {
         // compaction off, runs stack upward as they flush, so the freshest
         // run has the highest index and search order reverses.
         let order: Vec<usize> = if self.options.compaction_enabled {
-            (1..inner.levels.len()).collect()
+            (1..version.levels().len()).collect()
         } else {
-            (1..inner.levels.len()).rev().collect()
+            (1..version.levels().len()).rev().collect()
         };
         for level in order {
-            match &inner.levels[level] {
+            match version.level(level) {
                 None => levels.push(LevelSearch { level, outcome: LevelOutcome::Empty }),
-                Some(run) => match run.get(key, ts_q)? {
+                Some(run) => match run.get(key, ts_q, neighbors)? {
                     TableGet::Hit(r) => {
                         levels.push(LevelSearch { level, outcome: LevelOutcome::Hit(r.clone()) });
                         result = Some(r);
@@ -422,7 +563,7 @@ impl Db {
                 },
             }
         }
-        Ok(GetTrace { memtable: None, levels, result })
+        Ok(GetTrace { epoch, memtable: None, levels, result })
     }
 
     /// Range query at the latest timestamp (Equation 1's SCAN).
@@ -431,11 +572,15 @@ impl Db {
     ///
     /// Returns [`FsError`] on IO errors.
     pub fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<Record>, FsError> {
-        Ok(self.scan_with_trace(from, to, Timestamp::MAX >> 1)?.merged)
+        let ts_q = Timestamp::MAX >> 1;
+        let (mem, version) = self.scan_view(from, to);
+        let trace = self.scan_on_version(&version, mem, from, to, ts_q, NeighborPolicy::Skip)?;
+        Ok(trace.merged)
     }
 
     /// Range query with the full per-level trace. Unlike GET, every level
-    /// is visited (§5.4).
+    /// is visited (§5.4). Collected against a pinned version with no store
+    /// lock held.
     ///
     /// # Errors
     ///
@@ -446,12 +591,12 @@ impl Db {
         to: &[u8],
         ts_q: Timestamp,
     ) -> Result<ScanTrace, FsError> {
-        let inner = self.inner.lock();
-        self.scan_with_trace_locked(&inner, from, to, ts_q)
+        let (mem, version) = self.scan_view(from, to);
+        self.scan_on_version(&version, mem, from, to, ts_q, NeighborPolicy::Required)
     }
 
-    /// Like [`Db::scan_with_trace`], but runs `check` on the trace before
-    /// releasing the store-wide mutex — the scan counterpart of
+    /// Like [`Db::scan_with_trace`], but runs `check` while the version
+    /// snapshot is pinned — the scan counterpart of
     /// [`Db::get_with_trace_sync`].
     ///
     /// # Errors
@@ -465,26 +610,37 @@ impl Db {
         ts_q: Timestamp,
         check: impl FnOnce(&ScanTrace) -> T,
     ) -> Result<(ScanTrace, T), FsError> {
-        let inner = self.inner.lock();
-        let trace = self.scan_with_trace_locked(&inner, from, to, ts_q)?;
+        let (mem, version) = self.scan_view(from, to);
+        let trace =
+            self.scan_on_version(&version, mem, from, to, ts_q, NeighborPolicy::Required)?;
         let verdict = check(&trace);
+        drop(version);
         Ok((trace, verdict))
     }
 
-    fn scan_with_trace_locked(
+    fn scan_view(&self, from: &[u8], to: &[u8]) -> (Vec<Record>, Arc<Version>) {
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        self.env.platform().charge_op_base();
+        let inner = self.inner.read();
+        (inner.memtable.range_records(from, to), inner.current.clone())
+    }
+
+    fn scan_on_version(
         &self,
-        inner: &DbInner,
+        version: &Version,
+        mut memtable: Vec<Record>,
         from: &[u8],
         to: &[u8],
         ts_q: Timestamp,
+        neighbors: NeighborPolicy,
     ) -> Result<ScanTrace, FsError> {
-        self.stats.scans.fetch_add(1, Ordering::Relaxed);
-        self.env.platform().charge_op_base();
-        let memtable: Vec<Record> =
-            inner.memtable.range_records(from, to).into_iter().filter(|r| r.ts <= ts_q).collect();
+        if let Some(imm) = version.imm() {
+            memtable.extend(imm.range_records(from, to));
+        }
+        memtable.retain(|r| r.ts <= ts_q);
         let mut levels = Vec::new();
-        for level in 1..inner.levels.len() {
-            match &inner.levels[level] {
+        for level in 1..version.levels().len() {
+            match version.level(level) {
                 None => levels.push(LevelRange {
                     level,
                     empty: true,
@@ -492,13 +648,20 @@ impl Db {
                     left: None,
                     right: None,
                 }),
-                Some(run) => levels.push(LevelRange {
-                    level,
-                    empty: false,
-                    records: run.range(from, to)?,
-                    left: run.neighbor_below(from, ts_q)?,
-                    right: run.neighbor_above(to, ts_q)?,
-                }),
+                Some(run) => {
+                    let (left, right) = if neighbors == NeighborPolicy::Required {
+                        (run.neighbor_below(from, ts_q)?, run.neighbor_above(to, ts_q)?)
+                    } else {
+                        (None, None)
+                    };
+                    levels.push(LevelRange {
+                        level,
+                        empty: false,
+                        records: run.range(from, to)?,
+                        left,
+                        right,
+                    });
+                }
             }
         }
         // Merge: newest visible version per key, tombstones hide.
@@ -519,17 +682,62 @@ impl Db {
                 merged.push(r.clone());
             }
         }
-        Ok(ScanTrace { memtable, levels, merged })
+        Ok(ScanTrace { epoch: version.epoch(), memtable, levels, merged })
     }
 
     // ----- flush & compaction ----------------------------------------------
 
-    fn flush_locked(&self, inner: &mut DbInner) -> Result<(), FsError> {
-        if inner.memtable.is_empty() {
-            return Ok(());
-        }
-        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        let mem_records: Vec<Record> = inner.memtable.iter_records().collect();
+    /// Installs `next` as the current version: the listener publishes the
+    /// epoch first (so no reader can observe an epoch without its
+    /// commitments), then the pointer swaps, then drained versions retire.
+    fn install_locked(&self, inner: &mut DbInner, next: Arc<Version>) {
+        self.listener.on_version_install(next.epoch());
+        inner.current = next.clone();
+        inner.live.push(next);
+        let newest = inner.current.epoch();
+        // A version has drained when only the live list itself holds it.
+        // Keep a small floor of recent epochs for detached-trace flows.
+        inner.live.retain(|v| {
+            v.epoch() == newest
+                || Arc::strong_count(v) > 1
+                || newest - v.epoch() < MIN_EPOCH_HISTORY
+        });
+        let live_epochs: Vec<u64> = inner.live.iter().map(|v| v.epoch()).collect();
+        self.listener.on_versions_retired(&live_epochs);
+    }
+
+    fn flush_locked(&self, maint: &mut MaintState, min_bytes: usize) -> Result<(), FsError> {
+        // Phase 1 (write lock): freeze the memtable into the version as an
+        // immutable snapshot, rotate the WAL, and publish — readers keep
+        // finding the frozen records in trusted memory while the merge
+        // writes them to their level.
+        let (imm, base, old_wal) = {
+            let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
+            let mut inner = self.inner.write();
+            if inner.memtable.is_empty() || inner.memtable.approximate_bytes() < min_bytes {
+                return Ok(());
+            }
+            let new_wal_no = inner.wal_no + 1;
+            let wal_file = self.env.fs().create(&wal_name(new_wal_no))?;
+            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+            let imm = Arc::new(std::mem::replace(&mut inner.memtable, MemTable::new()));
+            let old_wal = wal_name(inner.wal_no);
+            inner.wal = WalWriter::new(self.env.clone(), wal_file);
+            inner.wal_no = new_wal_no;
+            let next =
+                Arc::new(inner.current.with_imm(inner.current.epoch() + 1, Some(imm.clone())));
+            self.install_locked(&mut inner, next);
+            // Crash safety: before any writer can append to the new WAL
+            // (i.e. before this lock releases), the manifest must name
+            // both logs — otherwise acknowledged writes that land in the
+            // new WAL while the merge runs would be lost on recovery.
+            self.write_manifest_with(maint, inner.wal_lo, inner.wal_no, &inner.current)?;
+            (imm, inner.current.clone(), old_wal)
+        };
+
+        // Phase 2 (no store lock): merge the frozen records into the
+        // target level.
+        let mem_records: Vec<Record> = imm.iter_records().collect();
         for r in &mem_records {
             self.listener.on_flush_record(r);
         }
@@ -539,46 +747,49 @@ impl Db {
         }];
         let target = if self.options.compaction_enabled {
             // Rolling merge into level 1 (the paper's model).
-            push_run_inputs(&mut inputs, inner.levels[1].as_ref(), 1);
+            push_run_inputs(&mut inputs, base.level(1).map(|r| r.as_ref()), 1);
             1
         } else {
             // Compaction off: stack the run at the first empty level —
             // write amplification 1, read cost grows with run count
             // (Figure 7b's wo-compaction mode).
             let mut i = 1;
-            while i < inner.levels.len() && inner.levels[i].is_some() {
+            while i < base.levels().len() && base.level(i).is_some() {
                 i += 1;
-            }
-            if i == inner.levels.len() {
-                inner.levels.push(None);
             }
             i
         };
-        self.merge_into(inner, inputs, 0, target)?;
-        // Fresh memtable and WAL.
-        inner.memtable = MemTable::new();
-        let new_wal_no = inner.wal_no + 1;
-        let wal_file = self.env.fs().create(&wal_name(new_wal_no))?;
-        let old_wal = wal_name(inner.wal_no);
-        inner.wal = WalWriter::new(self.env.clone(), wal_file);
-        inner.wal_no = new_wal_no;
+        let new_levels = self.merge_into(maint, &base, inputs, 0, target)?;
+
+        // Phase 3 (write lock): install the successor version with the
+        // frozen memtable absorbed into its level.
+        {
+            let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
+            let mut inner = self.inner.write();
+            let next = Arc::new(Version::new(inner.current.epoch() + 1, None, new_levels));
+            self.install_locked(&mut inner, next);
+            inner.wal_lo = inner.wal_no;
+        }
+        self.write_manifest(maint)?;
+        // The old WAL's records are durable in the new run; only now may
+        // the log disappear.
         let _ = self.env.fs().delete(&old_wal);
-        self.write_manifest_locked(inner)?;
         if self.options.compaction_enabled {
-            self.maybe_compact(inner)?;
+            self.maybe_compact(maint)?;
         }
         Ok(())
     }
 
     /// Runs size-triggered compactions until all levels are within budget.
-    fn maybe_compact(&self, inner: &mut DbInner) -> Result<(), FsError> {
+    fn maybe_compact(&self, maint: &mut MaintState) -> Result<(), FsError> {
         let mut level = 1;
         while level < self.options.max_levels {
-            let over = inner.levels[level]
-                .as_ref()
+            let over = self
+                .current_version()
+                .level(level)
                 .is_some_and(|r| r.total_bytes() > self.options.level_target_bytes(level));
             if over {
-                self.compact_levels(inner, level)?;
+                self.compact_locked(maint, level)?;
             }
             level += 1;
         }
@@ -592,33 +803,45 @@ impl Db {
     ///
     /// Returns [`FsError`] on IO errors.
     pub fn compact(&self, level: usize) -> Result<(), FsError> {
-        let mut inner = self.inner.lock();
-        self.compact_levels(&mut inner, level)
+        let mut maint = self.maint.lock();
+        let _serial = self.env.platform().serial_section(SerialClass::Maintenance);
+        self.compact_locked(&mut maint, level)
     }
 
-    fn compact_levels(&self, inner: &mut DbInner, level: usize) -> Result<(), FsError> {
+    fn compact_locked(&self, maint: &mut MaintState, level: usize) -> Result<(), FsError> {
         assert!(level >= 1 && level < self.options.max_levels, "invalid compaction level");
-        if inner.levels[level].is_none() {
+        let base = self.current_version();
+        if base.level(level).is_none() {
             return Ok(());
         }
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
         let mut inputs = Vec::new();
-        push_run_inputs(&mut inputs, inner.levels[level].as_ref(), level);
-        push_run_inputs(&mut inputs, inner.levels[level + 1].as_ref(), level + 1);
-        self.merge_into(inner, inputs, level, level + 1)?;
-        self.write_manifest_locked(inner)?;
+        push_run_inputs(&mut inputs, base.level(level).map(|r| r.as_ref()), level);
+        push_run_inputs(&mut inputs, base.level(level + 1).map(|r| r.as_ref()), level + 1);
+        let new_levels = self.merge_into(maint, &base, inputs, level, level + 1)?;
+        {
+            let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
+            let mut inner = self.inner.write();
+            let imm = inner.current.imm().cloned();
+            let next = Arc::new(Version::new(inner.current.epoch() + 1, imm, new_levels));
+            self.install_locked(&mut inner, next);
+        }
+        self.write_manifest(maint)?;
         Ok(())
     }
 
-    /// Merges the given inputs into `output_level`, replacing both the
-    /// input level's run (if `input_level >= 1`) and the output run.
+    /// Merges the given inputs into `output_level`, returning the successor
+    /// level table (the input level's run dropped, the output run
+    /// replaced). Replaced runs are retired: their files unlink, while
+    /// readers holding older versions keep reading through open handles.
     fn merge_into(
         &self,
-        inner: &mut DbInner,
+        maint: &mut MaintState,
+        base: &Version,
         inputs: Vec<MergeInput>,
         input_level: usize,
         output_level: usize,
-    ) -> Result<(), FsError> {
+    ) -> Result<Vec<Option<Arc<Run>>>, FsError> {
         // Tombstones may only be purged when merges propagate downward;
         // stacked (no-compaction) runs must keep them.
         let is_bottom = self.options.compaction_enabled && output_level >= self.options.max_levels;
@@ -669,8 +892,8 @@ impl Db {
         let mut tables = Vec::new();
         let mut idx = 0usize;
         while idx < output.len() {
-            let file_no = inner.next_file_no;
-            inner.next_file_no += 1;
+            let file_no = maint.next_file_no;
+            maint.next_file_no += 1;
             let file = self.env.fs().create(&table_name(file_no))?;
             let mut builder = TableBuilder::new(
                 self.env.clone(),
@@ -704,19 +927,23 @@ impl Db {
             output_files: output_files.clone(),
         });
 
-        // Install: drop input-level run and old output run, delete files.
+        // Successor level table: input-level run dropped, output replaced.
+        let mut levels: Vec<Option<Arc<Run>>> = base.levels().to_vec();
+        while levels.len() <= output_level {
+            levels.push(None);
+        }
         if input_level >= 1 {
-            if let Some(old) = inner.levels[input_level].take() {
+            if let Some(old) = levels[input_level].take() {
                 self.retire_run(&old);
             }
         }
-        if let Some(old) = inner.levels[output_level].take() {
+        if let Some(old) = levels[output_level].take() {
             self.retire_run(&old);
         }
         if !tables.is_empty() {
-            inner.levels[output_level] = Some(Run::new(tables));
+            levels[output_level] = Some(Arc::new(Run::new(tables)));
         }
-        Ok(())
+        Ok(levels)
     }
 
     fn retire_run(&self, run: &Run) {
@@ -728,20 +955,29 @@ impl Db {
 
     // ----- manifest ---------------------------------------------------------
 
-    fn write_manifest(&self) -> Result<(), FsError> {
-        let mut inner = self.inner.lock();
-        // Reborrow as &mut DbInner for the shared path.
-        self.write_manifest_locked(&mut inner)
+    fn write_manifest(&self, maint: &MaintState) -> Result<(), FsError> {
+        let (wal_lo, wal_no, version) = {
+            let inner = self.inner.read();
+            (inner.wal_lo, inner.wal_no, inner.current.clone())
+        };
+        self.write_manifest_with(maint, wal_lo, wal_no, &version)
     }
 
-    fn write_manifest_locked(&self, inner: &mut DbInner) -> Result<(), FsError> {
+    fn write_manifest_with(
+        &self,
+        maint: &MaintState,
+        wal_lo: u64,
+        wal_hi: u64,
+        version: &Version,
+    ) -> Result<(), FsError> {
         let mut bytes = Vec::new();
-        put_fixed_u64(&mut bytes, inner.next_file_no);
+        put_fixed_u64(&mut bytes, maint.next_file_no);
         put_fixed_u64(&mut bytes, self.ts.load(Ordering::SeqCst));
-        put_fixed_u64(&mut bytes, inner.wal_no);
-        put_varint_u64(&mut bytes, (inner.levels.len() - 1) as u64);
-        for level in 1..inner.levels.len() {
-            match &inner.levels[level] {
+        put_fixed_u64(&mut bytes, wal_lo);
+        put_fixed_u64(&mut bytes, wal_hi);
+        put_varint_u64(&mut bytes, (version.levels().len() - 1) as u64);
+        for level in 1..version.levels().len() {
+            match version.level(level) {
                 None => put_varint_u64(&mut bytes, 0),
                 Some(run) => {
                     put_varint_u64(&mut bytes, run.tables().len() as u64);
@@ -776,6 +1012,10 @@ fn table_name(file_no: u64) -> String {
 
 fn wal_name(wal_no: u64) -> String {
     format!("wal-{wal_no:06}.log")
+}
+
+fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
 }
 
 fn fxhash(data: &[u8]) -> u64 {
@@ -923,6 +1163,58 @@ mod tests {
     }
 
     #[test]
+    fn plain_get_miss_skips_neighbor_io() {
+        let db = open_db(small_options());
+        db.put(b"b", b"1").unwrap();
+        db.put(b"d", b"2").unwrap();
+        db.flush().unwrap();
+        // A definite Bloom miss on the plain path must not read any block:
+        // disk traffic stays flat (the Bloom filter and index live in
+        // enclave metadata, not on disk).
+        let before = db.env().platform().stats().disk_bytes;
+        assert!(db.get(b"zzz-definitely-absent").unwrap().is_none());
+        let after = db.env().platform().stats().disk_bytes;
+        assert_eq!(after, before, "bloom-filtered plain get must do no block IO");
+    }
+
+    #[test]
+    fn epochs_advance_on_flush_and_compaction() {
+        let db = open_db(small_options());
+        let e0 = db.current_epoch();
+        db.put(b"k", b"v").unwrap();
+        db.flush().unwrap();
+        let e1 = db.current_epoch();
+        assert!(e1 >= e0 + 2, "freeze + install must advance the epoch twice: {e0} -> {e1}");
+        let trace = db.get_with_trace(b"k", Timestamp::MAX >> 1).unwrap();
+        assert_eq!(trace.epoch, db.current_epoch());
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_later_installs() {
+        let db = open_db(small_options());
+        for i in 0..50 {
+            db.put(format!("key{i:04}").as_bytes(), b"v1").unwrap();
+        }
+        db.flush().unwrap();
+        let snapshot = db.current_version();
+        // Overwrite everything and flush/compact repeatedly.
+        for round in 0..4 {
+            for i in 0..50 {
+                db.put(format!("key{i:04}").as_bytes(), format!("v{round}").as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        assert!(db.current_epoch() > snapshot.epoch());
+        // The pinned snapshot still reads the old state, including from
+        // runs whose files have since been unlinked.
+        let trace = db
+            .get_on_version(&snapshot, None, b"key0007", Timestamp::MAX >> 1, NeighborPolicy::Skip)
+            .unwrap();
+        assert_eq!(&trace.result.unwrap().value[..], b"v1");
+        assert_eq!(trace.epoch, snapshot.epoch());
+    }
+
+    #[test]
     fn scan_merges_levels_and_memtable() {
         let db = open_db(Options { compaction_enabled: false, ..small_options() });
         db.put(b"a", b"old").unwrap();
@@ -1030,6 +1322,7 @@ mod tests {
             flush: AtomicU64,
             inputs: AtomicU64,
             ends: AtomicU64,
+            installs: AtomicU64,
         }
         impl StoreListener for Spy {
             fn on_wal_append(&self, _: &Record) {
@@ -1043,6 +1336,9 @@ mod tests {
             }
             fn on_compaction_end(&self, _: &CompactionInfo) {
                 self.ends.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_version_install(&self, _: u64) {
+                self.installs.fetch_add(1, Ordering::Relaxed);
             }
         }
         let spy = Arc::new(Spy::default());
@@ -1058,6 +1354,7 @@ mod tests {
         assert_eq!(spy.wal.load(Ordering::Relaxed), 400);
         assert!(spy.flush.load(Ordering::Relaxed) >= 400);
         assert!(spy.ends.load(Ordering::Relaxed) >= 1);
+        assert!(spy.installs.load(Ordering::Relaxed) >= 2, "freeze + merge installs");
     }
 
     #[test]
@@ -1107,6 +1404,36 @@ mod tests {
                 assert!(db.get(key.as_bytes()).unwrap().is_some(), "missing {key}");
             }
         }
+    }
+
+    #[test]
+    fn concurrent_readers_race_flushes_without_losing_data() {
+        let db = open_db(small_options());
+        for i in 0..200 {
+            db.put(format!("key{i:04}").as_bytes(), b"stable").unwrap();
+        }
+        db.flush().unwrap();
+        std::thread::scope(|s| {
+            // One writer churning flushes and compactions over other keys.
+            let dbw = &db;
+            s.spawn(move || {
+                for i in 0..1500u32 {
+                    dbw.put(format!("churn{:05}", i % 300).as_bytes(), &[b'x'; 60]).unwrap();
+                }
+            });
+            // Readers: the stable keys must never disappear mid-install.
+            for t in 0..4 {
+                let dbr = &db;
+                s.spawn(move || {
+                    for i in 0..400u32 {
+                        let k = format!("key{:04}", (i * 7 + t * 13) % 200);
+                        let r = dbr.get(k.as_bytes()).unwrap();
+                        assert!(r.is_some(), "reader lost {k} during flush/compaction");
+                    }
+                });
+            }
+        });
+        assert!(db.stats().flushes > 0);
     }
 
     #[test]

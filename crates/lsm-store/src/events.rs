@@ -99,6 +99,23 @@ pub trait StoreListener: Send + Sync {
     fn on_wal_append(&self, record: &Record) {
         let _ = record;
     }
+
+    /// A new [`Version`](crate::version::Version) with the given epoch is
+    /// about to become visible to readers. Fired *before* the swap, under
+    /// the store's write lock, so a listener can publish state keyed by
+    /// `epoch` (eLSM snapshots its level commitments here) with the
+    /// guarantee that no reader observes the epoch first.
+    fn on_version_install(&self, epoch: u64) {
+        let _ = epoch;
+    }
+
+    /// The set of epochs still live after an install (every other
+    /// published version has drained — no reader holds it — and was
+    /// retired). A listener may prune state it published for epochs not
+    /// in the set.
+    fn on_versions_retired(&self, live_epochs: &[u64]) {
+        let _ = live_epochs;
+    }
 }
 
 /// A listener that does nothing (the vanilla, unsecured configuration).

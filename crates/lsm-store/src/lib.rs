@@ -42,5 +42,5 @@ pub use env::{EnvConfig, StorageEnv};
 pub use events::{CompactionInfo, FilterDecision, NoopListener, RecordSource, StoreListener};
 pub use options::Options;
 pub use record::{internal_cmp, InternalKey, Record, Timestamp, ValueKind};
-pub use sstable::{TableBuilder, TableGet, TableMeta, TableOptions, TableReader};
-pub use version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace};
+pub use sstable::{NeighborPolicy, TableBuilder, TableGet, TableMeta, TableOptions, TableReader};
+pub use version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace, Version};

@@ -6,6 +6,12 @@
 //! search and its append-only memory behaviour (nodes are never moved or
 //! freed — exactly like LevelDB's arena).
 //!
+//! Each node stores the full [`Record`] alongside its encoded internal
+//! key, so probe and iteration paths hand out reference-counted
+//! [`Bytes`](bytes::Bytes) clones instead of copying the user key on
+//! every hit — the memtable sits on the hottest read path, where a
+//! per-probe allocation would be pure overhead.
+//!
 //! In both eLSM designs the write buffer lives **inside** the enclave
 //! (Table 1); it is small (4 MB by default) so it never causes EPC paging.
 
@@ -21,12 +27,12 @@ const BRANCH_DENOM: u64 = 4;
 struct Node {
     /// Encoded internal key (empty for the head sentinel).
     key: Vec<u8>,
-    value: Bytes,
+    record: Record,
     /// next[h] = arena index of the next node at height h (0 = none).
     next: Vec<u32>,
 }
 
-/// An append-only skiplist keyed by encoded internal keys.
+/// An append-only skiplist of [`Record`]s ordered by encoded internal key.
 #[derive(Debug)]
 pub struct SkipList {
     nodes: Vec<Node>,
@@ -45,7 +51,11 @@ impl SkipList {
     /// Creates an empty skiplist.
     pub fn new() -> Self {
         SkipList {
-            nodes: vec![Node { key: Vec::new(), value: Bytes::new(), next: vec![0; MAX_HEIGHT] }],
+            nodes: vec![Node {
+                key: Vec::new(),
+                record: Record::put(Bytes::new(), Bytes::new(), 0),
+                next: vec![0; MAX_HEIGHT],
+            }],
             height: 1,
             rng_state: 0x9e37_79b9_7f4a_7c15,
             approx_bytes: 0,
@@ -101,22 +111,23 @@ impl SkipList {
         prev
     }
 
-    /// Inserts an entry. Keys must be unique (internal keys carry a unique
+    /// Inserts a record. Internal keys must be unique (they carry a unique
     /// timestamp, so duplicates cannot occur in correct usage).
-    pub fn insert(&mut self, key: Vec<u8>, value: Bytes) {
+    pub fn insert(&mut self, record: Record) {
+        let key = record.internal_key().encoded().to_vec();
         let prev = self.find_predecessors(&key);
         let h = self.random_height();
         if h > self.height {
             self.height = h;
         }
         let idx = self.nodes.len() as u32;
-        self.approx_bytes += key.len() + value.len() + 8 * h + 24;
+        self.approx_bytes += key.len() + record.value.len() + 8 * h + 24;
         let mut next = vec![0u32; h];
         #[allow(clippy::needless_range_loop)]
         for level in 0..h {
             next[level] = self.nodes[prev[level] as usize].next[level];
         }
-        self.nodes.push(Node { key, value, next });
+        self.nodes.push(Node { key, record, next });
         for (level, &p) in prev.iter().enumerate().take(h) {
             self.nodes[p as usize].next[level] = idx;
         }
@@ -139,7 +150,7 @@ impl SkipList {
     }
 }
 
-/// Iterator over skiplist entries as `(encoded_key, value)` pairs.
+/// Iterator over skiplist entries as `(encoded_key, record)` pairs.
 #[derive(Debug, Clone)]
 pub struct SkipIter<'a> {
     list: &'a SkipList,
@@ -147,7 +158,7 @@ pub struct SkipIter<'a> {
 }
 
 impl<'a> Iterator for SkipIter<'a> {
-    type Item = (&'a [u8], &'a Bytes);
+    type Item = (&'a [u8], &'a Record);
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.node == 0 {
@@ -155,7 +166,7 @@ impl<'a> Iterator for SkipIter<'a> {
         }
         let n = &self.list.nodes[self.node as usize];
         self.node = n.next[0];
-        Some((n.key.as_slice(), &n.value))
+        Some((n.key.as_slice(), &n.record))
     }
 }
 
@@ -201,38 +212,24 @@ impl MemTable {
 
     /// Inserts a record.
     pub fn insert(&mut self, record: Record) {
-        let ik = record.internal_key();
-        self.list.insert(ik.encoded().to_vec(), record.value);
+        self.list.insert(record);
     }
 
     /// Returns the newest record for `key` with `ts <= ts_q`, including
-    /// tombstones (the caller interprets them).
+    /// tombstones (the caller interprets them). The returned record shares
+    /// its key/value storage with the stored one (cheap `Bytes` clones).
     pub fn get(&self, key: &[u8], ts_q: Timestamp) -> Option<Record> {
         let seek = InternalKey::new(key, ts_q, ValueKind::Put);
-        let (ik_bytes, value) = self.list.range_from(seek.encoded()).next()?;
-        let ik = InternalKey::from_encoded(ik_bytes)?;
-        if ik.user_key() != key {
+        let (_, record) = self.list.range_from(seek.encoded()).next()?;
+        if record.key != key {
             return None;
         }
-        Some(Record {
-            key: Bytes::copy_from_slice(ik.user_key()),
-            ts: ik.ts(),
-            kind: ik.kind(),
-            value: value.clone(),
-        })
+        Some(record.clone())
     }
 
     /// All records in internal-key order (for flush and scans).
     pub fn iter_records(&self) -> impl Iterator<Item = Record> + '_ {
-        self.list.iter().filter_map(|(k, v)| {
-            let ik = InternalKey::from_encoded(k)?;
-            Some(Record {
-                key: Bytes::copy_from_slice(ik.user_key()),
-                ts: ik.ts(),
-                kind: ik.kind(),
-                value: v.clone(),
-            })
-        })
+        self.list.iter().map(|(_, r)| r.clone())
     }
 
     /// Records with user key in `[from, to]`, all versions, newest first
@@ -240,17 +237,11 @@ impl MemTable {
     pub fn range_records(&self, from: &[u8], to: &[u8]) -> Vec<Record> {
         let seek = InternalKey::seek_to(from);
         let mut out = Vec::new();
-        for (k, v) in self.list.range_from(seek.encoded()) {
-            let Some(ik) = InternalKey::from_encoded(k) else { continue };
-            if ik.user_key() > to {
+        for (_, record) in self.list.range_from(seek.encoded()) {
+            if record.key[..] > *to {
                 break;
             }
-            out.push(Record {
-                key: Bytes::copy_from_slice(ik.user_key()),
-                ts: ik.ts(),
-                kind: ik.kind(),
-                value: v.clone(),
-            });
+            out.push(record.clone());
         }
         out
     }
@@ -302,6 +293,16 @@ mod tests {
         mt.insert(Record::put(b"a".as_slice(), b"1".as_slice(), 1));
         mt.insert(Record::put(b"c".as_slice(), b"2".as_slice(), 2));
         assert!(mt.get(b"b", u64::MAX >> 1).is_none());
+    }
+
+    #[test]
+    fn probe_shares_key_storage() {
+        // The hot-path guarantee: a hit must not copy the user key.
+        let mut mt = MemTable::new();
+        mt.insert(Record::put(b"shared".as_slice(), b"v".as_slice(), 1));
+        let a = mt.get(b"shared", u64::MAX >> 1).unwrap();
+        let b = mt.get(b"shared", u64::MAX >> 1).unwrap();
+        assert!(a.key.shares_storage(&b.key), "probes must clone, not copy");
     }
 
     #[test]

@@ -35,6 +35,21 @@ const MAGIC: u64 = 0xe15a_5700_ab1e_d157;
 /// like a buffered `fwrite`.
 const WRITE_CHUNK: usize = 64 * 1024;
 
+/// Whether a point lookup must resolve bounding neighbors on a miss.
+///
+/// eLSM turns the neighbors into non-membership proofs, so its traced
+/// reads require them. The plain, unauthenticated read path never looks
+/// at them — with [`NeighborPolicy::Skip`] a definite Bloom-filter miss
+/// returns immediately with **no index or block IO at all**, and even a
+/// post-search miss skips the neighbor block reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborPolicy {
+    /// Resolve both bounding neighbors (authenticated reads).
+    Required,
+    /// Return misses without neighbors and without neighbor IO.
+    Skip,
+}
+
 /// Options controlling table construction.
 #[derive(Debug, Clone)]
 pub struct TableOptions {
@@ -380,24 +395,33 @@ impl TableReader {
     /// Point lookup: newest record for `key` with `ts <= ts_q`, or the
     /// bounding neighbors if absent.
     ///
+    /// With [`NeighborPolicy::Skip`], a definite Bloom miss returns before
+    /// touching the index or any data block, and post-search misses skip
+    /// the neighbor block reads — the unauthenticated path pays only for
+    /// what it uses.
+    ///
     /// # Errors
     ///
     /// Returns [`FsError`] on IO/corruption errors.
-    pub fn get(&self, key: &[u8], ts_q: Timestamp) -> Result<TableGet, FsError> {
+    pub fn get(
+        &self,
+        key: &[u8],
+        ts_q: Timestamp,
+        neighbors: NeighborPolicy,
+    ) -> Result<TableGet, FsError> {
         if let Some(bloom) = &self.bloom {
             let (maybe, offsets) = bloom.probe(key);
             self.charge_bloom_probe(&offsets);
             if !maybe {
-                // Definitely absent: neighbors are still needed by eLSM for
-                // non-membership proofs, so fall through only when the
-                // caller asks; the cheap common case returns no neighbors.
-                return self.miss_with_neighbors(key, ts_q);
+                // Definitely absent. eLSM still needs the neighbors for
+                // non-membership proofs; the plain path returns at once.
+                return self.miss_with_neighbors(key, ts_q, neighbors);
             }
         }
         self.charge_index_probe();
         let seek = InternalKey::new(key, ts_q, ValueKind::Put);
         let Some(block_idx) = self.block_for(seek.encoded()) else {
-            return self.miss_with_neighbors(key, ts_q);
+            return self.miss_with_neighbors(key, ts_q, neighbors);
         };
         let block = self.read_block(block_idx)?;
         if let Some((ik_bytes, value)) = block.seek(seek.encoded()).next() {
@@ -407,12 +431,21 @@ impl TableReader {
                 }
             }
         }
-        self.miss_with_neighbors(key, ts_q)
+        self.miss_with_neighbors(key, ts_q, neighbors)
     }
 
     /// Builds the miss outcome with the newest records of the neighboring
-    /// user keys.
-    fn miss_with_neighbors(&self, key: &[u8], ts_q: Timestamp) -> Result<TableGet, FsError> {
+    /// user keys (or, under [`NeighborPolicy::Skip`], without them and
+    /// without the IO to find them).
+    fn miss_with_neighbors(
+        &self,
+        key: &[u8],
+        ts_q: Timestamp,
+        neighbors: NeighborPolicy,
+    ) -> Result<TableGet, FsError> {
+        if neighbors == NeighborPolicy::Skip {
+            return Ok(TableGet::Miss { left: None, right: None });
+        }
         Ok(TableGet::Miss {
             left: self.newest_before(key, ts_q)?,
             right: self.newest_after(key, ts_q)?,
@@ -555,7 +588,7 @@ impl TableReader {
     /// Returns [`FsError`] on IO errors.
     pub fn last_key_newest(&self) -> Result<Record, FsError> {
         let largest = self.meta.largest.clone();
-        match self.get(&largest, Timestamp::MAX >> 1)? {
+        match self.get(&largest, Timestamp::MAX >> 1, NeighborPolicy::Skip)? {
             TableGet::Hit(r) => Ok(r),
             TableGet::Miss { .. } => unreachable!("largest key must be present"),
         }
@@ -647,7 +680,7 @@ mod tests {
         let reader = build_table(&env, &fs, &sample_records());
         for i in 0..200 {
             let key = format!("k{i:04}");
-            match reader.get(key.as_bytes(), u64::MAX >> 1).unwrap() {
+            match reader.get(key.as_bytes(), u64::MAX >> 1, NeighborPolicy::Required).unwrap() {
                 TableGet::Hit(r) => {
                     assert_eq!(&r.key[..], key.as_bytes());
                     if i % 10 == 0 {
@@ -664,7 +697,7 @@ mod tests {
         let (env, fs) = test_env(EnvConfig::default());
         let reader = build_table(&env, &fs, &sample_records());
         // k0000 has versions at ts=1000 (new) and ts=500 (old).
-        match reader.get(b"k0000", 999).unwrap() {
+        match reader.get(b"k0000", 999, NeighborPolicy::Required).unwrap() {
             TableGet::Hit(r) => assert_eq!(&r.value[..], b"old0"),
             _ => panic!("expected old version"),
         }
@@ -679,21 +712,21 @@ mod tests {
             Record::put(b"f".as_slice(), b"3".as_slice(), 3),
         ];
         let reader = build_table(&env, &fs, &recs);
-        match reader.get(b"c", u64::MAX >> 1).unwrap() {
+        match reader.get(b"c", u64::MAX >> 1, NeighborPolicy::Required).unwrap() {
             TableGet::Miss { left, right } => {
                 assert_eq!(&left.unwrap().key[..], b"b");
                 assert_eq!(&right.unwrap().key[..], b"d");
             }
             _ => panic!("expected miss"),
         }
-        match reader.get(b"a", u64::MAX >> 1).unwrap() {
+        match reader.get(b"a", u64::MAX >> 1, NeighborPolicy::Required).unwrap() {
             TableGet::Miss { left, right } => {
                 assert!(left.is_none());
                 assert_eq!(&right.unwrap().key[..], b"b");
             }
             _ => panic!("expected miss"),
         }
-        match reader.get(b"z", u64::MAX >> 1).unwrap() {
+        match reader.get(b"z", u64::MAX >> 1, NeighborPolicy::Required).unwrap() {
             TableGet::Miss { left, right } => {
                 assert_eq!(&left.unwrap().key[..], b"f");
                 assert!(right.is_none());
@@ -711,7 +744,7 @@ mod tests {
             Record::put(b"d".as_slice(), b"x".as_slice(), 5),
         ];
         let reader = build_table(&env, &fs, &recs);
-        match reader.get(b"c", u64::MAX >> 1).unwrap() {
+        match reader.get(b"c", u64::MAX >> 1, NeighborPolicy::Required).unwrap() {
             TableGet::Miss { left, .. } => {
                 let l = left.unwrap();
                 assert_eq!((&l.key[..], l.ts), (b"b".as_slice(), 10));
@@ -757,7 +790,7 @@ mod tests {
             ..EnvConfig::default()
         });
         let reader = build_table(&env, &fs, &sample_records());
-        match reader.get(b"k0042", u64::MAX >> 1).unwrap() {
+        match reader.get(b"k0042", u64::MAX >> 1, NeighborPolicy::Required).unwrap() {
             TableGet::Hit(r) => assert_eq!(&r.value[..], b"v42"),
             _ => panic!("sealed table must still serve reads"),
         }
@@ -769,7 +802,7 @@ mod tests {
             test_env(EnvConfig { use_mmap: true, block_cache_bytes: 0, ..EnvConfig::default() });
         let reader = build_table(&env, &fs, &sample_records());
         let ocalls_before = env.platform().stats().ocalls;
-        match reader.get(b"k0042", u64::MAX >> 1).unwrap() {
+        match reader.get(b"k0042", u64::MAX >> 1, NeighborPolicy::Required).unwrap() {
             TableGet::Hit(r) => assert_eq!(&r.value[..], b"v42"),
             _ => panic!("mmap table must serve reads"),
         }
@@ -781,7 +814,7 @@ mod tests {
         let (env, fs) = test_env(EnvConfig::default());
         let reader = build_table(&env, &fs, &sample_records());
         let before = env.platform().stats().enclave_copy_bytes;
-        let _ = reader.get(b"absent-key", u64::MAX >> 1).unwrap();
+        let _ = reader.get(b"absent-key", u64::MAX >> 1, NeighborPolicy::Required).unwrap();
         assert!(
             env.platform().stats().enclave_copy_bytes > before,
             "probe must touch enclave metadata"

@@ -16,8 +16,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use sim_disk::FsError;
 
+use crate::memtable::MemTable;
 use crate::record::{Record, Timestamp};
-use crate::sstable::{TableGet, TableReader};
+use crate::sstable::{NeighborPolicy, TableGet, TableReader};
 
 /// One sorted run: non-overlapping tables in ascending key order.
 #[derive(Debug)]
@@ -119,14 +120,27 @@ impl Run {
 
     /// Point lookup across the run with cross-file neighbor resolution.
     ///
+    /// With [`NeighborPolicy::Skip`] a miss returns no bounding neighbors
+    /// and performs no extra IO to find them — the unauthenticated fast
+    /// path. [`NeighborPolicy::Required`] resolves both neighbors (eLSM's
+    /// non-membership proof material).
+    ///
     /// # Errors
     ///
     /// Returns [`FsError`] on IO errors.
-    pub fn get(&self, key: &[u8], ts_q: Timestamp) -> Result<TableGet, FsError> {
+    pub fn get(
+        &self,
+        key: &[u8],
+        ts_q: Timestamp,
+        neighbors: NeighborPolicy,
+    ) -> Result<TableGet, FsError> {
         match self.covering_table(key) {
-            Some(idx) => match self.tables[idx].get(key, ts_q)? {
+            Some(idx) => match self.tables[idx].get(key, ts_q, neighbors)? {
                 TableGet::Hit(r) => Ok(TableGet::Hit(r)),
                 TableGet::Miss { left, right } => {
+                    if neighbors == NeighborPolicy::Skip {
+                        return Ok(TableGet::Miss { left: None, right: None });
+                    }
                     let left = match left {
                         Some(l) => Some(l),
                         None => self.neighbor_below(key, ts_q)?,
@@ -138,6 +152,9 @@ impl Run {
                     Ok(TableGet::Miss { left, right })
                 }
             },
+            None if neighbors == NeighborPolicy::Skip => {
+                Ok(TableGet::Miss { left: None, right: None })
+            }
             None => Ok(TableGet::Miss {
                 left: self.neighbor_below(key, ts_q)?,
                 right: self.neighbor_above(key, ts_q)?,
@@ -174,6 +191,68 @@ impl Run {
     }
 }
 
+/// An immutable snapshot of the store's on-disk state: the level runs plus
+/// the frozen memtable being flushed (if a flush is in flight), tagged
+/// with a monotonically increasing **epoch**.
+///
+/// Versions are copy-on-write, LevelDB-style: flush and compaction build a
+/// new `Version` and swap it in atomically; readers clone the current
+/// `Arc<Version>` once and then search bloom filters, indexes and blocks
+/// with **no store lock held**. eLSM verifies each trace against the level
+/// commitments published for the trace's epoch, so concurrent
+/// flush/compaction installs can never fail an honest read (§5.5.2's
+/// guarantee without §5.5.2's mutex).
+#[derive(Debug)]
+pub struct Version {
+    epoch: u64,
+    imm: Option<Arc<MemTable>>,
+    /// `levels[0]` is unused; `levels[i]` holds level `i`'s run.
+    levels: Vec<Option<Arc<Run>>>,
+}
+
+impl Version {
+    /// Builds a version (internal: the store installs these).
+    pub(crate) fn new(
+        epoch: u64,
+        imm: Option<Arc<MemTable>>,
+        levels: Vec<Option<Arc<Run>>>,
+    ) -> Self {
+        Version { epoch, imm, levels }
+    }
+
+    /// A fresh, empty version at epoch 0 with `max_levels` on-disk levels.
+    pub(crate) fn empty(max_levels: usize) -> Self {
+        Version { epoch: 0, imm: None, levels: (0..=max_levels).map(|_| None).collect() }
+    }
+
+    /// Derives a successor version with the same levels but a new frozen
+    /// memtable state.
+    pub(crate) fn with_imm(&self, epoch: u64, imm: Option<Arc<MemTable>>) -> Self {
+        Version { epoch, imm, levels: self.levels.clone() }
+    }
+
+    /// The version's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen memtable currently being flushed, if any. Its records
+    /// live in trusted enclave memory, exactly like the live memtable's.
+    pub fn imm(&self) -> Option<&Arc<MemTable>> {
+        self.imm.as_ref()
+    }
+
+    /// The level runs (`levels()[0]` is unused).
+    pub fn levels(&self) -> &[Option<Arc<Run>>] {
+        &self.levels
+    }
+
+    /// The run of one level, if present.
+    pub fn level(&self, level: usize) -> Option<&Arc<Run>> {
+        self.levels.get(level).and_then(|l| l.as_ref())
+    }
+}
+
 /// Outcome of searching one level during a traced GET.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LevelOutcome {
@@ -204,6 +283,10 @@ pub struct LevelSearch {
 /// query proofs without modifying the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GetTrace {
+    /// Epoch of the [`Version`] the trace was collected against. The
+    /// verifier checks the trace against the level commitments published
+    /// for exactly this epoch.
+    pub epoch: u64,
     /// Record found in the memtable (trusted memory), if any.
     pub memtable: Option<Record>,
     /// Per-level outcomes, in search order. Search stops at the first hit
@@ -232,7 +315,10 @@ pub struct LevelRange {
 /// Full account of a range query across memtable and levels.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanTrace {
-    /// Matching records from the memtable.
+    /// Epoch of the [`Version`] the trace was collected against.
+    pub epoch: u64,
+    /// Matching records from the memtable (live and frozen — both are
+    /// trusted enclave memory).
     pub memtable: Vec<Record>,
     /// Per-level slices, every level included (no early stop for ranges —
     /// §5.4: "it iterates through all levels").

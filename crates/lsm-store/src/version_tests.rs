@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use crate::env::{EnvConfig, StorageEnv};
 use crate::record::{Record, Timestamp};
-use crate::sstable::{TableBuilder, TableGet, TableOptions, TableReader};
+use crate::sstable::{NeighborPolicy, TableBuilder, TableGet, TableOptions, TableReader};
 use crate::version::Run;
 use sgx_sim::Platform;
 use sim_disk::{SimDisk, SimFs};
@@ -44,7 +44,7 @@ const TS: Timestamp = Timestamp::MAX >> 1;
 fn get_hits_in_every_file() {
     let run = three_file_run();
     for k in [b'a', b'h', b'i', b'p', b'q', b'x'] {
-        match run.get(&[k], TS).unwrap() {
+        match run.get(&[k], TS, NeighborPolicy::Required).unwrap() {
             TableGet::Hit(r) => assert_eq!(r.key[0], k),
             other => panic!("expected hit for {}: {other:?}", k as char),
         }
@@ -57,7 +57,7 @@ fn neighbors_cross_file_boundaries() {
     // No key between 'h' (file 1) and 'i' (file 2) exists; query a gap by
     // deleting nothing — keys are contiguous, so probe before 'a' and
     // after 'x' instead, plus the synthetic key "h\x01" between files.
-    match run.get(b"h\x01", TS).unwrap() {
+    match run.get(b"h\x01", TS, NeighborPolicy::Required).unwrap() {
         TableGet::Miss { left, right } => {
             assert_eq!(&left.unwrap().key[..], b"h", "left neighbor from file 1");
             assert_eq!(&right.unwrap().key[..], b"i", "right neighbor from file 2");
@@ -69,14 +69,14 @@ fn neighbors_cross_file_boundaries() {
 #[test]
 fn boundary_misses_have_one_sided_neighbors() {
     let run = three_file_run();
-    match run.get(b"A", TS).unwrap() {
+    match run.get(b"A", TS, NeighborPolicy::Required).unwrap() {
         TableGet::Miss { left, right } => {
             assert!(left.is_none());
             assert_eq!(&right.unwrap().key[..], b"a");
         }
         other => panic!("{other:?}"),
     }
-    match run.get(b"z", TS).unwrap() {
+    match run.get(b"z", TS, NeighborPolicy::Required).unwrap() {
         TableGet::Miss { left, right } => {
             assert_eq!(&left.unwrap().key[..], b"x");
             assert!(right.is_none());

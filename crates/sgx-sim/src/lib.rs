@@ -49,6 +49,7 @@ pub mod counter;
 pub mod epc;
 pub mod platform;
 pub mod seal;
+pub mod serial;
 pub mod stats;
 
 pub use clock::{Clock, Stopwatch};
@@ -57,4 +58,5 @@ pub use counter::{BufferedCounter, MonotonicCounter};
 pub use epc::{EpcState, PageId, TouchOutcome};
 pub use platform::{EnclaveRegion, Platform};
 pub use seal::{SealError, SealedBlob, Sealer};
+pub use serial::{SerialClass, SerialSection, SERIAL_CLASSES};
 pub use stats::{PlatformStats, StatsSnapshot};

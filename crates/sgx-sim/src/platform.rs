@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use crate::clock::Clock;
 use crate::cost::{CostModel, PAGE_SIZE};
 use crate::epc::{EpcState, PageId};
+use crate::serial::{SerialClass, SerialSection, SERIAL_CLASSES};
 use crate::stats::{PlatformStats, StatsSnapshot};
 
 /// A handle to one enclave memory allocation.
@@ -65,6 +66,7 @@ pub struct Platform {
     epc: Mutex<EpcState>,
     next_region: AtomicU64,
     enclave_alloc_bytes: AtomicU64,
+    serial_ns: [AtomicU64; SERIAL_CLASSES],
 }
 
 impl Platform {
@@ -78,6 +80,7 @@ impl Platform {
             epc: Mutex::new(epc),
             next_region: AtomicU64::new(1),
             enclave_alloc_bytes: AtomicU64::new(0),
+            serial_ns: [AtomicU64::new(0), AtomicU64::new(0)],
         })
     }
 
@@ -104,7 +107,38 @@ impl Platform {
     /// Advances virtual time by a raw amount (used by substrates that have
     /// costs not covered by a dedicated charge method).
     pub fn advance(&self, ns: u64) {
+        self.tick(ns);
+    }
+
+    /// Advances the clock, attributing the time to any serial sections open
+    /// on the calling thread. Every charge method funnels through here.
+    fn tick(&self, ns: u64) {
         self.clock.advance_ns(ns);
+        let mask = crate::serial::active_mask();
+        if mask != 0 {
+            for (i, slot) in self.serial_ns.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    slot.fetch_add(ns, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Opens a critical section of `class`: until the returned guard drops,
+    /// all virtual time charged by this thread is also accumulated as
+    /// serial time of that class (read back via [`Platform::serial_ns`]).
+    pub fn serial_section(&self, class: SerialClass) -> SerialSection {
+        SerialSection::enter(class)
+    }
+
+    /// Cumulative virtual nanoseconds charged inside `class` sections.
+    pub fn serial_ns(&self, class: SerialClass) -> u64 {
+        self.serial_ns[class as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all per-class serial accumulators.
+    pub fn serial_snapshot(&self) -> [u64; SERIAL_CLASSES] {
+        [self.serial_ns[0].load(Ordering::Relaxed), self.serial_ns[1].load(Ordering::Relaxed)]
     }
 
     // ----- world switches ---------------------------------------------
@@ -112,14 +146,14 @@ impl Platform {
     /// Charges one ECall (host → enclave switch) and runs `f` "inside".
     pub fn ecall<T>(&self, f: impl FnOnce() -> T) -> T {
         PlatformStats::add(&self.stats.ecalls, 1);
-        self.clock.advance_ns(self.cost.ecall_ns);
+        self.tick(self.cost.ecall_ns);
         f()
     }
 
     /// Charges one OCall (enclave → host switch) and runs `f` "outside".
     pub fn ocall<T>(&self, f: impl FnOnce() -> T) -> T {
         PlatformStats::add(&self.stats.ocalls, 1);
-        self.clock.advance_ns(self.cost.ocall_ns);
+        self.tick(self.cost.ocall_ns);
         f()
     }
 
@@ -128,19 +162,19 @@ impl Platform {
     /// Charges a copy of `len` bytes across the enclave boundary.
     pub fn cross_copy(&self, len: usize) {
         PlatformStats::add(&self.stats.cross_copy_bytes, len as u64);
-        self.clock.advance_ns(CostModel::copy_cost(self.cost.cross_copy_ns_per_kb, len));
+        self.tick(CostModel::copy_cost(self.cost.cross_copy_ns_per_kb, len));
     }
 
     /// Charges an access of `len` bytes in ordinary untrusted DRAM.
     pub fn dram_access(&self, len: usize) {
         PlatformStats::add(&self.stats.dram_bytes, len as u64);
-        self.clock.advance_ns(CostModel::copy_cost(self.cost.dram_ns_per_kb, len));
+        self.tick(CostModel::copy_cost(self.cost.dram_ns_per_kb, len));
     }
 
     /// Charges hashing of `len` bytes (SHA-256) on the virtual clock.
     pub fn charge_hash(&self, len: usize) {
         PlatformStats::add(&self.stats.hash_blocks, (len / 64 + 1) as u64);
-        self.clock.advance_ns(self.cost.hash_cost(len));
+        self.tick(self.cost.hash_cost(len));
     }
 
     // ----- disk ----------------------------------------------------------
@@ -148,18 +182,18 @@ impl Platform {
     /// Charges one random-access (seek) penalty on the simulated disk.
     pub fn charge_disk_seek(&self) {
         PlatformStats::add(&self.stats.disk_seeks, 1);
-        self.clock.advance_ns(self.cost.disk_seek_ns);
+        self.tick(self.cost.disk_seek_ns);
     }
 
     /// Charges a sequential transfer of `len` bytes on the simulated disk.
     pub fn charge_disk_transfer(&self, len: usize) {
         PlatformStats::add(&self.stats.disk_bytes, len as u64);
-        self.clock.advance_ns(CostModel::copy_cost(self.cost.disk_ns_per_kb, len));
+        self.tick(CostModel::copy_cost(self.cost.disk_ns_per_kb, len));
     }
 
     /// Charges the fixed per-operation bookkeeping cost.
     pub fn charge_op_base(&self) {
-        self.clock.advance_ns(self.cost.op_base_ns);
+        self.tick(self.cost.op_base_ns);
     }
 
     // ----- trusted counter ----------------------------------------------
@@ -167,12 +201,12 @@ impl Platform {
     /// Charges one trusted monotonic-counter write.
     pub fn charge_counter_write(&self) {
         PlatformStats::add(&self.stats.counter_writes, 1);
-        self.clock.advance_ns(self.cost.counter_write_ns);
+        self.tick(self.cost.counter_write_ns);
     }
 
     /// Charges one trusted monotonic-counter read.
     pub fn charge_counter_read(&self) {
-        self.clock.advance_ns(self.cost.counter_read_ns);
+        self.tick(self.cost.counter_read_ns);
     }
 
     // ----- enclave memory -------------------------------------------------
@@ -229,14 +263,14 @@ impl Platform {
         }
         if page_ins > 0 {
             PlatformStats::add(&self.stats.epc_page_ins, page_ins);
-            self.clock.advance_ns(page_ins * self.cost.epc_page_in_ns);
+            self.tick(page_ins * self.cost.epc_page_in_ns);
         }
         if page_outs > 0 {
             PlatformStats::add(&self.stats.epc_page_outs, page_outs);
-            self.clock.advance_ns(page_outs * self.cost.epc_page_out_ns);
+            self.tick(page_outs * self.cost.epc_page_out_ns);
         }
         PlatformStats::add(&self.stats.enclave_copy_bytes, len as u64);
-        self.clock.advance_ns(CostModel::copy_cost(self.cost.enclave_copy_ns_per_kb, len));
+        self.tick(CostModel::copy_cost(self.cost.enclave_copy_ns_per_kb, len));
     }
 
     /// Current EPC residency, in pages (for assertions and debugging).

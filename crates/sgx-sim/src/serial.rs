@@ -1,0 +1,101 @@
+//! Attribution of virtual time to store-internal critical sections.
+//!
+//! The virtual clock measures *work*; it says nothing about which parts of
+//! that work could overlap across client threads. This module closes the
+//! gap: code brackets its exclusive sections with
+//! [`Platform::serial_section`](crate::Platform::serial_section), and every
+//! nanosecond charged while a section is active is accumulated per
+//! [`SerialClass`]. A multi-client scheduler (the YCSB concurrent runner)
+//! then replays operations on N virtual threads, letting the parallel
+//! portions overlap while portions of the same class exclude each other —
+//! exactly how the real lock would behave.
+//!
+//! The active-section state is thread-local, so concurrently running OS
+//! threads (e.g. the stress tests) attribute their own time correctly.
+
+use std::cell::Cell;
+
+/// Classes of critical section the store declares.
+///
+/// Each class corresponds to one mutex in the storage stack; virtual time
+/// charged while a section of a class is open cannot overlap with another
+/// virtual thread's time in the same class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerialClass {
+    /// The store's write-side lock: WAL append, memtable insert, version
+    /// install, and (pre-snapshot designs) any read work done under the
+    /// store-wide mutex.
+    StoreWrite = 0,
+    /// Flush/compaction maintenance: at most one such job runs at a time.
+    Maintenance = 1,
+}
+
+/// Number of [`SerialClass`] variants (sizes the per-class accumulators).
+pub const SERIAL_CLASSES: usize = 2;
+
+thread_local! {
+    /// Bitmask of serial classes currently open on this thread. Nested
+    /// sections of the same class are flattened (the bit stays set).
+    static ACTIVE_MASK: Cell<u8> = const { Cell::new(0) };
+}
+
+/// The bitmask of serial classes active on the calling thread.
+pub(crate) fn active_mask() -> u8 {
+    ACTIVE_MASK.with(Cell::get)
+}
+
+/// RAII guard marking a critical section of one class as active.
+///
+/// Created by [`Platform::serial_section`](crate::Platform::serial_section).
+/// Dropping the guard closes the section (unless an enclosing guard of the
+/// same class remains open).
+#[derive(Debug)]
+pub struct SerialSection {
+    bit: u8,
+    was_set: bool,
+}
+
+impl SerialSection {
+    pub(crate) fn enter(class: SerialClass) -> Self {
+        let bit = 1u8 << (class as u8);
+        let was_set = ACTIVE_MASK.with(|m| {
+            let prev = m.get();
+            m.set(prev | bit);
+            prev & bit != 0
+        });
+        SerialSection { bit, was_set }
+    }
+}
+
+impl Drop for SerialSection {
+    fn drop(&mut self) {
+        if !self.was_set {
+            let bit = self.bit;
+            ACTIVE_MASK.with(|m| m.set(m.get() & !bit));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_tracks_nesting() {
+        assert_eq!(active_mask(), 0);
+        {
+            let _a = SerialSection::enter(SerialClass::StoreWrite);
+            assert_eq!(active_mask(), 1);
+            {
+                let _b = SerialSection::enter(SerialClass::Maintenance);
+                assert_eq!(active_mask(), 0b11);
+                let _c = SerialSection::enter(SerialClass::Maintenance);
+                drop(_c);
+                // Outer Maintenance section still open.
+                assert_eq!(active_mask(), 0b11);
+            }
+            assert_eq!(active_mask(), 1);
+        }
+        assert_eq!(active_mask(), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-client run phase on virtual time.
+//!
+//! The single-threaded [`crate::runner::run_phase`] measures per-operation
+//! latency; it cannot show how throughput scales with client threads,
+//! because the virtual clock counts *total work* regardless of who did it.
+//! This module adds the missing dimension with a deterministic
+//! discrete-event scheduler:
+//!
+//! * each of `threads` virtual clients keeps its own timeline `t_i`;
+//! * operations run one at a time (so the store's real code paths execute
+//!   unchanged), and the harness measures each op's total virtual cost and
+//!   the portion charged inside store critical sections
+//!   ([`sgx_sim::SerialClass`]);
+//! * the scheduler lets the parallel portions of different clients overlap
+//!   while serial portions of the same class exclude each other — the
+//!   virtual-time analogue of N threads contending on the store's locks.
+//!
+//! With a store that holds one global mutex across a whole read, every
+//! operation is 100 % serial and throughput is flat in `threads`. With
+//! snapshot-isolated reads, only the brief write-lock acquisition
+//! serializes and read throughput scales near-linearly. Determinism is
+//! preserved: same seed, same schedule, same numbers — on any machine,
+//! with any number of physical cores.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use sgx_sim::{Platform, SERIAL_CLASSES};
+
+use crate::generator::{format_key, make_value, seeded_rng, KeyChooser};
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use crate::workload::{Op, Workload};
+use crate::KvDriver;
+
+/// Outcome of a multi-client run phase (virtual-time throughput model).
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// Workload name.
+    pub workload: String,
+    /// Number of virtual client threads.
+    pub threads: usize,
+    /// Operations executed across all clients.
+    pub ops: u64,
+    /// Simulated wall time of the phase in microseconds: the latest client
+    /// finish time (serial sections excluded each other, parallel work
+    /// overlapped).
+    pub elapsed_us: f64,
+    /// Throughput in thousands of operations per simulated second.
+    pub kops_per_sec: f64,
+    /// Per-operation latency including queueing delay behind serial
+    /// sections of other clients.
+    pub overall: LatencySummary,
+    /// Fraction of reads that found their key.
+    pub read_hit_rate: f64,
+    /// Fraction of all charged virtual time spent in serial sections —
+    /// the Amdahl ceiling of the run.
+    pub serial_fraction: f64,
+}
+
+struct Client {
+    rng: rand::rngs::StdRng,
+    chooser: KeyChooser,
+    /// This client's private insert keyspace cursor (clients insert into
+    /// disjoint ranges so the schedule is independent of interleaving).
+    insert_cursor: u64,
+    /// Virtual timeline: when this client becomes free.
+    t_ns: u64,
+    ops_done: u64,
+}
+
+/// Runs `total_ops` operations of `workload` spread over `threads` virtual
+/// clients, returning virtual-time throughput and latency.
+///
+/// Operations execute against `driver` one at a time (the driver needs no
+/// extra synchronization beyond its own), but their virtual costs are
+/// scheduled as `threads` concurrent timelines: time charged inside
+/// [`sgx_sim::SerialClass`] sections is serialized per class, the rest
+/// overlaps. `record_count` must match the load phase; `seed` makes the
+/// run reproducible.
+pub fn run_phase_concurrent(
+    driver: &dyn KvDriver,
+    platform: &Arc<Platform>,
+    workload: &Workload,
+    record_count: u64,
+    total_ops: u64,
+    seed: u64,
+    threads: usize,
+) -> ConcurrentReport {
+    let threads = threads.max(1);
+    let per_client = total_ops / threads as u64;
+    let total_ops = per_client * threads as u64;
+    let mut clients: Vec<Client> = (0..threads)
+        .map(|tid| Client {
+            rng: seeded_rng(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tid as u64 + 1))),
+            chooser: KeyChooser::by_name(&workload.distribution, record_count.max(1)),
+            insert_cursor: record_count + tid as u64 * per_client,
+            t_ns: 0,
+            ops_done: 0,
+        })
+        .collect();
+
+    // Per-class "lock free at" horizons: serial time of one class must not
+    // overlap across clients.
+    let mut lock_free_at = [0u64; SERIAL_CLASSES];
+    let mut overall = LatencyHistogram::new();
+    let mut read_hits = 0u64;
+    let mut read_total = 0u64;
+    let mut charged_total = 0u64;
+    let mut charged_serial = 0u64;
+
+    for _ in 0..total_ops {
+        // Next client in virtual time (ties broken by index: deterministic).
+        let i = (0..clients.len())
+            .filter(|&i| clients[i].ops_done < per_client)
+            .min_by_key(|&i| (clients[i].t_ns, i))
+            .expect("a client with work left");
+        let c = &mut clients[i];
+        let op = workload.next_op(&mut c.rng);
+        let c0 = platform.clock().now_ns();
+        let s0 = platform.serial_snapshot();
+        match op {
+            Op::Read => {
+                let k = c.chooser.next(&mut c.rng, record_count, record_count);
+                read_total += 1;
+                if driver.get(&format_key(k)) {
+                    read_hits += 1;
+                }
+            }
+            Op::Update => {
+                let k = c.chooser.next(&mut c.rng, record_count, record_count);
+                driver.put(&format_key(k), &make_value(k, workload.value_len));
+            }
+            Op::Insert => {
+                let k = c.insert_cursor;
+                c.insert_cursor += 1;
+                driver.put(&format_key(k), &make_value(k, workload.value_len));
+            }
+            Op::Scan => {
+                let k = c.chooser.next(&mut c.rng, record_count, record_count);
+                let len = c.rng.gen_range(1..=workload.max_scan_len as u64);
+                let to = (k + len).min(record_count.saturating_sub(1));
+                driver.scan(&format_key(k), &format_key(to));
+            }
+            Op::ReadModifyWrite => {
+                let k = c.chooser.next(&mut c.rng, record_count, record_count);
+                let key = format_key(k);
+                read_total += 1;
+                if driver.get(&key) {
+                    read_hits += 1;
+                }
+                driver.put(&key, &make_value(k, workload.value_len));
+            }
+        }
+        let total = platform.clock().now_ns() - c0;
+        let s1 = platform.serial_snapshot();
+
+        // Schedule: the serial span comes first (lock acquisition precedes
+        // the protected work), then the overlapping remainder. Sections of
+        // different classes nest in the store (a flush's write-lock
+        // windows sit inside its maintenance section), so the same
+        // nanoseconds may be charged to several classes: the op's serial
+        // *span* is the max per-class delta, while every involved class's
+        // horizon advances by its own delta.
+        let start = c.t_ns;
+        let deltas: Vec<u64> = (0..SERIAL_CLASSES).map(|k| (s1[k] - s0[k]).min(total)).collect();
+        let span = deltas.iter().copied().max().unwrap_or(0);
+        let mut begin = start;
+        for (d, horizon) in deltas.iter().zip(lock_free_at.iter()) {
+            if *d > 0 {
+                begin = begin.max(*horizon);
+            }
+        }
+        for (d, horizon) in deltas.iter().zip(lock_free_at.iter_mut()) {
+            if *d > 0 {
+                *horizon = begin + d;
+            }
+        }
+        let finish = begin + span + (total - span);
+        overall.record_ns(finish - start);
+        charged_total += total;
+        charged_serial += span;
+        c.t_ns = finish;
+        c.ops_done += 1;
+    }
+
+    let elapsed_ns = clients.iter().map(|c| c.t_ns).max().unwrap_or(0).max(1);
+    ConcurrentReport {
+        workload: workload.name.clone(),
+        threads,
+        ops: total_ops,
+        elapsed_us: elapsed_ns as f64 / 1_000.0,
+        kops_per_sec: total_ops as f64 / (elapsed_ns as f64 / 1e9) / 1_000.0,
+        overall: overall.summary(),
+        read_hit_rate: if read_total == 0 { 1.0 } else { read_hits as f64 / read_total as f64 },
+        serial_fraction: if charged_total == 0 {
+            0.0
+        } else {
+            charged_serial as f64 / charged_total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use sgx_sim::SerialClass;
+    use std::collections::BTreeMap;
+
+    /// A driver whose ops cost `cost_ns`, of which `serial_ns` is charged
+    /// inside a StoreWrite section.
+    struct SplitDriver {
+        platform: Arc<Platform>,
+        map: Mutex<BTreeMap<Vec<u8>, Vec<u8>>>,
+        cost_ns: u64,
+        serial_ns: u64,
+    }
+
+    impl SplitDriver {
+        fn charge(&self) {
+            {
+                let _s = self.platform.serial_section(SerialClass::StoreWrite);
+                self.platform.advance(self.serial_ns);
+            }
+            self.platform.advance(self.cost_ns - self.serial_ns);
+        }
+    }
+
+    impl KvDriver for SplitDriver {
+        fn put(&self, key: &[u8], value: &[u8]) {
+            self.charge();
+            self.map.lock().insert(key.to_vec(), value.to_vec());
+        }
+        fn get(&self, key: &[u8]) -> bool {
+            self.charge();
+            self.map.lock().contains_key(key)
+        }
+        fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+            self.charge();
+            self.map.lock().range(from.to_vec()..=to.to_vec()).count()
+        }
+    }
+
+    fn driver(cost_ns: u64, serial_ns: u64) -> (SplitDriver, Arc<Platform>) {
+        let platform = Platform::with_defaults();
+        (
+            SplitDriver {
+                platform: platform.clone(),
+                map: Mutex::new(BTreeMap::new()),
+                cost_ns,
+                serial_ns,
+            },
+            platform,
+        )
+    }
+
+    fn load(d: &SplitDriver, n: u64) {
+        for i in 0..n {
+            d.map.lock().insert(format_key(i), b"v".to_vec());
+        }
+    }
+
+    #[test]
+    fn fully_serial_ops_do_not_scale() {
+        let (d, p) = driver(1_000, 1_000);
+        load(&d, 100);
+        let r1 = run_phase_concurrent(&d, &p, &Workload::c(), 100, 400, 7, 1);
+        let r4 = run_phase_concurrent(&d, &p, &Workload::c(), 100, 400, 7, 4);
+        assert!((r1.serial_fraction - 1.0).abs() < 1e-9);
+        let speedup = r4.kops_per_sec / r1.kops_per_sec;
+        assert!(speedup < 1.1, "serial ops must not scale, got {speedup:.2}x");
+    }
+
+    #[test]
+    fn mostly_parallel_ops_scale_near_linearly() {
+        let (d, p) = driver(10_000, 100);
+        load(&d, 100);
+        let r1 = run_phase_concurrent(&d, &p, &Workload::c(), 100, 400, 7, 1);
+        let r4 = run_phase_concurrent(&d, &p, &Workload::c(), 100, 400, 7, 4);
+        let speedup = r4.kops_per_sec / r1.kops_per_sec;
+        assert!(speedup > 3.0, "1% serial should give ~4x at 4 threads, got {speedup:.2}x");
+        assert!(r4.serial_fraction < 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (d1, p1) = driver(2_000, 500);
+        load(&d1, 50);
+        let a = run_phase_concurrent(&d1, &p1, &Workload::a(), 50, 300, 99, 4);
+        let (d2, p2) = driver(2_000, 500);
+        load(&d2, 50);
+        let b = run_phase_concurrent(&d2, &p2, &Workload::a(), 50, 300, 99, 4);
+        assert_eq!(a.overall, b.overall);
+        assert_eq!(a.kops_per_sec, b.kops_per_sec);
+    }
+
+    #[test]
+    fn hit_rate_counts_reads() {
+        let (d, p) = driver(1_000, 0);
+        load(&d, 100);
+        let r = run_phase_concurrent(&d, &p, &Workload::c(), 100, 200, 3, 2);
+        assert!(r.read_hit_rate > 0.999);
+        assert_eq!(r.ops, 200);
+    }
+}

@@ -9,12 +9,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod generator;
 pub mod histogram;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
+pub use concurrent::{run_phase_concurrent, ConcurrentReport};
 pub use generator::{format_key, make_value, seeded_rng, KeyChooser, Zipfian};
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use report::Table;

@@ -1,0 +1,276 @@
+//! Multi-threaded stress tests: snapshot-isolated reads racing
+//! put-driven flushes and compactions.
+//!
+//! PR 1 fixed a race where `ElsmP2::get` dropped the store mutex between
+//! trace capture and verification, letting a concurrent flush replace the
+//! level commitments and fail honest reads with `HiddenLevel`. That fix
+//! reintroduced a store-wide critical section; this PR replaces it with
+//! epoch-versioned snapshots. These are the regression tests the original
+//! fix never got: many reader threads race writers that continuously
+//! drive flushes and compactions, and **no** read may ever report a
+//! verification failure or a wrong/missing value.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use elsm_repro::elsm::{AuthenticatedKv, ElsmP2, P2Options, ReadMode};
+use elsm_repro::sgx_sim::Platform;
+
+fn stress_options(read_mode: ReadMode) -> P2Options {
+    P2Options {
+        read_mode,
+        // Tiny budgets so the writer drives many flushes and compactions.
+        write_buffer_bytes: 4 * 1024,
+        level1_max_bytes: 16 * 1024,
+        level_multiplier: 4,
+        max_levels: 4,
+        target_file_bytes: 16 * 1024,
+        ..P2Options::default()
+    }
+}
+
+/// ≥4 reader threads (gets) race a writer whose puts trigger flushes and
+/// compactions. Every read must verify and return the stable value.
+#[test]
+fn readers_race_flushes_without_spurious_failures() {
+    let store = ElsmP2::open(Platform::with_defaults(), stress_options(ReadMode::Mmap)).unwrap();
+    const STABLE: u32 = 150;
+    for i in 0..STABLE {
+        store.put(format!("stable{i:04}").as_bytes(), format!("sv{i}").as_bytes()).unwrap();
+    }
+    store.db().flush().unwrap();
+
+    let done = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // Writer: churn enough inserts to force many flushes/compactions.
+        let (st, dn) = (&store, &done);
+        s.spawn(move || {
+            for i in 0..2500u32 {
+                let key = format!("churn{:05}", i % 400);
+                st.put(key.as_bytes(), &[b'x'; 64]).unwrap();
+            }
+            dn.store(true, Ordering::SeqCst);
+        });
+        // Readers: stable keys must always verify with the right value.
+        for t in 0..4u32 {
+            let (st, dn, rd) = (&store, &done, &reads);
+            s.spawn(move || {
+                let mut i = 0u32;
+                while !dn.load(Ordering::SeqCst) {
+                    let n = (i * 13 + t * 31) % STABLE;
+                    let key = format!("stable{n:04}");
+                    match st.get(key.as_bytes()) {
+                        Ok(Some(rec)) => {
+                            assert_eq!(
+                                rec.value(),
+                                format!("sv{n}").as_bytes(),
+                                "wrong value for {key} under concurrent flushes"
+                            );
+                        }
+                        Ok(None) => panic!("{key} vanished during a flush/compaction install"),
+                        Err(e) => panic!("spurious verification failure on {key}: {e}"),
+                    }
+                    rd.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+    });
+    assert!(store.db().stats().flushes >= 3, "writer must have driven flushes");
+    assert!(store.db().stats().compactions >= 1, "writer must have driven compactions");
+    assert!(reads.load(Ordering::Relaxed) >= 100, "readers must have overlapped the churn");
+}
+
+/// Scan verification (range completeness against epoch-tagged digest
+/// snapshots) under the same churn.
+#[test]
+fn scans_race_flushes_without_spurious_failures() {
+    let store = ElsmP2::open(Platform::with_defaults(), stress_options(ReadMode::Mmap)).unwrap();
+    const STABLE: u32 = 80;
+    for i in 0..STABLE {
+        store.put(format!("skey{i:04}").as_bytes(), format!("sv{i}").as_bytes()).unwrap();
+    }
+    store.db().flush().unwrap();
+
+    let done = AtomicBool::new(false);
+    let scans = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let (st, dn) = (&store, &done);
+        s.spawn(move || {
+            for i in 0..1200u32 {
+                // Interleave churn keys *inside* the scanned key range so
+                // installs change the very trees scans verify against.
+                let key = format!("skey{:04}x{}", i % STABLE, i % 7);
+                st.put(key.as_bytes(), &[b'y'; 48]).unwrap();
+            }
+            dn.store(true, Ordering::SeqCst);
+        });
+        for t in 0..4u32 {
+            let (st, dn, sc) = (&store, &done, &scans);
+            s.spawn(move || {
+                let mut i = 0u32;
+                while !dn.load(Ordering::SeqCst) {
+                    let lo = (i * 7 + t * 11) % (STABLE - 10);
+                    let from = format!("skey{lo:04}");
+                    let to = format!("skey{:04}", lo + 9);
+                    match st.scan(from.as_bytes(), to.as_bytes()) {
+                        Ok(records) => {
+                            // All 10 stable keys of the window must appear.
+                            let stable_hits = records
+                                .iter()
+                                .filter(|r| r.key().len() == 8 && r.key().starts_with(b"skey"))
+                                .count();
+                            assert!(
+                                stable_hits >= 10,
+                                "scan [{from},{to}] lost stable keys: {stable_hits}"
+                            );
+                        }
+                        Err(e) => panic!("spurious scan verification failure: {e}"),
+                    }
+                    sc.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+    });
+    assert!(store.db().stats().flushes >= 2);
+    assert!(scans.load(Ordering::Relaxed) >= 40, "scans must have overlapped the churn");
+}
+
+/// Deterministic interleaving: a reader pins a snapshot, a flush and a
+/// compaction install on top of it, and the pinned trace still verifies
+/// against its epoch's commitments (the exact †5.5.2 race, single-stepped).
+#[test]
+fn pinned_trace_verifies_across_installs() {
+    let store = ElsmP2::open(Platform::with_defaults(), stress_options(ReadMode::Mmap)).unwrap();
+    for i in 0..120u32 {
+        store.put(format!("key{i:04}").as_bytes(), b"v1").unwrap();
+    }
+    store.db().flush().unwrap();
+    // Capture a trace (detached — snapshot dropped afterwards).
+    let trace = store.raw_get_trace(b"key0042").unwrap();
+    let epoch_before = trace.epoch;
+    // Drive an install storm over the same keys.
+    for i in 0..120u32 {
+        store.put(format!("key{i:04}").as_bytes(), b"v2").unwrap();
+    }
+    store.db().flush().unwrap();
+    assert!(store.db().current_epoch() > epoch_before, "installs must have advanced the epoch");
+    // The old trace still verifies against its epoch's commitments…
+    store.verify_get_trace(b"key0042", &trace).expect("honest old-epoch trace must verify");
+    // …and a fresh read sees the new value, verified against the new epoch.
+    let rec = store.get(b"key0042").unwrap().expect("present");
+    assert_eq!(rec.value(), b"v2");
+}
+
+/// Writes accepted *while a flush is merging* must survive a crash: the
+/// manifest names both the pre-freeze WAL and the active WAL until the
+/// merge installs, so recovery replays the acknowledged write even if the
+/// process dies mid-flush. The "crash" is a filesystem snapshot captured
+/// deterministically from inside the flush (listener hook), restored, and
+/// recovered.
+#[test]
+fn mid_flush_writes_survive_crash_recovery() {
+    use elsm_repro::lsm_store::{Db, Options, Record, StorageEnv, StoreListener};
+    use elsm_repro::sim_disk::{FsSnapshot, SimDisk, SimFs};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    struct MidFlushWriter {
+        db: OnceLock<Arc<Db>>,
+        fs: Arc<SimFs>,
+        snapshot: Mutex<Option<FsSnapshot>>,
+        fired: AtomicBool,
+    }
+    impl StoreListener for MidFlushWriter {
+        fn on_flush_record(&self, _: &Record) {
+            // Fires during the flush's merge phase: the memtable is
+            // frozen, the WAL has rotated, and no store lock is held.
+            if self.fired.swap(true, Ordering::SeqCst) {
+                return;
+            }
+            let db = self.db.get().expect("db registered");
+            db.put(b"late-write", b"must-survive").unwrap();
+            *self.snapshot.lock().unwrap() = Some(self.fs.snapshot());
+        }
+    }
+
+    let platform = Platform::with_defaults();
+    let fs = SimFs::new(SimDisk::new(platform.clone()));
+    let options = Options {
+        write_buffer_bytes: 64 * 1024, // large: only the explicit flush runs
+        ..Options::default()
+    };
+    let env = StorageEnv::new(platform, fs.clone(), options.env.clone(), None);
+    let hook = Arc::new(MidFlushWriter {
+        db: OnceLock::new(),
+        fs: fs.clone(),
+        snapshot: Mutex::new(None),
+        fired: AtomicBool::new(false),
+    });
+    let db = Arc::new(Db::open(env.clone(), options.clone(), Some(hook.clone())).unwrap());
+    hook.db.set(db.clone()).unwrap();
+    for i in 0..100u32 {
+        db.put(format!("key{i:04}").as_bytes(), b"v").unwrap();
+    }
+    db.flush().unwrap();
+    let snapshot = hook.snapshot.lock().unwrap().take().expect("snapshot captured mid-flush");
+    drop(db);
+
+    // "Crash" back to the mid-flush filesystem state and recover.
+    fs.restore(&snapshot);
+    let recovered = Db::open(env, options, None).unwrap();
+    assert_eq!(
+        &recovered.get(b"late-write").unwrap().expect("acknowledged mid-flush write lost").value[..],
+        b"must-survive"
+    );
+    for i in 0..100u32 {
+        let key = format!("key{i:04}");
+        assert!(recovered.get(key.as_bytes()).unwrap().is_some(), "pre-freeze {key} lost");
+    }
+}
+
+/// Epoch versioning must not weaken §5.5.2's detection guarantees: hiding
+/// a level in a trace — old epoch or current — still fails verification,
+/// and fabricated epochs are rejected outright.
+#[test]
+fn hidden_levels_still_detected_across_epochs() {
+    use elsm_repro::elsm::{adversary, VerificationFailure};
+
+    let store = ElsmP2::open(Platform::with_defaults(), stress_options(ReadMode::Mmap)).unwrap();
+    for i in 0..120u32 {
+        store.put(format!("key{i:04}").as_bytes(), b"v1").unwrap();
+    }
+    store.db().flush().unwrap();
+    let old_trace = store.raw_get_trace(b"key0042").unwrap();
+    // Concurrent-flush churn installs new versions on top.
+    for i in 0..120u32 {
+        store.put(format!("key{i:04}").as_bytes(), b"v2").unwrap();
+    }
+    store.db().flush().unwrap();
+    // Hiding the hit level in the *old* trace fails against the old
+    // epoch's commitment snapshot.
+    let hit_level = old_trace
+        .levels
+        .iter()
+        .find(|l| matches!(l.outcome, elsm_repro::lsm_store::LevelOutcome::Hit(_)))
+        .expect("a hit level")
+        .level;
+    let mut hidden = old_trace.clone();
+    adversary::hide_level(&mut hidden, hit_level);
+    assert!(
+        store.verify_get_trace(b"key0042", &hidden).is_err(),
+        "hidden level in an old-epoch trace must be detected"
+    );
+    // Same attack on a current trace.
+    let fresh = store.raw_get_trace(b"key0042").unwrap();
+    let mut hidden_fresh = fresh.clone();
+    adversary::hide_level(&mut hidden_fresh, fresh.levels[0].level);
+    assert!(store.verify_get_trace(b"key0042", &hidden_fresh).is_err());
+    // A fabricated epoch the enclave never published is rejected.
+    let mut forged_epoch = fresh;
+    forged_epoch.epoch += 1_000_000;
+    match store.verify_get_trace(b"key0042", &forged_epoch) {
+        Err(VerificationFailure::UnknownEpoch { .. }) => {}
+        other => panic!("fabricated epoch must be rejected, got {other:?}"),
+    }
+}

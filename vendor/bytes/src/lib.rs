@@ -82,6 +82,13 @@ impl Bytes {
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.start + self.len]
     }
+
+    /// Whether two views share the same backing allocation (true for
+    /// clones and sub-slices of one another). Diagnostic helper for
+    /// asserting zero-copy behaviour in hot paths.
+    pub fn shares_storage(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
 }
 
 impl Deref for Bytes {
