@@ -243,6 +243,26 @@ impl EleosStore {
         Ok(())
     }
 
+    /// Inserts a whole batch (same surface as the LSM stores' batch APIs).
+    ///
+    /// Eleos updates in place, so there is no WAL frame or commit group to
+    /// amortize: each record pays its own array insertion and software
+    /// paging, and the shared persistence write buffer batches the disk
+    /// exits exactly as it does for singleton puts. Keeping the method
+    /// honest this way is the comparison fig10 draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EleosCapacityExceeded`] past the scalability limit; prior
+    /// records of the batch stay applied (no atomicity — the paper's
+    /// baseline has none).
+    pub fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Result<(), EleosCapacityExceeded> {
+        for (key, value) in items {
+            self.put(key.to_vec(), value.to_vec())?;
+        }
+        Ok(())
+    }
+
     /// Re-inserts gaps every `gap_every` slots (amortized maintenance).
     fn regap(&self, inner: &mut EleosInner, gap_every: usize, entry_bytes: usize) {
         let mut slots = Vec::with_capacity(inner.slots.len() + inner.live / gap_every.max(1));

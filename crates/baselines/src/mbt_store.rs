@@ -88,6 +88,18 @@ impl MbtStore {
         self.charge_update(stats);
     }
 
+    /// Inserts a whole batch (same surface as the LSM stores' batch APIs).
+    ///
+    /// An update-in-place Merkle B-tree rewrites and re-hashes the
+    /// root-to-leaf path for *every* record — there is no commit group to
+    /// amortize, which is the §3.4 motivation for the LSM design. The loop
+    /// here is the honest model of that.
+    pub fn put_batch(&self, items: &[(&[u8], &[u8])]) {
+        for (key, value) in items {
+            self.put(key.to_vec(), value.to_vec());
+        }
+    }
+
     /// Looks up a key, charging path reads.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         let tree = self.tree.lock();

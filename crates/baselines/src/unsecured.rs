@@ -126,6 +126,7 @@ impl UnsecuredLsm {
             compaction_enabled: options.compaction_enabled,
             purge_tombstones_at_bottom: true,
             keep_old_versions: true,
+            ..Options::default()
         };
         let db = Arc::new(Db::open(env, db_options, None)?);
         Ok(UnsecuredLsm { platform, db })
@@ -148,6 +149,21 @@ impl UnsecuredLsm {
     /// Returns [`FsError`] on IO failure.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<u64, FsError> {
         self.db.put(key, value)
+    }
+
+    /// Writes a whole batch through the store's group-commit pipeline
+    /// (same surface as the authenticated stores, so write-batching
+    /// comparisons stay fair).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO failure.
+    pub fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Result<Vec<u64>, FsError> {
+        let mut batch = lsm_store::WriteBatch::with_capacity(items.len());
+        for (key, value) in items {
+            batch.put(bytes::Bytes::copy_from_slice(key), bytes::Bytes::copy_from_slice(value));
+        }
+        self.db.write_batch(batch)
     }
 
     /// Reads a record.

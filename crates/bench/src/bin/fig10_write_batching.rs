@@ -1,0 +1,15 @@
+//! Regenerates the write-batching figure; pass `--quick` for a fast subset.
+
+use elsm_bench::figures::*;
+use elsm_bench::{opts_from_args, Scale};
+
+fn main() {
+    let scale = Scale::default();
+    let opts = opts_from_args();
+    let table = fig10(&scale, opts);
+    table.print();
+    elsm_bench::results::write_results(
+        "BENCH_results.json",
+        if opts.quick { "smoke" } else { "full" },
+    );
+}

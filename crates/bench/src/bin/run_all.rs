@@ -25,6 +25,7 @@ fn main() {
         ablation_update_in_place(&scale, opts),
         ablation_rollback(&scale, opts),
         fig9(&scale, opts),
+        fig10(&scale, opts),
     ];
     for t in &tables {
         if markdown {

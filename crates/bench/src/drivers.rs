@@ -1,7 +1,17 @@
 //! [`ycsb::KvDriver`] adapters for every system under test.
+//!
+//! Every adapter forwards [`ycsb::KvDriver::put_batch`] to its store's
+//! real batch entry point, so fig10's batch-size sweeps measure each
+//! system's actual write pipeline (one ECall + one WAL frame per batch for
+//! the eLSM designs; honest per-record loops for the update-in-place
+//! baselines, which have nothing to amortize).
 
 use elsm::{AuthenticatedKv, ElsmP1, ElsmP2};
 use elsm_baselines::{EleosStore, MbtStore, UnsecuredLsm};
+
+fn as_refs(items: &[(Vec<u8>, Vec<u8>)]) -> Vec<(&[u8], &[u8])> {
+    items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect()
+}
 
 /// Driver over eLSM-P2.
 #[derive(Debug)]
@@ -16,6 +26,9 @@ impl ycsb::KvDriver for P2Driver {
     }
     fn scan(&self, from: &[u8], to: &[u8]) -> usize {
         self.0.scan(from, to).expect("p2 scan verifies").len()
+    }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        self.0.put_batch(&as_refs(items)).expect("p2 put_batch");
     }
 }
 
@@ -33,6 +46,9 @@ impl ycsb::KvDriver for P1Driver {
     fn scan(&self, from: &[u8], to: &[u8]) -> usize {
         self.0.scan(from, to).expect("p1 scan").len()
     }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        self.0.put_batch(&as_refs(items)).expect("p1 put_batch");
+    }
 }
 
 /// Driver over the unsecured LSM configurations.
@@ -48,6 +64,9 @@ impl ycsb::KvDriver for UnsecuredDriver {
     }
     fn scan(&self, from: &[u8], to: &[u8]) -> usize {
         self.0.scan(from, to).expect("unsecured scan").len()
+    }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        self.0.put_batch(&as_refs(items)).expect("unsecured put_batch");
     }
 }
 
@@ -66,6 +85,9 @@ impl ycsb::KvDriver for EleosDriver {
     fn scan(&self, from: &[u8], to: &[u8]) -> usize {
         self.0.range(from, to).len()
     }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        let _ = self.0.put_batch(&as_refs(items));
+    }
 }
 
 /// Driver over the update-in-place Merkle B-tree store.
@@ -81,5 +103,8 @@ impl ycsb::KvDriver for MbtDriver {
     }
     fn scan(&self, from: &[u8], to: &[u8]) -> usize {
         self.0.range(from, to).len()
+    }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        self.0.put_batch(&as_refs(items));
     }
 }

@@ -12,7 +12,10 @@ use elsm::{ElsmP1, ElsmP2, P1Options, P2Options, ReadMode};
 use elsm_baselines::{EleosOptions, EleosStore, MbtStore, UnsecuredLsm, UnsecuredOptions};
 use sgx_sim::Platform;
 use sim_disk::{SimDisk, SimFs};
-use ycsb::{load_phase, run_phase, run_phase_concurrent, Table, Workload};
+use ycsb::{
+    load_phase, run_phase, run_phase_concurrent, run_write_batches_concurrent, BatchWritePhase,
+    Table, Workload,
+};
 
 use crate::drivers::{EleosDriver, MbtDriver, P1Driver, P2Driver, UnsecuredDriver};
 use crate::scale::{Scale, VALUE_BYTES};
@@ -47,6 +50,7 @@ fn p2_options(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> P2Opti
         bloom_bits_per_key: 10,
         compaction_enabled: true,
         rollback: None,
+        wal_sync: lsm_store::WalSyncPolicy::Always,
     }
 }
 
@@ -770,6 +774,84 @@ pub fn fig9(scale: &Scale, opts: FigOpts) -> Table {
             format!("{:.2}x", r_un.kops_per_sec / unsec_base.max(1e-9)),
             format!("{:.1}%", r_p2.serial_fraction * 100.0),
         ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 (new in this reproduction): write batching
+// ---------------------------------------------------------------------------
+
+/// Figure 10: write throughput (records/s) vs. batch size and writer
+/// threads — the group-commit counterpart of fig9.
+///
+/// Each cell builds a fresh store, loads the keyspace, then drives a
+/// write-only phase where every virtual client issues `put_batch` calls of
+/// the given size ([`ycsb::run_write_batches_concurrent`]). The headline
+/// eLSM-P2 series runs with compaction disabled so the figure isolates the
+/// *write pipeline* — enclave transitions, WAL appends, trusted-state
+/// updates and flush — whose per-operation taxes batching amortizes;
+/// compaction write-amplification is an orthogonal cost measured by fig7.
+/// The `p2_compact_1w` column keeps one compaction-on series for the
+/// end-to-end picture, and `unsecured_1w` is the no-enclave roofline.
+///
+/// The committed `BENCH_results.json` carries a `fig10_prechange` section
+/// captured before the group-commit pipeline landed: with every `put`
+/// paying a full enclave transition, throughput was flat in batch size.
+pub fn fig10(scale: &Scale, opts: FigOpts) -> Table {
+    crate::results::set_figure("fig10_write_batching");
+    let records = scale.records_for_mb(if opts.quick { 128 } else { 256 }).max(500);
+    let total = if opts.quick { 3_000 } else { 8_000 };
+    let batches: &[usize] = if opts.quick { &[1, 8, 32] } else { &[1, 4, 8, 32, 128] };
+    let threads: &[usize] = if opts.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let mut cols: Vec<String> = vec!["batch".into()];
+    cols.extend(threads.iter().map(|t| format!("p2_{t}w_kops")));
+    cols.push("p2_compact_1w".into());
+    cols.push("unsecured_1w".into());
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Figure 10: write throughput vs batch size and writer threads (krec/s, simulated)",
+        &col_refs,
+    );
+    let phase = |batch: usize, nthreads: usize| BatchWritePhase {
+        record_count: records,
+        total_records: total,
+        batch_size: batch,
+        threads: nthreads,
+        value_len: VALUE_BYTES,
+        seed: 0xf10,
+    };
+    let run_p2 = |batch: usize, nthreads: usize, compaction: bool| {
+        let platform = Platform::new(scale.cost_model());
+        let mut options = p2_options(scale, ReadMode::Mmap, 8);
+        options.compaction_enabled = compaction;
+        let store = ElsmP2::open(platform.clone(), options).expect("open");
+        let driver = P2Driver(store);
+        load_phase(&driver, records, VALUE_BYTES);
+        let report = run_write_batches_concurrent(&driver, &platform, &phase(batch, nthreads));
+        let label = if compaction { "elsm_p2_compact" } else { "elsm_p2" };
+        crate::results::note_concurrent(&format!("{label}_b{batch}"), &report);
+        report.kops_per_sec
+    };
+    let run_unsec = |batch: usize| {
+        let platform = Platform::new(scale.cost_model());
+        let mut options = unsecured_options(scale, false, true, 8);
+        options.compaction_enabled = false;
+        let store = UnsecuredLsm::open(platform.clone(), options).expect("open");
+        let driver = UnsecuredDriver(store);
+        load_phase(&driver, records, VALUE_BYTES);
+        let report = run_write_batches_concurrent(&driver, &platform, &phase(batch, 1));
+        crate::results::note_concurrent(&format!("unsecured_b{batch}"), &report);
+        report.kops_per_sec
+    };
+    for &batch in batches {
+        let mut row = vec![batch.to_string()];
+        for &t in threads {
+            row.push(format!("{:.1}", run_p2(batch, t, false)));
+        }
+        row.push(format!("{:.1}", run_p2(batch, 1, true)));
+        row.push(format!("{:.1}", run_unsec(batch)));
+        table.row(row);
     }
     table
 }

@@ -153,6 +153,29 @@ impl AuthenticatedKv for ConfidentialStore {
         }
     }
 
+    fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Result<Vec<Timestamp>, ElsmError> {
+        // Encrypt the whole batch up front (the per-byte cryptographic work
+        // is inherent), then ride the inner store's single batch ECall.
+        let encrypted: Vec<(Vec<u8>, Vec<u8>)> = items
+            .iter()
+            .map(|(key, value)| {
+                let enc_key = self.encrypt_key(key);
+                let seq = NONCE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let enc_value = self.encrypt_value(&enc_key, seq, value);
+                (enc_key, enc_value)
+            })
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> =
+            encrypted.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        self.inner.put_batch(&refs)
+    }
+
+    fn delete_batch(&self, keys: &[&[u8]]) -> Result<Vec<Timestamp>, ElsmError> {
+        let encrypted: Vec<Vec<u8>> = keys.iter().map(|key| self.encrypt_key(key)).collect();
+        let refs: Vec<&[u8]> = encrypted.iter().map(Vec::as_slice).collect();
+        self.inner.delete_batch(&refs)
+    }
+
     fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
         // OPE codes bound the encrypted range; DET suffixes are covered by
         // scanning the full code interval and post-filtering exactly.

@@ -70,6 +70,17 @@ impl StoreListener for AuthListener {
         }
     }
 
+    fn on_wal_append_batch(&self, records: &[Record]) {
+        // One digest-lock acquisition folds the whole commit group, in
+        // commit order (the store's leader serializes groups). The digest
+        // value is identical to per-record absorbs.
+        let canonicals: Vec<Vec<u8>> = records
+            .iter()
+            .filter_map(|record| open_record(record, 0).ok().map(|(canonical, _, _)| canonical))
+            .collect();
+        self.trusted.absorb_wal_batch(canonicals.iter().map(Vec::as_slice));
+    }
+
     fn on_compaction_input(&self, source: RecordSource, record: &Record) {
         // Rebuild the source level's tree from the streamed records
         // (Figure 4, auth_filter → MHT_add on the input trees).

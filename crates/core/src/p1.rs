@@ -128,6 +128,7 @@ impl ElsmP1 {
             compaction_enabled: options.compaction_enabled,
             purge_tombstones_at_bottom: true,
             keep_old_versions: true,
+            ..Options::default()
         };
         let db = Arc::new(Db::open(env, db_options, None)?);
         Ok(ElsmP1 { platform, fs, db })
@@ -151,11 +152,41 @@ impl ElsmP1 {
 
 impl AuthenticatedKv for ElsmP1 {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, ElsmError> {
-        Ok(self.platform.ecall(|| self.db.put(key, value))?)
+        Ok(self.platform.ecall_with_payload(key.len() + value.len(), || self.db.put(key, value))?)
     }
 
     fn delete(&self, key: &[u8]) -> Result<Timestamp, ElsmError> {
-        Ok(self.platform.ecall(|| self.db.delete(key))?)
+        Ok(self.platform.ecall_with_payload(key.len(), || self.db.delete(key))?)
+    }
+
+    fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Result<Vec<Timestamp>, ElsmError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One enclave transition per batch; the store group-commits the
+        // whole frame (P1's write buffer lives in enclave memory, so the
+        // saved transitions are the whole win here). P1 stores bare
+        // values, so the batch's payload is exactly the marshalled bytes.
+        let mut batch = lsm_store::WriteBatch::with_capacity(items.len());
+        for (key, value) in items {
+            batch.put(bytes::Bytes::copy_from_slice(key), bytes::Bytes::copy_from_slice(value));
+        }
+        Ok(self
+            .platform
+            .ecall_with_payload(batch.payload_bytes(), || self.db.write_batch(batch))?)
+    }
+
+    fn delete_batch(&self, keys: &[&[u8]]) -> Result<Vec<Timestamp>, ElsmError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut batch = lsm_store::WriteBatch::with_capacity(keys.len());
+        for key in keys {
+            batch.delete(bytes::Bytes::copy_from_slice(key));
+        }
+        Ok(self
+            .platform
+            .ecall_with_payload(batch.payload_bytes(), || self.db.write_batch(batch))?)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {

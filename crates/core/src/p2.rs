@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use elsm_crypto::Digest;
 use lsm_store::{
     Db, EnvConfig, GetTrace, LevelOutcome, Options, ScanTrace, StorageEnv, Timestamp, ValueKind,
@@ -75,6 +76,9 @@ pub struct P2Options {
     pub compaction_enabled: bool,
     /// Optional rollback protection via a trusted monotonic counter.
     pub rollback: Option<RollbackOptions>,
+    /// When acknowledged writes become durable in the host-side WAL (see
+    /// [`lsm_store::WalSyncPolicy`] for the durability trade-off).
+    pub wal_sync: lsm_store::WalSyncPolicy,
 }
 
 impl Default for P2Options {
@@ -91,6 +95,7 @@ impl Default for P2Options {
             bloom_bits_per_key: 10,
             compaction_enabled: true,
             rollback: None,
+            wal_sync: lsm_store::WalSyncPolicy::Always,
         }
     }
 }
@@ -182,6 +187,8 @@ impl ElsmP2 {
         // factor — otherwise proof bytes would trigger spurious cascades.
         const PROOF_INFLATION: u64 = 6;
         let db_options = Options {
+            wal_sync: options.wal_sync,
+            max_group_commit_bytes: 1 << 20,
             env: env.config().clone(),
             table: lsm_store::TableOptions {
                 block_size: options.block_size,
@@ -270,6 +277,11 @@ impl ElsmP2 {
     ///
     /// Returns [`ElsmError`] on IO failure.
     pub fn close(&self) -> Result<(), ElsmError> {
+        // Acknowledged writes buffered under a lazy WalSyncPolicy must
+        // reach the host before the sealed state claims them: the sealed
+        // WAL digest already covers them, so losing their frames across a
+        // clean shutdown would fail honest recovery.
+        self.db.sync_wal();
         let plain = encode_state(&self.trusted.commitments(), self.trusted.wal_digest());
         let blob = self.sealer.seal(b"elsm-p2/state", &plain);
         let _ = self.fs.delete(STATE_FILE);
@@ -352,17 +364,60 @@ impl ElsmP2 {
 impl AuthenticatedKv for ElsmP2 {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, ElsmError> {
         self.ensure_healthy()?;
-        // The YCSB driver wraps each operation in an ECall (§6.1).
-        let ts = self.platform.ecall(|| self.db.put(key, &wrap_plain(value)))?;
+        // The YCSB driver wraps each operation in an ECall (§6.1),
+        // marshalling the record across the boundary.
+        let ts = self
+            .platform
+            .ecall_with_payload(key.len() + value.len(), || self.db.put(key, &wrap_plain(value)))?;
         self.after_write();
         Ok(ts)
     }
 
     fn delete(&self, key: &[u8]) -> Result<Timestamp, ElsmError> {
         self.ensure_healthy()?;
-        let ts = self.platform.ecall(|| self.db.delete(key))?;
+        let ts = self.platform.ecall_with_payload(key.len(), || self.db.delete(key))?;
         self.after_write();
         Ok(ts)
+    }
+
+    fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Result<Vec<Timestamp>, ElsmError> {
+        self.ensure_healthy()?;
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One enclave transition carries the whole batch (plus per-record
+        // marshalling); the envelope layer wraps every value in bulk inside,
+        // the store group-commits the batch as one WAL frame, and the
+        // trusted state (WAL digest, rollback counter) updates once.
+        // Marshalling covers the *argument* bytes — the envelope is added
+        // inside the enclave, so the batch's own payload_bytes (enveloped)
+        // is deliberately not the number charged here.
+        let payload: usize = items.iter().map(|(k, v)| k.len() + v.len()).sum();
+        let timestamps = self.platform.ecall_with_payload(payload, || {
+            let mut batch = lsm_store::WriteBatch::with_capacity(items.len());
+            for (key, value) in items {
+                batch.put(Bytes::copy_from_slice(key), wrap_plain(value));
+            }
+            self.db.write_batch(batch)
+        })?;
+        self.after_write();
+        Ok(timestamps)
+    }
+
+    fn delete_batch(&self, keys: &[&[u8]]) -> Result<Vec<Timestamp>, ElsmError> {
+        self.ensure_healthy()?;
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut batch = lsm_store::WriteBatch::with_capacity(keys.len());
+        for key in keys {
+            batch.delete(Bytes::copy_from_slice(key));
+        }
+        let timestamps = self
+            .platform
+            .ecall_with_payload(batch.payload_bytes(), || self.db.write_batch(batch))?;
+        self.after_write();
+        Ok(timestamps)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {

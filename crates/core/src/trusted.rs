@@ -190,9 +190,28 @@ impl TrustedState {
 
     /// Folds a WAL append into the running digest (§5.3, step w1).
     pub fn absorb_wal(&self, record_bytes: &[u8]) {
-        self.platform.charge_hash(record_bytes.len() + 32);
+        self.absorb_wal_batch(std::iter::once(record_bytes));
+    }
+
+    /// Folds a whole commit group into the running digest with one lock
+    /// acquisition. The digest *value* — and the hashing work charged — is
+    /// identical to folding record by record: batching changes who pays
+    /// the synchronization, never what the enclave commits to, which is
+    /// what keeps batched and singleton writes bit-for-bit comparable.
+    ///
+    /// The fold is charged to
+    /// [`sgx_sim::SerialClass::TrustedFold`]: it happens off the store's
+    /// write lock (the committer's leader ordering keeps it sequential),
+    /// but concurrent writers' folds still exclude each other.
+    pub fn absorb_wal_batch<'a>(&self, records: impl IntoIterator<Item = &'a [u8]>) {
+        let _serial = self.platform.serial_section(sgx_sim::SerialClass::TrustedFold);
         let mut dig = self.wal_digest.lock();
-        *dig = sha256_concat(&[&[0x05], record_bytes, dig.as_bytes()]);
+        for record_bytes in records {
+            // Each chain step is its own SHA-256 invocation with its own
+            // finalization, exactly as in the singleton path.
+            self.platform.charge_hash(record_bytes.len() + 32);
+            *dig = sha256_concat(&[&[0x05], record_bytes, dig.as_bytes()]);
+        }
     }
 
     /// Current WAL digest.

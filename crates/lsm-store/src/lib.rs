@@ -4,7 +4,8 @@
 //! eLSM paper builds on. It provides:
 //!
 //! * [`memtable`] — skiplist write buffer (level L0, in-enclave),
-//! * [`wal`] — framed, checksummed write-ahead log,
+//! * [`batch`]/[`wal`] — atomic write batches over a framed, checksummed
+//!   write-ahead log with leader/follower group commit,
 //! * [`block`]/[`sstable`] — prefix-compressed blocks, Bloom filters,
 //!   block indexes, footers,
 //! * [`version`] — levels as whole sorted runs (the paper's model),
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod block;
 pub mod bloom;
 pub mod db;
@@ -37,10 +39,11 @@ pub mod version;
 mod version_tests;
 pub mod wal;
 
+pub use batch::WriteBatch;
 pub use db::{Db, DbStats, DbStatsSnapshot};
 pub use env::{EnvConfig, StorageEnv};
 pub use events::{CompactionInfo, FilterDecision, NoopListener, RecordSource, StoreListener};
-pub use options::Options;
+pub use options::{Options, WalSyncPolicy};
 pub use record::{internal_cmp, InternalKey, Record, Timestamp, ValueKind};
 pub use sstable::{NeighborPolicy, TableBuilder, TableGet, TableMeta, TableOptions, TableReader};
 pub use version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace, Version};

@@ -3,6 +3,39 @@
 use crate::env::EnvConfig;
 use crate::sstable::TableOptions;
 
+/// When acknowledged writes become durable in the host-side WAL.
+///
+/// Batches are *always* framed atomically (a torn frame drops the whole
+/// batch on recovery); this knob only governs **when** frames leave the
+/// enclave for the host file, i.e. how many acknowledged records a crash
+/// can cost:
+///
+/// | Policy | Host pushes | Crash-loss window |
+/// |---|---|---|
+/// | [`Always`](WalSyncPolicy::Always) | one per writer batch | none: every acknowledged batch is on the host before the writer returns |
+/// | [`EveryBatch`](WalSyncPolicy::EveryBatch) | one per commit *group* | none for the application; coalesced writers' frames reach the host together, saving one OCall per follower |
+/// | [`EveryNBytes`](WalSyncPolicy::EveryNBytes) | when ≥ n bytes pend | up to n bytes of acknowledged batches (whole frames — never a torn batch) |
+///
+/// `EveryNBytes` trades durability for throughput the way
+/// `fsync`-batching databases do: group-commit systems (LevelDB's
+/// `sync=false`, LSKV's batched ledger appends) acknowledge from the
+/// enclave-side buffer and push in bulk. A flush-triggered WAL rotation
+/// always forces pending frames out first, so the loss window never spans
+/// a memtable freeze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalSyncPolicy {
+    /// Push every writer batch to the host before acknowledging — the
+    /// original per-operation behaviour (default).
+    #[default]
+    Always,
+    /// Push once per coalesced commit group: followers in a group-commit
+    /// ride the leader's single host exit.
+    EveryBatch,
+    /// Buffer frames in enclave memory and push once the given byte
+    /// threshold accumulates (or a rotation/sync forces it).
+    EveryNBytes(usize),
+}
+
 /// Options for opening a [`crate::db::Db`].
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -28,6 +61,12 @@ pub struct Options {
     /// Keep shadowed old versions (the paper's hash chains digest them;
     /// transparency-log deployments retain full history).
     pub keep_old_versions: bool,
+    /// When acknowledged writes become durable in the host-side WAL (see
+    /// [`WalSyncPolicy`] for the durability/throughput trade-off).
+    pub wal_sync: WalSyncPolicy,
+    /// Upper bound on the bytes one group-commit leader coalesces before
+    /// handing leadership on (keeps follower latency bounded under bursts).
+    pub max_group_commit_bytes: usize,
 }
 
 impl Default for Options {
@@ -43,6 +82,8 @@ impl Default for Options {
             compaction_enabled: true,
             purge_tombstones_at_bottom: true,
             keep_old_versions: true,
+            wal_sync: WalSyncPolicy::default(),
+            max_group_commit_bytes: 1 << 20,
         }
     }
 }

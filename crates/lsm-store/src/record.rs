@@ -96,21 +96,32 @@ impl Record {
 
     /// Parses a record serialized by [`Record::encode`].
     ///
-    /// Returns `None` on malformed input.
+    /// Returns `None` on malformed input (including trailing bytes).
     pub fn decode(buf: &[u8]) -> Option<Record> {
+        let (record, used) = Self::decode_prefix(buf)?;
+        (used == buf.len()).then_some(record)
+    }
+
+    /// Parses one record from the front of `buf`, returning it together
+    /// with the number of bytes consumed. The encoding is self-delimiting,
+    /// so concatenated records (a WAL batch frame) decode by repeated
+    /// prefix reads.
+    ///
+    /// Returns `None` on malformed/truncated input.
+    pub fn decode_prefix(buf: &[u8]) -> Option<(Record, usize)> {
         let (key, n) = get_length_prefixed(buf)?;
         let packed = get_fixed_u64(buf, n)?;
         let (value, m) = get_length_prefixed(&buf[n + 8..])?;
-        if n + 8 + m != buf.len() {
-            return None;
-        }
         let (ts, kind) = unpack(packed);
-        Some(Record {
-            key: Bytes::copy_from_slice(key),
-            ts,
-            kind,
-            value: Bytes::copy_from_slice(value),
-        })
+        Some((
+            Record {
+                key: Bytes::copy_from_slice(key),
+                ts,
+                kind,
+                value: Bytes::copy_from_slice(value),
+            },
+            n + 8 + m,
+        ))
     }
 
     /// Canonical bytes hashed by the eLSM digest structures: the paper
@@ -252,6 +263,19 @@ mod tests {
         assert_eq!(Record::decode(&r.encode()).unwrap(), r);
         let t = Record::tombstone(b"gone".as_slice(), 5);
         assert_eq!(Record::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn decode_prefix_walks_concatenated_records() {
+        let a = Record::put(b"a".as_slice(), b"1".as_slice(), 1);
+        let b = Record::tombstone(b"bb".as_slice(), 2);
+        let mut buf = a.encode();
+        buf.extend_from_slice(&b.encode());
+        let (got_a, used_a) = Record::decode_prefix(&buf).unwrap();
+        assert_eq!(got_a, a);
+        let (got_b, used_b) = Record::decode_prefix(&buf[used_a..]).unwrap();
+        assert_eq!(got_b, b);
+        assert_eq!(used_a + used_b, buf.len());
     }
 
     #[test]

@@ -1,47 +1,119 @@
-//! Write-ahead log.
+//! Write-ahead log with group-commit batch framing.
 //!
-//! Every PUT appends a framed record to the WAL before touching the
-//! memtable, so the memtable can be rebuilt after a crash. Framing is
-//! `[len u32][crc32c u32][payload]`; recovery stops at the first corrupt or
-//! truncated frame (standard LevelDB behaviour).
+//! Every commit group writes one *batch frame* to the log before the
+//! records touch the memtable, so the memtable can be rebuilt after a
+//! crash. Framing is `[len u32][crc32c u32][payload]` where the payload is
+//! `varint(record_count)` followed by the concatenated record encodings.
+//! A singleton put is simply a batch of one.
+//!
+//! The frame is the **atomicity unit**: recovery stops at the first
+//! corrupt or truncated frame (standard LevelDB behaviour), so a torn tail
+//! write drops its whole batch — a batch can never partially apply.
+//!
+//! When frames reach the host is governed by
+//! [`WalSyncPolicy`](crate::options::WalSyncPolicy): per writer batch, per
+//! coalesced commit group, or buffered in enclave memory until a byte
+//! threshold (see the policy docs for the durability trade-off).
 //!
 //! In eLSM the WAL *storage* lives outside the enclave while the enclave
 //! keeps a running hash of its contents (§5.3, step w1); the hash
 //! maintenance is the `elsm` crate's job via
-//! [`crate::events::StoreListener::on_wal_append`].
+//! [`crate::events::StoreListener::on_wal_append_batch`].
 
 use std::sync::Arc;
 
 use sim_disk::{FsError, SimFile};
 
-use crate::encoding::{crc32c, get_fixed_u32, put_fixed_u32};
+use crate::encoding::{crc32c, get_fixed_u32, get_varint_u64, put_fixed_u32, put_varint_u64};
 use crate::env::StorageEnv;
+use crate::options::WalSyncPolicy;
 use crate::record::Record;
 
-/// Appends framed records to a log file.
+/// Appends batch-framed records to a log file.
 #[derive(Debug)]
 pub struct WalWriter {
     env: Arc<StorageEnv>,
     file: Arc<SimFile>,
     records: u64,
+    policy: WalSyncPolicy,
+    /// Frames not yet pushed to the host ([`WalSyncPolicy::EveryNBytes`]).
+    pending: Vec<u8>,
+}
+
+/// Encodes one batch frame: `[len][crc][varint count][records…]`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds the frame format's 32-bit length field —
+/// a truncated length would silently corrupt the log and drop every later
+/// acknowledged frame on recovery. [`crate::Db::write_batch`] rejects such
+/// batches before they reach the committer.
+fn encode_frame(records: &[Record]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(records.len() * 32);
+    put_varint_u64(&mut payload, records.len() as u64);
+    for r in records {
+        payload.extend_from_slice(&r.encode());
+    }
+    assert!(
+        u32::try_from(payload.len()).is_ok(),
+        "WAL batch frame exceeds the u32 length field ({} bytes); split the batch",
+        payload.len()
+    );
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_fixed_u32(&mut frame, payload.len() as u32);
+    put_fixed_u32(&mut frame, crc32c(&payload));
+    frame.extend_from_slice(&payload);
+    frame
 }
 
 impl WalWriter {
     /// Wraps an (empty or existing) log file for appending.
-    pub fn new(env: Arc<StorageEnv>, file: Arc<SimFile>) -> Self {
-        WalWriter { env, file, records: 0 }
+    pub fn new(env: Arc<StorageEnv>, file: Arc<SimFile>, policy: WalSyncPolicy) -> Self {
+        WalWriter { env, file, records: 0, policy, pending: Vec::new() }
     }
 
-    /// Appends one record (charged as an enclave-exit write when the store
-    /// runs in enclave mode — step w3 of the paper's write path).
+    /// Appends one record as a batch of one (step w3 of the paper's write
+    /// path; charged as an enclave-exit write when the store runs in
+    /// enclave mode).
     pub fn append(&mut self, record: &Record) {
-        let payload = record.encode();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        put_fixed_u32(&mut frame, payload.len() as u32);
-        put_fixed_u32(&mut frame, crc32c(&payload));
-        frame.extend_from_slice(&payload);
-        self.env.append(&self.file, &frame);
-        self.records += 1;
+        self.append_batch(std::slice::from_ref(record));
+    }
+
+    /// Appends one batch as a single atomic frame.
+    ///
+    /// Under [`WalSyncPolicy::EveryNBytes`] the frame may be buffered in
+    /// enclave memory; call [`WalWriter::sync`] to force it out (the store
+    /// does this before every WAL rotation).
+    pub fn append_batch(&mut self, records: &[Record]) {
+        if records.is_empty() {
+            return;
+        }
+        let frame = encode_frame(records);
+        match self.policy {
+            WalSyncPolicy::Always => self.env.append(&self.file, &frame),
+            WalSyncPolicy::EveryBatch => self.pending.extend_from_slice(&frame),
+            WalSyncPolicy::EveryNBytes(n) => {
+                self.pending.extend_from_slice(&frame);
+                if self.pending.len() >= n {
+                    self.sync();
+                }
+            }
+        }
+        self.records += records.len() as u64;
+    }
+
+    /// Pushes buffered frames to the host in one append (one OCall in
+    /// enclave mode). A no-op when nothing is pending.
+    pub fn sync(&mut self) {
+        if !self.pending.is_empty() {
+            self.env.append(&self.file, &self.pending);
+            self.pending.clear();
+        }
+    }
+
+    /// Bytes buffered in enclave memory, not yet visible to the host.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
     }
 
     /// Number of records appended through this writer.
@@ -57,8 +129,9 @@ impl WalWriter {
 
 /// Reads back all intact records from a WAL file.
 ///
-/// Stops silently at the first corrupt/truncated frame; returns the records
-/// recovered up to that point (crash-recovery semantics).
+/// Stops silently at the first corrupt/truncated frame and returns the
+/// records recovered up to that point: a torn tail drops its **whole
+/// batch** (crash-recovery semantics — the frame is the atomicity unit).
 ///
 /// # Errors
 ///
@@ -83,10 +156,29 @@ pub fn recover(env: &StorageEnv, file: &Arc<SimFile>) -> Result<Vec<Record>, FsE
         if crc32c(payload) != crc {
             break; // corruption: stop recovery here
         }
-        match Record::decode(payload) {
-            Some(r) => out.push(r),
-            None => break,
+        let Some((count, mut at)) = get_varint_u64(payload) else { break };
+        // The count rides in untrusted bytes: never allocate from it
+        // unchecked (a tampered frame claiming 2^64 records must stop
+        // recovery gracefully, not abort the enclave). Each record costs
+        // at least one payload byte, so this bound is safe.
+        let mut batch = Vec::with_capacity((count as usize).min(payload.len() - at));
+        let mut intact = true;
+        for _ in 0..count {
+            match Record::decode_prefix(&payload[at..]) {
+                Some((r, used)) => {
+                    batch.push(r);
+                    at += used;
+                }
+                None => {
+                    intact = false;
+                    break;
+                }
+            }
         }
+        if !intact || at != payload.len() {
+            break; // malformed frame: drop the whole batch, stop recovery
+        }
+        out.append(&mut batch);
         pos = end;
     }
     Ok(out)
@@ -117,16 +209,33 @@ mod tests {
             .collect()
     }
 
+    fn writer(env: &Arc<StorageEnv>, file: Arc<SimFile>) -> WalWriter {
+        WalWriter::new(env.clone(), file, WalSyncPolicy::Always)
+    }
+
     #[test]
     fn write_then_recover_all() {
         let (env, fs) = env();
         let file = fs.create("wal").unwrap();
-        let mut w = WalWriter::new(env.clone(), file.clone());
+        let mut w = writer(&env, file.clone());
         let records = sample(50);
         for r in &records {
             w.append(r);
         }
         assert_eq!(w.records(), 50);
+        let got = recover(&env, &file).unwrap();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn batches_recover_in_order() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = writer(&env, file.clone());
+        let records = sample(10);
+        w.append_batch(&records[..4]);
+        w.append(&records[4]);
+        w.append_batch(&records[5..]);
         let got = recover(&env, &file).unwrap();
         assert_eq!(got, records);
     }
@@ -142,7 +251,7 @@ mod tests {
     fn torn_tail_is_dropped() {
         let (env, fs) = env();
         let file = fs.create("wal").unwrap();
-        let mut w = WalWriter::new(env.clone(), file.clone());
+        let mut w = writer(&env, file.clone());
         let records = sample(3);
         for r in &records {
             w.append(r);
@@ -154,20 +263,72 @@ mod tests {
     }
 
     #[test]
+    fn torn_batch_frame_drops_whole_batch() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = writer(&env, file.clone());
+        let records = sample(8);
+        w.append_batch(&records[..3]);
+        // The next batch's frame is torn mid-payload: only a prefix of its
+        // bytes reach the platter.
+        let torn = encode_frame(&records[3..]);
+        file.append(&torn[..torn.len() - 5]);
+        let got = recover(&env, &file).unwrap();
+        assert_eq!(got, records[..3], "no record of the torn batch may apply");
+    }
+
+    #[test]
+    fn corrupt_byte_inside_batch_frame_drops_whole_batch() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = writer(&env, file.clone());
+        let records = sample(8);
+        w.append_batch(&records[..3]);
+        let before = file.len();
+        w.append_batch(&records[3..]);
+        // Flip one byte in the second batch's payload: the CRC must reject
+        // the frame and recovery must not surface *any* of its records.
+        file.corrupt(before + 12, 0x40);
+        let got = recover(&env, &file).unwrap();
+        assert_eq!(got, records[..3], "a corrupt batch must drop atomically");
+    }
+
+    #[test]
+    fn tampered_record_count_stops_recovery_gracefully() {
+        // The host controls the WAL bytes and can re-CRC anything it
+        // writes: a frame claiming 2^60 records must stop recovery (the
+        // records aren't there), never abort on a giant allocation.
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = writer(&env, file.clone());
+        let records = sample(3);
+        for r in &records {
+            w.append(r);
+        }
+        let mut payload = Vec::new();
+        put_varint_u64(&mut payload, 1u64 << 60);
+        payload.extend_from_slice(&Record::put(b"x".as_slice(), b"y".as_slice(), 9).encode());
+        let mut frame = Vec::new();
+        put_fixed_u32(&mut frame, payload.len() as u32);
+        put_fixed_u32(&mut frame, crc32c(&payload)); // CRC is valid!
+        frame.extend_from_slice(&payload);
+        file.append(&frame);
+        let got = recover(&env, &file).unwrap();
+        assert_eq!(got, records, "tampered count must stop recovery at the frame");
+    }
+
+    #[test]
     fn corrupt_frame_stops_recovery() {
         let (env, fs) = env();
         let file = fs.create("wal").unwrap();
-        let mut w = WalWriter::new(env.clone(), file.clone());
+        let mut w = writer(&env, file.clone());
         let records = sample(2);
         for r in &records {
             w.append(r);
         }
         // Append a frame with a wrong CRC, then a good record after it.
-        let payload = Record::put(b"evil".as_slice(), b"x".as_slice(), 99).encode();
-        let mut frame = Vec::new();
-        put_fixed_u32(&mut frame, payload.len() as u32);
-        put_fixed_u32(&mut frame, 0xdead_beef);
-        frame.extend_from_slice(&payload);
+        let mut frame = encode_frame(&[Record::put(b"evil".as_slice(), b"x".as_slice(), 99)]);
+        frame[4] ^= 0xff; // break the CRC field
         file.append(&frame);
         w.append(&Record::put(b"after".as_slice(), b"y".as_slice(), 100));
         let got = recover(&env, &file).unwrap();
@@ -178,7 +339,7 @@ mod tests {
     fn tombstones_survive_recovery() {
         let (env, fs) = env();
         let file = fs.create("wal").unwrap();
-        let mut w = WalWriter::new(env.clone(), file.clone());
+        let mut w = writer(&env, file.clone());
         let t = Record::tombstone(b"gone".as_slice(), 7);
         w.append(&t);
         assert_eq!(recover(&env, &file).unwrap(), vec![t]);
@@ -188,9 +349,50 @@ mod tests {
     fn appends_issue_ocalls_in_enclave_mode() {
         let (env, fs) = env();
         let file = fs.create("wal").unwrap();
-        let mut w = WalWriter::new(env.clone(), file);
+        let mut w = writer(&env, fs.open("wal").unwrap());
         let before = env.platform().stats().ocalls;
         w.append(&Record::put(b"k".as_slice(), b"v".as_slice(), 1));
         assert_eq!(env.platform().stats().ocalls, before + 1);
+        let _ = file;
+    }
+
+    #[test]
+    fn batch_append_is_one_ocall() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = writer(&env, file);
+        let before = env.platform().stats().ocalls;
+        w.append_batch(&sample(64));
+        assert_eq!(
+            env.platform().stats().ocalls,
+            before + 1,
+            "one host exit per batch, not per record"
+        );
+    }
+
+    #[test]
+    fn every_n_bytes_buffers_until_threshold() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = WalWriter::new(env.clone(), file.clone(), WalSyncPolicy::EveryNBytes(4096));
+        let records = sample(10);
+        w.append_batch(&records[..5]);
+        assert_eq!(file.len(), 0, "frames buffer in enclave memory below the threshold");
+        assert!(w.pending_bytes() > 0);
+        // Nothing recoverable before a sync — the documented loss window.
+        assert!(recover(&env, &file).unwrap().is_empty());
+        w.sync();
+        assert_eq!(recover(&env, &file).unwrap(), records[..5]);
+        assert_eq!(w.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn every_n_bytes_flushes_past_threshold() {
+        let (env, fs) = env();
+        let file = fs.create("wal").unwrap();
+        let mut w = WalWriter::new(env.clone(), file.clone(), WalSyncPolicy::EveryNBytes(64));
+        w.append_batch(&sample(10));
+        assert!(!file.is_empty(), "crossing the byte threshold forces the push");
+        assert_eq!(recover(&env, &file).unwrap(), sample(10));
     }
 }

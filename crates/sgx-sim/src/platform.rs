@@ -80,7 +80,7 @@ impl Platform {
             epc: Mutex::new(epc),
             next_region: AtomicU64::new(1),
             enclave_alloc_bytes: AtomicU64::new(0),
-            serial_ns: [AtomicU64::new(0), AtomicU64::new(0)],
+            serial_ns: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         })
     }
 
@@ -138,7 +138,7 @@ impl Platform {
 
     /// Snapshot of all per-class serial accumulators.
     pub fn serial_snapshot(&self) -> [u64; SERIAL_CLASSES] {
-        [self.serial_ns[0].load(Ordering::Relaxed), self.serial_ns[1].load(Ordering::Relaxed)]
+        std::array::from_fn(|i| self.serial_ns[i].load(Ordering::Relaxed))
     }
 
     // ----- world switches ---------------------------------------------
@@ -147,6 +147,23 @@ impl Platform {
     pub fn ecall<T>(&self, f: impl FnOnce() -> T) -> T {
         PlatformStats::add(&self.stats.ecalls, 1);
         self.tick(self.cost.ecall_ns);
+        f()
+    }
+
+    /// Charges one ECall carrying `payload_bytes` of arguments and runs `f`
+    /// "inside": one fixed transition cost plus per-byte marshalling (the
+    /// argument copy crosses the enclave boundary through the MEE).
+    ///
+    /// This is how a *batch* ECall must be charged: the transition is paid
+    /// once however many records ride along, while marshalling scales with
+    /// the payload — a flat [`Platform::ecall`] would make a 1000-record
+    /// batch as cheap to pass as a 1-record one.
+    pub fn ecall_with_payload<T>(&self, payload_bytes: usize, f: impl FnOnce() -> T) -> T {
+        PlatformStats::add(&self.stats.ecalls, 1);
+        self.tick(self.cost.ecall_ns);
+        if payload_bytes > 0 {
+            self.cross_copy(payload_bytes);
+        }
         f()
     }
 
@@ -296,6 +313,32 @@ mod tests {
         let s = p.stats();
         assert_eq!((s.ecalls, s.ocalls), (1, 1));
         assert_eq!(p.clock().now_ns(), p.cost().ecall_ns + p.cost().ocall_ns);
+    }
+
+    #[test]
+    fn batch_ecall_charges_one_transition_plus_marshalling() {
+        // Pin the batch cost model: one fixed transition however many
+        // records ride along, plus a cross-boundary copy of the payload.
+        let p = Platform::with_defaults();
+        let t0 = p.clock().now_ns();
+        p.ecall_with_payload(32 * 1024, || ());
+        let charged = p.clock().now_ns() - t0;
+        let expected =
+            p.cost().ecall_ns + CostModel::copy_cost(p.cost().cross_copy_ns_per_kb, 32 * 1024);
+        assert_eq!(charged, expected);
+        let s = p.stats();
+        assert_eq!(s.ecalls, 1, "a batch is one transition");
+        assert_eq!(s.cross_copy_bytes, 32 * 1024, "arguments are marshalled byte for byte");
+        // An empty payload degenerates to the flat transition cost.
+        let t1 = p.clock().now_ns();
+        p.ecall_with_payload(0, || ());
+        assert_eq!(p.clock().now_ns() - t1, p.cost().ecall_ns);
+        // Two batched records cost less than two singleton calls as soon as
+        // the payload is smaller than a transition's worth of copying.
+        let singleton =
+            2 * (p.cost().ecall_ns + CostModel::copy_cost(p.cost().cross_copy_ns_per_kb, 116));
+        let batched = p.cost().ecall_ns + CostModel::copy_cost(p.cost().cross_copy_ns_per_kb, 232);
+        assert!(batched < singleton);
     }
 
     #[test]

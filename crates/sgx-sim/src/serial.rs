@@ -28,10 +28,14 @@ pub enum SerialClass {
     StoreWrite = 0,
     /// Flush/compaction maintenance: at most one such job runs at a time.
     Maintenance = 1,
+    /// Enclave-side running digests (the WAL hash chain): folds are ordered
+    /// by commit order, so concurrent writers' folds exclude each other
+    /// even though they run outside the store's write lock.
+    TrustedFold = 2,
 }
 
 /// Number of [`SerialClass`] variants (sizes the per-class accumulators).
-pub const SERIAL_CLASSES: usize = 2;
+pub const SERIAL_CLASSES: usize = 3;
 
 thread_local! {
     /// Bitmask of serial classes currently open on this thread. Nested

@@ -68,6 +68,54 @@ struct Client {
     ops_done: u64,
 }
 
+/// Per-class "lock free at" horizons shared by the concurrent phases:
+/// serial time of one class must not overlap across clients.
+struct SerialScheduler {
+    lock_free_at: [u64; SERIAL_CLASSES],
+}
+
+impl SerialScheduler {
+    fn new() -> Self {
+        SerialScheduler { lock_free_at: [0u64; SERIAL_CLASSES] }
+    }
+
+    /// Schedules one operation of total virtual cost `total` with per-class
+    /// serial deltas `deltas`, starting no earlier than `start`; returns
+    /// the finish time.
+    ///
+    /// The serial span comes first (lock acquisition precedes the protected
+    /// work), then the overlapping remainder. Sections of different classes
+    /// nest in the store (a flush's write-lock windows sit inside its
+    /// maintenance section), so the same nanoseconds may be charged to
+    /// several classes: the op's serial *span* is the max per-class delta,
+    /// while every involved class's horizon advances by its own delta.
+    fn schedule(&mut self, start: u64, total: u64, deltas: &[u64; SERIAL_CLASSES]) -> u64 {
+        let span = deltas.iter().copied().max().unwrap_or(0);
+        let mut begin = start;
+        for (d, horizon) in deltas.iter().zip(self.lock_free_at.iter()) {
+            if *d > 0 {
+                begin = begin.max(*horizon);
+            }
+        }
+        for (d, horizon) in deltas.iter().zip(self.lock_free_at.iter_mut()) {
+            if *d > 0 {
+                *horizon = begin + d;
+            }
+        }
+        begin + span + (total - span)
+    }
+}
+
+/// Per-class serial deltas between two [`Platform::serial_snapshot`]s,
+/// clamped to the op's total cost.
+fn serial_deltas(
+    s0: &[u64; SERIAL_CLASSES],
+    s1: &[u64; SERIAL_CLASSES],
+    total: u64,
+) -> [u64; SERIAL_CLASSES] {
+    std::array::from_fn(|k| (s1[k] - s0[k]).min(total))
+}
+
 /// Runs `total_ops` operations of `workload` spread over `threads` virtual
 /// clients, returning virtual-time throughput and latency.
 ///
@@ -99,9 +147,7 @@ pub fn run_phase_concurrent(
         })
         .collect();
 
-    // Per-class "lock free at" horizons: serial time of one class must not
-    // overlap across clients.
-    let mut lock_free_at = [0u64; SERIAL_CLASSES];
+    let mut scheduler = SerialScheduler::new();
     let mut overall = LatencyHistogram::new();
     let mut read_hits = 0u64;
     let mut read_total = 0u64;
@@ -154,31 +200,12 @@ pub fn run_phase_concurrent(
         let total = platform.clock().now_ns() - c0;
         let s1 = platform.serial_snapshot();
 
-        // Schedule: the serial span comes first (lock acquisition precedes
-        // the protected work), then the overlapping remainder. Sections of
-        // different classes nest in the store (a flush's write-lock
-        // windows sit inside its maintenance section), so the same
-        // nanoseconds may be charged to several classes: the op's serial
-        // *span* is the max per-class delta, while every involved class's
-        // horizon advances by its own delta.
         let start = c.t_ns;
-        let deltas: Vec<u64> = (0..SERIAL_CLASSES).map(|k| (s1[k] - s0[k]).min(total)).collect();
-        let span = deltas.iter().copied().max().unwrap_or(0);
-        let mut begin = start;
-        for (d, horizon) in deltas.iter().zip(lock_free_at.iter()) {
-            if *d > 0 {
-                begin = begin.max(*horizon);
-            }
-        }
-        for (d, horizon) in deltas.iter().zip(lock_free_at.iter_mut()) {
-            if *d > 0 {
-                *horizon = begin + d;
-            }
-        }
-        let finish = begin + span + (total - span);
+        let deltas = serial_deltas(&s0, &s1, total);
+        let finish = scheduler.schedule(start, total, &deltas);
         overall.record_ns(finish - start);
         charged_total += total;
-        charged_serial += span;
+        charged_serial += deltas.iter().copied().max().unwrap_or(0);
         c.t_ns = finish;
         c.ops_done += 1;
     }
@@ -192,6 +219,104 @@ pub fn run_phase_concurrent(
         kops_per_sec: total_ops as f64 / (elapsed_ns as f64 / 1e9) / 1_000.0,
         overall: overall.summary(),
         read_hit_rate: if read_total == 0 { 1.0 } else { read_hits as f64 / read_total as f64 },
+        serial_fraction: if charged_total == 0 {
+            0.0
+        } else {
+            charged_serial as f64 / charged_total as f64
+        },
+    }
+}
+
+/// Configuration of a batched multi-writer phase
+/// ([`run_write_batches_concurrent`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchWritePhase {
+    /// Size of the loaded keyspace the updates target.
+    pub record_count: u64,
+    /// Records written across all clients (rounded down to whole batches
+    /// per client).
+    pub total_records: u64,
+    /// Records per [`KvDriver::put_batch`] call; 1 measures the singleton
+    /// write path.
+    pub batch_size: usize,
+    /// Number of virtual writer clients.
+    pub threads: usize,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// Reproducibility seed.
+    pub seed: u64,
+}
+
+/// Runs a write-only phase where each of `threads` virtual clients issues
+/// [`KvDriver::put_batch`] calls of `batch_size` uniformly chosen keys,
+/// scheduled on the same virtual-time model as [`run_phase_concurrent`]
+/// (serial sections exclude across clients, the rest overlaps).
+///
+/// Throughput is reported in *records* per second (`ops` counts records,
+/// not batches), so sweeps over `batch_size` are directly comparable. The
+/// latency histogram records whole-batch latencies.
+pub fn run_write_batches_concurrent(
+    driver: &dyn KvDriver,
+    platform: &Arc<Platform>,
+    phase: &BatchWritePhase,
+) -> ConcurrentReport {
+    let threads = phase.threads.max(1);
+    let batch = phase.batch_size.max(1);
+    let per_client = (phase.total_records / (batch as u64 * threads as u64)).max(1);
+    let total_batches = per_client * threads as u64;
+    struct Writer {
+        rng: rand::rngs::StdRng,
+        chooser: KeyChooser,
+        t_ns: u64,
+        batches_done: u64,
+    }
+    let mut writers: Vec<Writer> = (0..threads)
+        .map(|tid| Writer {
+            rng: seeded_rng(phase.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tid as u64 + 1))),
+            chooser: KeyChooser::by_name("uniform", phase.record_count.max(1)),
+            t_ns: 0,
+            batches_done: 0,
+        })
+        .collect();
+    let mut scheduler = SerialScheduler::new();
+    let mut overall = LatencyHistogram::new();
+    let mut charged_total = 0u64;
+    let mut charged_serial = 0u64;
+    for _ in 0..total_batches {
+        let i = (0..writers.len())
+            .filter(|&i| writers[i].batches_done < per_client)
+            .min_by_key(|&i| (writers[i].t_ns, i))
+            .expect("a writer with work left");
+        let w = &mut writers[i];
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..batch)
+            .map(|_| {
+                let k = w.chooser.next(&mut w.rng, phase.record_count, phase.record_count);
+                (format_key(k), make_value(k, phase.value_len))
+            })
+            .collect();
+        let c0 = platform.clock().now_ns();
+        let s0 = platform.serial_snapshot();
+        driver.put_batch(&items);
+        let total = platform.clock().now_ns() - c0;
+        let s1 = platform.serial_snapshot();
+        let deltas = serial_deltas(&s0, &s1, total);
+        let finish = scheduler.schedule(w.t_ns, total, &deltas);
+        overall.record_ns(finish - w.t_ns);
+        charged_total += total;
+        charged_serial += deltas.iter().copied().max().unwrap_or(0);
+        w.t_ns = finish;
+        w.batches_done += 1;
+    }
+    let elapsed_ns = writers.iter().map(|w| w.t_ns).max().unwrap_or(0).max(1);
+    let total_records = total_batches * batch as u64;
+    ConcurrentReport {
+        workload: format!("write-b{batch}"),
+        threads,
+        ops: total_records,
+        elapsed_us: elapsed_ns as f64 / 1_000.0,
+        kops_per_sec: total_records as f64 / (elapsed_ns as f64 / 1e9) / 1_000.0,
+        overall: overall.summary(),
+        read_hit_rate: 1.0,
         serial_fraction: if charged_total == 0 {
             0.0
         } else {

@@ -16,7 +16,9 @@ pub mod report;
 pub mod runner;
 pub mod workload;
 
-pub use concurrent::{run_phase_concurrent, ConcurrentReport};
+pub use concurrent::{
+    run_phase_concurrent, run_write_batches_concurrent, BatchWritePhase, ConcurrentReport,
+};
 pub use generator::{format_key, make_value, seeded_rng, KeyChooser, Zipfian};
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use report::Table;

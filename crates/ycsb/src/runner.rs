@@ -24,6 +24,17 @@ pub trait KvDriver {
     fn get(&self, key: &[u8]) -> bool;
     /// Range scan; returns the number of records.
     fn scan(&self, from: &[u8], to: &[u8]) -> usize;
+    /// Inserts or updates a whole batch in one store-level operation.
+    ///
+    /// The default forwards record by record — exactly the singleton write
+    /// path, so stores without a batch entry point measure honestly. Stores
+    /// with a group-commit pipeline override this with their real batch
+    /// API (one enclave transition, one WAL append for the whole batch).
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        for (key, value) in items {
+            self.put(key, value);
+        }
+    }
 }
 
 /// Outcome of a run phase.

@@ -162,6 +162,133 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Write-path equivalence: any interleaving of singleton and batched
+    /// writes over the same operation sequence yields identical verified
+    /// reads, identical scan results, and identical level commitments —
+    /// batching amortizes costs, it never changes what the enclave
+    /// commits to.
+    ///
+    /// Each group of ops is applied to store A op-by-op and to store B as
+    /// batches (split into maximal same-kind runs so put/delete order is
+    /// preserved); a random subset of group boundaries also flushes both
+    /// stores, driving identical flush/compaction schedules.
+    #[test]
+    fn batched_and_singleton_writes_agree(
+        groups in prop::collection::vec(
+            (
+                prop::collection::vec(
+                    (0u16..80, any::<u16>(), 0u8..8), // delete when the u8 is 0
+                    1..10,
+                ),
+                0u8..2,  // apply this group as batches?
+                0u8..10, // flush both stores afterwards when < 3?
+            ),
+            1..10,
+        ),
+    ) {
+        use elsm_repro::elsm::{AuthenticatedKv, ElsmP2, P2Options};
+        use elsm_repro::sgx_sim::Platform;
+        let open = || ElsmP2::open(
+            Platform::with_defaults(),
+            P2Options {
+                // Large write buffer: flush points are the *explicit* ones
+                // below, identical for both stores, so flush/compaction
+                // schedules — and therefore level contents — match exactly.
+                write_buffer_bytes: 1 << 20,
+                level1_max_bytes: 8 * 1024,
+                level_multiplier: 4,
+                max_levels: 3,
+                ..P2Options::default()
+            },
+        ).unwrap();
+        let singles = open();
+        let batched = open();
+        for (ops, as_batch, flush_after) in &groups {
+            let as_batch = *as_batch == 1;
+            let flush_after = *flush_after < 3;
+            // Store A: strictly op-by-op.
+            for (keyno, val, delete_coin) in ops {
+                let key = format!("k{keyno:03}").into_bytes();
+                if *delete_coin == 0 {
+                    singles.delete(&key).unwrap();
+                } else {
+                    singles.put(&key, format!("v{val}").as_bytes()).unwrap();
+                }
+            }
+            // Store B: the same ops as maximal same-kind batch runs (or
+            // op-by-op when the coin says so — interleavings of both call
+            // styles must agree too).
+            let encoded: Vec<(Vec<u8>, Vec<u8>, bool)> = ops
+                .iter()
+                .map(|(keyno, val, delete_coin)| (
+                    format!("k{keyno:03}").into_bytes(),
+                    format!("v{val}").into_bytes(),
+                    *delete_coin == 0,
+                ))
+                .collect();
+            if as_batch {
+                let mut run = 0usize;
+                while run < encoded.len() {
+                    let kind = encoded[run].2;
+                    let mut end = run;
+                    while end < encoded.len() && encoded[end].2 == kind {
+                        end += 1;
+                    }
+                    if kind {
+                        let keys: Vec<&[u8]> =
+                            encoded[run..end].iter().map(|(k, _, _)| k.as_slice()).collect();
+                        batched.delete_batch(&keys).unwrap();
+                    } else {
+                        let items: Vec<(&[u8], &[u8])> = encoded[run..end]
+                            .iter()
+                            .map(|(k, v, _)| (k.as_slice(), v.as_slice()))
+                            .collect();
+                        batched.put_batch(&items).unwrap();
+                    }
+                    run = end;
+                }
+            } else {
+                for (key, value, is_delete) in &encoded {
+                    if *is_delete {
+                        batched.delete(key).unwrap();
+                    } else {
+                        batched.put(key, value).unwrap();
+                    }
+                }
+            }
+            if flush_after {
+                singles.db().flush().unwrap();
+                batched.db().flush().unwrap();
+            }
+        }
+        // Identical verified reads for every key ever touched.
+        for keyno in 0u16..80 {
+            let key = format!("k{keyno:03}").into_bytes();
+            let a = singles.get(&key).unwrap();
+            let b = batched.get(&key).unwrap();
+            prop_assert_eq!(a, b, "verified GET diverged for k{:03}", keyno);
+        }
+        // Identical verified scan results over the full range.
+        let scan_a = singles.scan(b"k000", b"k999").unwrap();
+        let scan_b = batched.scan(b"k000", b"k999").unwrap();
+        prop_assert_eq!(scan_a, scan_b, "verified SCAN diverged");
+        // Identical enclave state: WAL digest and every level commitment.
+        prop_assert_eq!(
+            singles.trusted().wal_digest(),
+            batched.trusted().wal_digest(),
+            "WAL digests diverged"
+        );
+        prop_assert_eq!(
+            singles.trusted().commitments(),
+            batched.trusted().commitments(),
+            "level commitments diverged"
+        );
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The full store vs. a BTreeMap model under random operation
