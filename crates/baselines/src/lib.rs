@@ -8,14 +8,19 @@
 //!   (Unsecure)" in Figure 5a) and the code-in-enclave/buffer-outside
 //!   unsecured "ideal" of Figures 2 and 6a,
 //! * [`MbtStore`] — the conventional update-in-place Merkle B-tree ADS the
-//!   paper's §3.4 argues against.
+//!   paper's §3.4 argues against,
+//! * [`ShardedUnsecured`] — N unsecured LSM partitions behind the same
+//!   partitioner as `elsm_shard::ShardedKv`: the roofline for the
+//!   shard-scaling figure.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod eleos;
 pub mod mbt_store;
+pub mod sharded;
 pub mod unsecured;
 
 pub use eleos::{EleosCapacityExceeded, EleosOptions, EleosStore};
 pub use mbt_store::MbtStore;
+pub use sharded::ShardedUnsecured;
 pub use unsecured::{UnsecuredLsm, UnsecuredOptions};

@@ -6,5 +6,5 @@ use elsm_bench::{emit_figure, opts_from_args, Scale};
 fn main() {
     let scale = Scale::default();
     let opts = opts_from_args();
-    emit_figure("fig7a", &fig7a(&scale, opts), opts);
+    emit_figure("fig11", &fig11(&scale, opts), opts);
 }

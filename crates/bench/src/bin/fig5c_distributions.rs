@@ -1,11 +1,10 @@
 //! Regenerates one figure of the paper; pass `--quick` for a fast subset.
 
 use elsm_bench::figures::*;
-use elsm_bench::{opts_from_args, Scale};
+use elsm_bench::{emit_figure, opts_from_args, Scale};
 
 fn main() {
     let scale = Scale::default();
     let opts = opts_from_args();
-    let table = fig5c(&scale, opts);
-    table.print();
+    emit_figure("fig5c", &fig5c(&scale, opts), opts);
 }

@@ -1,15 +1,10 @@
-//! Regenerates the thread-scaling figure; pass `--quick` for a fast subset.
+//! Regenerates one figure of the paper; pass `--quick` for a fast subset.
 
 use elsm_bench::figures::*;
-use elsm_bench::{opts_from_args, Scale};
+use elsm_bench::{emit_figure, opts_from_args, Scale};
 
 fn main() {
     let scale = Scale::default();
     let opts = opts_from_args();
-    let table = fig9(&scale, opts);
-    table.print();
-    elsm_bench::results::write_results(
-        "BENCH_results.json",
-        if opts.quick { "smoke" } else { "full" },
-    );
+    emit_figure("fig9", &fig9(&scale, opts), opts);
 }

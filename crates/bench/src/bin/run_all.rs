@@ -1,33 +1,71 @@
 //! Regenerates every table and figure, printing both text and the markdown
-//! blocks recorded in EXPERIMENTS.md. Pass `--quick` for a fast pass.
+//! blocks recorded in EXPERIMENTS.md. Pass `--quick` for a fast pass, or
+//! `--only <figure>` to run a single figure (results then go to
+//! `BENCH_results.<figure>.json` so the committed full baseline is never
+//! clobbered by a partial run).
 
 use elsm_bench::figures::*;
 use elsm_bench::{opts_from_args, Scale};
+use ycsb::Table;
 
 fn main() {
     let scale = Scale::default();
     let opts = opts_from_args();
     let markdown = std::env::args().any(|a| a == "--markdown");
-    let tables = vec![
-        table1(),
-        fig2(&scale, opts),
-        fig5a(&scale, opts),
-        fig5b(&scale, opts),
-        fig5c(&scale, opts),
-        fig6a(&scale, opts),
-        fig6b(&scale, opts),
-        fig6c(&scale, opts),
-        fig7a(&scale, opts),
-        fig7b(&scale, opts),
-        fig8(&scale, opts),
-        ablation_proofs(&scale, opts),
-        ablation_bloom(&scale, opts),
-        ablation_update_in_place(&scale, opts),
-        ablation_rollback(&scale, opts),
-        fig9(&scale, opts),
-        fig10(&scale, opts),
+    type FigureFn = Box<dyn Fn() -> Table>;
+    let figures: Vec<(&str, FigureFn)> = vec![
+        ("table1", Box::new(table1)),
+        ("fig2", Box::new(move || fig2(&scale, opts))),
+        ("fig5a", Box::new(move || fig5a(&scale, opts))),
+        ("fig5b", Box::new(move || fig5b(&scale, opts))),
+        ("fig5c", Box::new(move || fig5c(&scale, opts))),
+        ("fig6a", Box::new(move || fig6a(&scale, opts))),
+        ("fig6b", Box::new(move || fig6b(&scale, opts))),
+        ("fig6c", Box::new(move || fig6c(&scale, opts))),
+        ("fig7a", Box::new(move || fig7a(&scale, opts))),
+        ("fig7b", Box::new(move || fig7b(&scale, opts))),
+        ("fig8", Box::new(move || fig8(&scale, opts))),
+        ("ablation_proofs", Box::new(move || ablation_proofs(&scale, opts))),
+        ("ablation_bloom", Box::new(move || ablation_bloom(&scale, opts))),
+        ("ablation_update_in_place", Box::new(move || ablation_update_in_place(&scale, opts))),
+        ("ablation_rollback", Box::new(move || ablation_rollback(&scale, opts))),
+        ("fig9", Box::new(move || fig9(&scale, opts))),
+        ("fig10", Box::new(move || fig10(&scale, opts))),
+        ("fig11", Box::new(move || fig11(&scale, opts))),
     ];
-    for t in &tables {
+    let usage_and_exit = |problem: &str| -> ! {
+        eprintln!("{problem}; available figures:");
+        for (n, _) in &figures {
+            eprintln!("  {n}");
+        }
+        std::process::exit(2);
+    };
+    // `--only <figure>` or `--only=<figure>`; a present-but-valueless
+    // flag is an error, never a silent fall-through to the full sweep.
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--only" {
+            match args.next() {
+                Some(value) if !value.starts_with('-') => only = Some(value),
+                _ => usage_and_exit("--only requires a figure name"),
+            }
+        } else if let Some(value) = arg.strip_prefix("--only=") {
+            only = Some(value.to_string());
+        }
+    }
+    let selected: Vec<&(&str, FigureFn)> = match &only {
+        Some(name) => {
+            let hit: Vec<_> = figures.iter().filter(|(n, _)| n == name).collect();
+            if hit.is_empty() {
+                usage_and_exit(&format!("unknown figure `{name}`"));
+            }
+            hit
+        }
+        None => figures.iter().collect(),
+    };
+    for (_, figure) in &selected {
+        let t = figure();
         if markdown {
             println!("{}", t.to_markdown());
         } else {
@@ -35,8 +73,9 @@ fn main() {
             println!();
         }
     }
-    elsm_bench::results::write_results(
-        "BENCH_results.json",
-        if opts.quick { "smoke" } else { "full" },
-    );
+    let path = match &only {
+        Some(name) => format!("BENCH_results.{name}.json"),
+        None => "BENCH_results.json".to_string(),
+    };
+    elsm_bench::results::write_results(&path, if opts.quick { "smoke" } else { "full" });
 }

@@ -1,7 +1,8 @@
 //! Prints Table 1 (the design-choice matrix).
 
 use elsm_bench::figures::table1;
+use elsm_bench::{emit_figure, opts_from_args};
 
 fn main() {
-    table1().print();
+    emit_figure("table1", &table1(), opts_from_args());
 }

@@ -6,8 +6,13 @@
 //! the eLSM designs; honest per-record loops for the update-in-place
 //! baselines, which have nothing to amortize).
 
+use std::sync::Arc;
+
 use elsm::{AuthenticatedKv, ElsmP1, ElsmP2};
-use elsm_baselines::{EleosStore, MbtStore, UnsecuredLsm};
+use elsm_baselines::{EleosStore, MbtStore, ShardedUnsecured, UnsecuredLsm};
+use elsm_shard::ShardedKv;
+use sgx_sim::Platform;
+use ycsb::ShardedKvDriver;
 
 fn as_refs(items: &[(Vec<u8>, Vec<u8>)]) -> Vec<(&[u8], &[u8])> {
     items.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect()
@@ -29,6 +34,21 @@ impl ycsb::KvDriver for P2Driver {
     }
     fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
         self.0.put_batch(&as_refs(items)).expect("p2 put_batch");
+    }
+}
+
+/// A plain eLSM-P2 store presented as a one-shard cluster: the
+/// pre-sharding anchor series of fig11 runs the unsharded code path
+/// under the same per-machine scheduler as the sharded lines.
+impl ShardedKvDriver for P2Driver {
+    fn shard_count(&self) -> usize {
+        1
+    }
+    fn shard_platform(&self, _shard: usize) -> &Arc<Platform> {
+        self.0.platform()
+    }
+    fn router_platform(&self) -> &Arc<Platform> {
+        self.0.platform()
     }
 }
 
@@ -67,6 +87,68 @@ impl ycsb::KvDriver for UnsecuredDriver {
     }
     fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
         self.0.put_batch(&as_refs(items)).expect("unsecured put_batch");
+    }
+}
+
+/// Driver over the sharded authenticated cluster.
+#[derive(Debug)]
+pub struct ShardedP2Driver(pub ShardedKv);
+
+impl ycsb::KvDriver for ShardedP2Driver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.0.put(key, value).expect("sharded put");
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.0.get(key).expect("sharded get verifies").is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.0.scan(from, to).expect("sharded scan verifies").len()
+    }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        self.0.put_batch(&as_refs(items)).expect("sharded put_batch");
+    }
+}
+
+impl ShardedKvDriver for ShardedP2Driver {
+    fn shard_count(&self) -> usize {
+        self.0.shard_count()
+    }
+    fn shard_platform(&self, shard: usize) -> &Arc<Platform> {
+        self.0.shard_platform(shard)
+    }
+    fn router_platform(&self) -> &Arc<Platform> {
+        self.0.router_platform()
+    }
+}
+
+/// Driver over the sharded unsecured cluster.
+#[derive(Debug)]
+pub struct ShardedUnsecuredDriver(pub ShardedUnsecured);
+
+impl ycsb::KvDriver for ShardedUnsecuredDriver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.0.put(key, value).expect("sharded unsecured put");
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.0.get(key).expect("sharded unsecured get").is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.0.scan(from, to).expect("sharded unsecured scan").len()
+    }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        self.0.put_batch(&as_refs(items)).expect("sharded unsecured put_batch");
+    }
+}
+
+impl ShardedKvDriver for ShardedUnsecuredDriver {
+    fn shard_count(&self) -> usize {
+        self.0.shard_count()
+    }
+    fn shard_platform(&self, shard: usize) -> &Arc<Platform> {
+        self.0.shard_platform(shard)
+    }
+    fn router_platform(&self) -> &Arc<Platform> {
+        self.0.router_platform()
     }
 }
 

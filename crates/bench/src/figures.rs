@@ -9,15 +9,21 @@
 use std::sync::Arc;
 
 use elsm::{ElsmP1, ElsmP2, P1Options, P2Options, ReadMode};
-use elsm_baselines::{EleosOptions, EleosStore, MbtStore, UnsecuredLsm, UnsecuredOptions};
+use elsm_baselines::{
+    EleosOptions, EleosStore, MbtStore, ShardedUnsecured, UnsecuredLsm, UnsecuredOptions,
+};
+use elsm_shard::{PartitionSpec, ShardedKv, ShardedOptions};
 use sgx_sim::Platform;
 use sim_disk::{SimDisk, SimFs};
 use ycsb::{
-    load_phase, run_phase, run_phase_concurrent, run_write_batches_concurrent, BatchWritePhase,
-    Table, Workload,
+    load_phase, run_phase, run_phase_concurrent, run_sharded_concurrent,
+    run_write_batches_concurrent, BatchWritePhase, ShardPhase, Table, Workload,
 };
 
-use crate::drivers::{EleosDriver, MbtDriver, P1Driver, P2Driver, UnsecuredDriver};
+use crate::drivers::{
+    EleosDriver, MbtDriver, P1Driver, P2Driver, ShardedP2Driver, ShardedUnsecuredDriver,
+    UnsecuredDriver,
+};
 use crate::scale::{Scale, VALUE_BYTES};
 
 /// Run-size knobs (quick mode keeps CI fast; full mode for the record).
@@ -51,6 +57,7 @@ fn p2_options(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> P2Opti
         compaction_enabled: true,
         rollback: None,
         wal_sync: lsm_store::WalSyncPolicy::Always,
+        shard_id: None,
     }
 }
 
@@ -851,6 +858,133 @@ pub fn fig10(scale: &Scale, opts: FigOpts) -> Table {
         }
         row.push(format!("{:.1}", run_p2(batch, 1, true)));
         row.push(format!("{:.1}", run_unsec(batch)));
+        table.row(row);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 (new in this reproduction): shard scaling
+// ---------------------------------------------------------------------------
+
+/// Figure 11: aggregate cluster throughput vs. shard count, YCSB A and C.
+///
+/// Each cell builds a fresh hash-partitioned cluster
+/// ([`elsm_shard::ShardedKv`], one enclave platform per shard), loads the
+/// keyspace through the router, and drives a fixed cluster-wide offered
+/// load of 32 virtual clients with
+/// [`ycsb::run_sharded_concurrent`]. Unlike fig9's single-machine model
+/// (unbounded cores), each shard here is its own machine with
+/// `CORES_PER_SHARD` enclave cores: a single store saturates at one
+/// machine's capacity however many clients offer load — horizontal
+/// partitioning is what adds capacity, which is exactly the LSKV-style
+/// scale-out story this figure quantifies. YCSB-C shows the pure
+/// capacity effect; YCSB-A additionally splits the write path's serial
+/// sections (group commit, trusted folds, flushes/compactions) across
+/// shard enclaves.
+///
+/// The `single(pre)` row is the pre-sharding anchor: a plain `ElsmP2`
+/// (no router, no shard binding) under the same scheduler, recorded in
+/// `BENCH_results.json` as `fig11_prechange` — it shows the shard
+/// layer's 1-shard overhead (routing hash + stitching) is noise.
+pub fn fig11(scale: &Scale, opts: FigOpts) -> Table {
+    const CLIENTS: usize = 32;
+    const CORES_PER_SHARD: usize = 4;
+    let records = scale.records_for_mb(if opts.quick { 256 } else { 1024 }).max(1_000);
+    let ops = if opts.quick { 6_000 } else { 24_000 };
+    let phase = ShardPhase {
+        record_count: records,
+        total_ops: ops,
+        threads: CLIENTS,
+        cores_per_shard: CORES_PER_SHARD,
+        seed: 0xf11,
+    };
+    let workloads = [Workload::c(), Workload::a()];
+
+    let run_p2 = |shards: usize, w: &Workload| {
+        let cluster = ShardedKv::open(
+            Platform::new(scale.cost_model()),
+            ShardedOptions::hash(shards, p2_options(scale, ReadMode::Mmap, 8)),
+        )
+        .expect("open sharded p2");
+        let driver = ShardedP2Driver(cluster);
+        load_phase(&driver, records, VALUE_BYTES);
+        driver.0.flush().expect("flush");
+        let report = run_sharded_concurrent(&driver, w, &phase);
+        crate::results::note_concurrent(&format!("elsm_p2_{shards}s_{}", w.name), &report);
+        report
+    };
+    let run_unsec = |shards: usize, w: &Workload| {
+        let cluster = ShardedUnsecured::open(
+            Platform::new(scale.cost_model()),
+            PartitionSpec::Hash { shards },
+            unsecured_options(scale, false, true, 8),
+        )
+        .expect("open sharded unsecured");
+        let driver = ShardedUnsecuredDriver(cluster);
+        load_phase(&driver, records, VALUE_BYTES);
+        driver.0.flush().expect("flush");
+        let report = run_sharded_concurrent(&driver, w, &phase);
+        crate::results::note_concurrent(&format!("unsecured_{shards}s_{}", w.name), &report);
+        report
+    };
+
+    // Pre-sharding anchor: the plain single store, same machine model.
+    crate::results::set_figure("fig11_prechange");
+    let anchor: Vec<f64> = workloads
+        .iter()
+        .map(|w| {
+            let (store, _platform) = build_p2(scale, ReadMode::Mmap, 8);
+            let driver = P2Driver(store);
+            load_phase(&driver, records, VALUE_BYTES);
+            driver.0.db().flush().expect("flush");
+            let report = run_sharded_concurrent(&driver, w, &phase);
+            crate::results::note_concurrent(&format!("single_store_{}", w.name), &report);
+            report.kops_per_sec
+        })
+        .collect();
+
+    crate::results::set_figure("fig11_shard_scaling");
+    let mut table = Table::new(
+        "Figure 11: aggregate throughput vs shards, 32 clients, 4 cores/shard (kops/s, simulated)",
+        &[
+            "shards",
+            "p2_ycsbC_kops",
+            "p2_C_speedup",
+            "p2_ycsbA_kops",
+            "p2_A_speedup",
+            "unsec_C_kops",
+            "unsec_A_kops",
+        ],
+    );
+    let sweep: [usize; 4] = [1, 2, 4, 8];
+    let mut base = [0.0f64; 2];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for shards in sweep {
+        let mut row = vec![shards.to_string()];
+        for (i, w) in workloads.iter().enumerate() {
+            let r = run_p2(shards, w);
+            if shards == 1 {
+                base[i] = r.kops_per_sec;
+            }
+            row.push(format!("{:.1}", r.kops_per_sec));
+            row.push(format!("{:.2}x", r.kops_per_sec / base[i].max(1e-9)));
+        }
+        for w in &workloads {
+            row.push(format!("{:.1}", run_unsec(shards, w).kops_per_sec));
+        }
+        rows.push(row);
+    }
+    table.row(vec![
+        "single(pre)".into(),
+        format!("{:.1}", anchor[0]),
+        format!("{:.2}x", anchor[0] / base[0].max(1e-9)),
+        format!("{:.1}", anchor[1]),
+        format!("{:.2}x", anchor[1] / base[1].max(1e-9)),
+        "-".into(),
+        "-".into(),
+    ]);
+    for row in rows {
         table.row(row);
     }
     table

@@ -21,3 +21,25 @@ pub fn opts_from_args() -> FigOpts {
     let quick = std::env::args().any(|a| a == "--quick" || a == "--smoke");
     FigOpts { quick }
 }
+
+/// The shared tail of every figure binary: prints the table (markdown
+/// when `--markdown` was passed) and writes the machine-readable results
+/// of the run to `path`.
+pub fn emit_figure_to(table: &ycsb::Table, opts: FigOpts, path: &str) {
+    if std::env::args().any(|a| a == "--markdown") {
+        println!("{}", table.to_markdown());
+    } else {
+        table.print();
+        println!();
+    }
+    results::write_results(path, if opts.quick { "smoke" } else { "full" });
+}
+
+/// [`emit_figure_to`] writing to `BENCH_results.<figure>.json` — the
+/// same name `run_all --only <figure>` uses, so both ways of running one
+/// figure produce one file. Only `run_all`'s full sweep writes the
+/// committed `BENCH_results.json` baseline — a single figure is always
+/// a partial result set and must never clobber it.
+pub fn emit_figure(figure: &str, table: &ycsb::Table, opts: FigOpts) {
+    emit_figure_to(table, opts, &format!("BENCH_results.{figure}.json"));
+}

@@ -75,7 +75,22 @@ pub enum VerificationFailure {
         /// The epoch the trace claimed.
         epoch: u64,
     },
+    /// An answer (or sealed state) came from a different shard's enclave
+    /// than the one that owns the queried key: the host rerouted a query
+    /// to the wrong partition, smuggled another shard's records into a
+    /// scan segment, or swapped per-shard persistent state across a
+    /// restart. [`WRONG_SHARD_UNSHARDED`] stands for "no shard domain".
+    WrongShard {
+        /// The shard the trusted router expected to answer.
+        expected: u32,
+        /// The shard whose commitment domain the answer actually carries.
+        got: u32,
+    },
 }
+
+/// Sentinel shard id in [`VerificationFailure::WrongShard`] for a store
+/// with no shard binding at all (an unsharded enclave domain).
+pub const WRONG_SHARD_UNSHARDED: u32 = u32::MAX;
 
 impl fmt::Display for VerificationFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -108,6 +123,21 @@ impl fmt::Display for VerificationFailure {
             VerificationFailure::SealBroken => f.write_str("sealed enclave state failed to unseal"),
             VerificationFailure::UnknownEpoch { epoch } => {
                 write!(f, "no commitment snapshot for epoch {epoch}")
+            }
+            VerificationFailure::WrongShard { expected, got } => {
+                let name = |id: u32| {
+                    if id == WRONG_SHARD_UNSHARDED {
+                        "unsharded".to_string()
+                    } else {
+                        format!("shard {id}")
+                    }
+                };
+                write!(
+                    f,
+                    "answer from the wrong shard: expected {}, got {}",
+                    name(*expected),
+                    name(*got)
+                )
             }
         }
     }
@@ -178,6 +208,13 @@ mod tests {
         assert!(matches!(io, ElsmError::Io(_)));
         let v: ElsmError = VerificationFailure::RolledBack.into();
         assert!(matches!(v, ElsmError::Verification(_)));
+    }
+
+    #[test]
+    fn wrong_shard_display_names_domains() {
+        let e = VerificationFailure::WrongShard { expected: 2, got: WRONG_SHARD_UNSHARDED };
+        let s = format!("{e}");
+        assert!(s.contains("shard 2") && s.contains("unsharded"), "{s}");
     }
 
     #[test]

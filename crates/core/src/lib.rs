@@ -54,7 +54,7 @@ pub mod trusted;
 pub use api::{AuthenticatedKv, VerifiedRecord};
 pub use confidential::ConfidentialStore;
 pub use digests::UntrustedDigests;
-pub use error::{ElsmError, VerificationFailure};
+pub use error::{ElsmError, VerificationFailure, WRONG_SHARD_UNSHARDED};
 pub use listener::AuthListener;
 pub use p1::{ElsmP1, P1Options};
 pub use p2::{ElsmP2, P2Options, ReadMode, RollbackOptions};

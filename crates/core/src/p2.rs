@@ -79,6 +79,13 @@ pub struct P2Options {
     /// When acknowledged writes become durable in the host-side WAL (see
     /// [`lsm_store::WalSyncPolicy`] for the durability trade-off).
     pub wal_sync: lsm_store::WalSyncPolicy,
+    /// Shard this store's enclave is bound to when it serves as one
+    /// partition of a sharded cluster (`None` for a standalone store).
+    /// The id is folded into the trusted state's commitment domain and
+    /// carried inside the sealed enclave state, so a host that swaps two
+    /// shards' persistent state is detected at recovery
+    /// ([`VerificationFailure::WrongShard`]).
+    pub shard_id: Option<u32>,
 }
 
 impl Default for P2Options {
@@ -96,6 +103,7 @@ impl Default for P2Options {
             compaction_enabled: true,
             rollback: None,
             wal_sync: lsm_store::WalSyncPolicy::Always,
+            shard_id: None,
         }
     }
 }
@@ -160,7 +168,8 @@ impl ElsmP2 {
         options: P2Options,
         counter: Option<Arc<MonotonicCounter>>,
     ) -> Result<Self, ElsmError> {
-        let trusted = TrustedState::new(platform.clone(), options.max_levels);
+        let trusted =
+            TrustedState::new_in_domain(platform.clone(), options.max_levels, options.shard_id);
         let digests = UntrustedDigests::new(platform.clone());
         let listener = AuthListener::new(platform.clone(), trusted.clone(), digests.clone());
         let env = StorageEnv::new(
@@ -230,8 +239,19 @@ impl ElsmP2 {
             .sealer
             .unseal(b"elsm-p2/state", &blob)
             .map_err(|_| VerificationFailure::SealBroken)?;
-        let (commitments, wal_digest) =
+        let (commitments, wal_digest, sealed_shard) =
             decode_state(&plain).ok_or(VerificationFailure::SealBroken)?;
+        // Shard binding: sealed state from another shard's enclave is
+        // authentic (it unseals) but belongs to a different commitment
+        // domain — a host swapping per-shard state across a restart.
+        if sealed_shard != self.options.shard_id {
+            let unsharded = crate::error::WRONG_SHARD_UNSHARDED;
+            return Err(VerificationFailure::WrongShard {
+                expected: self.options.shard_id.unwrap_or(unsharded),
+                got: sealed_shard.unwrap_or(unsharded),
+            }
+            .into());
+        }
         self.trusted.restore_commitments(commitments);
         self.trusted.restore_wal_digest(wal_digest);
         // Rollback check: the dataset digest must match the counter epoch.
@@ -282,7 +302,11 @@ impl ElsmP2 {
         // WAL digest already covers them, so losing their frames across a
         // clean shutdown would fail honest recovery.
         self.db.sync_wal();
-        let plain = encode_state(&self.trusted.commitments(), self.trusted.wal_digest());
+        let plain = encode_state(
+            &self.trusted.commitments(),
+            self.trusted.wal_digest(),
+            self.options.shard_id,
+        );
         let blob = self.sealer.seal(b"elsm-p2/state", &plain);
         let _ = self.fs.delete(STATE_FILE);
         let file = self.fs.create(STATE_FILE)?;
@@ -522,7 +546,11 @@ fn store_set_stacked(trusted: &Arc<TrustedState>, options: &P2Options) {
     trusted.set_stacked(!options.compaction_enabled);
 }
 
-fn encode_state(commitments: &[LevelCommitment], wal_digest: Digest) -> Vec<u8> {
+fn encode_state(
+    commitments: &[LevelCommitment],
+    wal_digest: Digest,
+    shard: Option<u32>,
+) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&(commitments.len() as u32).to_le_bytes());
     for c in commitments {
@@ -531,10 +559,11 @@ fn encode_state(commitments: &[LevelCommitment], wal_digest: Digest) -> Vec<u8> 
         out.extend_from_slice(&c.leaf_count.to_le_bytes());
     }
     out.extend_from_slice(wal_digest.as_bytes());
+    out.extend_from_slice(&shard.unwrap_or(crate::error::WRONG_SHARD_UNSHARDED).to_le_bytes());
     out
 }
 
-fn decode_state(buf: &[u8]) -> Option<(Vec<LevelCommitment>, Digest)> {
+fn decode_state(buf: &[u8]) -> Option<(Vec<LevelCommitment>, Digest, Option<u32>)> {
     let n = u32::from_le_bytes(buf.get(0..4)?.try_into().ok()?) as usize;
     let mut pos = 4;
     let mut commitments = Vec::with_capacity(n);
@@ -550,7 +579,10 @@ fn decode_state(buf: &[u8]) -> Option<(Vec<LevelCommitment>, Digest)> {
     }
     let mut wal = [0u8; 32];
     wal.copy_from_slice(buf.get(pos..pos + 32)?);
-    Some((commitments, Digest::from_bytes(wal)))
+    pos += 32;
+    let shard = u32::from_le_bytes(buf.get(pos..pos + 4)?.try_into().ok()?);
+    let shard = (shard != crate::error::WRONG_SHARD_UNSHARDED).then_some(shard);
+    Some((commitments, Digest::from_bytes(wal), shard))
 }
 
 // A small accessor used by scan verification; kept here to avoid exposing

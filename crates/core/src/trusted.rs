@@ -72,6 +72,12 @@ struct CommitmentStore {
 pub struct TrustedState {
     platform: Arc<Platform>,
     max_levels: usize,
+    /// Shard this enclave's commitment domain is bound to (`None` for a
+    /// standalone store). Folded into [`TrustedState::dataset_digest`], so
+    /// the same data committed by two different shards yields two
+    /// different domains — a host cannot swap one shard's state for
+    /// another's.
+    shard: Option<u32>,
     commitments: Mutex<CommitmentStore>,
     wal_digest: Mutex<Digest>,
     /// Stacked-run mode (compaction disabled): freshness order is highest
@@ -87,6 +93,17 @@ impl TrustedState {
     /// Fresh state with empty commitments for levels `1..=max_levels`,
     /// published as the snapshot for epoch 0.
     pub fn new(platform: Arc<Platform>, max_levels: usize) -> Arc<Self> {
+        Self::new_in_domain(platform, max_levels, None)
+    }
+
+    /// Fresh state whose commitment domain is bound to `shard` (see the
+    /// `shard` field); `None` gives the standalone domain of
+    /// [`TrustedState::new`].
+    pub fn new_in_domain(
+        platform: Arc<Platform>,
+        max_levels: usize,
+        shard: Option<u32>,
+    ) -> Arc<Self> {
         let current: Vec<LevelCommitment> =
             (0..=max_levels as u32).map(LevelCommitment::empty).collect();
         let mut epochs = VecDeque::new();
@@ -94,6 +111,7 @@ impl TrustedState {
         Arc::new(TrustedState {
             platform,
             max_levels,
+            shard,
             commitments: Mutex::new(CommitmentStore { current, epochs }),
             wal_digest: Mutex::new(Digest::ZERO),
             stacked: AtomicBool::new(false),
@@ -224,13 +242,25 @@ impl TrustedState {
         *self.wal_digest.lock() = digest;
     }
 
+    /// The shard id this state's commitment domain is bound to, if any.
+    pub fn shard_id(&self) -> Option<u32> {
+        self.shard
+    }
+
     /// Digest of the whole dataset: all level commitments plus the WAL
-    /// digest — what the rollback counter binds (§5.6.1).
+    /// digest — what the rollback counter binds (§5.6.1). A sharded
+    /// domain additionally folds the shard id in, so identical data in
+    /// two shards never shares a dataset digest.
     pub fn dataset_digest(&self) -> Digest {
         let commitments = self.commitments.lock();
         let digests: Vec<Digest> = commitments.current.iter().map(|c| c.digest()).collect();
         let wal = self.wal_digest.lock();
+        let shard_tag = self.shard.map(|id| id.to_le_bytes());
         let mut parts: Vec<&[u8]> = vec![&[0x06]];
+        if let Some(tag) = &shard_tag {
+            parts.push(&[0x08]);
+            parts.push(tag);
+        }
         for d in &digests {
             parts.push(d.as_bytes());
         }

@@ -1,0 +1,198 @@
+//! Deterministic key→shard partitioners.
+//!
+//! Both partitioning schemes are pure functions of the key and the
+//! cluster configuration, evaluated inside the trusted router — the host
+//! has no say in which shard owns a key, which is what makes cross-shard
+//! answer-swapping detectable ([`elsm::VerificationFailure::WrongShard`]).
+
+/// How keys are assigned to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// FNV-1a hash of the key modulo the shard count: uniform load
+    /// spreading; cross-shard scans touch every shard and k-way merge.
+    Hash {
+        /// Number of shards.
+        shards: usize,
+    },
+    /// Contiguous key ranges split at explicit boundaries: shard `i` owns
+    /// `[boundaries[i-1], boundaries[i])` (the first shard is unbounded
+    /// below, the last unbounded above); cross-shard scans touch only the
+    /// overlapping shards and concatenate.
+    Range {
+        /// Strictly increasing split points; `len + 1` shards.
+        boundaries: Vec<Vec<u8>>,
+    },
+}
+
+/// A validated, deterministic key→shard map.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    spec: PartitionSpec,
+}
+
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Partitioner {
+    /// Builds a partitioner from a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard count or non-strictly-increasing range
+    /// boundaries — both configuration bugs, not runtime conditions.
+    pub fn new(spec: PartitionSpec) -> Self {
+        match &spec {
+            PartitionSpec::Hash { shards } => {
+                assert!(*shards >= 1, "a cluster needs at least one shard");
+            }
+            PartitionSpec::Range { boundaries } => {
+                assert!(
+                    boundaries.windows(2).all(|w| w[0] < w[1]),
+                    "range boundaries must be strictly increasing"
+                );
+            }
+        }
+        Partitioner { spec }
+    }
+
+    /// Hash partitioning over `shards` shards.
+    pub fn hash(shards: usize) -> Self {
+        Self::new(PartitionSpec::Hash { shards })
+    }
+
+    /// Range partitioning split at `boundaries` (`boundaries.len() + 1`
+    /// shards).
+    pub fn range(boundaries: Vec<Vec<u8>>) -> Self {
+        Self::new(PartitionSpec::Range { boundaries })
+    }
+
+    /// The spec this partitioner was built from.
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        match &self.spec {
+            PartitionSpec::Hash { shards } => *shards,
+            PartitionSpec::Range { boundaries } => boundaries.len() + 1,
+        }
+    }
+
+    /// Whether this is range partitioning (adjacent shards own adjacent
+    /// key ranges, so cross-shard scans concatenate instead of merging).
+    pub fn is_range(&self) -> bool {
+        matches!(self.spec, PartitionSpec::Range { .. })
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        match &self.spec {
+            PartitionSpec::Hash { shards } => (fnv1a(key) % *shards as u64) as usize,
+            PartitionSpec::Range { boundaries } => {
+                boundaries.partition_point(|b| b.as_slice() <= key)
+            }
+        }
+    }
+
+    /// Range-partitioning only: whether shard `i`'s owned range
+    /// `[lo, hi)` intersects the inclusive query range `[from, to]`.
+    pub fn range_overlaps(&self, shard: usize, from: &[u8], to: &[u8]) -> bool {
+        let PartitionSpec::Range { boundaries } = &self.spec else {
+            return true; // hash partitioning: every shard may hold range keys
+        };
+        let above_lo = shard == 0 || boundaries[shard - 1].as_slice() <= to;
+        let below_hi = shard >= boundaries.len() || from < boundaries[shard].as_slice();
+        above_lo && below_hi
+    }
+
+    /// Groups item indexes by owning shard, preserving in-shard order —
+    /// the split half of per-shard batched writes (the scatter half is
+    /// [`crate::stitch::run_sharded_batches`]).
+    pub fn split_indices<'a>(&self, keys: impl IntoIterator<Item = &'a [u8]>) -> Vec<Vec<usize>> {
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards()];
+        for (idx, key) in keys.into_iter().enumerate() {
+            per_shard[self.shard_of(key)].push(idx);
+        }
+        per_shard
+    }
+
+    /// Range-partitioning only: the query's lower bound clamped into
+    /// shard `i`'s owned range (no upper clamp is needed — a shard stores
+    /// nothing at or above its upper boundary, so scanning to the query's
+    /// `to` is already exact).
+    pub fn clamp_from<'a>(&'a self, shard: usize, from: &'a [u8]) -> &'a [u8] {
+        let PartitionSpec::Range { boundaries } = &self.spec else {
+            return from;
+        };
+        match shard.checked_sub(1).and_then(|i| boundaries.get(i)) {
+            Some(lo) if lo.as_slice() > from => lo,
+            _ => from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let p = Partitioner::hash(4);
+        assert_eq!(p.shards(), 4);
+        for i in 0..500u32 {
+            let key = format!("user{i:012}");
+            let s = p.shard_of(key.as_bytes());
+            assert!(s < 4);
+            assert_eq!(s, p.shard_of(key.as_bytes()), "same key, same shard");
+        }
+    }
+
+    #[test]
+    fn hash_spreads_keys() {
+        let p = Partitioner::hash(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4000u32 {
+            counts[p.shard_of(format!("user{i:012}").as_bytes())] += 1;
+        }
+        for c in counts {
+            assert!((600..=1400).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_assigns_contiguous_spans() {
+        let p = Partitioner::range(vec![b"g".to_vec(), b"p".to_vec()]);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.shard_of(b"apple"), 0);
+        assert_eq!(p.shard_of(b"g"), 1, "boundary key belongs to the upper shard");
+        assert_eq!(p.shard_of(b"mango"), 1);
+        assert_eq!(p.shard_of(b"p"), 2);
+        assert_eq!(p.shard_of(b"zebra"), 2);
+    }
+
+    #[test]
+    fn range_overlap_and_clamp() {
+        let p = Partitioner::range(vec![b"g".to_vec(), b"p".to_vec()]);
+        assert!(p.range_overlaps(0, b"a", b"c"));
+        assert!(!p.range_overlaps(1, b"a", b"c"));
+        assert!(p.range_overlaps(1, b"a", b"g"), "inclusive `to` reaches the boundary key");
+        assert!(p.range_overlaps(2, b"a", b"z"));
+        assert!(!p.range_overlaps(0, b"g", b"z"), "shard 0 ends strictly below g");
+        assert_eq!(p.clamp_from(1, b"a"), b"g");
+        assert_eq!(p.clamp_from(1, b"k"), b"k");
+        assert_eq!(p.clamp_from(0, b"a"), b"a");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_boundaries_rejected() {
+        Partitioner::range(vec![b"p".to_vec(), b"g".to_vec()]);
+    }
+}

@@ -1,0 +1,403 @@
+//! The sharded cluster router and its trusted stitching state.
+//!
+//! [`ShardedKv`] implements the paper's authenticated interface
+//! ([`AuthenticatedKv`]) over N independent eLSM-P2 partitions, each with
+//! its own [`Platform`] enclave, trusted state and simulated filesystem —
+//! the LSKV-style scale-out deployment. The router itself is split the
+//! same way the paper splits a single store:
+//!
+//! * **trusted**: the deterministic partitioner and the stitching checks
+//!   ([`ShardedTrustedState`]) — which shard owns a key, whether an
+//!   answer's commitment domain matches that shard, and whether every
+//!   record in a cross-shard scan segment belongs to the shard that
+//!   returned it;
+//! * **untrusted**: the transport between router and shards — which is
+//!   exactly what a malicious host controls, so rerouting a query to the
+//!   wrong (honest, verifying!) shard or swapping per-shard answers must
+//!   be detected by the trusted checks, not assumed away. The detection
+//!   is [`VerificationFailure::WrongShard`].
+
+use std::sync::Arc;
+
+use elsm::{AuthenticatedKv, ElsmError, ElsmP2, P2Options, TrustedState, VerificationFailure};
+use elsm::{VerifiedRecord, WRONG_SHARD_UNSHARDED};
+use lsm_store::{GetTrace, ScanTrace, Timestamp};
+use sgx_sim::Platform;
+use sim_disk::SimFs;
+
+use crate::partition::{PartitionSpec, Partitioner};
+use crate::stitch;
+
+/// Configuration of a sharded cluster.
+#[derive(Debug, Clone)]
+pub struct ShardedOptions {
+    /// Key→shard assignment.
+    pub partition: PartitionSpec,
+    /// Per-shard store configuration (`shard_id` is overwritten per
+    /// shard by the router).
+    pub store: P2Options,
+}
+
+impl ShardedOptions {
+    /// Hash partitioning over `shards` shards with per-shard options.
+    pub fn hash(shards: usize, store: P2Options) -> Self {
+        ShardedOptions { partition: PartitionSpec::Hash { shards }, store }
+    }
+
+    /// Range partitioning split at `boundaries` with per-shard options.
+    pub fn range(boundaries: Vec<Vec<u8>>, store: P2Options) -> Self {
+        ShardedOptions { partition: PartitionSpec::Range { boundaries }, store }
+    }
+}
+
+/// The trusted side of the router: the partitioner plus each shard's
+/// enclave state, and the checks that bind answers to shards.
+#[derive(Debug)]
+pub struct ShardedTrustedState {
+    partitioner: Partitioner,
+    shards: Vec<Arc<TrustedState>>,
+}
+
+impl ShardedTrustedState {
+    fn new(partitioner: Partitioner, shards: Vec<Arc<TrustedState>>) -> Arc<Self> {
+        Arc::new(ShardedTrustedState { partitioner, shards })
+    }
+
+    /// The deterministic partitioner (trusted configuration).
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// The shard owning `key`.
+    pub fn owner_of(&self, key: &[u8]) -> usize {
+        self.partitioner.shard_of(key)
+    }
+
+    /// Shard `i`'s enclave state.
+    pub fn shard_state(&self, shard: usize) -> &Arc<TrustedState> {
+        &self.shards[shard]
+    }
+
+    /// Checks that `key` is owned by `shard` — the core anti-swap rule:
+    /// a record (or an absence claim) presented by a shard that does not
+    /// own its key is a routed-answer forgery however well it verifies
+    /// against that shard's own commitments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerificationFailure::WrongShard`] naming the owner.
+    pub fn check_owned(&self, shard: usize, key: &[u8]) -> Result<(), VerificationFailure> {
+        let owner = self.owner_of(key);
+        if owner != shard {
+            return Err(VerificationFailure::WrongShard {
+                expected: owner as u32,
+                got: shard.try_into().unwrap_or(WRONG_SHARD_UNSHARDED),
+            });
+        }
+        Ok(())
+    }
+
+    /// Verifies a routed GET answer: the claimed shard must own the key,
+    /// and the trace must verify against that shard's commitment
+    /// snapshots. This is the entry the adversary suite drives; the
+    /// honest router routes by the same partitioner, so the first check
+    /// only fires when the host substituted another shard's answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VerificationFailure`] naming the detected attack.
+    pub fn verify_routed_get(
+        &self,
+        key: &[u8],
+        claimed_shard: usize,
+        trace: &GetTrace,
+    ) -> Result<(), VerificationFailure> {
+        self.check_owned(claimed_shard, key)?;
+        self.shards[claimed_shard].verify_get(key, trace)
+    }
+}
+
+/// One shard: an eLSM-P2 store on its own platform enclave.
+#[derive(Debug)]
+struct Shard {
+    store: ElsmP2,
+}
+
+/// A sharded authenticated key-value cluster over N eLSM-P2 partitions.
+///
+/// Writes route to the owning shard (batches split per shard and ride
+/// one enclave transition per shard per group); point reads route and
+/// verify against the owning shard's commitments; cross-shard scans
+/// stitch per-shard verified range results into one totally-ordered
+/// result — concatenation for range partitioning, a k-way merge for hash
+/// partitioning — with every stitched record checked to belong to the
+/// shard that returned it.
+///
+/// Timestamps are per-shard: each shard's enclave runs its own timestamp
+/// manager, so cross-shard timestamp comparisons are meaningless (the
+/// verified order within any one key is what the protocol guarantees).
+///
+/// # Examples
+///
+/// ```
+/// use elsm::AuthenticatedKv;
+/// use elsm_shard::{ShardedKv, ShardedOptions};
+/// use sgx_sim::Platform;
+///
+/// # fn main() -> Result<(), elsm::ElsmError> {
+/// let cluster =
+///     ShardedKv::open(Platform::with_defaults(), ShardedOptions::hash(4, Default::default()))?;
+/// cluster.put(b"k", b"v")?;
+/// assert_eq!(cluster.get(b"k")?.expect("present").value(), b"v");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedKv {
+    router: Arc<Platform>,
+    trusted: Arc<ShardedTrustedState>,
+    shards: Vec<Shard>,
+}
+
+impl ShardedKv {
+    /// Opens a fresh cluster: one new platform, filesystem and enclave
+    /// per shard, each bound to its shard id. `router` is the trusted
+    /// router's own platform; partitioning and stitching costs are
+    /// charged there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElsmError`] on IO failure.
+    pub fn open(router: Arc<Platform>, options: ShardedOptions) -> Result<Self, ElsmError> {
+        let partitioner = Partitioner::new(options.partition.clone());
+        let n = partitioner.shards();
+        let mut stores = Vec::with_capacity(n);
+        for id in 0..n {
+            let platform = Platform::new(router.cost().clone());
+            let store_options = P2Options { shard_id: Some(id as u32), ..options.store.clone() };
+            stores.push(Shard { store: ElsmP2::open(platform, store_options)? });
+        }
+        Ok(Self::assemble(router, partitioner, stores))
+    }
+
+    /// Re-opens a cluster on existing per-shard filesystems (one per
+    /// shard, in shard order) — the restart path. Each shard's enclave
+    /// unseals its state and checks its shard binding, so per-shard state
+    /// swapped between directories by the host fails recovery with
+    /// [`VerificationFailure::WrongShard`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElsmError`] on IO failure or failed recovery
+    /// verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `filesystems.len()` does not match the shard count.
+    pub fn open_with(
+        router: Arc<Platform>,
+        filesystems: Vec<Arc<SimFs>>,
+        options: ShardedOptions,
+    ) -> Result<Self, ElsmError> {
+        let partitioner = Partitioner::new(options.partition.clone());
+        assert_eq!(filesystems.len(), partitioner.shards(), "one filesystem per shard");
+        let mut stores = Vec::with_capacity(filesystems.len());
+        for (id, fs) in filesystems.into_iter().enumerate() {
+            let platform = Platform::new(router.cost().clone());
+            let store_options = P2Options { shard_id: Some(id as u32), ..options.store.clone() };
+            stores.push(Shard { store: ElsmP2::open_with(platform, fs, store_options, None)? });
+        }
+        Ok(Self::assemble(router, partitioner, stores))
+    }
+
+    fn assemble(router: Arc<Platform>, partitioner: Partitioner, shards: Vec<Shard>) -> Self {
+        let states = shards.iter().map(|s| s.store.trusted().clone()).collect();
+        ShardedKv { router, trusted: ShardedTrustedState::new(partitioner, states), shards }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The trusted router state (partitioner + per-shard enclave states).
+    pub fn trusted(&self) -> &Arc<ShardedTrustedState> {
+        &self.trusted
+    }
+
+    /// The router's platform.
+    pub fn router_platform(&self) -> &Arc<Platform> {
+        &self.router
+    }
+
+    /// Shard `i`'s store (exposed for tests, benchmarks and statistics).
+    pub fn shard(&self, i: usize) -> &ElsmP2 {
+        &self.shards[i].store
+    }
+
+    /// Shard `i`'s platform.
+    pub fn shard_platform(&self, i: usize) -> &Arc<Platform> {
+        self.shards[i].store.platform()
+    }
+
+    /// The shard owning `key` (deterministic, trusted).
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.trusted.owner_of(key)
+    }
+
+    /// Flushes every shard's memtable (shard-parallel maintenance in the
+    /// real deployment; sequential here, each on its own virtual clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElsmError`] on IO failure.
+    pub fn flush(&self) -> Result<(), ElsmError> {
+        for shard in &self.shards {
+            shard.store.db().flush()?;
+        }
+        Ok(())
+    }
+
+    /// Seals every shard's enclave state — the clean-shutdown path that
+    /// makes restart verification (and shard-binding checks) possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElsmError`] on IO failure.
+    pub fn close(&self) -> Result<(), ElsmError> {
+        for shard in &self.shards {
+            shard.store.close()?;
+        }
+        Ok(())
+    }
+
+    /// Charges the trusted router's key-routing work (the partitioner
+    /// hash for hash partitioning; range lookup is a few comparisons and
+    /// is not charged).
+    fn charge_route(&self, key: &[u8]) {
+        if !self.trusted.partitioner().is_range() {
+            self.router.charge_hash(key.len());
+        }
+    }
+
+    /// Verifies a routed SCAN answer segment claimed to come from
+    /// `claimed_shard`: every record in the trace's merged output must be
+    /// owned by that shard, and the trace must verify against that
+    /// shard's commitments and digest trees. Adversary-suite entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VerificationFailure`] naming the detected attack.
+    pub fn verify_routed_scan(
+        &self,
+        from: &[u8],
+        to: &[u8],
+        claimed_shard: usize,
+        trace: &ScanTrace,
+    ) -> Result<(), VerificationFailure> {
+        for record in &trace.merged {
+            self.trusted.check_owned(claimed_shard, &record.key)?;
+        }
+        self.shards[claimed_shard].store.verify_scan_trace(from, to, trace)
+    }
+
+    /// Stitches per-shard verified scan segments into one totally-ordered
+    /// result, checking per-record shard ownership. Segments arrive in
+    /// shard order; for range partitioning they are key-disjoint and
+    /// adjacent (concatenation), for hash partitioning they interleave
+    /// (k-way merge). Stitching runs in the trusted router; its copy cost
+    /// is charged to the router platform.
+    fn stitch(
+        &self,
+        segments: Vec<(usize, Vec<VerifiedRecord>)>,
+    ) -> Result<Vec<VerifiedRecord>, ElsmError> {
+        let total: usize = segments.iter().map(|(_, s)| s.len()).sum();
+        let mut bytes = 0usize;
+        for (shard, segment) in &segments {
+            for record in segment {
+                self.trusted.check_owned(*shard, record.key()).map_err(ElsmError::Verification)?;
+                self.charge_route(record.key());
+                bytes += record.key().len() + record.value().len();
+            }
+        }
+        self.router.dram_access(bytes);
+        if self.trusted.partitioner().is_range() {
+            // Adjacent owned ranges: concatenation is already ordered.
+            let mut out = Vec::with_capacity(total);
+            for (_, segment) in segments {
+                out.extend(segment);
+            }
+            debug_assert!(out.windows(2).all(|w| w[0].key() < w[1].key()));
+            return Ok(out);
+        }
+        // Hash partitioning: k-way merge by key. Ownership checking above
+        // guarantees key-disjoint segments (each key has one owner).
+        Ok(stitch::merge_by_key(segments.into_iter().map(|(_, s)| s).collect(), |r| r.key()))
+    }
+}
+
+impl AuthenticatedKv for ShardedKv {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, ElsmError> {
+        self.charge_route(key);
+        self.shards[self.shard_of(key)].store.put(key, value)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<Timestamp, ElsmError> {
+        self.charge_route(key);
+        self.shards[self.shard_of(key)].store.delete(key)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
+        self.charge_route(key);
+        self.shards[self.shard_of(key)].store.get(key)
+    }
+
+    fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
+        let partitioner = self.trusted.partitioner();
+        let mut segments = Vec::new();
+        for (id, shard) in self.shards.iter().enumerate() {
+            if partitioner.is_range() && !partitioner.range_overlaps(id, from, to) {
+                continue;
+            }
+            // Each shard proves completeness of its own slice against its
+            // own epoch snapshot; the lower bound is clamped into the
+            // shard's owned range (nothing below it can honestly exist
+            // there).
+            let shard_from = partitioner.clamp_from(id, from);
+            segments.push((id, shard.store.scan(shard_from, to)?));
+        }
+        self.stitch(segments)
+    }
+
+    fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Result<Vec<Timestamp>, ElsmError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Split the batch per owning shard, preserving in-shard order;
+        // each shard's sub-batch rides one enclave transition and one WAL
+        // frame (`ElsmP2::put_batch`), then timestamps scatter back into
+        // the caller's order.
+        for (key, _) in items {
+            self.charge_route(key);
+        }
+        let per_shard = self.trusted.partitioner().split_indices(items.iter().map(|(key, _)| *key));
+        stitch::run_sharded_batches(&per_shard, items.len(), |shard, indexes| {
+            let sub: Vec<(&[u8], &[u8])> = indexes.iter().map(|&i| items[i]).collect();
+            self.shards[shard].store.put_batch(&sub)
+        })
+    }
+
+    fn delete_batch(&self, keys: &[&[u8]]) -> Result<Vec<Timestamp>, ElsmError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        for key in keys {
+            self.charge_route(key);
+        }
+        let per_shard = self.trusted.partitioner().split_indices(keys.iter().copied());
+        stitch::run_sharded_batches(&per_shard, keys.len(), |shard, indexes| {
+            let sub: Vec<&[u8]> = indexes.iter().map(|&i| keys[i]).collect();
+            self.shards[shard].store.delete_batch(&sub)
+        })
+    }
+}

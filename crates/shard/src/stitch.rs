@@ -1,0 +1,115 @@
+//! Order-preserving stitching primitives shared by the authenticated
+//! router and the unsecured sharded baseline: a k-way merge of per-shard
+//! key-sorted segments and the split/scatter bookkeeping of per-shard
+//! batched writes. Pure data movement — all trust decisions (ownership
+//! checks, verification) stay with the callers.
+
+/// K-way merges per-shard segments, each already sorted by `key`, into
+/// one key-ordered result. Callers guarantee key-disjoint segments (a
+/// deterministic partitioner gives every key one owner), so ties cannot
+/// occur; if they did, the earlier segment would win.
+pub fn merge_by_key<T>(segments: Vec<Vec<T>>, key: impl Fn(&T) -> &[u8]) -> Vec<T> {
+    let total: usize = segments.iter().map(Vec::len).sum();
+    let mut cursors: Vec<(std::vec::IntoIter<T>, Option<T>)> = segments
+        .into_iter()
+        .map(|s| {
+            let mut it = s.into_iter();
+            let head = it.next();
+            (it, head)
+        })
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    while let Some(next) = cursors
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, head))| head.as_ref().map(|r| (i, key(r))))
+        .min_by(|a, b| a.1.cmp(b.1))
+        .map(|(i, _)| i)
+    {
+        let (it, head) = &mut cursors[next];
+        let record = head.take().expect("selected cursor has a head");
+        *head = it.next();
+        out.push(record);
+    }
+    out
+}
+
+/// Runs one batch call per non-empty shard group and scatters the
+/// returned timestamps back into the caller's item order. `per_shard`
+/// holds original item indexes grouped by owning shard (see
+/// [`crate::Partitioner::split_indices`]); `run` executes shard
+/// `(shard, indexes)` and must return one timestamp per index, in
+/// order.
+///
+/// # Errors
+///
+/// Propagates the first shard batch error.
+pub fn run_sharded_batches<E>(
+    per_shard: &[Vec<usize>],
+    total: usize,
+    mut run: impl FnMut(usize, &[usize]) -> Result<Vec<u64>, E>,
+) -> Result<Vec<u64>, E> {
+    let mut out = vec![0u64; total];
+    for (shard, indexes) in per_shard.iter().enumerate() {
+        if indexes.is_empty() {
+            continue;
+        }
+        let timestamps = run(shard, indexes)?;
+        debug_assert_eq!(timestamps.len(), indexes.len(), "one timestamp per batched record");
+        for (&idx, ts) in indexes.iter().zip(timestamps) {
+            out[idx] = ts;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_interleaves_sorted_segments() {
+        let merged = merge_by_key(
+            vec![
+                vec![b"a".to_vec(), b"d".to_vec()],
+                vec![b"b".to_vec(), b"e".to_vec()],
+                vec![],
+                vec![b"c".to_vec()],
+            ],
+            |k| k.as_slice(),
+        );
+        assert_eq!(
+            merged,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec(), b"e".to_vec()]
+        );
+    }
+
+    #[test]
+    fn scatter_restores_caller_order() {
+        // Items 0,2 on shard 1; item 1 on shard 0.
+        let per_shard = vec![vec![1usize], vec![0usize, 2]];
+        let out = run_sharded_batches::<()>(&per_shard, 3, |shard, idxs| {
+            Ok(idxs.iter().map(|&i| (shard * 100 + i) as u64).collect())
+        })
+        .unwrap();
+        assert_eq!(out, vec![100, 1, 102]);
+    }
+
+    #[test]
+    fn scatter_propagates_errors() {
+        let per_shard = vec![vec![0usize], vec![1usize]];
+        let result =
+            run_sharded_batches(
+                &per_shard,
+                2,
+                |shard, _| {
+                    if shard == 1 {
+                        Err("boom")
+                    } else {
+                        Ok(vec![0])
+                    }
+                },
+            );
+        assert_eq!(result, Err("boom"));
+    }
+}

@@ -57,15 +57,90 @@ pub struct ConcurrentReport {
     pub serial_fraction: f64,
 }
 
-struct Client {
+/// One virtual client of a concurrent phase: its RNG, key chooser,
+/// private insert range, timeline and progress — plus the workload-op
+/// semantics, shared by the single-machine and sharded runners so both
+/// measure exactly the same YCSB mixes.
+pub(crate) struct Client {
     rng: rand::rngs::StdRng,
     chooser: KeyChooser,
     /// This client's private insert keyspace cursor (clients insert into
     /// disjoint ranges so the schedule is independent of interleaving).
     insert_cursor: u64,
     /// Virtual timeline: when this client becomes free.
-    t_ns: u64,
-    ops_done: u64,
+    pub(crate) t_ns: u64,
+    pub(crate) ops_done: u64,
+}
+
+/// What one executed op was, hit-rate-wise.
+pub(crate) struct OpOutcome {
+    /// The op counted toward the read-hit-rate denominator.
+    pub(crate) read: bool,
+    /// The (counted) read found its key.
+    pub(crate) hit: bool,
+}
+
+impl Client {
+    /// Builds the deterministic client fleet: per-client seeds derived
+    /// from `seed`, disjoint insert ranges of `per_client` keys above
+    /// the loaded keyspace.
+    pub(crate) fn fleet(
+        threads: usize,
+        seed: u64,
+        workload: &Workload,
+        record_count: u64,
+        per_client: u64,
+    ) -> Vec<Client> {
+        (0..threads)
+            .map(|tid| Client {
+                rng: seeded_rng(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tid as u64 + 1))),
+                chooser: KeyChooser::by_name(&workload.distribution, record_count.max(1)),
+                insert_cursor: record_count + tid as u64 * per_client,
+                t_ns: 0,
+                ops_done: 0,
+            })
+            .collect()
+    }
+
+    /// Draws the next workload op and executes it against `driver`.
+    pub(crate) fn execute_op(
+        &mut self,
+        driver: &dyn KvDriver,
+        workload: &Workload,
+        record_count: u64,
+    ) -> OpOutcome {
+        match workload.next_op(&mut self.rng) {
+            Op::Read => {
+                let k = self.chooser.next(&mut self.rng, record_count, record_count);
+                OpOutcome { read: true, hit: driver.get(&format_key(k)) }
+            }
+            Op::Update => {
+                let k = self.chooser.next(&mut self.rng, record_count, record_count);
+                driver.put(&format_key(k), &make_value(k, workload.value_len));
+                OpOutcome { read: false, hit: false }
+            }
+            Op::Insert => {
+                let k = self.insert_cursor;
+                self.insert_cursor += 1;
+                driver.put(&format_key(k), &make_value(k, workload.value_len));
+                OpOutcome { read: false, hit: false }
+            }
+            Op::Scan => {
+                let k = self.chooser.next(&mut self.rng, record_count, record_count);
+                let len = self.rng.gen_range(1..=workload.max_scan_len as u64);
+                let to = (k + len).min(record_count.saturating_sub(1));
+                driver.scan(&format_key(k), &format_key(to));
+                OpOutcome { read: false, hit: false }
+            }
+            Op::ReadModifyWrite => {
+                let k = self.chooser.next(&mut self.rng, record_count, record_count);
+                let key = format_key(k);
+                let hit = driver.get(&key);
+                driver.put(&key, &make_value(k, workload.value_len));
+                OpOutcome { read: true, hit }
+            }
+        }
+    }
 }
 
 /// Per-class "lock free at" horizons shared by the concurrent phases:
@@ -137,15 +212,7 @@ pub fn run_phase_concurrent(
     let threads = threads.max(1);
     let per_client = total_ops / threads as u64;
     let total_ops = per_client * threads as u64;
-    let mut clients: Vec<Client> = (0..threads)
-        .map(|tid| Client {
-            rng: seeded_rng(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tid as u64 + 1))),
-            chooser: KeyChooser::by_name(&workload.distribution, record_count.max(1)),
-            insert_cursor: record_count + tid as u64 * per_client,
-            t_ns: 0,
-            ops_done: 0,
-        })
-        .collect();
+    let mut clients = Client::fleet(threads, seed, workload, record_count, per_client);
 
     let mut scheduler = SerialScheduler::new();
     let mut overall = LatencyHistogram::new();
@@ -161,42 +228,11 @@ pub fn run_phase_concurrent(
             .min_by_key(|&i| (clients[i].t_ns, i))
             .expect("a client with work left");
         let c = &mut clients[i];
-        let op = workload.next_op(&mut c.rng);
         let c0 = platform.clock().now_ns();
         let s0 = platform.serial_snapshot();
-        match op {
-            Op::Read => {
-                let k = c.chooser.next(&mut c.rng, record_count, record_count);
-                read_total += 1;
-                if driver.get(&format_key(k)) {
-                    read_hits += 1;
-                }
-            }
-            Op::Update => {
-                let k = c.chooser.next(&mut c.rng, record_count, record_count);
-                driver.put(&format_key(k), &make_value(k, workload.value_len));
-            }
-            Op::Insert => {
-                let k = c.insert_cursor;
-                c.insert_cursor += 1;
-                driver.put(&format_key(k), &make_value(k, workload.value_len));
-            }
-            Op::Scan => {
-                let k = c.chooser.next(&mut c.rng, record_count, record_count);
-                let len = c.rng.gen_range(1..=workload.max_scan_len as u64);
-                let to = (k + len).min(record_count.saturating_sub(1));
-                driver.scan(&format_key(k), &format_key(to));
-            }
-            Op::ReadModifyWrite => {
-                let k = c.chooser.next(&mut c.rng, record_count, record_count);
-                let key = format_key(k);
-                read_total += 1;
-                if driver.get(&key) {
-                    read_hits += 1;
-                }
-                driver.put(&key, &make_value(k, workload.value_len));
-            }
-        }
+        let outcome = c.execute_op(driver, workload, record_count);
+        read_total += u64::from(outcome.read);
+        read_hits += u64::from(outcome.read && outcome.hit);
         let total = platform.clock().now_ns() - c0;
         let s1 = platform.serial_snapshot();
 

@@ -14,6 +14,7 @@ pub mod generator;
 pub mod histogram;
 pub mod report;
 pub mod runner;
+pub mod sharded;
 pub mod workload;
 
 pub use concurrent::{
@@ -23,4 +24,5 @@ pub use generator::{format_key, make_value, seeded_rng, KeyChooser, Zipfian};
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use report::Table;
 pub use runner::{load_phase, run_phase, KvDriver, RunReport};
+pub use sharded::{run_sharded_concurrent, ShardPhase, ShardedKvDriver};
 pub use workload::{Op, Workload};

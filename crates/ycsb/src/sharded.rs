@@ -1,0 +1,347 @@
+//! Multi-client run phase over a sharded cluster on virtual time.
+//!
+//! [`crate::concurrent::run_phase_concurrent`] models N clients against
+//! *one* store on *one* platform: serial sections exclude, everything
+//! else overlaps without bound — the right model for thread scaling on a
+//! single machine, but it cannot show what horizontal partitioning buys,
+//! because a single simulated enclave never runs out of cores.
+//!
+//! This module adds the cluster dimension. A sharded driver exposes one
+//! [`Platform`] per shard (each shard is its own machine/enclave) plus
+//! the router's; the scheduler then models
+//!
+//! * **per-shard machines**: each shard executes at most
+//!   [`ShardPhase::cores_per_shard`] operations concurrently — clients
+//!   beyond that queue on the shard's cores (deterministically: the
+//!   earliest-free core wins, ties by index);
+//! * **per-shard serial classes**: virtual time charged inside a
+//!   [`sgx_sim::SerialClass`] section serializes only against that
+//!   *shard's* horizon — flushes, compactions and group commits on
+//!   different shards overlap freely;
+//! * **fan-out ops**: an operation touching several shards (a
+//!   cross-shard scan) occupies one core on each involved shard and
+//!   completes when the slowest shard does; the router's stitching time
+//!   is added serially on the client's timeline.
+//!
+//! Determinism is preserved: same seed, same schedule, same numbers.
+
+use std::sync::Arc;
+
+use sgx_sim::{Platform, SERIAL_CLASSES};
+
+use crate::concurrent::{Client, ConcurrentReport};
+use crate::histogram::LatencyHistogram;
+use crate::workload::Workload;
+use crate::KvDriver;
+
+/// A [`KvDriver`] over a sharded cluster: the scheduler needs to know
+/// the shard topology and each shard's platform to attribute costs.
+pub trait ShardedKvDriver: KvDriver {
+    /// Number of shards.
+    fn shard_count(&self) -> usize;
+    /// Shard `i`'s platform (its machine's virtual clock).
+    fn shard_platform(&self, shard: usize) -> &Arc<Platform>;
+    /// The trusted router's platform (may alias a shard platform for an
+    /// unsharded anchor driver).
+    fn router_platform(&self) -> &Arc<Platform>;
+}
+
+/// Configuration of a sharded run phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPhase {
+    /// Size of the loaded keyspace.
+    pub record_count: u64,
+    /// Operations across all clients.
+    pub total_ops: u64,
+    /// Number of virtual client threads (cluster-wide offered load).
+    pub threads: usize,
+    /// Enclave cores per shard machine: the per-shard concurrency cap.
+    /// This is what a single store cannot scale past and a cluster can.
+    pub cores_per_shard: usize,
+    /// Reproducibility seed.
+    pub seed: u64,
+}
+
+/// Snapshot of every platform's clock + serial accumulators.
+struct Snapshot {
+    clock_ns: Vec<u64>,
+    serial: Vec<[u64; SERIAL_CLASSES]>,
+}
+
+fn snapshot(platforms: &[&Arc<Platform>]) -> Snapshot {
+    Snapshot {
+        clock_ns: platforms.iter().map(|p| p.clock().now_ns()).collect(),
+        serial: platforms.iter().map(|p| p.serial_snapshot()).collect(),
+    }
+}
+
+/// One shard machine's schedule state: core availability + per-class
+/// serial horizons.
+struct ShardMachine {
+    core_free_at: Vec<u64>,
+    lock_free_at: [u64; SERIAL_CLASSES],
+}
+
+impl ShardMachine {
+    fn new(cores: usize) -> Self {
+        ShardMachine { core_free_at: vec![0u64; cores.max(1)], lock_free_at: [0; SERIAL_CLASSES] }
+    }
+
+    /// Index of the earliest-free core (deterministic tie-break).
+    fn pick_core(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &free) in self.core_free_at.iter().enumerate() {
+            if free < self.core_free_at[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Runs `phase.total_ops` operations of `workload` spread over
+/// `phase.threads` virtual clients against a sharded cluster, modeling
+/// per-shard machines with bounded cores (see the module docs).
+///
+/// Operations execute against `driver` one at a time (the cluster's real
+/// code paths run unchanged — including routing, per-shard verification
+/// and cross-shard stitching); their virtual costs are read off each
+/// shard's own clock and scheduled as concurrent client timelines over
+/// the shard machines.
+pub fn run_sharded_concurrent(
+    driver: &dyn ShardedKvDriver,
+    workload: &Workload,
+    phase: &ShardPhase,
+) -> ConcurrentReport {
+    let threads = phase.threads.max(1);
+    let per_client = (phase.total_ops / threads as u64).max(1);
+    let total_ops = per_client * threads as u64;
+    let shard_count = driver.shard_count();
+    let platforms: Vec<&Arc<Platform>> = (0..shard_count)
+        .map(|s| driver.shard_platform(s))
+        .chain(std::iter::once(driver.router_platform()))
+        .collect();
+    let router_idx = shard_count;
+    // An unsharded anchor driver may hand out one platform as both shard
+    // and router; its clock delta must then not be double-counted.
+    let router_distinct =
+        (0..shard_count).all(|s| !Arc::ptr_eq(platforms[s], platforms[router_idx]));
+
+    let mut clients = Client::fleet(threads, phase.seed, workload, phase.record_count, per_client);
+
+    let mut machines: Vec<ShardMachine> =
+        (0..shard_count).map(|_| ShardMachine::new(phase.cores_per_shard)).collect();
+    let mut overall = LatencyHistogram::new();
+    let mut read_hits = 0u64;
+    let mut read_total = 0u64;
+    let mut charged_total = 0u64;
+    let mut charged_serial = 0u64;
+
+    for _ in 0..total_ops {
+        let i = (0..clients.len())
+            .filter(|&i| clients[i].ops_done < per_client)
+            .min_by_key(|&i| (clients[i].t_ns, i))
+            .expect("a client with work left");
+        let c = &mut clients[i];
+        let before = snapshot(&platforms);
+        let outcome = c.execute_op(driver, workload, phase.record_count);
+        read_total += u64::from(outcome.read);
+        read_hits += u64::from(outcome.read && outcome.hit);
+        let after = snapshot(&platforms);
+
+        // Per-shard costs of this op: each shard's clock only advances
+        // for the work that shard's machine did.
+        let router_delta = if router_distinct {
+            after.clock_ns[router_idx] - before.clock_ns[router_idx]
+        } else {
+            0
+        };
+        let mut span = 0u64; // fan-out completes with the slowest shard
+        let mut op_serial = 0u64;
+        let mut begin = c.t_ns;
+        let mut involved: Vec<(usize, u64, [u64; SERIAL_CLASSES])> = Vec::new();
+        for (s, m) in machines.iter().enumerate() {
+            let delta = after.clock_ns[s] - before.clock_ns[s];
+            if delta == 0 {
+                continue;
+            }
+            span = span.max(delta);
+            let serial: [u64; SERIAL_CLASSES] =
+                std::array::from_fn(|k| (after.serial[s][k] - before.serial[s][k]).min(delta));
+            op_serial = op_serial.max(serial.iter().copied().max().unwrap_or(0));
+            begin = begin.max(m.core_free_at[m.pick_core()]);
+            for (d, horizon) in serial.iter().zip(m.lock_free_at.iter()) {
+                if *d > 0 {
+                    begin = begin.max(*horizon);
+                }
+            }
+            involved.push((s, delta, serial));
+        }
+        let finish = begin + span + router_delta;
+        for (s, _, serial) in &involved {
+            let m = &mut machines[*s];
+            let core = m.pick_core();
+            m.core_free_at[core] = finish;
+            for (d, horizon) in serial.iter().zip(m.lock_free_at.iter_mut()) {
+                if *d > 0 {
+                    *horizon = begin + d;
+                }
+            }
+        }
+        overall.record_ns(finish - c.t_ns);
+        charged_total += span + router_delta;
+        charged_serial += op_serial;
+        c.t_ns = finish;
+        c.ops_done += 1;
+    }
+
+    let elapsed_ns = clients.iter().map(|c| c.t_ns).max().unwrap_or(0).max(1);
+    ConcurrentReport {
+        workload: workload.name.clone(),
+        threads,
+        ops: total_ops,
+        elapsed_us: elapsed_ns as f64 / 1_000.0,
+        kops_per_sec: total_ops as f64 / (elapsed_ns as f64 / 1e9) / 1_000.0,
+        overall: overall.summary(),
+        read_hit_rate: if read_total == 0 { 1.0 } else { read_hits as f64 / read_total as f64 },
+        serial_fraction: if charged_total == 0 {
+            0.0
+        } else {
+            charged_serial as f64 / charged_total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::format_key;
+    use parking_lot::Mutex;
+    use std::collections::BTreeMap;
+
+    /// A toy cluster: each shard is a map on its own platform; ops cost
+    /// `cost_ns` on the owning shard's clock.
+    struct ToyCluster {
+        platforms: Vec<Arc<Platform>>,
+        router: Arc<Platform>,
+        maps: Vec<Mutex<BTreeMap<Vec<u8>, Vec<u8>>>>,
+        cost_ns: u64,
+    }
+
+    impl ToyCluster {
+        fn new(shards: usize, cost_ns: u64) -> Self {
+            ToyCluster {
+                platforms: (0..shards).map(|_| Platform::with_defaults()).collect(),
+                router: Platform::with_defaults(),
+                maps: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+                cost_ns,
+            }
+        }
+
+        fn shard_of(&self, key: &[u8]) -> usize {
+            key.iter().map(|&b| b as usize).sum::<usize>() % self.maps.len()
+        }
+    }
+
+    impl KvDriver for ToyCluster {
+        fn put(&self, key: &[u8], value: &[u8]) {
+            let s = self.shard_of(key);
+            self.platforms[s].advance(self.cost_ns);
+            self.maps[s].lock().insert(key.to_vec(), value.to_vec());
+        }
+        fn get(&self, key: &[u8]) -> bool {
+            let s = self.shard_of(key);
+            self.platforms[s].advance(self.cost_ns);
+            self.maps[s].lock().contains_key(key)
+        }
+        fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+            // Fan-out: every shard pays, the router stitches.
+            let mut n = 0;
+            for (p, m) in self.platforms.iter().zip(&self.maps) {
+                p.advance(self.cost_ns);
+                n += m.lock().range(from.to_vec()..=to.to_vec()).count();
+            }
+            self.router.advance(self.cost_ns / 10);
+            n
+        }
+    }
+
+    impl ShardedKvDriver for ToyCluster {
+        fn shard_count(&self) -> usize {
+            self.maps.len()
+        }
+        fn shard_platform(&self, shard: usize) -> &Arc<Platform> {
+            &self.platforms[shard]
+        }
+        fn router_platform(&self) -> &Arc<Platform> {
+            &self.router
+        }
+    }
+
+    fn load(c: &ToyCluster, n: u64) {
+        for i in 0..n {
+            let key = format_key(i);
+            let s = c.shard_of(&key);
+            c.maps[s].lock().insert(key, b"v".to_vec());
+        }
+    }
+
+    fn phase(threads: usize, cores: usize) -> ShardPhase {
+        ShardPhase {
+            record_count: 200,
+            total_ops: 2_000,
+            threads,
+            cores_per_shard: cores,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn one_shard_caps_at_its_cores() {
+        let c = ToyCluster::new(1, 10_000);
+        load(&c, 200);
+        let r1 = run_sharded_concurrent(&c, &Workload::c(), &phase(1, 2));
+        let r8 = run_sharded_concurrent(&c, &Workload::c(), &phase(8, 2));
+        let speedup = r8.kops_per_sec / r1.kops_per_sec;
+        assert!(
+            (1.8..=2.05).contains(&speedup),
+            "8 clients on a 2-core shard must cap at ~2x, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn shards_add_capacity() {
+        let run = |shards: usize| {
+            let c = ToyCluster::new(shards, 10_000);
+            load(&c, 200);
+            run_sharded_concurrent(&c, &Workload::c(), &phase(8, 2)).kops_per_sec
+        };
+        let one = run(1);
+        let four = run(4);
+        let speedup = four / one;
+        assert!(speedup > 2.5, "4 shards x 2 cores should beat a 1-shard cap: {speedup:.2}x");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let c = ToyCluster::new(3, 5_000);
+            load(&c, 200);
+            run_sharded_concurrent(&c, &Workload::a(), &phase(4, 2))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.overall, b.overall);
+        assert_eq!(a.kops_per_sec, b.kops_per_sec);
+    }
+
+    #[test]
+    fn scans_fan_out_and_hit_rate_counts() {
+        let c = ToyCluster::new(2, 4_000);
+        load(&c, 200);
+        let r = run_sharded_concurrent(&c, &Workload::e(), &phase(4, 2));
+        assert!(r.ops > 0);
+        let rc = run_sharded_concurrent(&c, &Workload::c(), &phase(2, 2));
+        assert!(rc.read_hit_rate > 0.999);
+    }
+}

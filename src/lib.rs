@@ -8,6 +8,8 @@
 //! for the system inventory; the interesting entry points are:
 //!
 //! * [`elsm`] — the paper's contribution: eLSM-P1 and eLSM-P2 stores,
+//! * [`shard`] — the sharded cluster layer: partitioner, per-shard
+//!   enclaves, verified cross-shard router,
 //! * [`lsm_store`] — the LevelDB-class LSM engine substrate,
 //! * [`merkle`] — the Merkle-forest authenticated data structures,
 //! * [`sgx_sim`] — the SGX enclave simulator with its cost model,
@@ -33,6 +35,7 @@ pub use ct_log;
 pub use elsm;
 pub use elsm_baselines as baselines;
 pub use elsm_crypto as crypto;
+pub use elsm_shard as shard;
 pub use lsm_store;
 pub use merkle;
 pub use sgx_sim;

@@ -289,6 +289,115 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharding transparency: an arbitrary interleaving of singleton and
+    /// batched writes applied to a hash-sharded cluster and to a single
+    /// store yields identical verified GET answers (presence + value;
+    /// timestamps are per-shard and deliberately not compared) and
+    /// identical, totally key-ordered verified SCAN results — the
+    /// partitioner changes who stores and proves a record, never what
+    /// the client observes.
+    #[test]
+    fn sharded_cluster_matches_single_store_oracle(
+        groups in prop::collection::vec(
+            (
+                prop::collection::vec(
+                    (0u16..60, any::<u16>(), 0u8..8), // delete when the u8 is 0
+                    1..8,
+                ),
+                0u8..2,  // apply this group as batches?
+                0u8..10, // flush both systems afterwards when < 3?
+            ),
+            1..8,
+        ),
+    ) {
+        use elsm_repro::elsm::{AuthenticatedKv, ElsmP2, P2Options};
+        use elsm_repro::sgx_sim::Platform;
+        use elsm_repro::shard::{ShardedKv, ShardedOptions};
+        let store_options = P2Options {
+            write_buffer_bytes: 1 << 20,
+            level1_max_bytes: 8 * 1024,
+            level_multiplier: 4,
+            max_levels: 3,
+            ..P2Options::default()
+        };
+        let cluster = ShardedKv::open(
+            Platform::with_defaults(),
+            ShardedOptions::hash(3, store_options.clone()),
+        ).unwrap();
+        let oracle = ElsmP2::open(Platform::with_defaults(), store_options).unwrap();
+        for (ops, as_batch, flush_after) in &groups {
+            let encoded: Vec<(Vec<u8>, Vec<u8>, bool)> = ops
+                .iter()
+                .map(|(keyno, val, delete_coin)| (
+                    format!("k{keyno:03}").into_bytes(),
+                    format!("v{val}").into_bytes(),
+                    *delete_coin == 0,
+                ))
+                .collect();
+            if *as_batch == 1 {
+                // Maximal same-kind runs, applied to both systems through
+                // their batch entry points (the cluster splits each batch
+                // per shard under the hood).
+                let mut run = 0usize;
+                while run < encoded.len() {
+                    let kind = encoded[run].2;
+                    let mut end = run;
+                    while end < encoded.len() && encoded[end].2 == kind {
+                        end += 1;
+                    }
+                    if kind {
+                        let keys: Vec<&[u8]> =
+                            encoded[run..end].iter().map(|(k, _, _)| k.as_slice()).collect();
+                        cluster.delete_batch(&keys).unwrap();
+                        oracle.delete_batch(&keys).unwrap();
+                    } else {
+                        let items: Vec<(&[u8], &[u8])> = encoded[run..end]
+                            .iter()
+                            .map(|(k, v, _)| (k.as_slice(), v.as_slice()))
+                            .collect();
+                        cluster.put_batch(&items).unwrap();
+                        oracle.put_batch(&items).unwrap();
+                    }
+                    run = end;
+                }
+            } else {
+                for (key, value, is_delete) in &encoded {
+                    if *is_delete {
+                        cluster.delete(key).unwrap();
+                        oracle.delete(key).unwrap();
+                    } else {
+                        cluster.put(key, value).unwrap();
+                        oracle.put(key, value).unwrap();
+                    }
+                }
+            }
+            if *flush_after < 3 {
+                cluster.flush().unwrap();
+                oracle.db().flush().unwrap();
+            }
+        }
+        for keyno in 0u16..60 {
+            let key = format!("k{keyno:03}").into_bytes();
+            let a = cluster.get(&key).unwrap().map(|r| r.value().to_vec());
+            let b = oracle.get(&key).unwrap().map(|r| r.value().to_vec());
+            prop_assert_eq!(a, b, "verified GET diverged for k{:03}", keyno);
+        }
+        let scan_c = cluster.scan(b"k000", b"k999").unwrap();
+        let scan_o = oracle.scan(b"k000", b"k999").unwrap();
+        prop_assert!(
+            scan_c.windows(2).all(|w| w[0].key() < w[1].key()),
+            "stitched scan must be totally ordered"
+        );
+        prop_assert_eq!(scan_c.len(), scan_o.len(), "verified SCAN lengths diverged");
+        for (c, o) in scan_c.iter().zip(&scan_o) {
+            prop_assert_eq!((c.key(), c.value()), (o.key(), o.value()));
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The full store vs. a BTreeMap model under random operation
