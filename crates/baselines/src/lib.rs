@@ -11,16 +11,20 @@
 //!   paper's §3.4 argues against,
 //! * [`ShardedUnsecured`] — N unsecured LSM partitions behind the same
 //!   partitioner as `elsm_shard::ShardedKv`: the roofline for the
-//!   shard-scaling figure.
+//!   shard-scaling figure,
+//! * [`ReplicatedUnsecured`] — an unsecured primary with N unsecured
+//!   read replicas: the roofline for the replica-scaling figure.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod eleos;
 pub mod mbt_store;
+pub mod replicated;
 pub mod sharded;
 pub mod unsecured;
 
 pub use eleos::{EleosCapacityExceeded, EleosOptions, EleosStore};
 pub use mbt_store::MbtStore;
+pub use replicated::ReplicatedUnsecured;
 pub use sharded::ShardedUnsecured;
 pub use unsecured::{UnsecuredLsm, UnsecuredOptions};

@@ -1,8 +1,9 @@
 //! Regenerates every table and figure, printing both text and the markdown
 //! blocks recorded in EXPERIMENTS.md. Pass `--quick` for a fast pass, or
-//! `--only <figure>` to run a single figure (results then go to
-//! `BENCH_results.<figure>.json` so the committed full baseline is never
-//! clobbered by a partial run).
+//! `--only <figures>` with a comma-separated list (e.g. `--only
+//! fig11,fig12`) to run a subset: each selected figure then writes its own
+//! `BENCH_results.<figure>.json`, so a partial run never clobbers the
+//! committed full baseline.
 
 use elsm_bench::figures::*;
 use elsm_bench::{opts_from_args, Scale};
@@ -32,6 +33,7 @@ fn main() {
         ("fig9", Box::new(move || fig9(&scale, opts))),
         ("fig10", Box::new(move || fig10(&scale, opts))),
         ("fig11", Box::new(move || fig11(&scale, opts))),
+        ("fig12", Box::new(move || fig12(&scale, opts))),
     ];
     let usage_and_exit = |problem: &str| -> ! {
         eprintln!("{problem}; available figures:");
@@ -40,42 +42,67 @@ fn main() {
         }
         std::process::exit(2);
     };
-    // `--only <figure>` or `--only=<figure>`; a present-but-valueless
-    // flag is an error, never a silent fall-through to the full sweep.
-    let mut only: Option<String> = None;
+    // `--only <list>` or `--only=<list>` with a comma-separated figure
+    // list. Parsing is strict: a valueless flag, an empty element
+    // (`fig11,,fig12`, a trailing comma) or an unknown name is an error —
+    // never a silent fall-through to the full sweep.
+    let mut only_arg: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--only" {
             match args.next() {
-                Some(value) if !value.starts_with('-') => only = Some(value),
-                _ => usage_and_exit("--only requires a figure name"),
+                Some(value) if !value.starts_with('-') => only_arg = Some(value),
+                _ => usage_and_exit("--only requires a figure list"),
             }
         } else if let Some(value) = arg.strip_prefix("--only=") {
-            only = Some(value.to_string());
+            only_arg = Some(value.to_string());
         }
     }
-    let selected: Vec<&(&str, FigureFn)> = match &only {
-        Some(name) => {
-            let hit: Vec<_> = figures.iter().filter(|(n, _)| n == name).collect();
-            if hit.is_empty() {
+    let only: Option<Vec<String>> = only_arg.map(|list| {
+        let mut names = Vec::new();
+        for name in list.split(',') {
+            if name.is_empty() {
+                usage_and_exit(&format!("empty figure name in `--only {list}`"));
+            }
+            if !figures.iter().any(|(n, _)| n == &name) {
                 usage_and_exit(&format!("unknown figure `{name}`"));
             }
-            hit
+            if !names.iter().any(|n| n == name) {
+                names.push(name.to_string());
+            }
         }
-        None => figures.iter().collect(),
-    };
-    for (_, figure) in &selected {
-        let t = figure();
+        names
+    });
+    let mode = if opts.quick { "smoke" } else { "full" };
+    let emit = |table: &Table| {
         if markdown {
-            println!("{}", t.to_markdown());
+            println!("{}", table.to_markdown());
         } else {
-            t.print();
+            table.print();
             println!();
         }
-    }
-    let path = match &only {
-        Some(name) => format!("BENCH_results.{name}.json"),
-        None => "BENCH_results.json".to_string(),
     };
-    elsm_bench::results::write_results(&path, if opts.quick { "smoke" } else { "full" });
+    match &only {
+        // A subset: one output file per selected figure, holding exactly
+        // that figure's entries.
+        Some(names) => {
+            for name in names {
+                let (_, figure) = figures.iter().find(|(n, _)| n == name).expect("validated above");
+                let start = elsm_bench::results::len();
+                emit(&figure());
+                elsm_bench::results::write_results_from(
+                    &format!("BENCH_results.{name}.json"),
+                    mode,
+                    start,
+                );
+            }
+        }
+        // The full sweep owns the committed baseline.
+        None => {
+            for (_, figure) in &figures {
+                emit(&figure());
+            }
+            elsm_bench::results::write_results("BENCH_results.json", mode);
+        }
+    }
 }

@@ -9,7 +9,8 @@
 use std::sync::Arc;
 
 use elsm::{AuthenticatedKv, ElsmP1, ElsmP2};
-use elsm_baselines::{EleosStore, MbtStore, ShardedUnsecured, UnsecuredLsm};
+use elsm_baselines::{EleosStore, MbtStore, ReplicatedUnsecured, ShardedUnsecured, UnsecuredLsm};
+use elsm_replica::ReplicationGroup;
 use elsm_shard::ShardedKv;
 use sgx_sim::Platform;
 use ycsb::ShardedKvDriver;
@@ -149,6 +150,95 @@ impl ShardedKvDriver for ShardedUnsecuredDriver {
     }
     fn router_platform(&self) -> &Arc<Platform> {
         self.0.router_platform()
+    }
+}
+
+/// Driver over a replicated authenticated group: writes go to the
+/// primary (which ships them before acknowledging), verified reads
+/// round-robin across the replicas. For the scheduler, each **replica**
+/// is one machine and the primary plays the router role — fig12's read
+/// phase never touches it, so read scaling is purely the replicas'.
+#[derive(Debug)]
+pub struct ReplicatedP2Driver {
+    group: ReplicationGroup,
+    replicas: Vec<Arc<Platform>>,
+    primary: Arc<Platform>,
+}
+
+impl ReplicatedP2Driver {
+    /// Wraps a group, caching each node's platform for the scheduler.
+    pub fn new(group: ReplicationGroup) -> Self {
+        let replicas = (0..group.replica_count()).map(|i| group.replica_platform(i)).collect();
+        let primary = group.primary_store().platform().clone();
+        ReplicatedP2Driver { group, replicas, primary }
+    }
+
+    /// The wrapped group.
+    pub fn group(&self) -> &ReplicationGroup {
+        &self.group
+    }
+}
+
+impl ycsb::KvDriver for ReplicatedP2Driver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.group.put(key, value).expect("replicated put");
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.group.get(key).expect("replica get verifies").is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.group.scan(from, to).expect("replica scan verifies").len()
+    }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        self.group.put_batch(&as_refs(items)).expect("replicated put_batch");
+    }
+}
+
+impl ShardedKvDriver for ReplicatedP2Driver {
+    fn shard_count(&self) -> usize {
+        self.replicas.len().max(1)
+    }
+    fn shard_platform(&self, shard: usize) -> &Arc<Platform> {
+        self.replicas.get(shard).unwrap_or(&self.primary)
+    }
+    fn router_platform(&self) -> &Arc<Platform> {
+        &self.primary
+    }
+}
+
+/// Driver over the unsecured replicated baseline, machine-modelled the
+/// same way as [`ReplicatedP2Driver`].
+#[derive(Debug)]
+pub struct ReplicatedUnsecuredDriver(pub ReplicatedUnsecured);
+
+impl ycsb::KvDriver for ReplicatedUnsecuredDriver {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.0.put(key, value).expect("replicated unsecured put");
+    }
+    fn get(&self, key: &[u8]) -> bool {
+        self.0.get(key).expect("replicated unsecured get").is_some()
+    }
+    fn scan(&self, from: &[u8], to: &[u8]) -> usize {
+        self.0.scan(from, to).expect("replicated unsecured scan").len()
+    }
+    fn put_batch(&self, items: &[(Vec<u8>, Vec<u8>)]) {
+        self.0.put_batch(&as_refs(items)).expect("replicated unsecured put_batch");
+    }
+}
+
+impl ShardedKvDriver for ReplicatedUnsecuredDriver {
+    fn shard_count(&self) -> usize {
+        self.0.replica_count().max(1)
+    }
+    fn shard_platform(&self, shard: usize) -> &Arc<Platform> {
+        if shard < self.0.replica_count() {
+            self.0.replica_platform(shard)
+        } else {
+            self.0.primary_platform()
+        }
+    }
+    fn router_platform(&self) -> &Arc<Platform> {
+        self.0.primary_platform()
     }
 }
 

@@ -10,8 +10,10 @@ use std::sync::Arc;
 
 use elsm::{ElsmP1, ElsmP2, P1Options, P2Options, ReadMode};
 use elsm_baselines::{
-    EleosOptions, EleosStore, MbtStore, ShardedUnsecured, UnsecuredLsm, UnsecuredOptions,
+    EleosOptions, EleosStore, MbtStore, ReplicatedUnsecured, ShardedUnsecured, UnsecuredLsm,
+    UnsecuredOptions,
 };
+use elsm_replica::{ReplicationGroup, ReplicationOptions};
 use elsm_shard::{PartitionSpec, ShardedKv, ShardedOptions};
 use sgx_sim::Platform;
 use sim_disk::{SimDisk, SimFs};
@@ -21,8 +23,8 @@ use ycsb::{
 };
 
 use crate::drivers::{
-    EleosDriver, MbtDriver, P1Driver, P2Driver, ShardedP2Driver, ShardedUnsecuredDriver,
-    UnsecuredDriver,
+    EleosDriver, MbtDriver, P1Driver, P2Driver, ReplicatedP2Driver, ReplicatedUnsecuredDriver,
+    ShardedP2Driver, ShardedUnsecuredDriver, UnsecuredDriver,
 };
 use crate::scale::{Scale, VALUE_BYTES};
 
@@ -57,6 +59,7 @@ fn p2_options(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> P2Opti
         compaction_enabled: true,
         rollback: None,
         wal_sync: lsm_store::WalSyncPolicy::Always,
+        retired_epoch_floor: 8,
         shard_id: None,
     }
 }
@@ -986,6 +989,93 @@ pub fn fig11(scale: &Scale, opts: FigOpts) -> Table {
     ]);
     for row in rows {
         table.row(row);
+    }
+    table
+}
+
+/// Figure 12: aggregate **verified read** throughput of one replication
+/// group as replicas are added, under a fixed 32-client offered load with
+/// 4 enclave cores per node (the fig11 machine model, applied to the
+/// replication axis: one store cannot scale reads past its own machine,
+/// a group fans them out). The `fig12_prechange` anchor is the plain
+/// unreplicated store — the pre-replication code path — under the same
+/// scheduler; the unsecured replicated baseline is the no-verification
+/// roofline, so the remaining gap is per-replica verification, not the
+/// replication layer.
+pub fn fig12(scale: &Scale, opts: FigOpts) -> Table {
+    const CLIENTS: usize = 32;
+    const CORES_PER_NODE: usize = 4;
+    let records = scale.records_for_mb(if opts.quick { 256 } else { 1024 }).max(1_000);
+    let ops = if opts.quick { 6_000 } else { 24_000 };
+    let phase = ShardPhase {
+        record_count: records,
+        total_ops: ops,
+        threads: CLIENTS,
+        cores_per_shard: CORES_PER_NODE,
+        seed: 0xf12,
+    };
+    let workload = Workload::c();
+
+    // Pre-replication anchor: the plain single store, same machine model.
+    crate::results::set_figure("fig12_prechange");
+    let anchor = {
+        let (store, _platform) = build_p2(scale, ReadMode::Mmap, 8);
+        let driver = P2Driver(store);
+        load_phase(&driver, records, VALUE_BYTES);
+        driver.0.db().flush().expect("flush");
+        let report = run_sharded_concurrent(&driver, &workload, &phase);
+        crate::results::note_concurrent("single_store_C", &report);
+        report.kops_per_sec
+    };
+
+    crate::results::set_figure("fig12_replica_scaling");
+    let mut table = Table::new(
+        "Figure 12: aggregate verified read throughput vs replicas, 32 clients, \
+         4 cores/node (kops/s, simulated)",
+        &["replicas", "p2_read_kops", "p2_vs_single", "unsec_read_kops", "unsec_vs_1r"],
+    );
+    table.row(vec![
+        "single(pre)".into(),
+        format!("{anchor:.1}"),
+        "1.00x".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    let mut unsec_base = 0.0f64;
+    for replicas in [1usize, 2, 4, 8] {
+        let group = ReplicationGroup::open(
+            Platform::new(scale.cost_model()),
+            p2_options(scale, ReadMode::Mmap, 8),
+            ReplicationOptions { replicas, ..Default::default() },
+        )
+        .expect("open replication group");
+        let driver = ReplicatedP2Driver::new(group);
+        load_phase(&driver, records, VALUE_BYTES);
+        driver.group().flush().expect("flush");
+        let report = run_sharded_concurrent(&driver, &workload, &phase);
+        crate::results::note_concurrent(&format!("elsm_p2_{replicas}r_C"), &report);
+
+        let unsec = ReplicatedUnsecured::open(
+            Platform::new(scale.cost_model()),
+            replicas,
+            unsecured_options(scale, false, true, 8),
+        )
+        .expect("open replicated unsecured");
+        let udriver = ReplicatedUnsecuredDriver(unsec);
+        load_phase(&udriver, records, VALUE_BYTES);
+        udriver.0.flush().expect("flush");
+        let ureport = run_sharded_concurrent(&udriver, &workload, &phase);
+        crate::results::note_concurrent(&format!("unsecured_{replicas}r_C"), &ureport);
+        if replicas == 1 {
+            unsec_base = ureport.kops_per_sec;
+        }
+        table.row(vec![
+            replicas.to_string(),
+            format!("{:.1}", report.kops_per_sec),
+            format!("{:.2}x", report.kops_per_sec / anchor.max(1e-9)),
+            format!("{:.1}", ureport.kops_per_sec),
+            format!("{:.2}x", ureport.kops_per_sec / unsec_base.max(1e-9)),
+        ]);
     }
     table
 }

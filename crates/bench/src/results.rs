@@ -82,15 +82,16 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders all recorded entries as a JSON document.
-pub fn to_json(mode: &str) -> String {
+/// Renders recorded entries from index `start` on as a JSON document.
+fn render_json(mode: &str, start: usize) -> String {
     let s = SINK.lock().unwrap();
+    let entries = s.entries.get(start..).unwrap_or(&[]);
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"generated_by\": \"elsm-bench\",");
     let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(mode));
     let _ = writeln!(out, "  \"results\": [");
-    for (i, e) in s.entries.iter().enumerate() {
-        let comma = if i + 1 < s.entries.len() { "," } else { "" };
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
         let _ = writeln!(
             out,
             "    {{\"figure\": \"{}\", \"config\": \"{}\", \"workload\": \"{}\", \
@@ -108,11 +109,28 @@ pub fn to_json(mode: &str) -> String {
     out
 }
 
+/// Renders all recorded entries as a JSON document.
+pub fn to_json(mode: &str) -> String {
+    render_json(mode, 0)
+}
+
 /// Writes all recorded entries to `path` (called by the figure binaries
 /// after printing their tables). Errors are reported, not fatal — result
 /// tracking must never fail a benchmark run.
 pub fn write_results(path: &str, mode: &str) {
-    if let Err(e) = std::fs::write(path, to_json(mode)) {
+    write_from(path, mode, 0);
+}
+
+/// Writes only the entries recorded from index `start` on — how
+/// `run_all --only fig11,fig12` gives each selected figure its own
+/// output file: snapshot [`len`] before running a figure, write its
+/// slice after.
+pub fn write_results_from(path: &str, mode: &str, start: usize) {
+    write_from(path, mode, start);
+}
+
+fn write_from(path: &str, mode: &str, start: usize) {
+    if let Err(e) = std::fs::write(path, render_json(mode, start)) {
         eprintln!("warning: could not write {path}: {e}");
     } else {
         eprintln!("(machine-readable results written to {path})");

@@ -86,6 +86,43 @@ pub enum VerificationFailure {
         /// The shard whose commitment domain the answer actually carries.
         got: u32,
     },
+    /// A shipped replication envelope failed the authenticated channel's
+    /// checks: its MAC does not verify, or its sequence number is not the
+    /// next expected one — the transport host tampered with, reordered,
+    /// selectively dropped or replayed shipped frames.
+    ChannelTampered {
+        /// Sequence number the replica expected to receive next.
+        seq: u64,
+    },
+    /// A replica refused to answer because its replayed state lags the
+    /// primary's last known epoch by more than the configured freshness
+    /// bound — the host is withholding the replication stream while
+    /// still presenting the replica as live.
+    ReplicaStale {
+        /// Epochs between the primary's announced head and the replica.
+        lag_epochs: u64,
+        /// The configured maximum acceptable lag.
+        bound: u64,
+    },
+    /// The primary's signed announcement for an epoch does not match the
+    /// state an honest replay of its own frame stream produces (or two
+    /// announcements for one epoch disagree): the primary equivocated —
+    /// it is showing different histories to different observers.
+    ForkedPrimary {
+        /// The epoch the conflicting announcements name.
+        epoch: u64,
+    },
+    /// A node acted under a leadership generation the fencing counter has
+    /// moved past: a deposed primary resurrecting after failover, or a
+    /// promotion racing a completed one. The generation bump at
+    /// promotion (§5.6.1's counter, applied to leadership) makes this
+    /// structurally detectable.
+    FencedOut {
+        /// The generation the node believed it held.
+        generation: u64,
+        /// The fencing counter's current generation.
+        active: u64,
+    },
 }
 
 /// Sentinel shard id in [`VerificationFailure::WrongShard`] for a store
@@ -123,6 +160,18 @@ impl fmt::Display for VerificationFailure {
             VerificationFailure::SealBroken => f.write_str("sealed enclave state failed to unseal"),
             VerificationFailure::UnknownEpoch { epoch } => {
                 write!(f, "no commitment snapshot for epoch {epoch}")
+            }
+            VerificationFailure::ChannelTampered { seq } => {
+                write!(f, "replication envelope {seq} failed channel authentication")
+            }
+            VerificationFailure::ReplicaStale { lag_epochs, bound } => {
+                write!(f, "replica lags the primary by {lag_epochs} epochs (bound {bound})")
+            }
+            VerificationFailure::ForkedPrimary { epoch } => {
+                write!(f, "primary equivocated at epoch {epoch}")
+            }
+            VerificationFailure::FencedOut { generation, active } => {
+                write!(f, "node generation {generation} fenced out (active generation {active})")
             }
             VerificationFailure::WrongShard { expected, got } => {
                 let name = |id: u32| {

@@ -49,6 +49,7 @@ pub mod error;
 pub mod listener;
 pub mod p1;
 pub mod p2;
+pub mod replication;
 pub mod trusted;
 
 pub use api::{AuthenticatedKv, VerifiedRecord};
@@ -58,4 +59,5 @@ pub use error::{ElsmError, VerificationFailure, WRONG_SHARD_UNSHARDED};
 pub use listener::AuthListener;
 pub use p1::{ElsmP1, P1Options};
 pub use p2::{ElsmP2, P2Options, ReadMode, RollbackOptions};
+pub use replication::{Announcement, SessionKey};
 pub use trusted::{RangeProver, TrustedState, VerifyStats};

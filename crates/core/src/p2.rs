@@ -79,6 +79,10 @@ pub struct P2Options {
     /// When acknowledged writes become durable in the host-side WAL (see
     /// [`lsm_store::WalSyncPolicy`] for the durability trade-off).
     pub wal_sync: lsm_store::WalSyncPolicy,
+    /// How many of the most recent epochs stay verifiable with no live
+    /// reader (detached trace-then-verify windows — see
+    /// [`lsm_store::Options::retired_epoch_floor`]).
+    pub retired_epoch_floor: u64,
     /// Shard this store's enclave is bound to when it serves as one
     /// partition of a sharded cluster (`None` for a standalone store).
     /// The id is folded into the trusted state's commitment domain and
@@ -103,6 +107,7 @@ impl Default for P2Options {
             compaction_enabled: true,
             rollback: None,
             wal_sync: lsm_store::WalSyncPolicy::Always,
+            retired_epoch_floor: 8,
             shard_id: None,
         }
     }
@@ -198,6 +203,7 @@ impl ElsmP2 {
         let db_options = Options {
             wal_sync: options.wal_sync,
             max_group_commit_bytes: 1 << 20,
+            retired_epoch_floor: options.retired_epoch_floor,
             env: env.config().clone(),
             table: lsm_store::TableOptions {
                 block_size: options.block_size,

@@ -206,6 +206,30 @@ impl TrustedState {
         c.epochs.iter().find(|(e, _)| *e == epoch).map(|(_, s)| s.clone())
     }
 
+    /// Digest over the commitment snapshot published for `epoch`, or
+    /// `None` if that snapshot drained. This is what a version-install
+    /// [`Announcement`](crate::replication::Announcement) binds: a
+    /// replica that replayed the primary's frame stream honestly derives
+    /// the same snapshot for the same epoch, so digest equality is the
+    /// cross-check — and inequality is a fork. The shard binding is
+    /// folded in, exactly as in [`TrustedState::dataset_digest`].
+    pub fn snapshot_digest(&self, epoch: u64) -> Option<Digest> {
+        let snapshot = self.commitments_at(epoch)?;
+        let digests: Vec<Digest> = snapshot.iter().map(|c| c.digest()).collect();
+        let shard_tag = self.shard.map(|id| id.to_le_bytes());
+        let epoch_le = epoch.to_le_bytes();
+        let mut parts: Vec<&[u8]> = vec![&[0x09], &epoch_le];
+        if let Some(tag) = &shard_tag {
+            parts.push(&[0x08]);
+            parts.push(tag);
+        }
+        for d in &digests {
+            parts.push(d.as_bytes());
+        }
+        self.platform.charge_hash(parts.iter().map(|p| p.len()).sum());
+        Some(sha256_concat(&parts))
+    }
+
     /// Folds a WAL append into the running digest (§5.3, step w1).
     pub fn absorb_wal(&self, record_bytes: &[u8]) {
         self.absorb_wal_batch(std::iter::once(record_bytes));

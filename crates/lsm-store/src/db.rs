@@ -65,7 +65,9 @@ use sim_disk::FsError;
 use crate::batch::{BatchOp, WriteBatch};
 use crate::encoding::{get_fixed_u64, get_varint_u64, put_fixed_u64, put_varint_u64};
 use crate::env::StorageEnv;
-use crate::events::{CompactionInfo, FilterDecision, RecordSource, StoreListener};
+use crate::events::{
+    CompactionInfo, FilterDecision, RecordSource, ReplicationEvent, ReplicationSink, StoreListener,
+};
 use crate::memtable::MemTable;
 use crate::merge::{KWayMerge, MergeInput};
 use crate::options::{Options, WalSyncPolicy};
@@ -75,11 +77,6 @@ use crate::version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanT
 use crate::wal::{recover, WalWriter};
 
 const MANIFEST: &str = "MANIFEST";
-
-/// Epochs kept verifiable even with no live reader, so detached
-/// trace-then-verify flows (adversary harnesses, tests) survive a few
-/// concurrent installs between collection and verification.
-const MIN_EPOCH_HISTORY: u64 = 8;
 
 /// Cumulative operation counters.
 #[derive(Debug, Default)]
@@ -184,6 +181,9 @@ pub struct Db {
     ts: AtomicU64,
     memtable_region: Option<EnclaveRegion>,
     stats: DbStats,
+    /// Replication event sink, if one is attached (see
+    /// [`Db::set_replication_sink`]).
+    repl: RwLock<Option<Arc<dyn ReplicationSink>>>,
 }
 
 impl std::fmt::Debug for Db {
@@ -243,6 +243,7 @@ impl Db {
             ts: AtomicU64::new(last_ts),
             memtable_region,
             stats: DbStats::default(),
+            repl: RwLock::new(None),
         };
         if !recovering {
             let maint = db.maint.lock();
@@ -351,6 +352,21 @@ impl Db {
     /// Latest assigned timestamp.
     pub fn latest_ts(&self) -> Timestamp {
         self.ts.load(Ordering::SeqCst)
+    }
+
+    /// Attaches the sink that observes this store's replication event
+    /// stream ([`ReplicationEvent`]): committed WAL frames, flush and
+    /// explicit-compaction markers, and version installs, in stream
+    /// order. One sink at a time; registering replaces any previous one.
+    pub fn set_replication_sink(&self, sink: Arc<dyn ReplicationSink>) {
+        *self.repl.write() = Some(sink);
+    }
+
+    /// Fires one replication event at the attached sink, if any.
+    fn emit(&self, event: ReplicationEvent<'_>) {
+        if let Some(sink) = self.repl.read().as_ref() {
+            sink.on_event(event);
+        }
     }
 
     /// The currently visible version snapshot. Readers may hold it
@@ -553,6 +569,10 @@ impl Db {
                     });
                 }
                 inner.wal.append_batch(&all_records[frame_start..]);
+                // Ship the frame while the write lock still orders the
+                // stream: a concurrent flush can then never slip its
+                // marker between a committed frame and its shipment.
+                self.emit(ReplicationEvent::Frame { records: &all_records[frame_start..] });
                 results.push(timestamps);
             }
             if self.options.wal_sync == WalSyncPolicy::EveryBatch {
@@ -586,6 +606,62 @@ impl Db {
     pub fn sync_wal(&self) {
         let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
         self.inner.write().wal.sync();
+    }
+
+    /// Applies one replicated WAL batch frame: records shipped from a
+    /// primary, **timestamps already assigned** by the primary's enclave.
+    ///
+    /// This is the replica half of the replication seam. The records are
+    /// appended to this store's own WAL as one atomic frame, inserted
+    /// into the memtable, and folded through the listener exactly as a
+    /// local commit would be — so a replica that replays the primary's
+    /// event stream ends up with the same memtable content, the same WAL
+    /// digest, and (after replaying the primary's `Flush`/`Compact`
+    /// markers) the same level contents and epochs. The timestamp
+    /// allocator advances past the frame's timestamps, keeping a later
+    /// promotion's own writes strictly newer.
+    ///
+    /// Deliberately does **not** trigger a flush: version boundaries come
+    /// from the primary's [`ReplicationEvent::Flush`] markers (replayed as
+    /// [`Db::flush`]), never from this store's own thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn apply_replicated_batch(&self, records: &[Record]) -> Result<(), FsError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        for record in records {
+            match record.kind {
+                ValueKind::Put => self.stats.puts.fetch_add(1, Ordering::Relaxed),
+                ValueKind::Delete => self.stats.deletes.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        {
+            let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
+            self.env.platform().charge_op_base();
+            let mut inner = self.inner.write();
+            let max_ts = records.iter().map(|r| r.ts).max().unwrap_or(0);
+            self.ts.fetch_max(max_ts, Ordering::SeqCst);
+            inner.wal.append_batch(records);
+            if self.options.wal_sync == WalSyncPolicy::EveryBatch {
+                inner.wal.sync();
+            }
+            for record in records {
+                if let Some(region) = &self.memtable_region {
+                    let off = inner.memtable.approximate_bytes() % region.len().max(1);
+                    let len =
+                        record.approximate_size().min(region.len() - off.min(region.len())).max(1);
+                    self.env.platform().enclave_touch(region, off.min(region.len() - len), len);
+                }
+                inner.memtable.insert(record.clone());
+            }
+            // Chained replication: a replica can itself feed replicas.
+            self.emit(ReplicationEvent::Frame { records });
+        }
+        self.listener.on_wal_append_batch(records);
+        Ok(())
     }
 
     /// Forces a memtable flush (merging into level 1).
@@ -859,6 +935,9 @@ impl Db {
     /// commitments), then the pointer swaps, then drained versions retire.
     fn install_locked(&self, inner: &mut DbInner, next: Arc<Version>) {
         self.listener.on_version_install(next.epoch());
+        // After the listener published: the epoch's commitment snapshot
+        // exists, so a replica receiving this event can cross-check.
+        self.emit(ReplicationEvent::Install { epoch: next.epoch() });
         inner.current = next.clone();
         inner.live.push(next);
         let newest = inner.current.epoch();
@@ -867,7 +946,7 @@ impl Db {
         inner.live.retain(|v| {
             v.epoch() == newest
                 || Arc::strong_count(v) > 1
-                || newest - v.epoch() < MIN_EPOCH_HISTORY
+                || newest - v.epoch() < self.options.retired_epoch_floor
         });
         let live_epochs: Vec<u64> = inner.live.iter().map(|v| v.epoch()).collect();
         self.listener.on_versions_retired(&live_epochs);
@@ -886,6 +965,12 @@ impl Db {
             }
             let new_wal_no = inner.wal_no + 1;
             let wal_file = self.env.fs().create(&wal_name(new_wal_no))?;
+            // The flush decision is the primary's alone: replicas replay
+            // this marker instead of watching their own thresholds, which
+            // pins both stores' version boundaries to the same point in
+            // the frame stream. Emitted after the fallible WAL creation,
+            // so an IO error here aborts the flush on both sides alike.
+            self.emit(ReplicationEvent::Flush);
             self.stats.flushes.fetch_add(1, Ordering::Relaxed);
             // Any frames still buffered under a lazy sync policy must reach
             // the host before the log rotates out from under them.
@@ -975,7 +1060,18 @@ impl Db {
     pub fn compact(&self, level: usize) -> Result<(), FsError> {
         let mut maint = self.maint.lock();
         let _serial = self.env.platform().serial_section(SerialClass::Maintenance);
-        self.compact_locked(&mut maint, level)
+        // Explicit compactions must replay on replicas too; their output
+        // depends only on level contents, never the live memtable, so
+        // ordering against frames is free (the maintenance lock already
+        // orders them against flush markers). Emitted only after the
+        // compaction *succeeded*: a primary-side IO failure must not
+        // leave replicas an epoch ahead. (The compaction's own Install
+        // events precede the marker in the stream, so replicas skip
+        // their cross-check for those epochs — a narrower guarantee,
+        // never a false fork accusation.)
+        self.compact_locked(&mut maint, level)?;
+        self.emit(ReplicationEvent::Compact { level });
+        Ok(())
     }
 
     fn compact_locked(&self, maint: &mut MaintState, level: usize) -> Result<(), FsError> {
@@ -1717,5 +1813,116 @@ mod tests {
         assert_eq!(&tr1.result.unwrap().value[..], b"v1");
         let tr2 = db.get_with_trace(b"k", t2).unwrap();
         assert_eq!(&tr2.result.unwrap().value[..], b"v2");
+    }
+
+    /// Listener capturing the live-epoch set after every install.
+    #[derive(Default)]
+    struct LiveEpochProbe {
+        live: Mutex<Vec<u64>>,
+    }
+
+    impl StoreListener for LiveEpochProbe {
+        fn on_versions_retired(&self, live_epochs: &[u64]) {
+            *self.live.lock() = live_epochs.to_vec();
+        }
+    }
+
+    fn open_db_with_listener(options: Options, listener: Arc<dyn StoreListener>) -> Arc<Db> {
+        let platform = Platform::with_defaults();
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        let env = StorageEnv::new(platform, fs, options.env.clone(), None);
+        Arc::new(Db::open(env, options, Some(listener)).unwrap())
+    }
+
+    #[test]
+    fn retired_epoch_floor_pins_drain_behavior() {
+        // With no reader pinning anything, drained versions survive
+        // exactly until they fall `retired_epoch_floor` epochs behind.
+        let run = |floor: u64| {
+            let probe = Arc::new(LiveEpochProbe::default());
+            let db = open_db_with_listener(
+                Options {
+                    retired_epoch_floor: floor,
+                    compaction_enabled: false,
+                    ..small_options()
+                },
+                probe.clone(),
+            );
+            for round in 0..6 {
+                for i in 0..40 {
+                    db.put(format!("key{round}-{i:03}").as_bytes(), &[b'x'; 40]).unwrap();
+                }
+                db.flush().unwrap();
+            }
+            let live = probe.live.lock().clone();
+            let newest = *live.iter().max().unwrap();
+            (live.len(), newest)
+        };
+        let (live0, newest0) = run(0);
+        // Captured at the final flush's phase-3 install: the flush still
+        // pins its phase-1 version, so exactly that version plus the
+        // newest survive — every *drained* version retired immediately.
+        assert_eq!(live0, 2, "floor 0 must retire every drained version immediately");
+        let (live8, newest8) = run(8);
+        assert_eq!(newest0, newest8, "same workload, same epoch sequence");
+        assert_eq!(
+            live8,
+            8.min(newest8 + 1) as usize,
+            "floor 8 must keep the 8 newest epochs verifiable"
+        );
+    }
+
+    /// Replication sink recording the event stream (frames owned).
+    #[derive(Default)]
+    struct StreamProbe {
+        events: Mutex<Vec<(u8, Vec<Record>, u64)>>,
+    }
+
+    impl ReplicationSink for StreamProbe {
+        fn on_event(&self, event: ReplicationEvent<'_>) {
+            let entry = match event {
+                ReplicationEvent::Frame { records } => (0u8, records.to_vec(), 0),
+                ReplicationEvent::Flush => (1, Vec::new(), 0),
+                ReplicationEvent::Compact { level } => (2, Vec::new(), level as u64),
+                ReplicationEvent::Install { epoch } => (3, Vec::new(), epoch),
+            };
+            self.events.lock().push(entry);
+        }
+    }
+
+    #[test]
+    fn replication_stream_replays_to_an_identical_store() {
+        let probe = Arc::new(StreamProbe::default());
+        let primary = open_db(small_options());
+        primary.set_replication_sink(probe.clone());
+        for i in 0..300u32 {
+            let key = format!("key{:04}", i % 120);
+            primary.put(key.as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        primary.delete(b"key0003").unwrap();
+        primary.flush().unwrap();
+        primary.put(b"tail", b"after-flush").unwrap();
+
+        // Replay the recorded stream against a second store; flush
+        // decisions come from the markers, never from its own thresholds.
+        let replica = open_db(small_options());
+        for (tag, records, arg) in probe.events.lock().iter() {
+            match tag {
+                0 => replica.apply_replicated_batch(records).unwrap(),
+                1 => replica.flush().unwrap(),
+                2 => replica.compact(*arg as usize).unwrap(),
+                _ => {}
+            }
+        }
+        assert_eq!(replica.current_epoch(), primary.current_epoch(), "epoch sequences diverged");
+        assert_eq!(replica.level_records(), primary.level_records(), "level shapes diverged");
+        assert_eq!(replica.latest_ts(), primary.latest_ts(), "timestamp allocators diverged");
+        for i in 0..120u32 {
+            let key = format!("key{i:04}");
+            let a = primary.get(key.as_bytes()).unwrap();
+            let b = replica.get(key.as_bytes()).unwrap();
+            assert_eq!(a, b, "{key} diverged");
+        }
+        assert_eq!(&replica.get(b"tail").unwrap().unwrap().value[..], b"after-flush");
     }
 }

@@ -42,8 +42,12 @@ pub mod wal;
 pub use batch::WriteBatch;
 pub use db::{Db, DbStats, DbStatsSnapshot};
 pub use env::{EnvConfig, StorageEnv};
-pub use events::{CompactionInfo, FilterDecision, NoopListener, RecordSource, StoreListener};
+pub use events::{
+    CompactionInfo, FilterDecision, NoopListener, RecordSource, ReplicationEvent, ReplicationSink,
+    StoreListener,
+};
 pub use options::{Options, WalSyncPolicy};
 pub use record::{internal_cmp, InternalKey, Record, Timestamp, ValueKind};
 pub use sstable::{NeighborPolicy, TableBuilder, TableGet, TableMeta, TableOptions, TableReader};
 pub use version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace, Version};
+pub use wal::{decode_frame, encode_frame};

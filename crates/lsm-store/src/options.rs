@@ -67,6 +67,15 @@ pub struct Options {
     /// Upper bound on the bytes one group-commit leader coalesces before
     /// handing leadership on (keeps follower latency bounded under bursts).
     pub max_group_commit_bytes: usize,
+    /// How many of the most recent epochs stay verifiable even with no
+    /// live reader pinning them. Detached trace-then-verify flows
+    /// (adversary harnesses, replication cross-checks, tests) collect a
+    /// trace and verify it later; this floor keeps their epoch's
+    /// snapshots alive across that window. Raising it lengthens the
+    /// window at the cost of more retained `Version`s (and more
+    /// listener-side snapshots); 0 retires every drained version
+    /// immediately.
+    pub retired_epoch_floor: u64,
 }
 
 impl Default for Options {
@@ -84,6 +93,7 @@ impl Default for Options {
             keep_old_versions: true,
             wal_sync: WalSyncPolicy::default(),
             max_group_commit_bytes: 1 << 20,
+            retired_epoch_floor: 8,
         }
     }
 }

@@ -42,13 +42,19 @@ pub struct WalWriter {
 
 /// Encodes one batch frame: `[len][crc][varint count][records…]`.
 ///
+/// Public because the frame is also the **replication unit**: a primary
+/// ships exactly these bytes to its replicas (the same crash-atomicity
+/// unit recovery uses), and [`decode_frame`] replays them. The encoding is
+/// deterministic, so a replica's WAL ends up byte-comparable with the
+/// primary's.
+///
 /// # Panics
 ///
 /// Panics if the payload exceeds the frame format's 32-bit length field —
 /// a truncated length would silently corrupt the log and drop every later
 /// acknowledged frame on recovery. [`crate::Db::write_batch`] rejects such
 /// batches before they reach the committer.
-fn encode_frame(records: &[Record]) -> Vec<u8> {
+pub fn encode_frame(records: &[Record]) -> Vec<u8> {
     let mut payload = Vec::with_capacity(records.len() * 32);
     put_varint_u64(&mut payload, records.len() as u64);
     for r in records {
@@ -125,6 +131,37 @@ impl WalWriter {
     pub fn file(&self) -> &Arc<SimFile> {
         &self.file
     }
+}
+
+/// Decodes exactly one batch frame produced by [`encode_frame`],
+/// verifying the CRC and the record count.
+///
+/// Returns `None` for anything malformed: a truncated frame, a CRC
+/// mismatch, a record count that does not match the payload, or trailing
+/// bytes after the last record. Replication replay treats `None` as a
+/// tampered shipment — the frame is the atomicity unit there exactly as
+/// it is for crash recovery.
+pub fn decode_frame(data: &[u8]) -> Option<Vec<Record>> {
+    let frame_len = get_fixed_u32(data, 0)?;
+    let crc = get_fixed_u32(data, 4)?;
+    let end = 8usize.checked_add(frame_len as usize)?;
+    if end != data.len() {
+        return None; // exactly one frame, nothing more
+    }
+    let payload = &data[8..end];
+    if crc32c(payload) != crc {
+        return None;
+    }
+    let (count, mut at) = get_varint_u64(payload)?;
+    // The count rides in untrusted bytes: bound the allocation by what the
+    // payload could physically hold (see `recover`).
+    let mut records = Vec::with_capacity((count as usize).min(payload.len() - at));
+    for _ in 0..count {
+        let (r, used) = Record::decode_prefix(&payload[at..])?;
+        records.push(r);
+        at += used;
+    }
+    (at == payload.len()).then_some(records)
 }
 
 /// Reads back all intact records from a WAL file.
@@ -368,6 +405,25 @@ mod tests {
             before + 1,
             "one host exit per batch, not per record"
         );
+    }
+
+    #[test]
+    fn frame_codec_round_trips() {
+        let records = sample(9);
+        let frame = encode_frame(&records);
+        assert_eq!(decode_frame(&frame).unwrap(), records);
+        // Tampering anywhere — length, CRC, payload — rejects the frame.
+        for idx in [0usize, 5, 9, frame.len() - 1] {
+            let mut bad = frame.clone();
+            bad[idx] ^= 0x20;
+            assert!(decode_frame(&bad).is_none(), "flip at {idx} must reject");
+        }
+        // Truncation and trailing garbage reject too.
+        assert!(decode_frame(&frame[..frame.len() - 1]).is_none());
+        let mut long = frame.clone();
+        long.push(0);
+        assert!(decode_frame(&long).is_none());
+        assert!(decode_frame(&[]).is_none());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Wire encoding of shipped replication events.
+//!
+//! Every payload starts with the sender's **leadership generation**
+//! (little-endian `u64`) followed by a one-byte tag and the event body.
+//! The generation rides in every event so a deposed primary's shipments
+//! are rejectable the moment a replica has learned of a newer one —
+//! without waiting for the deposed node to notice its own fencing.
+//!
+//! A `Frame` body is byte-for-byte the WAL batch frame of
+//! [`lsm_store::encode_frame`]: the shipped unit *is* the crash-atomicity
+//! unit, checksummed encoding included.
+
+use elsm::replication::Announcement;
+use lsm_store::{decode_frame, encode_frame, Record};
+
+const TAG_FRAME: u8 = 1;
+const TAG_FLUSH: u8 = 2;
+const TAG_COMPACT: u8 = 3;
+const TAG_ANNOUNCE: u8 = 4;
+const TAG_PROMOTE: u8 = 5;
+
+/// One decoded replication shipment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireEvent {
+    /// A committed WAL batch frame to replay whole.
+    Frame(Vec<Record>),
+    /// "Flush now": the primary froze its memtable at this stream point.
+    Flush,
+    /// "Compact `level` now": an explicit compaction ran.
+    Compact(usize),
+    /// A signed version-install announcement (the per-epoch cross-check).
+    Announce(Announcement),
+    /// A promotion: the generation in the header is the *new* generation,
+    /// which replicas accept only after checking the fencing counter.
+    Promote,
+}
+
+/// Encodes an event under `generation` (see the module docs).
+pub fn encode_event(generation: u64, event: &WireEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&generation.to_le_bytes());
+    match event {
+        WireEvent::Frame(records) => {
+            out.push(TAG_FRAME);
+            out.extend_from_slice(&encode_frame(records));
+        }
+        WireEvent::Flush => out.push(TAG_FLUSH),
+        WireEvent::Compact(level) => {
+            out.push(TAG_COMPACT);
+            out.extend_from_slice(&(*level as u32).to_le_bytes());
+        }
+        WireEvent::Announce(a) => {
+            out.push(TAG_ANNOUNCE);
+            out.extend_from_slice(&a.encode());
+        }
+        WireEvent::Promote => out.push(TAG_PROMOTE),
+    }
+    out
+}
+
+/// Decodes a payload back into `(generation, event)`. `None` means a
+/// malformed shipment (the caller treats it as channel tampering — an
+/// authenticated sender never produces one).
+pub fn decode_event(payload: &[u8]) -> Option<(u64, WireEvent)> {
+    let generation = u64::from_le_bytes(payload.get(0..8)?.try_into().ok()?);
+    let tag = *payload.get(8)?;
+    let body = &payload[9..];
+    let event = match tag {
+        TAG_FRAME => WireEvent::Frame(decode_frame(body)?),
+        TAG_FLUSH if body.is_empty() => WireEvent::Flush,
+        TAG_COMPACT if body.len() == 4 => {
+            WireEvent::Compact(u32::from_le_bytes(body.try_into().ok()?) as usize)
+        }
+        TAG_ANNOUNCE => WireEvent::Announce(Announcement::decode(body)?),
+        TAG_PROMOTE if body.is_empty() => WireEvent::Promote,
+        _ => return None,
+    };
+    Some((generation, event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes_like_records::sample;
+
+    mod bytes_like_records {
+        use lsm_store::Record;
+
+        pub fn sample() -> Vec<Record> {
+            (0..5)
+                .map(|i| {
+                    Record::put(
+                        format!("key{i}").into_bytes(),
+                        format!("value{i}").into_bytes(),
+                        i + 1,
+                    )
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let records = sample();
+        for (generation, event) in [
+            (1, WireEvent::Frame(records)),
+            (2, WireEvent::Flush),
+            (3, WireEvent::Compact(4)),
+            (7, WireEvent::Promote),
+        ] {
+            let encoded = encode_event(generation, &event);
+            assert_eq!(decode_event(&encoded), Some((generation, event)));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(decode_event(&[]).is_none());
+        assert!(decode_event(&[0; 8]).is_none(), "missing tag");
+        let mut bad = encode_event(1, &WireEvent::Flush);
+        bad.push(0);
+        assert!(decode_event(&bad).is_none(), "trailing bytes");
+        let mut frame = encode_event(1, &WireEvent::Frame(sample()));
+        let last = frame.len() - 1;
+        frame[last] ^= 0x10;
+        assert!(decode_event(&frame).is_none(), "frame CRC must reject");
+        let unknown = [&1u64.to_le_bytes()[..], &[99u8]].concat();
+        assert!(decode_event(&unknown).is_none());
+    }
+}

@@ -144,6 +144,111 @@ impl BufferedCounter {
     }
 }
 
+/// The hardware-held fencing record: who leads, how far replication got,
+/// and what the dataset looked like when it was last bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FencedState {
+    /// Leadership generation: bumped exactly once per successful
+    /// promotion. A node holding an older generation is fenced out.
+    pub generation: u64,
+    /// Replication progress (shipped/applied event count) at the last
+    /// bind. A candidate that has applied less than this is serving a
+    /// rolled-back or stale state.
+    pub progress: u64,
+    /// Dataset digest bound at `progress` (§5.6.1); [`Digest::ZERO`]
+    /// until the first bind.
+    pub digest: Digest,
+}
+
+/// The failover fence of a replication group (§5.6.1 applied to
+/// promotion): one hardware monotonic counter extended with the progress
+/// and digest of the fenced state.
+///
+/// Like [`MonotonicCounter`], the state survives power cycles and
+/// rollback attacks — it models the TPM/Intel-ME counter (or a
+/// replicated fencing service) the paper's rollback defence relies on.
+/// Two operations exist:
+///
+/// * [`FencingCounter::bind`] — the **acting primary** re-binds its
+///   current progress + dataset digest within its own generation (the
+///   periodic §5.6.1 counter write);
+/// * [`FencingCounter::advance`] — a **promotion**: hardware-atomically
+///   bumps the generation, naming the expected current generation. A
+///   stale expectation fails, so two concurrent promotions can never
+///   both succeed — split-brain is structurally impossible.
+///
+/// The enclave-side checks (is the candidate's progress at least the
+/// fenced progress? does its digest match?) live in the replication
+/// layer; the counter only provides the surviving state and the atomic
+/// generation bump.
+#[derive(Debug)]
+pub struct FencingCounter {
+    platform: Arc<Platform>,
+    state: Mutex<FencedState>,
+}
+
+impl FencingCounter {
+    /// Creates a fence at generation 0 with zero progress and digest.
+    pub fn new(platform: Arc<Platform>) -> Arc<Self> {
+        Arc::new(FencingCounter {
+            platform,
+            state: Mutex::new(FencedState { generation: 0, progress: 0, digest: Digest::ZERO }),
+        })
+    }
+
+    /// Reads the fenced state. Charges the hardware read.
+    pub fn read(&self) -> FencedState {
+        self.platform.charge_counter_read();
+        *self.state.lock()
+    }
+
+    /// Atomically bumps the generation, binding the new leader's progress
+    /// and digest. Succeeds only when `expected_generation` names the
+    /// current generation; otherwise returns the current state unchanged
+    /// (another promotion won the race, or the caller was already
+    /// fenced). Charges the (slow) hardware write.
+    ///
+    /// # Errors
+    ///
+    /// Returns the current [`FencedState`] on a generation mismatch.
+    pub fn advance(
+        &self,
+        expected_generation: u64,
+        progress: u64,
+        digest: Digest,
+    ) -> Result<u64, FencedState> {
+        self.platform.charge_counter_write();
+        let mut state = self.state.lock();
+        if state.generation != expected_generation {
+            return Err(*state);
+        }
+        state.generation += 1;
+        state.progress = progress;
+        state.digest = digest;
+        Ok(state.generation)
+    }
+
+    /// Re-binds progress + digest within the caller's own generation
+    /// (the acting primary's periodic write). Fails — leaving the state
+    /// unchanged — when the generation moved (the caller was deposed) or
+    /// when `progress` would move backwards (a rolled-back caller).
+    /// Charges the hardware write.
+    ///
+    /// # Errors
+    ///
+    /// Returns the current [`FencedState`] on either failure.
+    pub fn bind(&self, generation: u64, progress: u64, digest: Digest) -> Result<(), FencedState> {
+        self.platform.charge_counter_write();
+        let mut state = self.state.lock();
+        if state.generation != generation || progress < state.progress {
+            return Err(*state);
+        }
+        state.progress = progress;
+        state.digest = digest;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +312,34 @@ mod tests {
     fn zero_capacity_rejected() {
         let p = Platform::with_defaults();
         BufferedCounter::new(MonotonicCounter::new(p), 0);
+    }
+
+    #[test]
+    fn fencing_advance_is_generation_atomic() {
+        let p = Platform::with_defaults();
+        let f = FencingCounter::new(p.clone());
+        assert_eq!(f.read().generation, 0);
+        assert_eq!(f.advance(0, 10, sha256(b"d1")), Ok(1));
+        // A racing promotion naming the stale generation loses.
+        let lost = f.advance(0, 12, sha256(b"d2")).unwrap_err();
+        assert_eq!(lost.generation, 1);
+        assert_eq!(lost.progress, 10);
+        assert_eq!(f.advance(1, 12, sha256(b"d2")), Ok(2));
+        assert_eq!(p.stats().counter_writes, 3, "every attempt pays the hardware write");
+    }
+
+    #[test]
+    fn fencing_bind_rejects_deposed_and_backwards() {
+        let p = Platform::with_defaults();
+        let f = FencingCounter::new(p);
+        f.advance(0, 5, sha256(b"a")).unwrap();
+        assert!(f.bind(1, 9, sha256(b"b")).is_ok());
+        // Progress may never move backwards (a rolled-back caller).
+        assert!(f.bind(1, 7, sha256(b"c")).is_err());
+        // A deposed generation cannot bind at all.
+        f.advance(1, 9, sha256(b"b")).unwrap();
+        assert!(f.bind(1, 20, sha256(b"d")).is_err());
+        let s = f.read();
+        assert_eq!((s.generation, s.progress, s.digest), (2, 9, sha256(b"b")));
     }
 }

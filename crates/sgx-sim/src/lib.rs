@@ -54,7 +54,7 @@ pub mod stats;
 
 pub use clock::{Clock, Stopwatch};
 pub use cost::{CostModel, PAGE_SIZE};
-pub use counter::{BufferedCounter, MonotonicCounter};
+pub use counter::{BufferedCounter, FencedState, FencingCounter, MonotonicCounter};
 pub use epc::{EpcState, PageId, TouchOutcome};
 pub use platform::{EnclaveRegion, Platform};
 pub use seal::{SealError, SealedBlob, Sealer};

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use elsm::{AuthenticatedKv, ElsmError, ElsmP2, P2Options, TrustedState, VerificationFailure};
 use elsm::{VerifiedRecord, WRONG_SHARD_UNSHARDED};
+use elsm_replica::{ReplicationGroup, ReplicationOptions};
 use lsm_store::{GetTrace, ScanTrace, Timestamp};
 use sgx_sim::Platform;
 use sim_disk::SimFs;
@@ -36,17 +37,29 @@ pub struct ShardedOptions {
     /// Per-shard store configuration (`shard_id` is overwritten per
     /// shard by the router).
     pub store: P2Options,
+    /// Replicas behind each partition's primary (0 = unreplicated, the
+    /// pre-replication deployment). With replicas, each partition is a
+    /// full [`ReplicationGroup`]: writes go to the partition's primary,
+    /// verified reads are served by its replicas round-robin.
+    pub replicas: usize,
 }
 
 impl ShardedOptions {
     /// Hash partitioning over `shards` shards with per-shard options.
     pub fn hash(shards: usize, store: P2Options) -> Self {
-        ShardedOptions { partition: PartitionSpec::Hash { shards }, store }
+        ShardedOptions { partition: PartitionSpec::Hash { shards }, store, replicas: 0 }
     }
 
     /// Range partitioning split at `boundaries` with per-shard options.
     pub fn range(boundaries: Vec<Vec<u8>>, store: P2Options) -> Self {
-        ShardedOptions { partition: PartitionSpec::Range { boundaries }, store }
+        ShardedOptions { partition: PartitionSpec::Range { boundaries }, store, replicas: 0 }
+    }
+
+    /// Turns every partition into a replication group of `replicas`
+    /// replicas behind its primary.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
     }
 }
 
@@ -117,10 +130,27 @@ impl ShardedTrustedState {
     }
 }
 
-/// One shard: an eLSM-P2 store on its own platform enclave.
+/// One shard: an eLSM-P2 primary on its own platform enclave, optionally
+/// fronting a replication group (each replica again on its own platform).
 #[derive(Debug)]
 struct Shard {
-    store: ElsmP2,
+    /// The partition's primary store (the group's primary when
+    /// replicated).
+    store: Arc<ElsmP2>,
+    /// The partition's replication group, when `replicas > 0`.
+    group: Option<ReplicationGroup>,
+}
+
+impl Shard {
+    /// The surface operations go through: the group when replicated
+    /// (writes fence + ship, reads round-robin to replicas), the bare
+    /// store otherwise.
+    fn target(&self) -> &dyn AuthenticatedKv {
+        match &self.group {
+            Some(group) => group,
+            None => self.store.as_ref(),
+        }
+    }
 }
 
 /// A sharded authenticated key-value cluster over N eLSM-P2 partitions.
@@ -136,6 +166,14 @@ struct Shard {
 /// Timestamps are per-shard: each shard's enclave runs its own timestamp
 /// manager, so cross-shard timestamp comparisons are meaningless (the
 /// verified order within any one key is what the protocol guarantees).
+///
+/// With [`ShardedOptions::with_replicas`], every partition becomes a
+/// [`ReplicationGroup`]: writes go to the partition's primary (which
+/// ships them over the authenticated channel before acknowledging) and
+/// verified reads round-robin across its replicas — each a full
+/// eLSM-P2 store on its own platform, answering from replayed,
+/// cross-checked local state. All `WrongShard` checks apply unchanged:
+/// replicas inherit the partition's shard binding.
 ///
 /// # Examples
 ///
@@ -175,7 +213,17 @@ impl ShardedKv {
         for id in 0..n {
             let platform = Platform::new(router.cost().clone());
             let store_options = P2Options { shard_id: Some(id as u32), ..options.store.clone() };
-            stores.push(Shard { store: ElsmP2::open(platform, store_options)? });
+            let shard = if options.replicas > 0 {
+                let group = ReplicationGroup::open(
+                    platform,
+                    store_options,
+                    ReplicationOptions { replicas: options.replicas, ..Default::default() },
+                )?;
+                Shard { store: group.primary_store(), group: Some(group) }
+            } else {
+                Shard { store: Arc::new(ElsmP2::open(platform, store_options)?), group: None }
+            };
+            stores.push(shard);
         }
         Ok(Self::assemble(router, partitioner, stores))
     }
@@ -186,6 +234,13 @@ impl ShardedKv {
     /// swapped between directories by the host fails recovery with
     /// [`VerificationFailure::WrongShard`].
     ///
+    /// Recovery is **unreplicated**: a replica joining a non-empty
+    /// primary needs state transfer (snapshot + catch-up), which this
+    /// layer does not implement yet, so a recovered cluster must be
+    /// opened with `replicas: 0` — silently downgrading the requested
+    /// replication factor would drop freshness and failover guarantees
+    /// without a trace.
+    ///
     /// # Errors
     ///
     /// Returns [`ElsmError`] on IO failure or failed recovery
@@ -193,7 +248,8 @@ impl ShardedKv {
     ///
     /// # Panics
     ///
-    /// Panics when `filesystems.len()` does not match the shard count.
+    /// Panics when `filesystems.len()` does not match the shard count,
+    /// or when `options.replicas` is non-zero (see above).
     pub fn open_with(
         router: Arc<Platform>,
         filesystems: Vec<Arc<SimFs>>,
@@ -201,11 +257,19 @@ impl ShardedKv {
     ) -> Result<Self, ElsmError> {
         let partitioner = Partitioner::new(options.partition.clone());
         assert_eq!(filesystems.len(), partitioner.shards(), "one filesystem per shard");
+        assert_eq!(
+            options.replicas, 0,
+            "cluster recovery is unreplicated (replica bootstrap needs state transfer); \
+             re-open with replicas: 0"
+        );
         let mut stores = Vec::with_capacity(filesystems.len());
         for (id, fs) in filesystems.into_iter().enumerate() {
             let platform = Platform::new(router.cost().clone());
             let store_options = P2Options { shard_id: Some(id as u32), ..options.store.clone() };
-            stores.push(Shard { store: ElsmP2::open_with(platform, fs, store_options, None)? });
+            stores.push(Shard {
+                store: Arc::new(ElsmP2::open_with(platform, fs, store_options, None)?),
+                group: None,
+            });
         }
         Ok(Self::assemble(router, partitioner, stores))
     }
@@ -253,9 +317,18 @@ impl ShardedKv {
     /// Returns [`ElsmError`] on IO failure.
     pub fn flush(&self) -> Result<(), ElsmError> {
         for shard in &self.shards {
-            shard.store.db().flush()?;
+            match &shard.group {
+                Some(group) => group.flush()?,
+                None => shard.store.db().flush()?,
+            }
         }
         Ok(())
+    }
+
+    /// Shard `i`'s replication group, when the cluster was opened with
+    /// replicas.
+    pub fn replication_group(&self, i: usize) -> Option<&ReplicationGroup> {
+        self.shards[i].group.as_ref()
     }
 
     /// Seals every shard's enclave state — the clean-shutdown path that
@@ -266,7 +339,10 @@ impl ShardedKv {
     /// Returns [`ElsmError`] on IO failure.
     pub fn close(&self) -> Result<(), ElsmError> {
         for shard in &self.shards {
-            shard.store.close()?;
+            match &shard.group {
+                Some(group) => group.close()?,
+                None => shard.store.close()?,
+            }
         }
         Ok(())
     }
@@ -339,17 +415,17 @@ impl ShardedKv {
 impl AuthenticatedKv for ShardedKv {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, ElsmError> {
         self.charge_route(key);
-        self.shards[self.shard_of(key)].store.put(key, value)
+        self.shards[self.shard_of(key)].target().put(key, value)
     }
 
     fn delete(&self, key: &[u8]) -> Result<Timestamp, ElsmError> {
         self.charge_route(key);
-        self.shards[self.shard_of(key)].store.delete(key)
+        self.shards[self.shard_of(key)].target().delete(key)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
         self.charge_route(key);
-        self.shards[self.shard_of(key)].store.get(key)
+        self.shards[self.shard_of(key)].target().get(key)
     }
 
     fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
@@ -364,7 +440,7 @@ impl AuthenticatedKv for ShardedKv {
             // shard's owned range (nothing below it can honestly exist
             // there).
             let shard_from = partitioner.clamp_from(id, from);
-            segments.push((id, shard.store.scan(shard_from, to)?));
+            segments.push((id, shard.target().scan(shard_from, to)?));
         }
         self.stitch(segments)
     }
@@ -383,7 +459,7 @@ impl AuthenticatedKv for ShardedKv {
         let per_shard = self.trusted.partitioner().split_indices(items.iter().map(|(key, _)| *key));
         stitch::run_sharded_batches(&per_shard, items.len(), |shard, indexes| {
             let sub: Vec<(&[u8], &[u8])> = indexes.iter().map(|&i| items[i]).collect();
-            self.shards[shard].store.put_batch(&sub)
+            self.shards[shard].target().put_batch(&sub)
         })
     }
 
@@ -397,7 +473,7 @@ impl AuthenticatedKv for ShardedKv {
         let per_shard = self.trusted.partitioner().split_indices(keys.iter().copied());
         stitch::run_sharded_batches(&per_shard, keys.len(), |shard, indexes| {
             let sub: Vec<&[u8]> = indexes.iter().map(|&i| keys[i]).collect();
-            self.shards[shard].store.delete_batch(&sub)
+            self.shards[shard].target().delete_batch(&sub)
         })
     }
 }

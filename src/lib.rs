@@ -10,6 +10,8 @@
 //! * [`elsm`] — the paper's contribution: eLSM-P1 and eLSM-P2 stores,
 //! * [`shard`] — the sharded cluster layer: partitioner, per-shard
 //!   enclaves, verified cross-shard router,
+//! * [`replica`] — verified primary/replica replication: authenticated
+//!   WAL shipping, deterministic replay, fenced failover,
 //! * [`lsm_store`] — the LevelDB-class LSM engine substrate,
 //! * [`merkle`] — the Merkle-forest authenticated data structures,
 //! * [`sgx_sim`] — the SGX enclave simulator with its cost model,
@@ -35,6 +37,7 @@ pub use ct_log;
 pub use elsm;
 pub use elsm_baselines as baselines;
 pub use elsm_crypto as crypto;
+pub use elsm_replica as replica;
 pub use elsm_shard as shard;
 pub use lsm_store;
 pub use merkle;

@@ -398,6 +398,145 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Replication transparency: under arbitrary interleavings of
+    /// singleton/batched writes, explicit flushes, delayed replication
+    /// delivery (writes land on the primary, replicas sync only at
+    /// random points) and at most one kill-primary/promote failover,
+    /// verified reads and scans on the acting primary **and on every
+    /// live replica** agree with a single unreplicated store fed the
+    /// same operations — replication changes who answers, never what a
+    /// verified answer says, and failover loses nothing acknowledged.
+    #[test]
+    fn replicated_group_matches_single_store_oracle(
+        groups in prop::collection::vec(
+            (
+                prop::collection::vec(
+                    (0u16..60, any::<u16>(), 0u8..8), // delete when the u8 is 0
+                    1..8,
+                ),
+                0u8..2,  // apply this group of ops as batches?
+                0u8..10, // flush afterwards when < 3
+                0u8..10, // deliver (sync replicas) afterwards when < 5
+            ),
+            1..8,
+        ),
+        failover_after in 0u8..12, // group index; >= len means no failover
+    ) {
+        use elsm_repro::elsm::{AuthenticatedKv, ElsmP2, P2Options};
+        use elsm_repro::replica::{ReplicationGroup, ReplicationOptions};
+        use elsm_repro::sgx_sim::Platform;
+        let store_options = P2Options {
+            write_buffer_bytes: 1 << 20,
+            level1_max_bytes: 8 * 1024,
+            level_multiplier: 4,
+            max_levels: 3,
+            ..P2Options::default()
+        };
+        let group = ReplicationGroup::open(
+            Platform::with_defaults(),
+            store_options.clone(),
+            ReplicationOptions { replicas: 2, max_lag_epochs: u64::MAX, ..Default::default() },
+        ).unwrap();
+        let oracle = ElsmP2::open(Platform::with_defaults(), store_options).unwrap();
+        let mut failed_over = false;
+        for (step, (ops, as_batch, flush_after, deliver_after)) in groups.iter().enumerate() {
+            // Writes go straight to the primary's store: acknowledged and
+            // shipped, but applied by the replicas only at delivery
+            // points — the replication lag the oracle must be blind to.
+            let primary = group.primary_store();
+            let encoded: Vec<(Vec<u8>, Vec<u8>, bool)> = ops
+                .iter()
+                .map(|(keyno, val, delete_coin)| (
+                    format!("k{keyno:03}").into_bytes(),
+                    format!("v{val}").into_bytes(),
+                    *delete_coin == 0,
+                ))
+                .collect();
+            if *as_batch == 1 {
+                let mut run = 0usize;
+                while run < encoded.len() {
+                    let kind = encoded[run].2;
+                    let mut end = run;
+                    while end < encoded.len() && encoded[end].2 == kind {
+                        end += 1;
+                    }
+                    if kind {
+                        let keys: Vec<&[u8]> =
+                            encoded[run..end].iter().map(|(k, _, _)| k.as_slice()).collect();
+                        primary.delete_batch(&keys).unwrap();
+                        oracle.delete_batch(&keys).unwrap();
+                    } else {
+                        let items: Vec<(&[u8], &[u8])> = encoded[run..end]
+                            .iter()
+                            .map(|(k, v, _)| (k.as_slice(), v.as_slice()))
+                            .collect();
+                        primary.put_batch(&items).unwrap();
+                        oracle.put_batch(&items).unwrap();
+                    }
+                    run = end;
+                }
+            } else {
+                for (key, value, is_delete) in &encoded {
+                    if *is_delete {
+                        primary.delete(key).unwrap();
+                        oracle.delete(key).unwrap();
+                    } else {
+                        primary.put(key, value).unwrap();
+                        oracle.put(key, value).unwrap();
+                    }
+                }
+            }
+            if *flush_after < 3 {
+                primary.db().flush().unwrap();
+                oracle.db().flush().unwrap();
+            }
+            if *deliver_after < 5 {
+                group.sync().unwrap();
+            }
+            if !failed_over && step == failover_after as usize {
+                // Kill the primary mid-stream (undelivered shipments
+                // still queued) and promote replica 0: promotion drains
+                // first, so nothing acknowledged is lost.
+                group.kill_primary();
+                group.promote(0).unwrap();
+                failed_over = true;
+            }
+        }
+        group.sync().unwrap();
+
+        // Every live node — acting primary and all replicas — agrees
+        // with the oracle on verified reads.
+        for keyno in 0u16..60 {
+            let key = format!("k{keyno:03}").into_bytes();
+            let expect = oracle.get(&key).unwrap().map(|r| r.value().to_vec());
+            let primary_got =
+                group.primary_store().get(&key).unwrap().map(|r| r.value().to_vec());
+            prop_assert_eq!(&primary_got, &expect, "primary diverged for k{:03}", keyno);
+            for r in 0..group.replica_count() {
+                let (got, token) = group.with_replica(r, |rep| rep.get(&key)).unwrap();
+                prop_assert_eq!(
+                    got.map(|rec| rec.value().to_vec()),
+                    expect.clone(),
+                    "replica {} diverged for k{:03}", r, keyno
+                );
+                prop_assert_eq!(token.lag_epochs(), 0, "fully delivered replica must be fresh");
+            }
+        }
+        // And on verified scans, totally ordered.
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = oracle.scan(b"k000", b"k999").unwrap()
+            .iter().map(|r| (r.key().to_vec(), r.value().to_vec())).collect();
+        for r in 0..group.replica_count() {
+            let (scanned, _) = group.with_replica(r, |rep| rep.scan(b"k000", b"k999")).unwrap();
+            let got: Vec<(Vec<u8>, Vec<u8>)> =
+                scanned.iter().map(|rec| (rec.key().to_vec(), rec.value().to_vec())).collect();
+            prop_assert_eq!(&got, &expect, "replica {} scan diverged", r);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The full store vs. a BTreeMap model under random operation

@@ -1,0 +1,400 @@
+//! The replication subsystem, end to end: verified replica reads with
+//! freshness tokens, the authenticated-channel adversary (tampering,
+//! reordering, withholding), fork detection against an equivocating
+//! primary, and the §5.6.1-fenced failover protocol — kill-primary
+//! promotion with zero acknowledged-write loss, rolled-back candidates
+//! rejected, resurrected old primaries fenced out.
+
+use elsm_repro::elsm::replication::Announcement;
+use elsm_repro::elsm::{AuthenticatedKv, ElsmError, P2Options, VerificationFailure};
+use elsm_repro::replica::{ReplicationGroup, ReplicationOptions};
+use elsm_repro::sgx_sim::Platform;
+use elsm_repro::shard::{ShardedKv, ShardedOptions};
+
+fn small_store_options() -> P2Options {
+    P2Options {
+        write_buffer_bytes: 4 * 1024,
+        level1_max_bytes: 16 * 1024,
+        level_multiplier: 4,
+        max_levels: 4,
+        ..P2Options::default()
+    }
+}
+
+fn group(replicas: usize) -> ReplicationGroup {
+    ReplicationGroup::open(
+        Platform::with_defaults(),
+        small_store_options(),
+        ReplicationOptions { replicas, leader_check_interval: 1, ..Default::default() },
+    )
+    .unwrap()
+}
+
+fn verification(err: ElsmError) -> VerificationFailure {
+    match err {
+        ElsmError::Verification(v) => v,
+        other => panic!("expected a verification failure, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Honest replication
+// ---------------------------------------------------------------------------
+
+#[test]
+fn replicas_serve_verified_reads_from_replayed_state() {
+    let g = group(2);
+    for i in 0..300u32 {
+        let key = format!("key{:04}", i % 150);
+        g.put(key.as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    let keys: Vec<&[u8]> = [&b"key0000"[..], b"key0007"].to_vec();
+    g.delete_batch(&keys).unwrap();
+    g.flush().unwrap();
+
+    // Every replica answers verified reads from its own replayed state,
+    // fully fresh.
+    for r in 0..2 {
+        g.with_replica(r, |replica| {
+            let (rec, token) = replica.get(b"key0003").unwrap();
+            assert_eq!(rec.expect("present").value(), b"v153");
+            assert_eq!(token.lag_epochs(), 0, "synced replica must be fresh");
+            let (absent, _) = replica.get(b"key0000").unwrap();
+            assert!(absent.is_none(), "replicated delete must hide the key");
+            let (scanned, _) = replica.scan(b"key0000", b"key9999").unwrap();
+            assert_eq!(scanned.len(), 148);
+            assert!(scanned.windows(2).all(|w| w[0].key() < w[1].key()));
+        });
+    }
+
+    // Replayed enclave state is bit-identical to the primary's: same WAL
+    // digest, same level commitments, same epoch.
+    let primary = g.primary_store();
+    for r in 0..2 {
+        let store = g.replica_store(r);
+        assert_eq!(store.trusted().wal_digest(), primary.trusted().wal_digest());
+        assert_eq!(store.trusted().commitments(), primary.trusted().commitments());
+        assert_eq!(store.db().current_epoch(), primary.db().current_epoch());
+    }
+
+    // Group reads round-robin: both replica clocks advance, the
+    // primary's does not.
+    let before: Vec<u64> = (0..2).map(|r| g.replica_platform(r).clock().now_ns()).collect();
+    let primary_before = primary.platform().clock().now_ns();
+    for i in 0..20u32 {
+        assert!(g.get(format!("key{:04}", 100 + i).as_bytes()).unwrap().is_some());
+    }
+    for (r, &t0) in before.iter().enumerate() {
+        assert!(g.replica_platform(r).clock().now_ns() > t0, "replica {r} served no reads");
+    }
+    assert_eq!(
+        primary.platform().clock().now_ns(),
+        primary_before,
+        "reads must not hit the primary"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The transport adversary
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tampered_shipped_frame_detected() {
+    let g = group(1);
+    let primary = g.primary_store();
+    for i in 0..10u32 {
+        primary.put(format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    // The host rewrites one byte of a queued shipment.
+    g.with_replica(0, |r| r.channel().tamper(|q| q[4].payload[12] ^= 0x01));
+    let err = g.with_replica(0, |r| r.sync().unwrap_err());
+    assert!(matches!(verification(err), VerificationFailure::ChannelTampered { seq: 4 }));
+    // Detection is sticky: the replica refuses service from then on.
+    let err = g.with_replica(0, |r| r.get(b"k0").unwrap_err());
+    assert!(matches!(verification(err), VerificationFailure::ChannelTampered { .. }));
+}
+
+#[test]
+fn reordered_shipped_frames_detected() {
+    let g = group(1);
+    let primary = g.primary_store();
+    for i in 0..6u32 {
+        primary.put(format!("k{i}").as_bytes(), b"v").unwrap();
+    }
+    // Every envelope is individually authentic — just not in this order.
+    g.with_replica(0, |r| r.channel().tamper(|q| q.swap(1, 3)));
+    let err = g.with_replica(0, |r| r.sync().unwrap_err());
+    assert!(matches!(verification(err), VerificationFailure::ChannelTampered { seq: 1 }));
+}
+
+#[test]
+fn envelopes_cannot_splice_between_groups() {
+    // Two independent groups have independent session keys: the host
+    // cannot replay one group's (individually authentic) shipments into
+    // another group's channel.
+    let a = group(1);
+    let b = group(1);
+    a.primary_store().put(b"from-a", b"v").unwrap();
+    let stolen = a
+        .with_replica(0, |r| {
+            let mut out = None;
+            r.channel().tamper(|q| out = q.front().cloned());
+            out
+        })
+        .expect("a shipped envelope");
+    b.with_replica(0, |r| r.channel().tamper(|q| q.push_back(stolen)));
+    let err = b.with_replica(0, |r| r.sync().unwrap_err());
+    assert!(matches!(verification(err), VerificationFailure::ChannelTampered { .. }));
+}
+
+#[test]
+fn withheld_stream_makes_reads_stale_beyond_the_bound() {
+    let g = group(1);
+    for i in 0..50u32 {
+        g.put(format!("k{i:03}").as_bytes(), b"v0").unwrap();
+    }
+    g.flush().unwrap();
+    g.with_replica(0, |r| assert_eq!(r.freshness().unwrap().lag_epochs(), 0));
+
+    // The host now withholds the stream while the primary advances
+    // through several more flush epochs.
+    let primary = g.primary_store();
+    for round in 0..4u32 {
+        for i in 0..50u32 {
+            primary.put(format!("k{i:03}").as_bytes(), format!("v{round}").as_bytes()).unwrap();
+        }
+        primary.db().flush().unwrap();
+    }
+    // A client relays the primary's (signed) newest announcement to the
+    // replica out of band — withholding the stream cannot also hide the
+    // staleness.
+    let head = Announcement::sign(
+        primary.platform(),
+        primary.trusted(),
+        0,
+        primary.db().current_epoch(),
+        g.session_key(),
+    )
+    .expect("current epoch announced");
+    g.with_replica(0, |r| r.observe_announcement(&head).unwrap());
+    let err = g.with_replica(0, |r| r.get(b"k003").unwrap_err());
+    match verification(err) {
+        VerificationFailure::ReplicaStale { lag_epochs, bound } => {
+            assert!(lag_epochs > bound, "lag {lag_epochs} must exceed bound {bound}");
+        }
+        other => panic!("expected ReplicaStale, got {other:?}"),
+    }
+    // Delivering the stream again restores service.
+    g.sync().unwrap();
+    g.with_replica(0, |r| {
+        let (rec, token) = r.get(b"k003").unwrap();
+        assert_eq!(rec.expect("present").value(), b"v3");
+        assert_eq!(token.lag_epochs(), 0);
+    });
+}
+
+#[test]
+fn forked_primary_detected_per_epoch() {
+    let g = group(1);
+    for i in 0..80u32 {
+        g.put(format!("k{i:03}").as_bytes(), b"v").unwrap();
+    }
+    g.flush().unwrap();
+    // The primary's signing oracle announces a *different* commitment
+    // digest for an epoch the replica replayed honestly — a split view.
+    let primary = g.primary_store();
+    let epoch = primary.db().current_epoch();
+    let fork = Announcement::sign_digest(
+        primary.platform(),
+        0,
+        epoch,
+        elsm_repro::crypto::sha256(b"the view shown to someone else"),
+        g.session_key(),
+    );
+    let err = g.with_replica(0, |r| r.observe_announcement(&fork).unwrap_err());
+    assert!(
+        matches!(verification(err), VerificationFailure::ForkedPrimary { epoch: e } if e == epoch)
+    );
+    // Sticky: the replica refuses service under a forked primary.
+    let err = g.with_replica(0, |r| r.get(b"k001").unwrap_err());
+    assert!(matches!(verification(err), VerificationFailure::ForkedPrimary { .. }));
+}
+
+#[test]
+fn forged_announcement_in_stream_detected() {
+    let g = group(1);
+    g.put(b"k", b"v").unwrap();
+    // The host injects a well-formed announcement it signed itself (it
+    // has no session key, so any signature it produces is wrong).
+    let mut forged = Announcement::sign_digest(
+        g.primary_store().platform(),
+        0,
+        0,
+        elsm_repro::crypto::sha256(b"junk"),
+        g.session_key(),
+    );
+    forged.mac = elsm_repro::crypto::sha256(b"not the session key");
+    let err = g.with_replica(0, |r| r.observe_announcement(&forged).unwrap_err());
+    assert!(matches!(verification(err), VerificationFailure::ChannelTampered { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Fenced failover
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_primary_failover_loses_no_acknowledged_write() {
+    let g = group(2);
+    for i in 0..100u32 {
+        g.put(format!("k{i:03}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    // 20 more writes are acknowledged by the primary but the replicas
+    // never get to apply them before the crash — their frames are in the
+    // channels, shipped under the primary's write lock before each ack.
+    let primary = g.primary_store();
+    for i in 100..120u32 {
+        primary.put(format!("k{i:03}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    let dead = g.kill_primary().expect("primary was alive");
+    drop(dead);
+
+    // Promotion drains the candidate's channel first: nothing is lost.
+    g.promote(0).unwrap();
+    for i in 0..120u32 {
+        let key = format!("k{i:03}");
+        let got = g.primary_store().get(key.as_bytes()).unwrap();
+        assert_eq!(
+            got.expect("acknowledged write lost in failover").value(),
+            format!("v{i}").as_bytes(),
+            "{key}"
+        );
+    }
+    // The group keeps operating: writes through the new primary, reads
+    // from the remaining replica (which catches up over its own channel).
+    g.put(b"post-failover", b"works").unwrap();
+    let (rec, token) = g.get_with_token(b"post-failover").unwrap();
+    assert_eq!(rec.expect("present").value(), b"works");
+    assert_eq!(token.expect("replica-served").lag_epochs(), 0);
+    assert_eq!(g.replica_count(), 1);
+}
+
+#[test]
+fn rolled_back_candidate_rejected_at_promotion() {
+    let g = group(2);
+    for i in 0..60u32 {
+        g.put(format!("k{i:03}").as_bytes(), b"v1").unwrap();
+    }
+    // Replica 1's host discards its shipped stream (a rollback of the
+    // replica's replicated state to before these writes).
+    let primary = g.primary_store();
+    for i in 0..40u32 {
+        primary.put(format!("extra{i:03}").as_bytes(), b"v2").unwrap();
+    }
+    g.fence().unwrap();
+    g.with_replica(1, |r| r.channel().tamper(|q| q.clear()));
+    g.kill_primary();
+
+    // The stale candidate's progress is behind the fenced progress.
+    let err = g.promote(1).unwrap_err();
+    assert!(matches!(verification(err), VerificationFailure::RolledBack));
+
+    // The caught-up replica promotes fine — and because its progress
+    // exactly matches the fenced progress, its dataset digest is checked
+    // against the fenced digest too.
+    g.promote(0).unwrap();
+    assert_eq!(g.primary_store().get(b"extra039").unwrap().expect("present").value(), b"v2");
+}
+
+#[test]
+fn resurrected_old_primary_is_fenced_out() {
+    let g = group(2);
+    for i in 0..30u32 {
+        g.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
+    }
+    let old = g.kill_primary().expect("primary was alive");
+    g.promote(0).unwrap();
+
+    // The deposed primary resurrects and tries to serve writes again:
+    // its next hardware check finds the moved generation.
+    let err = old.put(b"rogue", b"write").unwrap_err();
+    match verification(err) {
+        VerificationFailure::FencedOut { generation, active } => {
+            assert_eq!(generation, 1);
+            assert_eq!(active, 2);
+        }
+        other => panic!("expected FencedOut, got {other:?}"),
+    }
+    assert!(old.ensure_leadership().is_err(), "deposed leadership must stay revoked");
+
+    // Shipments it managed to push under its stale generation are
+    // dropped by the surviving replica — counted, not applied, and the
+    // replica keeps serving the live stream.
+    old.store().put(b"rogue-direct", b"write").unwrap();
+    g.put(b"legit", b"new-primary").unwrap();
+    g.sync().unwrap();
+    g.with_replica(0, |r| {
+        assert!(r.fenced_drops() > 0, "stale-generation shipments must be dropped");
+        let (rec, _) = r.get(b"legit").unwrap();
+        assert_eq!(rec.expect("present").value(), b"new-primary");
+        let (rogue, _) = r.get(b"rogue-direct").unwrap();
+        assert!(rogue.is_none(), "a fenced primary's writes must not replicate");
+    });
+}
+
+#[test]
+fn racing_promotions_cannot_split_brain() {
+    let g = group(2);
+    for i in 0..20u32 {
+        g.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
+    }
+    g.kill_primary();
+    g.promote(0).unwrap();
+    // A second candidate promoting against the already-moved generation
+    // loses the hardware CAS.
+    let fenced = g.fencing().read();
+    assert_eq!(fenced.generation, 2);
+    let stale = g.fencing().advance(1, 999, elsm_repro::crypto::sha256(b"x"));
+    assert!(stale.is_err(), "a promotion naming a stale generation must lose");
+}
+
+// ---------------------------------------------------------------------------
+// Replication under the sharded router
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_cluster_with_replicas_serves_verified_reads_round_robin() {
+    let cluster = ShardedKv::open(
+        Platform::with_defaults(),
+        ShardedOptions::hash(2, small_store_options()).with_replicas(2),
+    )
+    .unwrap();
+    for i in 0..200u32 {
+        cluster.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    cluster.flush().unwrap();
+    // Verified point reads and a totally ordered cross-shard scan, all
+    // served by replicas.
+    let before: Vec<Vec<u64>> = (0..2)
+        .map(|s| {
+            let group = cluster.replication_group(s).expect("replicated partition");
+            (0..2).map(|r| group.replica_platform(r).clock().now_ns()).collect()
+        })
+        .collect();
+    for i in 0..200u32 {
+        let key = format!("key{i:04}");
+        let got = cluster.get(key.as_bytes()).unwrap();
+        assert_eq!(got.expect("present").value(), format!("v{i}").as_bytes(), "{key}");
+    }
+    let all = cluster.scan(b"key0000", b"key9999").unwrap();
+    assert_eq!(all.len(), 200);
+    assert!(all.windows(2).all(|w| w[0].key() < w[1].key()));
+    for (s, shard_before) in before.iter().enumerate() {
+        let group = cluster.replication_group(s).expect("replicated partition");
+        for (r, &t0) in shard_before.iter().enumerate() {
+            assert!(
+                group.replica_platform(r).clock().now_ns() > t0,
+                "shard {s} replica {r} served no reads"
+            );
+        }
+    }
+}
