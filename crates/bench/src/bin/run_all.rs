@@ -25,6 +25,7 @@ fn main() {
         ("fig6c", Box::new(move || fig6c(&scale, opts))),
         ("fig7a", Box::new(move || fig7a(&scale, opts))),
         ("fig7b", Box::new(move || fig7b(&scale, opts))),
+        ("fig7", Box::new(move || fig7(&scale, opts))),
         ("fig8", Box::new(move || fig8(&scale, opts))),
         ("ablation_proofs", Box::new(move || ablation_proofs(&scale, opts))),
         ("ablation_bloom", Box::new(move || ablation_bloom(&scale, opts))),

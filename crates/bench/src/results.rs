@@ -29,6 +29,11 @@ pub struct ResultEntry {
     pub p50_us: f64,
     /// 99th-percentile per-operation latency (simulated µs).
     pub p99_us: f64,
+    /// Compaction debt (bytes over per-level targets) left at the end of
+    /// the measured phase, for figures that record the gauge.
+    pub debt_bytes: Option<u64>,
+    /// Compaction jobs the strategy still wanted at the end of the phase.
+    pub pending_jobs: Option<u64>,
 }
 
 struct Sink {
@@ -60,12 +65,35 @@ pub fn note_run(report: &RunReport) {
         ops_per_sec: if report.overall.mean_us > 0.0 { 1e6 / report.overall.mean_us } else { 0.0 },
         p50_us: report.overall.p50_us,
         p99_us: report.overall.p99_us,
+        debt_bytes: None,
+        pending_jobs: None,
     });
 }
 
 /// Records a multi-client thread-scaling measurement under the current
 /// figure, labeled with the system under test and the thread count.
 pub fn note_concurrent(system: &str, report: &ConcurrentReport) {
+    note_entry(system, report, None, None);
+}
+
+/// [`note_concurrent`] plus the store's compaction-debt gauge at the end
+/// of the measured phase — how the fig7 sweep records whether a
+/// configuration kept up with its own write amplification.
+pub fn note_concurrent_debt(
+    system: &str,
+    report: &ConcurrentReport,
+    debt_bytes: u64,
+    pending_jobs: u64,
+) {
+    note_entry(system, report, Some(debt_bytes), Some(pending_jobs));
+}
+
+fn note_entry(
+    system: &str,
+    report: &ConcurrentReport,
+    debt_bytes: Option<u64>,
+    pending_jobs: Option<u64>,
+) {
     let mut s = SINK.lock().unwrap();
     let figure = s.figure.clone();
     s.entries.push(ResultEntry {
@@ -75,6 +103,8 @@ pub fn note_concurrent(system: &str, report: &ConcurrentReport) {
         ops_per_sec: report.kops_per_sec * 1_000.0,
         p50_us: report.overall.p50_us,
         p99_us: report.overall.p99_us,
+        debt_bytes,
+        pending_jobs,
     });
 }
 
@@ -92,16 +122,24 @@ fn render_json(mode: &str, start: usize) -> String {
     let _ = writeln!(out, "  \"results\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let mut gauges = String::new();
+        if let Some(debt) = e.debt_bytes {
+            let _ = write!(gauges, ", \"debt_bytes\": {debt}");
+        }
+        if let Some(jobs) = e.pending_jobs {
+            let _ = write!(gauges, ", \"pending_jobs\": {jobs}");
+        }
         let _ = writeln!(
             out,
             "    {{\"figure\": \"{}\", \"config\": \"{}\", \"workload\": \"{}\", \
-             \"ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}",
+             \"ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}{}}}{}",
             json_escape(&e.figure),
             json_escape(&e.config),
             json_escape(&e.workload),
             e.ops_per_sec,
             e.p50_us,
             e.p99_us,
+            gauges,
             comma
         );
     }
@@ -171,5 +209,24 @@ mod tests {
         assert!(json.contains("\"config\": \"figX#0\""));
         assert!(json.contains("\"ops_per_sec\": 500000.0"));
         assert!(len() >= 1);
+    }
+
+    #[test]
+    fn debt_gauges_render_when_recorded() {
+        set_figure("figY");
+        let report = ConcurrentReport {
+            workload: "A".into(),
+            threads: 8,
+            ops: 10,
+            elapsed_us: 1.0,
+            kops_per_sec: 5.0,
+            overall: LatencySummary::default(),
+            read_hit_rate: 1.0,
+            serial_fraction: 0.1,
+        };
+        note_concurrent_debt("p2", &report, 4096, 2);
+        let json = to_json("test");
+        assert!(json.contains("\"debt_bytes\": 4096"));
+        assert!(json.contains("\"pending_jobs\": 2"));
     }
 }

@@ -5,12 +5,19 @@
 //!
 //! * `on_compaction_input` ↔ `auth_filter`: rebuilds each input level's
 //!   Merkle tree incrementally (`MHT_add`),
-//! * `transform_output` ↔ `auth_onTableFileCreated`: checks the rebuilt
-//!   input roots against the enclave's commitments, builds the output
-//!   level's digest, and embeds a proof in every output record,
-//! * `on_compaction_end`: installs the output commitment in the enclave's
-//!   *working* vector and the full digest in the untrusted store (and
-//!   empties the consumed input level),
+//! * `transform_output_tagged` ↔ `auth_onTableFileCreated`: builds the
+//!   output level's digest and embeds a proof in every output record;
+//!   in incremental mode, records whose whole key chain survived from a
+//!   single input run reuse their stored leaf work instead of rehashing,
+//! * `on_compaction_end` (merging thread, possibly a scheduler worker):
+//!   checks the rebuilt input roots against the enclave's commitments and
+//!   **stages** the job's [`CompactionDelta`] keyed by output level — a
+//!   parallel wave's jobs never share a level, so staging is race-free
+//!   and the expensive digest work overlaps across jobs,
+//! * `on_compaction_install` (store write lock, deterministic job order):
+//!   folds the staged delta into the enclave's *working* vector
+//!   ([`TrustedState::apply_compaction_delta`]) and the untrusted digest
+//!   store — O(levels-in-job), not a full recompute,
 //! * `on_version_install`: publishes the working commitments/digests as
 //!   the immutable snapshot for the installing version's epoch — the
 //!   §5.5.2 root replacement, made atomic by versioning instead of a
@@ -28,12 +35,31 @@ use sgx_sim::Platform;
 
 use crate::digests::UntrustedDigests;
 use crate::envelope::{open_record, wrap_with_proof};
-use crate::trusted::TrustedState;
+use crate::trusted::{CompactionDelta, TrustedState};
+
+/// State a finished merge stages for its install (commit happens under
+/// the store's write lock, in job order).
+#[derive(Debug)]
+struct StagedCommit {
+    /// The enclave-side commitment mutation.
+    delta: CompactionDelta,
+    /// Full output digest for the untrusted store (`None`: the output is
+    /// empty — or refused — and the level clears).
+    output_digest: Option<LevelDigest>,
+    /// Untrusted-store levels to clear (consumed inputs, empty outputs).
+    digest_clears: Vec<u32>,
+}
 
 #[derive(Debug, Default)]
 struct Scratch {
+    /// Input-tree builders keyed by source level. Concurrent jobs of a
+    /// wave never share a level, so per-level keying is race-free.
     input_builders: HashMap<u32, LevelDigestBuilder>,
-    pending_output: Option<LevelDigest>,
+    /// Output digests built by the transform, keyed by output level,
+    /// consumed by `on_compaction_end`.
+    pending_outputs: HashMap<usize, LevelDigest>,
+    /// Deltas staged by `on_compaction_end`, committed at install.
+    staged: HashMap<usize, StagedCommit>,
 }
 
 /// eLSM's authentication layer, attached to the vanilla store as a
@@ -43,22 +69,104 @@ pub struct AuthListener {
     platform: Arc<Platform>,
     trusted: Arc<TrustedState>,
     digests: Arc<UntrustedDigests>,
+    /// Reuse stored leaf work for compaction outputs whose key chain is
+    /// bit-identical to a single input run's (no version dropped or
+    /// filtered): the enclave charges a 32-byte digest move per such
+    /// record instead of rehashing the canonical bytes. Digest *values*
+    /// are identical either way — this is purely the amortized
+    /// integrity-metadata maintenance cost lever.
+    incremental: bool,
     scratch: Mutex<Scratch>,
 }
 
 impl AuthListener {
-    /// Builds the listener around the enclave state and host digest store.
+    /// Builds the listener around the enclave state and host digest store
+    /// (full rehash on every compaction output — the paper's baseline).
     pub fn new(
         platform: Arc<Platform>,
         trusted: Arc<TrustedState>,
         digests: Arc<UntrustedDigests>,
     ) -> Arc<Self> {
+        Self::with_incremental(platform, trusted, digests, false)
+    }
+
+    /// Like [`AuthListener::new`], selecting incremental commitment
+    /// recomputation for unchanged compaction outputs.
+    pub fn with_incremental(
+        platform: Arc<Platform>,
+        trusted: Arc<TrustedState>,
+        digests: Arc<UntrustedDigests>,
+        incremental: bool,
+    ) -> Arc<Self> {
         Arc::new(AuthListener {
             platform,
             trusted,
             digests,
+            incremental,
             scratch: Mutex::new(Scratch::default()),
         })
+    }
+
+    /// Shared transform body; `unchanged` may be shorter than `records`
+    /// (missing tags mean "changed").
+    fn transform(
+        &self,
+        output_level: usize,
+        records: Vec<Record>,
+        unchanged: &[bool],
+    ) -> Vec<Record> {
+        // 1. Build the output level's digest over canonical record bytes.
+        //    Unchanged records (incremental mode) reuse their stored leaf
+        //    work: the enclave pays a digest move, not a rehash.
+        let mut builder = LevelDigestBuilder::new(output_level as u32);
+        let mut opened = Vec::with_capacity(records.len());
+        for (i, record) in records.iter().enumerate() {
+            match open_record(record, output_level as u32) {
+                Ok((canonical, value, _old_proof)) => {
+                    if self.incremental && unchanged.get(i).copied().unwrap_or(false) {
+                        self.platform.dram_access(32);
+                    } else {
+                        self.platform.charge_hash(canonical.len());
+                    }
+                    builder.add(&record.key, canonical);
+                    opened.push(value);
+                }
+                Err(_) => {
+                    self.trusted.poison();
+                    opened.push(record.value.clone());
+                }
+            }
+        }
+        let digest = builder.finish();
+        // 2. Embed a fresh proof in every output record
+        //    (auth_onTableFileCreated).
+        let mut out = Vec::with_capacity(records.len());
+        let mut leaf_idx = 0usize;
+        let mut version_idx = 0usize;
+        let mut prev_key: Option<&[u8]> = None;
+        for (record, value) in records.iter().zip(&opened) {
+            match prev_key {
+                Some(k) if k == &record.key[..] => version_idx += 1,
+                Some(_) => {
+                    leaf_idx += 1;
+                    version_idx = 0;
+                }
+                None => {}
+            }
+            prev_key = Some(&record.key[..]);
+            // Proof material was already hashed while building the tree;
+            // serialization is a plain memory copy.
+            let proof = digest.prove_version(leaf_idx, version_idx);
+            self.platform.dram_access(proof.encoded_len());
+            out.push(Record {
+                key: record.key.clone(),
+                ts: record.ts,
+                kind: record.kind,
+                value: wrap_with_proof(value, &proof),
+            });
+        }
+        self.scratch.lock().pending_outputs.insert(output_level, digest);
+        out
     }
 }
 
@@ -100,83 +208,83 @@ impl StoreListener for AuthListener {
     }
 
     fn transform_output(&self, output_level: usize, records: Vec<Record>) -> Vec<Record> {
-        let mut scratch = self.scratch.lock();
-        // 1. Verify every input level's rebuilt root against the enclave
-        //    commitment (Figure 4 lines 31-33).
-        for (level, builder) in scratch.input_builders.drain() {
-            let rebuilt = builder.finish().commitment();
-            if rebuilt != self.trusted.commitment(level) {
-                self.trusted.poison();
-            }
-        }
-        // 2. Build the output level's digest over canonical record bytes.
-        let mut builder = LevelDigestBuilder::new(output_level as u32);
-        let mut opened = Vec::with_capacity(records.len());
-        for record in &records {
-            match open_record(record, output_level as u32) {
-                Ok((canonical, value, _old_proof)) => {
-                    self.platform.charge_hash(canonical.len());
-                    builder.add(&record.key, canonical);
-                    opened.push(value);
-                }
-                Err(_) => {
-                    self.trusted.poison();
-                    opened.push(record.value.clone());
-                }
-            }
-        }
-        let digest = builder.finish();
-        // 3. Embed a fresh proof in every output record
-        //    (auth_onTableFileCreated).
-        let mut out = Vec::with_capacity(records.len());
-        let mut leaf_idx = 0usize;
-        let mut version_idx = 0usize;
-        let mut prev_key: Option<&[u8]> = None;
-        for (record, value) in records.iter().zip(&opened) {
-            match prev_key {
-                Some(k) if k == &record.key[..] => version_idx += 1,
-                Some(_) => {
-                    leaf_idx += 1;
-                    version_idx = 0;
-                }
-                None => {}
-            }
-            prev_key = Some(&record.key[..]);
-            // Proof material was already hashed while building the tree;
-            // serialization is a plain memory copy.
-            let proof = digest.prove_version(leaf_idx, version_idx);
-            self.platform.dram_access(proof.encoded_len());
-            out.push(Record {
-                key: record.key.clone(),
-                ts: record.ts,
-                kind: record.kind,
-                value: wrap_with_proof(value, &proof),
-            });
-        }
-        scratch.pending_output = Some(digest);
-        out
+        self.transform(output_level, records, &[])
+    }
+
+    fn transform_output_tagged(
+        &self,
+        output_level: usize,
+        records: Vec<Record>,
+        unchanged: &[bool],
+    ) -> Vec<Record> {
+        self.transform(output_level, records, unchanged)
     }
 
     fn on_compaction_end(&self, info: &CompactionInfo) {
         let mut scratch = self.scratch.lock();
-        let output_level = info.output_level as u32;
-        // Install the output root in the enclave and the full digest in the
-        // untrusted store; empty the consumed input level. Refuse to sign
-        // when poisoned (the paper's "if the equality check passes, the
-        // Merkle root hash for the output file takes effect").
-        match scratch.pending_output.take() {
-            Some(digest) if !self.trusted.is_poisoned() && digest.leaf_count() > 0 => {
-                self.trusted.set_commitment(digest.commitment());
-                self.digests.install(digest);
+        // 1. Verify every input level's rebuilt root against the enclave
+        //    commitment (Figure 4 lines 31-33). A missing builder is only
+        //    legal when the enclave also believes the level is empty —
+        //    otherwise the host hid an input level's records.
+        for &level in &info.input_levels {
+            if level == 0 {
+                continue; // memtable: trusted enclave memory
             }
-            _ => {
-                self.trusted.clear_commitment(output_level);
-                self.digests.clear(output_level);
+            let level = level as u32;
+            match scratch.input_builders.remove(&level) {
+                Some(builder) => {
+                    let rebuilt = builder.finish().commitment();
+                    if rebuilt != self.trusted.commitment(level) {
+                        self.trusted.poison();
+                    }
+                }
+                None => {
+                    if !self.trusted.commitment(level).is_empty() {
+                        self.trusted.poison();
+                    }
+                }
             }
         }
-        if info.input_level >= 1 {
-            self.trusted.clear_commitment(info.input_level as u32);
-            self.digests.clear(info.input_level as u32);
+        // 2. Stage the job's delta. Refuse to sign when poisoned (the
+        //    paper's "if the equality check passes, the Merkle root hash
+        //    for the output file takes effect").
+        let output_level = info.output_level as u32;
+        let mut delta = CompactionDelta::default();
+        let mut digest_clears = Vec::new();
+        let output_digest = match scratch.pending_outputs.remove(&info.output_level) {
+            Some(digest) if !self.trusted.is_poisoned() && digest.leaf_count() > 0 => {
+                delta.runs_added.push(digest.commitment());
+                Some(digest)
+            }
+            _ => {
+                delta.runs_removed.push(output_level);
+                digest_clears.push(output_level);
+                None
+            }
+        };
+        for &level in &info.input_levels {
+            if level >= 1 && level != info.output_level {
+                delta.runs_removed.push(level as u32);
+                digest_clears.push(level as u32);
+            }
+        }
+        scratch
+            .staged
+            .insert(info.output_level, StagedCommit { delta, output_digest, digest_clears });
+    }
+
+    fn on_compaction_install(&self, info: &CompactionInfo) {
+        let Some(staged) = self.scratch.lock().staged.remove(&info.output_level) else {
+            return;
+        };
+        // Commit under the store's write lock, in deterministic job
+        // order: the incremental delta fold replaces the full recompute.
+        self.trusted.apply_compaction_delta(&staged.delta);
+        for level in staged.digest_clears {
+            self.digests.clear(level);
+        }
+        if let Some(digest) = staged.output_digest {
+            self.digests.install(digest);
         }
     }
 
@@ -201,6 +309,16 @@ mod tests {
         Record::put(Bytes::copy_from_slice(key.as_bytes()), wrap_plain(value.as_bytes()), ts)
     }
 
+    fn info(input_levels: Vec<usize>, output_level: usize, records: u64) -> CompactionInfo {
+        CompactionInfo {
+            input_levels,
+            output_level,
+            input_records: records,
+            output_records: records,
+            output_files: if records > 0 { vec![1] } else { vec![] },
+        }
+    }
+
     fn setup() -> (Arc<AuthListener>, Arc<TrustedState>, Arc<UntrustedDigests>) {
         let platform = Platform::with_defaults();
         let trusted = TrustedState::new(platform.clone(), 4);
@@ -208,18 +326,18 @@ mod tests {
         (AuthListener::new(platform, trusted.clone(), digests.clone()), trusted, digests)
     }
 
+    /// Runs the end→install pair the way the store does.
+    fn finish(listener: &AuthListener, info: &CompactionInfo) {
+        listener.on_compaction_end(info);
+        listener.on_compaction_install(info);
+    }
+
     #[test]
     fn flush_installs_level_commitment() {
         let (listener, trusted, digests) = setup();
         let records = vec![record("a", 2, "va"), record("b", 1, "vb")];
         let out = listener.transform_output(1, records);
-        listener.on_compaction_end(&CompactionInfo {
-            input_level: 0,
-            output_level: 1,
-            input_records: 2,
-            output_records: 2,
-            output_files: vec![1],
-        });
+        finish(&listener, &info(vec![0], 1, 2));
         assert!(!trusted.commitment(1).is_empty());
         assert_eq!(trusted.commitment(1).leaf_count, 2);
         assert_eq!(digests.len(), 1);
@@ -232,29 +350,31 @@ mod tests {
     }
 
     #[test]
+    fn staged_delta_commits_only_at_install() {
+        let (listener, trusted, digests) = setup();
+        listener.transform_output(1, vec![record("a", 2, "va")]);
+        let job = info(vec![0], 1, 1);
+        listener.on_compaction_end(&job);
+        // Merge done, not yet installed: readers still see the old state.
+        assert!(trusted.commitment(1).is_empty());
+        assert_eq!(digests.len(), 0);
+        listener.on_compaction_install(&job);
+        assert!(!trusted.commitment(1).is_empty());
+        assert_eq!(digests.len(), 1);
+    }
+
+    #[test]
     fn matching_input_roots_keep_store_healthy() {
         let (listener, trusted, _) = setup();
         // First "flush" installs level 1.
         let out1 = listener.transform_output(1, vec![record("a", 2, "va"), record("b", 1, "vb")]);
-        listener.on_compaction_end(&CompactionInfo {
-            input_level: 0,
-            output_level: 1,
-            input_records: 2,
-            output_records: 2,
-            output_files: vec![1],
-        });
+        finish(&listener, &info(vec![0], 1, 2));
         // Now compact level 1 → 2, replaying the honest level-1 records.
         for r in &out1 {
             listener.on_compaction_input(RecordSource { level: 1, file_no: 1 }, r);
         }
         let _out2 = listener.transform_output(2, out1.clone());
-        listener.on_compaction_end(&CompactionInfo {
-            input_level: 1,
-            output_level: 2,
-            input_records: 2,
-            output_records: 2,
-            output_files: vec![2],
-        });
+        finish(&listener, &info(vec![1, 2], 2, 2));
         assert!(!trusted.is_poisoned());
         assert!(trusted.commitment(1).is_empty(), "input level emptied");
         assert!(!trusted.commitment(2).is_empty());
@@ -264,13 +384,7 @@ mod tests {
     fn tampered_input_poisons_store() {
         let (listener, trusted, _) = setup();
         let out1 = listener.transform_output(1, vec![record("a", 2, "va"), record("b", 1, "vb")]);
-        listener.on_compaction_end(&CompactionInfo {
-            input_level: 0,
-            output_level: 1,
-            input_records: 2,
-            output_records: 2,
-            output_files: vec![1],
-        });
+        finish(&listener, &info(vec![0], 1, 2));
         // Adversary feeds a modified record stream into the compaction.
         let mut tampered = out1.clone();
         tampered[0] = record("a", 2, "EVIL");
@@ -278,7 +392,20 @@ mod tests {
             listener.on_compaction_input(RecordSource { level: 1, file_no: 1 }, r);
         }
         listener.transform_output(2, tampered);
+        listener.on_compaction_end(&info(vec![1, 2], 2, 2));
         assert!(trusted.is_poisoned(), "input digest mismatch must poison");
+    }
+
+    #[test]
+    fn hidden_input_level_poisons_store() {
+        let (listener, trusted, _) = setup();
+        listener.transform_output(1, vec![record("a", 2, "va")]);
+        finish(&listener, &info(vec![0], 1, 1));
+        // The host claims to compact level 1 but streams none of its
+        // records — the silent-drop attack.
+        listener.transform_output(2, Vec::new());
+        listener.on_compaction_end(&info(vec![1, 2], 2, 0));
+        assert!(trusted.is_poisoned(), "hiding a non-empty input level must poison");
     }
 
     #[test]
@@ -296,26 +423,62 @@ mod tests {
     #[test]
     fn empty_output_clears_level() {
         let (listener, trusted, digests) = setup();
-        listener.transform_output(1, vec![record("a", 1, "v")]);
-        listener.on_compaction_end(&CompactionInfo {
-            input_level: 0,
-            output_level: 1,
-            input_records: 1,
-            output_records: 1,
-            output_files: vec![1],
-        });
-        // A later compaction drops everything (e.g. tombstone purge).
+        let out1 = listener.transform_output(1, vec![record("a", 1, "v")]);
+        finish(&listener, &info(vec![0], 1, 1));
+        // A later compaction reads the level honestly but drops everything
+        // (e.g. tombstone purge).
+        for r in &out1 {
+            listener.on_compaction_input(RecordSource { level: 1, file_no: 1 }, r);
+        }
         let out = listener.transform_output(2, Vec::new());
         assert!(out.is_empty());
-        listener.on_compaction_end(&CompactionInfo {
-            input_level: 1,
-            output_level: 2,
-            input_records: 1,
-            output_records: 0,
-            output_files: vec![],
-        });
+        finish(
+            &listener,
+            &CompactionInfo {
+                input_levels: vec![1, 2],
+                output_level: 2,
+                input_records: 1,
+                output_records: 0,
+                output_files: vec![],
+            },
+        );
+        assert!(!trusted.is_poisoned());
         assert!(trusted.commitment(2).is_empty());
         assert!(trusted.commitment(1).is_empty());
         assert_eq!(digests.len(), 0);
+    }
+
+    /// Incremental and full-rehash listeners must produce identical
+    /// commitments and proofs — the tags change what the enclave is
+    /// *charged*, never what it commits to.
+    #[test]
+    fn incremental_mode_produces_identical_digests_for_less_work() {
+        let platform_full = Platform::with_defaults();
+        let platform_inc = Platform::with_defaults();
+        let records: Vec<Record> =
+            (0..64).map(|i| record(&format!("key{i:03}"), i + 1, "value-payload")).collect();
+        let unchanged = vec![true; records.len()];
+        let mut outputs = Vec::new();
+        let mut commitments = Vec::new();
+        for (platform, incremental) in
+            [(platform_full.clone(), false), (platform_inc.clone(), true)]
+        {
+            let trusted = TrustedState::new(platform.clone(), 4);
+            let digests = UntrustedDigests::new(platform.clone());
+            let listener =
+                AuthListener::with_incremental(platform, trusted.clone(), digests, incremental);
+            let out = listener.transform_output_tagged(2, records.clone(), &unchanged);
+            finish(&listener, &info(vec![1, 2], 2, records.len() as u64));
+            outputs.push(out);
+            commitments.push(trusted.commitment(2));
+        }
+        assert_eq!(outputs[0], outputs[1], "proof-carrying outputs must match");
+        assert_eq!(commitments[0], commitments[1], "commitments must match");
+        let full_hashed = platform_full.stats().hash_blocks;
+        let inc_hashed = platform_inc.stats().hash_blocks;
+        assert!(
+            inc_hashed < full_hashed,
+            "incremental mode must hash fewer bytes ({inc_hashed} vs {full_hashed})"
+        );
     }
 }

@@ -74,6 +74,20 @@ pub struct P2Options {
     pub bloom_bits_per_key: usize,
     /// Automatic size-triggered compaction.
     pub compaction_enabled: bool,
+    /// Which compaction strategy schedules merges (leveled rolling
+    /// merges, or size-tiered stacking — the write/read amplification
+    /// trade Figure 7 sweeps). Ignored while `compaction_enabled` is
+    /// false.
+    pub compaction_strategy: lsm_store::CompactionStrategyKind,
+    /// Concurrent merge jobs per scheduler wave (1 = the serial
+    /// pre-subsystem behavior; up to 4 worker slots exist).
+    pub compaction_parallelism: usize,
+    /// Reuse stored leaf work for compaction output records whose key
+    /// chain is bit-identical to a single input run's, instead of
+    /// rehashing them inside the enclave. Commitments and proofs are
+    /// identical either way — this only changes the charged enclave
+    /// work (the incremental integrity-metadata maintenance lever).
+    pub incremental_commitments: bool,
     /// Optional rollback protection via a trusted monotonic counter.
     pub rollback: Option<RollbackOptions>,
     /// When acknowledged writes become durable in the host-side WAL (see
@@ -105,6 +119,9 @@ impl Default for P2Options {
             block_size: 4096,
             bloom_bits_per_key: 10,
             compaction_enabled: true,
+            compaction_strategy: lsm_store::CompactionStrategyKind::Leveled,
+            compaction_parallelism: 1,
+            incremental_commitments: false,
             rollback: None,
             wal_sync: lsm_store::WalSyncPolicy::Always,
             retired_epoch_floor: 8,
@@ -176,7 +193,12 @@ impl ElsmP2 {
         let trusted =
             TrustedState::new_in_domain(platform.clone(), options.max_levels, options.shard_id);
         let digests = UntrustedDigests::new(platform.clone());
-        let listener = AuthListener::new(platform.clone(), trusted.clone(), digests.clone());
+        let listener = AuthListener::with_incremental(
+            platform.clone(),
+            trusted.clone(),
+            digests.clone(),
+            options.incremental_commitments,
+        );
         let env = StorageEnv::new(
             platform.clone(),
             fs.clone(),
@@ -215,6 +237,10 @@ impl ElsmP2 {
             level_multiplier: options.level_multiplier,
             max_levels: options.max_levels,
             compaction_enabled: options.compaction_enabled,
+            compaction: lsm_store::CompactionConfig {
+                strategy: options.compaction_strategy.clone(),
+                parallelism: options.compaction_parallelism,
+            },
             purge_tombstones_at_bottom: true,
             keep_old_versions: true,
         };
@@ -549,7 +575,17 @@ impl ElsmP2 {
 }
 
 fn store_set_stacked(trusted: &Arc<TrustedState>, options: &P2Options) {
-    trusted.set_stacked(!options.compaction_enabled);
+    // Stacked (freshest-run-highest) read order holds when compaction is
+    // off entirely, and also under strategies that stack flushed runs
+    // (size-tiered) — the verifier's expected search order must match the
+    // store's.
+    let stacked_strategy = lsm_store::CompactionConfig {
+        strategy: options.compaction_strategy.clone(),
+        parallelism: options.compaction_parallelism,
+    }
+    .strategy()
+    .stacked();
+    trusted.set_stacked(!options.compaction_enabled || stacked_strategy);
 }
 
 fn encode_state(
@@ -596,5 +632,108 @@ fn decode_state(buf: &[u8]) -> Option<(Vec<LevelCommitment>, Digest, Option<u32>
 impl RangeProver for ElsmP2 {
     fn prove_range(&self, epoch: u64, level: u32, lo: u64, hi: u64) -> Option<merkle::RangeProof> {
         self.digests.prove_range(epoch, level, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_store::{CompactionStrategyKind, TieredConfig};
+    use std::collections::BTreeMap;
+
+    /// Deterministic 64-bit LCG (MMIX constants) — no RNG crates in-tree.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    fn small_options(strategy: CompactionStrategyKind, parallelism: usize) -> P2Options {
+        P2Options {
+            write_buffer_bytes: 4 * 1024,
+            level1_max_bytes: 8 * 1024,
+            level_multiplier: 4,
+            max_levels: 4,
+            target_file_bytes: 8 * 1024,
+            compaction_strategy: strategy,
+            compaction_parallelism: parallelism,
+            incremental_commitments: true,
+            ..P2Options::default()
+        }
+    }
+
+    /// Property: whatever the strategy and scheduler parallelism, the
+    /// store is observationally one key-value map. A random workload of
+    /// puts and deletes — sized to force many flushes and compaction
+    /// waves — must leave every configuration agreeing with a model
+    /// oracle on verified point reads and on one totally-ordered,
+    /// completeness-verified scan.
+    #[test]
+    fn compaction_strategy_matches_oracle() {
+        let configs = [
+            (CompactionStrategyKind::Leveled, 1),
+            (CompactionStrategyKind::Leveled, 4),
+            (CompactionStrategyKind::Tiered(TieredConfig::default()), 1),
+            (CompactionStrategyKind::Tiered(TieredConfig::default()), 4),
+        ];
+        let stores: Vec<ElsmP2> = configs
+            .iter()
+            .map(|(strategy, parallelism)| {
+                ElsmP2::open(
+                    Platform::with_defaults(),
+                    small_options(strategy.clone(), *parallelism),
+                )
+                .expect("open")
+            })
+            .collect();
+        let mut oracle: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let mut rng = Lcg(0xe15a_c0de);
+        for step in 0..700u64 {
+            let key = format!("key{:04}", rng.next() % 160).into_bytes();
+            if rng.next() % 5 == 0 {
+                for store in &stores {
+                    store.delete(&key).expect("delete");
+                }
+                oracle.insert(key, None);
+            } else {
+                let value = format!("val-{step}-{:08}", rng.next() % 100_000_000).into_bytes();
+                for store in &stores {
+                    store.put(&key, &value).expect("put");
+                }
+                oracle.insert(key, Some(value));
+            }
+        }
+        for store in &stores {
+            let stats = store.db().stats();
+            assert!(stats.flushes > 0, "workload must trigger flushes");
+        }
+        // Verified point reads over the whole keyspace (plus never-written
+        // keys: verified non-membership).
+        for k in 0..170u64 {
+            let key = format!("key{k:04}").into_bytes();
+            let expect = oracle.get(&key).and_then(Clone::clone);
+            for (store, (strategy, parallelism)) in stores.iter().zip(&configs) {
+                let got = store.get(&key).expect("verified get").map(|r| r.value().to_vec());
+                assert_eq!(
+                    got, expect,
+                    "{strategy:?}/par{parallelism} diverged from oracle on {key:?}"
+                );
+            }
+        }
+        // One totally-ordered, completeness-verified scan per store.
+        let expect_scan: Vec<(Vec<u8>, Vec<u8>)> =
+            oracle.iter().filter_map(|(k, v)| v.clone().map(|v| (k.clone(), v))).collect();
+        for (store, (strategy, parallelism)) in stores.iter().zip(&configs) {
+            let got: Vec<(Vec<u8>, Vec<u8>)> = store
+                .scan(b"key0000", b"key9999")
+                .expect("verified scan")
+                .iter()
+                .map(|r| (r.key().to_vec(), r.value().to_vec()))
+                .collect();
+            assert_eq!(got, expect_scan, "{strategy:?}/par{parallelism} scan diverged");
+        }
     }
 }

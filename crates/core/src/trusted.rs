@@ -46,6 +46,39 @@ pub trait RangeProver {
     fn prove_range(&self, epoch: u64, level: u32, lo: u64, hi: u64) -> Option<RangeProof>;
 }
 
+/// The commitment-vector mutation one compaction job induces, expressed
+/// as a delta instead of a full recompute: the runs the job consumed
+/// (their levels' commitments clear) and the runs it produced (their
+/// commitments install). Applying the delta touches only the changed
+/// slots of the working vector — O(levels-in-job) enclave work instead of
+/// O(max-levels) — and is charged under its own serial class
+/// ([`sgx_sim::SerialClass::DeltaFold`]) so concurrent jobs' folds
+/// exclude each other without riding the store's maintenance section.
+///
+/// The resulting vector — and therefore every published
+/// [`TrustedState::snapshot_digest`] — is **bit-identical** to the full
+/// set/clear recompute path (pinned by a unit test).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionDelta {
+    /// Levels whose runs the job consumed; their commitments clear.
+    pub runs_removed: Vec<u32>,
+    /// Commitments of the runs the job produced (installed after the
+    /// removals, so a level appearing in both ends up installed).
+    pub runs_added: Vec<LevelCommitment>,
+}
+
+impl CompactionDelta {
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.runs_removed.is_empty() && self.runs_added.is_empty()
+    }
+
+    /// Number of commitment slots the delta touches.
+    pub fn touched_levels(&self) -> usize {
+        self.runs_removed.len() + self.runs_added.len()
+    }
+}
+
 /// Counters describing verification work (proof-size ablations read these).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VerifyStats {
@@ -142,17 +175,43 @@ impl TrustedState {
     /// version's epoch is published.
     pub fn set_commitment(&self, commitment: LevelCommitment) {
         let mut c = self.commitments.lock();
+        Self::set_commitment_locked(&mut c, commitment);
+    }
+
+    /// Clears a level's commitment (its run was consumed by compaction).
+    pub fn clear_commitment(&self, level: u32) {
+        self.set_commitment(LevelCommitment::empty(level));
+    }
+
+    /// Folds one compaction job's [`CompactionDelta`] into the working
+    /// vector: removals clear, then additions install — one lock
+    /// acquisition, touching only the job's levels. The enclave work is
+    /// charged per touched slot (a 32-byte root move each) under
+    /// [`sgx_sim::SerialClass::DeltaFold`], the incremental-recomputation
+    /// class, so concurrent jobs' folds serialize against each other but
+    /// overlap with query verification and WAL folding.
+    pub fn apply_compaction_delta(&self, delta: &CompactionDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        let _serial = self.platform.serial_section(sgx_sim::SerialClass::DeltaFold);
+        self.platform.charge_hash(32 * delta.touched_levels());
+        let mut c = self.commitments.lock();
+        for &level in &delta.runs_removed {
+            Self::set_commitment_locked(&mut c, LevelCommitment::empty(level));
+        }
+        for commitment in &delta.runs_added {
+            Self::set_commitment_locked(&mut c, *commitment);
+        }
+    }
+
+    fn set_commitment_locked(c: &mut CommitmentStore, commitment: LevelCommitment) {
         let idx = commitment.level as usize;
         while c.current.len() <= idx {
             let next = c.current.len() as u32;
             c.current.push(LevelCommitment::empty(next));
         }
         c.current[idx] = commitment;
-    }
-
-    /// Clears a level's commitment (its run was consumed by compaction).
-    pub fn clear_commitment(&self, level: u32) {
-        self.set_commitment(LevelCommitment::empty(level));
     }
 
     /// All working commitments (for sealing).
@@ -669,4 +728,77 @@ impl TrustedState {
 pub fn visible_result(trace: &GetTrace) -> Option<&Record> {
     let r = trace.memtable.as_ref().or(trace.result.as_ref())?;
     (r.kind == ValueKind::Put).then_some(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commitment(level: u32, seed: u8, leaves: u64) -> LevelCommitment {
+        LevelCommitment {
+            level,
+            root: elsm_crypto::sha256(&[seed, level as u8]),
+            leaf_count: leaves,
+        }
+    }
+
+    /// The incremental path must be indistinguishable from the full
+    /// set/clear recompute — the snapshot digest (what replication
+    /// announcements bind) is compared bit for bit.
+    #[test]
+    fn compaction_delta_matches_full_recompute_bit_identically() {
+        let platform = Platform::with_defaults();
+        let full = TrustedState::new(platform.clone(), 7);
+        let delta = TrustedState::new(platform.clone(), 7);
+        // Seed both with the same pre-compaction shape.
+        for state in [&full, &delta] {
+            state.set_commitment(commitment(1, 1, 10));
+            state.set_commitment(commitment(2, 2, 100));
+            state.set_commitment(commitment(3, 3, 1000));
+            state.publish_epoch(1);
+        }
+        assert_eq!(full.snapshot_digest(1), delta.snapshot_digest(1));
+        // One job merges levels 1+2 into 2, another rewrites level 3.
+        let out2 = commitment(2, 9, 110);
+        let out3 = commitment(3, 8, 1000);
+        full.clear_commitment(1);
+        full.set_commitment(out2);
+        full.set_commitment(out3);
+        full.publish_epoch(2);
+        delta.apply_compaction_delta(&CompactionDelta {
+            runs_removed: vec![1],
+            runs_added: vec![out2],
+        });
+        delta.apply_compaction_delta(&CompactionDelta {
+            runs_removed: vec![],
+            runs_added: vec![out3],
+        });
+        delta.publish_epoch(2);
+        let d_full = full.snapshot_digest(2).unwrap();
+        let d_delta = delta.snapshot_digest(2).unwrap();
+        assert_eq!(d_full, d_delta, "delta fold must be bit-identical to full recompute");
+        assert_eq!(full.commitments(), delta.commitments());
+        assert_eq!(full.dataset_digest(), delta.dataset_digest());
+    }
+
+    /// A delta that clears the output (empty merge result) and one that
+    /// grows the level table behave like their set/clear counterparts.
+    #[test]
+    fn compaction_delta_clears_and_grows_like_setters() {
+        let platform = Platform::with_defaults();
+        let state = TrustedState::new(platform, 2);
+        state.set_commitment(commitment(1, 1, 4));
+        state.apply_compaction_delta(&CompactionDelta {
+            runs_removed: vec![1],
+            runs_added: vec![commitment(5, 2, 4)],
+        });
+        assert!(state.commitment(1).is_empty());
+        assert_eq!(state.commitment(5).leaf_count, 4);
+        assert!(state.commitment(3).is_empty(), "intermediate slots fill with empties");
+        assert_eq!(state.max_levels(), 5);
+        // An empty delta is free and changes nothing.
+        let before = state.commitments();
+        state.apply_compaction_delta(&CompactionDelta::default());
+        assert_eq!(state.commitments(), before);
+    }
 }

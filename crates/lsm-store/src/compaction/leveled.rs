@@ -1,0 +1,114 @@
+//! Leveled compaction: the store's original policy, extracted.
+//!
+//! Flushes roll-merge into level 1; whenever level `i` exceeds its
+//! geometric budget (`level1_max_bytes * multiplier^(i-1)`), the whole
+//! level merges into `i+1` — the paper's `COMPACTION(Li, Li+1)` (§5.3).
+//! A wave pairs levels greedily from the top, skipping a consumed output
+//! level so jobs stay disjoint; repeated waves reach the same fixpoint
+//! the old cascading loop did.
+
+use super::{CompactionJob, CompactionStrategy, FlushPlan, LevelsView};
+use crate::options::Options;
+
+/// Whole-level rolling merges with geometric budgets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Leveled;
+
+impl CompactionStrategy for Leveled {
+    fn name(&self) -> &'static str {
+        "leveled"
+    }
+
+    fn stacked(&self) -> bool {
+        false
+    }
+
+    fn flush_plan(&self, _view: &LevelsView, _opts: &Options) -> FlushPlan {
+        FlushPlan { target: 1, merge_existing: true }
+    }
+
+    fn pick_jobs(&self, view: &LevelsView, opts: &Options) -> Vec<CompactionJob> {
+        let mut jobs = Vec::new();
+        let mut level = 1;
+        while level < opts.max_levels {
+            let over = view.bytes(level).is_some_and(|b| b > opts.level_target_bytes(level));
+            if over {
+                jobs.push(CompactionJob {
+                    input_levels: vec![level, level + 1],
+                    output_level: level + 1,
+                    purge: level + 1 >= opts.max_levels,
+                });
+                // The output level is consumed by this job; the next
+                // candidate pair starts past it.
+                level += 2;
+            } else {
+                level += 1;
+            }
+        }
+        jobs
+    }
+
+    fn major_job(&self, view: &LevelsView, opts: &Options) -> Option<CompactionJob> {
+        let input_levels = view.non_empty();
+        if input_levels.len() < 2 {
+            return None;
+        }
+        let mut input_levels = input_levels;
+        let output_level = opts.max_levels.max(*input_levels.last().expect("non-empty"));
+        if !input_levels.contains(&output_level) {
+            input_levels.push(output_level);
+        }
+        Some(CompactionJob { input_levels, output_level, purge: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(sizes: &[Option<u64>]) -> LevelsView {
+        let mut v = vec![None];
+        v.extend_from_slice(sizes);
+        LevelsView::new(v)
+    }
+
+    fn opts() -> Options {
+        Options { level1_max_bytes: 100, level_multiplier: 10, max_levels: 4, ..Options::default() }
+    }
+
+    #[test]
+    fn within_budget_means_no_jobs() {
+        let jobs = Leveled.pick_jobs(&view(&[Some(100), Some(900), None]), &opts());
+        assert!(jobs.is_empty());
+    }
+
+    #[test]
+    fn over_budget_levels_pair_downward_disjointly() {
+        // Levels 1 and 2 both over budget: one wave takes (1,2), leaving
+        // (2,3) — which now depends on the merged level 2 — for the next.
+        let jobs = Leveled.pick_jobs(&view(&[Some(500), Some(5000), None]), &opts());
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].input_levels, vec![1, 2]);
+        assert_eq!(jobs[0].output_level, 2);
+        assert!(!jobs[0].purge);
+    }
+
+    #[test]
+    fn disjoint_levels_compact_in_one_wave() {
+        // Level 1 and level 3 over budget: both jobs fit one wave.
+        let jobs = Leveled.pick_jobs(&view(&[Some(500), Some(10), Some(20_000)]), &opts());
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].input_levels, vec![1, 2]);
+        assert_eq!(jobs[1].input_levels, vec![3, 4]);
+        assert!(jobs[1].purge, "merging into the bottom level purges tombstones");
+    }
+
+    #[test]
+    fn major_job_covers_every_run() {
+        let job = Leveled.major_job(&view(&[Some(10), None, Some(20)]), &opts()).unwrap();
+        assert_eq!(job.input_levels, vec![1, 3, 4]);
+        assert_eq!(job.output_level, 4);
+        assert!(job.purge);
+        assert!(Leveled.major_job(&view(&[Some(10), None]), &opts()).is_none());
+    }
+}

@@ -20,6 +20,7 @@
 
 use std::fmt;
 
+use crate::compaction::CompactionJob;
 use crate::record::Record;
 
 /// Identifies where a compaction input record came from.
@@ -41,11 +42,15 @@ pub enum FilterDecision {
 }
 
 /// Summary of a finished compaction, passed to
-/// [`StoreListener::on_compaction_end`].
+/// [`StoreListener::on_compaction_end`] (merge complete, output staged)
+/// and [`StoreListener::on_compaction_install`] (output becoming
+/// visible).
 #[derive(Debug, Clone)]
 pub struct CompactionInfo {
-    /// Input level (the lower-numbered one; 0 for a memtable flush).
-    pub input_level: usize,
+    /// Input levels, ascending (`[0]` for a memtable flush). A parallel
+    /// wave's concurrent jobs never share a level, so a listener may key
+    /// per-job scratch state by these.
+    pub input_levels: Vec<usize>,
     /// Output level.
     pub output_level: usize,
     /// Records read from inputs.
@@ -84,8 +89,41 @@ pub trait StoreListener: Send + Sync {
         records
     }
 
-    /// A compaction finished and its output is about to be installed.
+    /// Like [`StoreListener::transform_output`], with per-record change
+    /// tags: `unchanged[i]` is true when output record `i`'s whole key
+    /// chain came from a single input run with no version dropped or
+    /// filtered — its authenticated leaf is bit-identical to the input's,
+    /// so an incremental listener can reuse the stored digest instead of
+    /// rehashing (the amortized integrity-metadata maintenance the TEE-KV
+    /// survey names as the enclave-LSM cost lever). The default ignores
+    /// the tags and forwards to `transform_output`.
+    fn transform_output_tagged(
+        &self,
+        output_level: usize,
+        records: Vec<Record>,
+        unchanged: &[bool],
+    ) -> Vec<Record> {
+        let _ = unchanged;
+        self.transform_output(output_level, records)
+    }
+
+    /// A compaction merge finished; its output run is written but **not
+    /// yet visible**. Runs on the merging thread (a scheduler worker for
+    /// parallel jobs), so expensive verification/digest work here
+    /// overlaps with other jobs. Keyed state should be staged per
+    /// `info.output_level` and applied in
+    /// [`StoreListener::on_compaction_install`].
     fn on_compaction_end(&self, info: &CompactionInfo) {
+        let _ = info;
+    }
+
+    /// The compaction's output version is about to install (fires under
+    /// the store's write lock, immediately before the matching
+    /// [`StoreListener::on_version_install`]). Installs of a parallel
+    /// wave arrive in deterministic job order; this is where a listener
+    /// commits state staged by `on_compaction_end` — e.g. eLSM folds the
+    /// level-commitment delta into its trusted state.
+    fn on_compaction_install(&self, info: &CompactionInfo) {
         let _ = info;
     }
 
@@ -158,11 +196,17 @@ pub enum ReplicationEvent<'a> {
     /// or group-commit timing would desynchronize the two epoch
     /// sequences.
     Flush,
-    /// An explicit compaction of `level` ran (size-triggered compactions
-    /// ride inside `Flush` replay and need no event of their own).
+    /// A compaction job's output installed. Fired for **every** installed
+    /// job — scheduler waves and explicit compactions alike — in install
+    /// order, carrying the strategy-deterministic job description so a
+    /// replica replays the exact same merge
+    /// ([`Db::apply_compaction_job`](crate::db::Db::apply_compaction_job))
+    /// instead of re-running its own selection. Flush replay therefore
+    /// must **not** chase compaction
+    /// ([`Db::apply_replicated_flush`](crate::db::Db::apply_replicated_flush)).
     Compact {
-        /// The compacted level.
-        level: usize,
+        /// The job that ran (input levels, output level, purge flag).
+        job: &'a CompactionJob,
     },
     /// A version with this epoch was just installed; the listener's
     /// epoch-tagged state (eLSM's commitment snapshot) exists. Replicas

@@ -25,6 +25,7 @@
 pub mod batch;
 pub mod block;
 pub mod bloom;
+pub mod compaction;
 pub mod db;
 pub mod encoding;
 pub mod env;
@@ -40,6 +41,10 @@ mod version_tests;
 pub mod wal;
 
 pub use batch::WriteBatch;
+pub use compaction::{
+    CompactionConfig, CompactionDebt, CompactionJob, CompactionStrategy, CompactionStrategyKind,
+    FlushPlan, Leveled, LevelsView, Tiered, TieredConfig,
+};
 pub use db::{Db, DbStats, DbStatsSnapshot};
 pub use env::{EnvConfig, StorageEnv};
 pub use events::{

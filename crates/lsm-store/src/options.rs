@@ -1,5 +1,6 @@
 //! Store configuration.
 
+use crate::compaction::CompactionConfig;
 use crate::env::EnvConfig;
 use crate::sstable::TableOptions;
 
@@ -55,6 +56,9 @@ pub struct Options {
     pub max_levels: usize,
     /// Run size-triggered compactions automatically after flushes.
     pub compaction_enabled: bool,
+    /// Compaction strategy and scheduler parallelism (ignored while
+    /// `compaction_enabled` is false).
+    pub compaction: CompactionConfig,
     /// Drop tombstones (and the versions they shadow) when merging into the
     /// bottom level (§5.4 "Handling Deletes").
     pub purge_tombstones_at_bottom: bool,
@@ -89,6 +93,7 @@ impl Default for Options {
             level_multiplier: 10,
             max_levels: 7,
             compaction_enabled: true,
+            compaction: CompactionConfig::default(),
             purge_tombstones_at_bottom: true,
             keep_old_versions: true,
             wal_sync: WalSyncPolicy::default(),

@@ -126,7 +126,9 @@ impl ReplicationSink for Shipper {
                 self.broadcast(&WireEvent::Frame(records.to_vec()));
             }
             ReplicationEvent::Flush => self.broadcast(&WireEvent::Flush),
-            ReplicationEvent::Compact { level } => self.broadcast(&WireEvent::Compact(level)),
+            ReplicationEvent::Compact { job } => {
+                self.broadcast(&WireEvent::Compact(job.clone()));
+            }
             ReplicationEvent::Install { epoch } => {
                 // Sign the installing epoch's commitment snapshot — it
                 // was published just before this event fired, so it is

@@ -223,9 +223,14 @@ impl Replica {
             }
         }
         match event {
+            // Flush replay must not chase compaction: the primary ships
+            // every job it actually ran as its own `Compact` event, and
+            // replaying that exact job keeps the replica's epoch/level
+            // sequence bit-identical regardless of either side's
+            // scheduler parallelism.
             WireEvent::Frame(records) => self.store.db().apply_replicated_batch(&records)?,
-            WireEvent::Flush => self.store.db().flush()?,
-            WireEvent::Compact(level) => self.store.db().compact(level)?,
+            WireEvent::Flush => self.store.db().apply_replicated_flush()?,
+            WireEvent::Compact(job) => self.store.db().apply_compaction_job(&job)?,
             WireEvent::Announce(announcement) => {
                 self.check_announcement(&mut progress, &announcement)?;
             }

@@ -11,7 +11,7 @@
 //! unit, checksummed encoding included.
 
 use elsm::replication::Announcement;
-use lsm_store::{decode_frame, encode_frame, Record};
+use lsm_store::{decode_frame, encode_frame, CompactionJob, Record};
 
 const TAG_FRAME: u8 = 1;
 const TAG_FLUSH: u8 = 2;
@@ -24,10 +24,14 @@ const TAG_PROMOTE: u8 = 5;
 pub enum WireEvent {
     /// A committed WAL batch frame to replay whole.
     Frame(Vec<Record>),
-    /// "Flush now": the primary froze its memtable at this stream point.
+    /// "Flush now": the primary froze its memtable at this stream point
+    /// (replayed *without* chasing compaction — the primary ships every
+    /// job it ran as its own `Compact` event).
     Flush,
-    /// "Compact `level` now": an explicit compaction ran.
-    Compact(usize),
+    /// "Run this job now": the strategy-deterministic description of one
+    /// compaction job the primary installed, replayed bit-identically
+    /// instead of letting the replica re-decide compaction.
+    Compact(CompactionJob),
     /// A signed version-install announcement (the per-epoch cross-check).
     Announce(Announcement),
     /// A promotion: the generation in the header is the *new* generation,
@@ -45,9 +49,9 @@ pub fn encode_event(generation: u64, event: &WireEvent) -> Vec<u8> {
             out.extend_from_slice(&encode_frame(records));
         }
         WireEvent::Flush => out.push(TAG_FLUSH),
-        WireEvent::Compact(level) => {
+        WireEvent::Compact(job) => {
             out.push(TAG_COMPACT);
-            out.extend_from_slice(&(*level as u32).to_le_bytes());
+            job.encode(&mut out);
         }
         WireEvent::Announce(a) => {
             out.push(TAG_ANNOUNCE);
@@ -68,9 +72,7 @@ pub fn decode_event(payload: &[u8]) -> Option<(u64, WireEvent)> {
     let event = match tag {
         TAG_FRAME => WireEvent::Frame(decode_frame(body)?),
         TAG_FLUSH if body.is_empty() => WireEvent::Flush,
-        TAG_COMPACT if body.len() == 4 => {
-            WireEvent::Compact(u32::from_le_bytes(body.try_into().ok()?) as usize)
-        }
+        TAG_COMPACT => WireEvent::Compact(CompactionJob::decode(body)?),
         TAG_ANNOUNCE => WireEvent::Announce(Announcement::decode(body)?),
         TAG_PROMOTE if body.is_empty() => WireEvent::Promote,
         _ => return None,
@@ -105,7 +107,14 @@ mod tests {
         for (generation, event) in [
             (1, WireEvent::Frame(records)),
             (2, WireEvent::Flush),
-            (3, WireEvent::Compact(4)),
+            (
+                3,
+                WireEvent::Compact(CompactionJob {
+                    input_levels: vec![2, 3, 4],
+                    output_level: 2,
+                    purge: true,
+                }),
+            ),
             (7, WireEvent::Promote),
         ] {
             let encoded = encode_event(generation, &event);
@@ -126,5 +135,9 @@ mod tests {
         assert!(decode_event(&frame).is_none(), "frame CRC must reject");
         let unknown = [&1u64.to_le_bytes()[..], &[99u8]].concat();
         assert!(decode_event(&unknown).is_none());
+        let job = CompactionJob { input_levels: vec![1, 2], output_level: 2, purge: false };
+        let mut compact = encode_event(1, &WireEvent::Compact(job));
+        compact.pop();
+        assert!(decode_event(&compact).is_none(), "truncated job must reject");
     }
 }

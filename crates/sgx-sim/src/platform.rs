@@ -80,7 +80,7 @@ impl Platform {
             epc: Mutex::new(epc),
             next_region: AtomicU64::new(1),
             enclave_alloc_bytes: AtomicU64::new(0),
-            serial_ns: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            serial_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         })
     }
 

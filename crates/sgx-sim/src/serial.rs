@@ -32,10 +32,38 @@ pub enum SerialClass {
     /// by commit order, so concurrent writers' folds exclude each other
     /// even though they run outside the store's write lock.
     TrustedFold = 2,
+    /// Incremental level-commitment recomputation: folding a compaction
+    /// delta into the enclave's commitment store. Deltas install in epoch
+    /// order, so concurrent jobs' folds exclude each other.
+    DeltaFold = 3,
+    /// Parallel compaction worker slot 0: merge work of jobs assigned to
+    /// this slot excludes other jobs on the same slot but overlaps with
+    /// the other slots (and with the write path).
+    CompactionSlot0 = 4,
+    /// Parallel compaction worker slot 1.
+    CompactionSlot1 = 5,
+    /// Parallel compaction worker slot 2.
+    CompactionSlot2 = 6,
+    /// Parallel compaction worker slot 3.
+    CompactionSlot3 = 7,
+}
+
+impl SerialClass {
+    /// The worker-slot class for compaction job `i` (jobs round-robin over
+    /// the four slots; a scheduler with parallelism ≤ 4 gets one slot per
+    /// concurrent job).
+    pub fn compaction_slot(i: usize) -> SerialClass {
+        match i % 4 {
+            0 => SerialClass::CompactionSlot0,
+            1 => SerialClass::CompactionSlot1,
+            2 => SerialClass::CompactionSlot2,
+            _ => SerialClass::CompactionSlot3,
+        }
+    }
 }
 
 /// Number of [`SerialClass`] variants (sizes the per-class accumulators).
-pub const SERIAL_CLASSES: usize = 3;
+pub const SERIAL_CLASSES: usize = 8;
 
 thread_local! {
     /// Bitmask of serial classes currently open on this thread. Nested
