@@ -34,6 +34,10 @@ pub struct UnsecuredOptions {
     pub target_file_bytes: u64,
     /// Automatic compaction.
     pub compaction_enabled: bool,
+    /// Key-value separation into a (plain, unauthenticated) value log —
+    /// the apples-to-apples baseline for the separated eLSM
+    /// configuration (`None` disables).
+    pub vlog: Option<lsm_store::VlogConfig>,
 }
 
 impl Default for UnsecuredOptions {
@@ -48,6 +52,7 @@ impl Default for UnsecuredOptions {
             max_levels: 7,
             target_file_bytes: 128 * 1024,
             compaction_enabled: true,
+            vlog: None,
         }
     }
 }
@@ -126,6 +131,7 @@ impl UnsecuredLsm {
             compaction_enabled: options.compaction_enabled,
             purge_tombstones_at_bottom: true,
             keep_old_versions: true,
+            vlog: options.vlog,
             ..Options::default()
         };
         let db = Arc::new(Db::open(env, db_options, None)?);

@@ -1,0 +1,10 @@
+//! Regenerates one figure of the paper; pass `--quick` for a fast subset.
+
+use elsm_bench::figures::*;
+use elsm_bench::{emit_figure, opts_from_args, Scale};
+
+fn main() {
+    let scale = Scale::default();
+    let opts = opts_from_args();
+    emit_figure("fig14", &fig14(&scale, opts), opts);
+}

@@ -35,6 +35,7 @@ fn main() {
         ("fig10", Box::new(move || fig10(&scale, opts))),
         ("fig11", Box::new(move || fig11(&scale, opts))),
         ("fig12", Box::new(move || fig12(&scale, opts))),
+        ("fig14", Box::new(move || fig14(&scale, opts))),
     ];
     let usage_and_exit = |problem: &str| -> ! {
         eprintln!("{problem}; available figures:");

@@ -64,6 +64,8 @@ fn p2_options(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> P2Opti
         wal_sync: lsm_store::WalSyncPolicy::Always,
         retired_epoch_floor: 8,
         shard_id: None,
+        vlog: None,
+        verified_cache_bytes: 0,
     }
 }
 
@@ -97,6 +99,7 @@ fn unsecured_options(
         max_levels: 7,
         target_file_bytes: scale.file_bytes(),
         compaction_enabled: true,
+        vlog: None,
     }
 }
 
@@ -1177,6 +1180,167 @@ pub fn fig12(scale: &Scale, opts: FigOpts) -> Table {
             format!("{:.2}x", report.kops_per_sec / anchor.max(1e-9)),
             format!("{:.1}", ureport.kops_per_sec),
             format!("{:.2}x", ureport.kops_per_sec / unsec_base.max(1e-9)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 (extension): key-value separation + verified read cache
+// ---------------------------------------------------------------------------
+
+/// Figure 14 (ext): key-value separation and the epoch-aware verified
+/// cache.
+///
+/// Two series. First, verified YCSB-A **write** throughput as the value
+/// size sweeps 1 KB → 100 KB, with the store's values inline
+/// (`fig14_prechange`, the code path before separation landed) vs.
+/// separated into the authenticated value log (`fig14_separation`):
+/// inline, every compaction rewrites every byte of every value it
+/// touches; separated, compactions move 56-byte pointer records and the
+/// payload is written to the log once, so the gap widens with the value
+/// size. Each entry also records the store's `vlog_bytes` /
+/// `vlog_garbage_bytes` gauges.
+///
+/// Second, verified **read** throughput on a zipfian read-only workload
+/// as the verified-cache budget grows (`fig14_cache`): hot reads answer
+/// from enclave-checked cached entries — no disk IO, no proof replay —
+/// so throughput tracks the measured hit ratio (`hit_ratio_bp` gauge,
+/// basis points).
+pub fn fig14(scale: &Scale, opts: FigOpts) -> Table {
+    let separated_options = |cache_bytes: usize| {
+        let mut options = p2_options(scale, ReadMode::Mmap, 8);
+        options.write_buffer_bytes = scale.mb(16) as usize;
+        options.level1_max_bytes = scale.mb(64);
+        options.vlog = Some(lsm_store::VlogConfig {
+            value_threshold: 512,
+            target_file_bytes: scale.mb(64),
+            gc_garbage_ratio: 0.5,
+            gc_enabled: true,
+        });
+        options.verified_cache_bytes = cache_bytes;
+        options
+    };
+    let inline_options = || {
+        let mut options = separated_options(0);
+        options.vlog = None;
+        options
+    };
+
+    // One write-path run: YCSB-A at the given value size, returning the
+    // write-side throughput in kops/s and recording it with the store's
+    // value-log gauges.
+    let write_run = |options: P2Options, label: &str, value_len: usize, records: u64, ops: u64| {
+        let platform = Platform::new(scale.cost_model());
+        let store = ElsmP2::open(platform.clone(), options).expect("open");
+        let driver = P2Driver(store);
+        load_phase(&driver, records, value_len);
+        driver.0.db().flush().expect("flush");
+        let w = Workload::a().with_value_len(value_len);
+        let report = run_phase(&driver, &platform, &w, records, ops, 0xf14);
+        let stats = driver.0.db().stats();
+        let kops = if report.writes.mean_us > 0.0 { 1_000.0 / report.writes.mean_us } else { 0.0 };
+        crate::results::note_run_gauges(
+            &report,
+            &[
+                ("write_kops_x10", (kops * 10.0) as u64),
+                ("value_bytes", value_len as u64),
+                ("vlog_bytes", stats.vlog_bytes),
+                ("vlog_garbage_bytes", stats.vlog_garbage_bytes),
+            ],
+        );
+        let _ = label;
+        kops
+    };
+
+    let sizes_kb: &[usize] = if opts.quick { &[1, 16, 64] } else { &[1, 4, 16, 64, 100] };
+    let ops = if opts.quick { 400 } else { 1_200 };
+    let budget = scale.mb(if opts.quick { 512 } else { 1024 });
+
+    let mut table = Table::new(
+        "Figure 14 (ext): key-value separation and verified caching — write kops/s vs value \
+         size, then read kops/s vs cache budget (simulated)",
+        &["series", "x", "kops", "vs_baseline", "cache_hit_pct"],
+    );
+
+    let records_for = |value_len: usize| (budget / value_len as u64).clamp(32, 512);
+    // Pre-change anchor: every value inline in the LSM.
+    crate::results::set_figure("fig14_prechange");
+    let inline_kops: Vec<f64> = sizes_kb
+        .iter()
+        .map(|&kb| {
+            let value_len = kb * 1024;
+            write_run(inline_options(), "inline", value_len, records_for(value_len), ops)
+        })
+        .collect();
+    crate::results::set_figure("fig14_separation");
+    let separated_kops: Vec<f64> = sizes_kb
+        .iter()
+        .map(|&kb| {
+            let value_len = kb * 1024;
+            write_run(separated_options(0), "separated", value_len, records_for(value_len), ops)
+        })
+        .collect();
+
+    for (i, &kb) in sizes_kb.iter().enumerate() {
+        let (inline, separated) = (inline_kops[i], separated_kops[i]);
+        table.row(vec![
+            "write_inline(pre)".into(),
+            format!("{kb}KB"),
+            format!("{inline:.2}"),
+            "1.00x".into(),
+            "-".into(),
+        ]);
+        table.row(vec![
+            "write_separated".into(),
+            format!("{kb}KB"),
+            format!("{separated:.2}"),
+            format!("{:.2}x", separated / inline.max(1e-9)),
+            "-".into(),
+        ]);
+    }
+
+    // Cache series: read-only zipfian over 4 KB separated values, cache
+    // budget swept from off to dataset-sized.
+    crate::results::set_figure("fig14_cache");
+    let value_len = 4 * 1024;
+    let records = (budget / value_len as u64).clamp(64, 512);
+    let read_ops = if opts.quick { 2_000 } else { 6_000 };
+    let budgets_kb: &[usize] =
+        if opts.quick { &[0, 64, 256, 1024] } else { &[0, 32, 64, 128, 256, 512, 1024] };
+    let mut base_kops = 0.0f64;
+    for &cache_kb in budgets_kb {
+        let platform = Platform::new(scale.cost_model());
+        let store =
+            ElsmP2::open(platform.clone(), separated_options(cache_kb * 1024)).expect("open");
+        let driver = P2Driver(store);
+        load_phase(&driver, records, value_len);
+        driver.0.db().flush().expect("flush");
+        let w = Workload::c().with_value_len(value_len);
+        let report = run_phase(&driver, &platform, &w, records, read_ops, 0xf14c);
+        let kops =
+            if report.overall.mean_us > 0.0 { 1_000.0 / report.overall.mean_us } else { 0.0 };
+        let stats = driver.0.cache_stats();
+        let hit_ratio = stats.record_hit_ratio();
+        crate::results::note_run_gauges(
+            &report,
+            &[
+                ("read_kops_x10", (kops * 10.0) as u64),
+                ("cache_budget_bytes", (cache_kb * 1024) as u64),
+                ("cache_hits", stats.record_hits),
+                ("cache_misses", stats.record_misses),
+                ("hit_ratio_bp", (hit_ratio * 10_000.0) as u64),
+            ],
+        );
+        if cache_kb == 0 {
+            base_kops = kops;
+        }
+        table.row(vec![
+            format!("read_cache_{cache_kb}KB"),
+            format!("{}x4KB", records),
+            format!("{kops:.2}"),
+            format!("{:.2}x", kops / base_kops.max(1e-9)),
+            format!("{:.1}", hit_ratio * 100.0),
         ]);
     }
     table

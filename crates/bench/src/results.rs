@@ -34,6 +34,11 @@ pub struct ResultEntry {
     pub debt_bytes: Option<u64>,
     /// Compaction jobs the strategy still wanted at the end of the phase.
     pub pending_jobs: Option<u64>,
+    /// Extra named gauges recorded with the entry (e.g. `vlog_bytes`,
+    /// `cache_hits`), rendered verbatim into the results JSON. How fig14
+    /// tracks value-log residency and verified-cache hit ratios next to
+    /// the throughput they explain.
+    pub gauges: Vec<(String, u64)>,
 }
 
 struct Sink {
@@ -54,6 +59,12 @@ pub fn set_figure(name: &str) {
 /// Records a single-threaded run-phase measurement under the current
 /// figure.
 pub fn note_run(report: &RunReport) {
+    note_run_gauges(report, &[]);
+}
+
+/// [`note_run`] plus extra named gauges (value-log residency, cache
+/// hit/miss counters, …) attached to the same entry.
+pub fn note_run_gauges(report: &RunReport, gauges: &[(&str, u64)]) {
     let mut s = SINK.lock().unwrap();
     let config = format!("{}#{}", s.figure, s.seq);
     s.seq += 1;
@@ -67,13 +78,14 @@ pub fn note_run(report: &RunReport) {
         p99_us: report.overall.p99_us,
         debt_bytes: None,
         pending_jobs: None,
+        gauges: gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
     });
 }
 
 /// Records a multi-client thread-scaling measurement under the current
 /// figure, labeled with the system under test and the thread count.
 pub fn note_concurrent(system: &str, report: &ConcurrentReport) {
-    note_entry(system, report, None, None);
+    note_entry(system, report, None, None, &[]);
 }
 
 /// [`note_concurrent`] plus the store's compaction-debt gauge at the end
@@ -85,7 +97,13 @@ pub fn note_concurrent_debt(
     debt_bytes: u64,
     pending_jobs: u64,
 ) {
-    note_entry(system, report, Some(debt_bytes), Some(pending_jobs));
+    note_entry(system, report, Some(debt_bytes), Some(pending_jobs), &[]);
+}
+
+/// [`note_concurrent`] plus extra named gauges (value-log residency,
+/// cache hit/miss counters, …) attached to the same entry.
+pub fn note_concurrent_gauges(system: &str, report: &ConcurrentReport, gauges: &[(&str, u64)]) {
+    note_entry(system, report, None, None, gauges);
 }
 
 fn note_entry(
@@ -93,6 +111,7 @@ fn note_entry(
     report: &ConcurrentReport,
     debt_bytes: Option<u64>,
     pending_jobs: Option<u64>,
+    gauges: &[(&str, u64)],
 ) {
     let mut s = SINK.lock().unwrap();
     let figure = s.figure.clone();
@@ -105,6 +124,7 @@ fn note_entry(
         p99_us: report.overall.p99_us,
         debt_bytes,
         pending_jobs,
+        gauges: gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
     });
 }
 
@@ -128,6 +148,9 @@ fn render_json(mode: &str, start: usize) -> String {
         }
         if let Some(jobs) = e.pending_jobs {
             let _ = write!(gauges, ", \"pending_jobs\": {jobs}");
+        }
+        for (name, value) in &e.gauges {
+            let _ = write!(gauges, ", \"{}\": {value}", json_escape(name));
         }
         let _ = writeln!(
             out,
@@ -228,5 +251,24 @@ mod tests {
         let json = to_json("test");
         assert!(json.contains("\"debt_bytes\": 4096"));
         assert!(json.contains("\"pending_jobs\": 2"));
+    }
+
+    #[test]
+    fn named_gauges_render_when_recorded() {
+        set_figure("figZ");
+        let report = ConcurrentReport {
+            workload: "A".into(),
+            threads: 4,
+            ops: 10,
+            elapsed_us: 1.0,
+            kops_per_sec: 5.0,
+            overall: LatencySummary::default(),
+            read_hit_rate: 1.0,
+            serial_fraction: 0.1,
+        };
+        note_concurrent_gauges("p2", &report, &[("vlog_bytes", 123_456), ("cache_hits", 77)]);
+        let json = to_json("test");
+        assert!(json.contains("\"vlog_bytes\": 123456"));
+        assert!(json.contains("\"cache_hits\": 77"));
     }
 }

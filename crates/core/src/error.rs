@@ -112,6 +112,24 @@ pub enum VerificationFailure {
         /// The epoch the conflicting announcements name.
         epoch: u64,
     },
+    /// A value-log entry the host returned for a pointer record does not
+    /// match the MAC folded into the record commitment: the host swapped,
+    /// truncated, or rewrote the separated value (query-integrity
+    /// violation on the key-value-separated path).
+    VlogEntryTampered {
+        /// The value-log file the pointer named.
+        file_no: u64,
+        /// Human-readable reason (missing entry, key/ts mismatch, bad MAC).
+        reason: &'static str,
+    },
+    /// A verified-cache entry failed its integrity check on hit: the
+    /// host process scribbled over enclave-cached verified data. The
+    /// entry is discarded and the query falls back to the verified disk
+    /// path — tampering is detected, never served.
+    CacheTampered {
+        /// Commitment epoch the poisoned entry was tagged with.
+        epoch: u64,
+    },
     /// A node acted under a leadership generation the fencing counter has
     /// moved past: a deposed primary resurrecting after failover, or a
     /// promotion racing a completed one. The generation bump at
@@ -169,6 +187,12 @@ impl fmt::Display for VerificationFailure {
             }
             VerificationFailure::ForkedPrimary { epoch } => {
                 write!(f, "primary equivocated at epoch {epoch}")
+            }
+            VerificationFailure::VlogEntryTampered { file_no, reason } => {
+                write!(f, "value-log entry in file {file_no} failed authentication: {reason}")
+            }
+            VerificationFailure::CacheTampered { epoch } => {
+                write!(f, "verified cache entry (epoch {epoch}) failed its integrity check")
             }
             VerificationFailure::FencedOut { generation, active } => {
                 write!(f, "node generation {generation} fenced out (active generation {active})")

@@ -42,6 +42,7 @@
 
 pub mod adversary;
 pub mod api;
+pub mod cache;
 pub mod confidential;
 pub mod digests;
 pub mod envelope;
@@ -53,6 +54,7 @@ pub mod replication;
 pub mod trusted;
 
 pub use api::{AuthenticatedKv, VerifiedRecord};
+pub use cache::{CacheStats, VerifiedCache};
 pub use confidential::ConfidentialStore;
 pub use digests::UntrustedDigests;
 pub use error::{ElsmError, VerificationFailure, WRONG_SHARD_UNSHARDED};

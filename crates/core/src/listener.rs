@@ -33,8 +33,9 @@ use merkle::{LevelDigest, LevelDigestBuilder};
 use parking_lot::Mutex;
 use sgx_sim::Platform;
 
+use crate::cache::VerifiedCache;
 use crate::digests::UntrustedDigests;
-use crate::envelope::{open_record, wrap_with_proof};
+use crate::envelope::{open_record, wrap_plain, wrap_with_proof};
 use crate::trusted::{CompactionDelta, TrustedState};
 
 /// State a finished merge stages for its install (commit happens under
@@ -76,6 +77,9 @@ pub struct AuthListener {
     /// are identical either way — this is purely the amortized
     /// integrity-metadata maintenance cost lever.
     incremental: bool,
+    /// Epoch-aware verified read cache to keep coherent with writes and
+    /// epoch installs (`None`: caching disabled).
+    cache: Option<Arc<VerifiedCache>>,
     scratch: Mutex<Scratch>,
 }
 
@@ -98,11 +102,25 @@ impl AuthListener {
         digests: Arc<UntrustedDigests>,
         incremental: bool,
     ) -> Arc<Self> {
+        Self::with_cache(platform, trusted, digests, incremental, None)
+    }
+
+    /// Like [`AuthListener::with_incremental`], additionally keeping a
+    /// [`VerifiedCache`] coherent: writes invalidate their keys, epoch
+    /// installs and retirements drop superseded entries.
+    pub fn with_cache(
+        platform: Arc<Platform>,
+        trusted: Arc<TrustedState>,
+        digests: Arc<UntrustedDigests>,
+        incremental: bool,
+        cache: Option<Arc<VerifiedCache>>,
+    ) -> Arc<Self> {
         Arc::new(AuthListener {
             platform,
             trusted,
             digests,
             incremental,
+            cache,
             scratch: Mutex::new(Scratch::default()),
         })
     }
@@ -176,6 +194,9 @@ impl StoreListener for AuthListener {
         if let Ok((canonical, _, _)) = open_record(record, 0) {
             self.trusted.absorb_wal(&canonical);
         }
+        if let Some(cache) = &self.cache {
+            cache.invalidate_key(&record.key);
+        }
     }
 
     fn on_wal_append_batch(&self, records: &[Record]) {
@@ -187,6 +208,25 @@ impl StoreListener for AuthListener {
             .filter_map(|record| open_record(record, 0).ok().map(|(canonical, _, _)| canonical))
             .collect();
         self.trusted.absorb_wal_batch(canonicals.iter().map(Vec::as_slice));
+        if let Some(cache) = &self.cache {
+            for record in records {
+                cache.invalidate_key(&record.key);
+            }
+        }
+    }
+
+    fn vlog_mac(&self, record: &Record) -> [u8; lsm_store::vlog::MAC_BYTES] {
+        vlog_entry_mac(&self.platform, &record.key, record.ts, &record.value)
+    }
+
+    fn wrap_vlog_pointer(&self, pointer: Vec<u8>) -> bytes::Bytes {
+        // Pointer records flow through the same envelope as plain values,
+        // so compaction proofs embed identically.
+        wrap_plain(&pointer)
+    }
+
+    fn unwrap_vlog_pointer(&self, stored: &[u8]) -> Option<bytes::Bytes> {
+        crate::envelope::unwrap(stored).map(|(value, _)| value)
     }
 
     fn on_compaction_input(&self, source: RecordSource, record: &Record) {
@@ -291,12 +331,42 @@ impl StoreListener for AuthListener {
     fn on_version_install(&self, epoch: u64) {
         self.trusted.publish_epoch(epoch);
         self.digests.publish_epoch(epoch);
+        if let Some(cache) = &self.cache {
+            cache.install_epoch(epoch);
+        }
     }
 
     fn on_versions_retired(&self, live_epochs: &[u64]) {
         self.trusted.prune_epochs(live_epochs);
         self.digests.prune_epochs(live_epochs);
+        if let Some(cache) = &self.cache {
+            cache.retire_epochs(live_epochs);
+        }
     }
+}
+
+/// The authenticated value log's entry digest: binds key ‖ ts ‖ stored
+/// (enveloped) value. Deliberately a *keyless* domain-tagged hash:
+/// replicas re-derive pointer records during replayed flushes, and a
+/// node-local key would make their level commitments diverge from the
+/// primary's. The digest rides inside the pointer record, which the
+/// per-level Merkle commitment covers — the commitment supplies the
+/// authenticity, the hash supplies the binding to the log entry.
+pub fn vlog_entry_mac(
+    platform: &Platform,
+    key: &[u8],
+    ts: u64,
+    stored_value: &[u8],
+) -> [u8; lsm_store::vlog::MAC_BYTES] {
+    platform.charge_hash(key.len() + stored_value.len() + 16);
+    let mac = elsm_crypto::sha256_concat(&[
+        b"elsm/vlog-entry v1",
+        &(key.len() as u64).to_le_bytes(),
+        key,
+        &ts.to_le_bytes(),
+        stored_value,
+    ]);
+    *mac.as_bytes()
 }
 
 #[cfg(test)]

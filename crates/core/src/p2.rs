@@ -19,10 +19,11 @@ use sgx_sim::{BufferedCounter, MonotonicCounter, Platform, SealedBlob, Sealer};
 use sim_disk::{Placement, SimDisk, SimFs};
 
 use crate::api::{AuthenticatedKv, VerifiedRecord};
+use crate::cache::{CacheStats, VerifiedCache};
 use crate::digests::UntrustedDigests;
 use crate::envelope::{open_record, wrap_plain};
 use crate::error::{ElsmError, VerificationFailure};
-use crate::listener::AuthListener;
+use crate::listener::{vlog_entry_mac, AuthListener};
 use crate::trusted::{RangeProver, TrustedState, VerifyStats};
 
 /// File holding the sealed enclave state between runs.
@@ -104,6 +105,16 @@ pub struct P2Options {
     /// shards' persistent state is detected at recovery
     /// ([`VerificationFailure::WrongShard`]).
     pub shard_id: Option<u32>,
+    /// Key-value separation: values at or above the threshold move to an
+    /// authenticated value log at flush time; levels keep MAC-carrying
+    /// pointer records (`None` disables separation). See
+    /// [`lsm_store::VlogConfig`].
+    pub vlog: Option<lsm_store::VlogConfig>,
+    /// Byte budget of the epoch-aware verified read cache (0 disables).
+    /// Hot verified GETs answer from enclave-checked cached entries,
+    /// skipping disk reads and proof re-verification; writes and epoch
+    /// installs keep it coherent. See [`crate::cache::VerifiedCache`].
+    pub verified_cache_bytes: usize,
 }
 
 impl Default for P2Options {
@@ -126,6 +137,8 @@ impl Default for P2Options {
             wal_sync: lsm_store::WalSyncPolicy::Always,
             retired_epoch_floor: 8,
             shard_id: None,
+            vlog: None,
+            verified_cache_bytes: 0,
         }
     }
 }
@@ -156,6 +169,7 @@ pub struct ElsmP2 {
     digests: Arc<UntrustedDigests>,
     sealer: Sealer,
     counter: Option<Arc<BufferedCounter>>,
+    cache: Option<Arc<VerifiedCache>>,
     options: P2Options,
 }
 
@@ -193,11 +207,14 @@ impl ElsmP2 {
         let trusted =
             TrustedState::new_in_domain(platform.clone(), options.max_levels, options.shard_id);
         let digests = UntrustedDigests::new(platform.clone());
-        let listener = AuthListener::with_incremental(
+        let cache = (options.verified_cache_bytes > 0)
+            .then(|| VerifiedCache::new(platform.clone(), options.verified_cache_bytes));
+        let listener = AuthListener::with_cache(
             platform.clone(),
             trusted.clone(),
             digests.clone(),
             options.incremental_commitments,
+            cache.clone(),
         );
         let env = StorageEnv::new(
             platform.clone(),
@@ -243,6 +260,7 @@ impl ElsmP2 {
             },
             purge_tombstones_at_bottom: true,
             keep_old_versions: true,
+            vlog: options.vlog,
         };
         let db = Arc::new(Db::open(env, db_options, Some(listener))?);
         let sealer = Sealer::new(elsm_crypto::sha256(b"elsm-p2 enclave v1"), b"machine-0");
@@ -253,7 +271,7 @@ impl ElsmP2 {
             ))
         });
         store_set_stacked(&trusted, &options);
-        let store = ElsmP2 { platform, fs, db, trusted, digests, sealer, counter, options };
+        let store = ElsmP2 { platform, fs, db, trusted, digests, sealer, counter, cache, options };
         if recovering {
             store.recover_trusted_state()?;
         }
@@ -399,21 +417,95 @@ impl ElsmP2 {
         }
     }
 
-    /// Assembles the verified answer from a GET trace.
-    fn answer_from_trace(&self, trace: &GetTrace) -> Option<VerifiedRecord> {
-        let record = trace.memtable.as_ref().or(trace.result.as_ref())?;
-        if record.kind != ValueKind::Put {
-            return None; // verified tombstone: key absent
+    /// Assembles the verified answer from a GET trace, resolving
+    /// key-value-separated pointer records through the authenticated
+    /// value log.
+    fn answer_from_trace(&self, trace: &GetTrace) -> Result<Option<VerifiedRecord>, ElsmError> {
+        let Some(record) = trace.memtable.as_ref().or(trace.result.as_ref()) else {
+            return Ok(None);
+        };
+        if !record.kind.is_value() {
+            return Ok(None); // verified tombstone: key absent
         }
-        let (_, value, proof) = open_record(record, 0).ok()?;
+        let Ok((_, value, proof)) = open_record(record, 0) else {
+            return Ok(None);
+        };
         let proof_bytes = proof.map_or(0, |p| p.encoded_len());
-        Some(VerifiedRecord::new(
+        let value = if record.kind == ValueKind::VlogPut {
+            self.resolve_vlog_value(record, &value)?
+        } else {
+            value
+        };
+        Ok(Some(VerifiedRecord::new(
             record.key.clone(),
             value,
             record.ts,
             proof_bytes,
             trace.levels.len(),
-        ))
+        )))
+    }
+
+    /// Follows a verified pointer record into the authenticated value
+    /// log: fetch the entry (verified cache first, host read second),
+    /// check it against the MAC the level commitment vouches for, and
+    /// unwrap the payload's envelope. Any mismatch is the host swapping,
+    /// truncating or staling the separated value —
+    /// [`VerificationFailure::VlogEntryTampered`].
+    fn resolve_vlog_value(
+        &self,
+        record: &lsm_store::Record,
+        pointer: &[u8],
+    ) -> Result<Bytes, ElsmError> {
+        let Some((ptr, mac)) = lsm_store::vlog::decode_pointer(pointer) else {
+            return Err(VerificationFailure::VlogEntryTampered {
+                file_no: 0,
+                reason: "malformed pointer record",
+            }
+            .into());
+        };
+        let tamper = |reason| {
+            ElsmError::Verification(VerificationFailure::VlogEntryTampered {
+                file_no: ptr.file_no,
+                reason,
+            })
+        };
+        let payload = match self
+            .cache
+            .as_ref()
+            .and_then(|cache| cache.lookup_vlog(ptr.file_no, ptr.offset, &mac))
+        {
+            Some(payload) => payload,
+            None => {
+                let vlog = self.db.vlog().ok_or_else(|| tamper("store holds no value log"))?;
+                let entry = vlog.read(ptr)?.ok_or_else(|| tamper("entry missing or unreadable"))?;
+                if entry.key != record.key[..] || entry.ts != record.ts {
+                    return Err(tamper("entry bound to a different key or timestamp"));
+                }
+                let expect = vlog_entry_mac(&self.platform, &entry.key, entry.ts, &entry.value);
+                if expect != mac {
+                    return Err(tamper("entry digest does not match the committed MAC"));
+                }
+                let payload = Bytes::from(entry.value);
+                if let Some(cache) = &self.cache {
+                    cache.insert_vlog(ptr.file_no, ptr.offset, mac, payload.clone());
+                }
+                payload
+            }
+        };
+        let (value, _) =
+            crate::envelope::unwrap(&payload).ok_or_else(|| tamper("entry envelope malformed"))?;
+        Ok(value)
+    }
+
+    /// Verified-cache counters (zeroed stats when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// The verified read cache, when enabled (exposed for adversary
+    /// tests that scribble over entries).
+    pub fn verified_cache(&self) -> Option<&Arc<VerifiedCache>> {
+        self.cache.as_ref()
     }
 }
 
@@ -484,13 +576,38 @@ impl AuthenticatedKv for ElsmP2 {
         // neither — readers never serialize behind them, yet verification
         // always sees exactly the roots the trace was collected under
         // (the §5.5.2 guarantee, lock-free).
-        let (trace, verdict) = self.platform.ecall(|| {
-            self.db.get_with_trace_sync(key, Timestamp::MAX >> 1, |trace| {
-                self.trusted.verify_get(key, trace)
-            })
-        })?;
-        verdict?;
-        Ok(self.answer_from_trace(&trace))
+        self.platform.ecall(|| {
+            // Verified-cache fast path: an entry memoized under the
+            // current epoch answers without touching the host at all. A
+            // tampered entry is detected, discarded and the query falls
+            // back to the verified disk path below — never served.
+            if let Some(cache) = &self.cache {
+                if let Ok(Some((ts, value))) = cache.lookup_record(key, self.db.current_epoch()) {
+                    return Ok(Some(VerifiedRecord::new(
+                        Bytes::copy_from_slice(key),
+                        value,
+                        ts,
+                        0,
+                        0,
+                    )));
+                }
+            }
+            let (trace, verdict) =
+                self.db.get_with_trace_sync(key, Timestamp::MAX >> 1, |trace| {
+                    self.trusted.verify_get(key, trace)
+                })?;
+            verdict?;
+            let answer = self.answer_from_trace(&trace)?;
+            if let (Some(cache), Some(rec)) = (&self.cache, &answer) {
+                cache.insert_record(
+                    key,
+                    trace.epoch,
+                    rec.ts(),
+                    Bytes::copy_from_slice(rec.value()),
+                );
+            }
+            Ok(answer)
+        })
     }
 
     fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
@@ -504,6 +621,11 @@ impl AuthenticatedKv for ElsmP2 {
         let mut out = Vec::with_capacity(trace.merged.len());
         for record in &trace.merged {
             let (_, value, proof) = open_record(record, 0).map_err(ElsmError::Verification)?;
+            let value = if record.kind == ValueKind::VlogPut {
+                self.resolve_vlog_value(record, &value)?
+            } else {
+                value
+            };
             out.push(VerifiedRecord::new(
                 record.key.clone(),
                 value,

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use elsm_crypto::{sha256_concat, Digest};
-use lsm_store::{GetTrace, LevelOutcome, Record, ScanTrace, ValueKind};
+use lsm_store::{GetTrace, LevelOutcome, Record, ScanTrace};
 use merkle::{verify_range, ChainPosition, LevelCommitment, RangeProof, RecordProof};
 use parking_lot::Mutex;
 use sgx_sim::Platform;
@@ -727,7 +727,7 @@ impl TrustedState {
 /// answer (tombstones hide).
 pub fn visible_result(trace: &GetTrace) -> Option<&Record> {
     let r = trace.memtable.as_ref().or(trace.result.as_ref())?;
-    (r.kind == ValueKind::Put).then_some(r)
+    r.kind.is_value().then_some(r)
 }
 
 #[cfg(test)]

@@ -85,6 +85,54 @@ impl CompactionJob {
     }
 }
 
+/// A value-log garbage collection: one merge job run with the named
+/// victim files' live entries rewritten into the active log file.
+///
+/// GC reuses the compaction machinery wholesale — the merge walks pointer
+/// records anyway, so rewriting the ones that land in victim files costs
+/// one extra read+append per live entry. Like [`CompactionJob`], the
+/// description ships to replicas verbatim
+/// ([`ReplicationEvent::VlogGc`](crate::events::ReplicationEvent::VlogGc))
+/// so both sides rewrite identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VlogGcJob {
+    /// The merge to run (selected by the strategy's major/minor logic).
+    pub job: CompactionJob,
+    /// Value-log file numbers whose live entries the merge rewrites; the
+    /// files are deleted after the merge installs.
+    pub rewrite_files: Vec<u64>,
+}
+
+impl VlogGcJob {
+    /// Serializes the GC description (for the replication wire format).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        self.job.encode(out);
+        put_fixed_u64(out, self.rewrite_files.len() as u64);
+        for &no in &self.rewrite_files {
+            put_fixed_u64(out, no);
+        }
+    }
+
+    /// Decodes bytes written by [`VlogGcJob::encode`]; `None` on a
+    /// malformed buffer (trailing bytes included).
+    pub fn decode(bytes: &[u8]) -> Option<VlogGcJob> {
+        // The inner job is self-describing: its length is 24 + 8 * n_levels.
+        let n_levels = get_fixed_u64(bytes, 16)? as usize;
+        let job_len = 24 + 8 * n_levels;
+        let job = CompactionJob::decode(bytes.get(..job_len)?)?;
+        let rest = bytes.get(job_len..)?;
+        let n_files = get_fixed_u64(rest, 0)? as usize;
+        if rest.len() != 8 + 8 * n_files {
+            return None;
+        }
+        let mut rewrite_files = Vec::with_capacity(n_files);
+        for i in 0..n_files {
+            rewrite_files.push(get_fixed_u64(rest, 8 + 8 * i)?);
+        }
+        Some(VlogGcJob { job, rewrite_files })
+    }
+}
+
 /// Where a memtable flush lands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlushPlan {
@@ -247,6 +295,29 @@ mod tests {
         let mut bytes = Vec::new();
         job.encode(&mut bytes);
         assert_eq!(CompactionJob::decode(&bytes), Some(job));
+    }
+
+    #[test]
+    fn vlog_gc_job_encoding_round_trips_and_rejects_malformed() {
+        let gc = VlogGcJob {
+            job: CompactionJob { input_levels: vec![1, 2, 3], output_level: 3, purge: true },
+            rewrite_files: vec![4, 9],
+        };
+        let mut bytes = Vec::new();
+        gc.encode(&mut bytes);
+        assert_eq!(VlogGcJob::decode(&bytes), Some(gc.clone()));
+        assert!(VlogGcJob::decode(&bytes[..bytes.len() - 1]).is_none(), "truncated");
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(VlogGcJob::decode(&extended).is_none(), "trailing bytes");
+
+        let empty = VlogGcJob {
+            job: CompactionJob { input_levels: vec![2], output_level: 2, purge: false },
+            rewrite_files: vec![],
+        };
+        let mut bytes = Vec::new();
+        empty.encode(&mut bytes);
+        assert_eq!(VlogGcJob::decode(&bytes), Some(empty));
     }
 
     #[test]

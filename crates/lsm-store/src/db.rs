@@ -78,7 +78,7 @@ use sgx_sim::{EnclaveRegion, SerialClass};
 use sim_disk::FsError;
 
 use crate::batch::{BatchOp, WriteBatch};
-use crate::compaction::{CompactionDebt, CompactionJob, CompactionStrategy, LevelsView};
+use crate::compaction::{CompactionDebt, CompactionJob, CompactionStrategy, LevelsView, VlogGcJob};
 use crate::encoding::{get_fixed_u64, get_varint_u64, put_fixed_u64, put_varint_u64};
 use crate::env::StorageEnv;
 use crate::events::{
@@ -90,6 +90,7 @@ use crate::options::{Options, WalSyncPolicy};
 use crate::record::{Record, Timestamp, ValueKind};
 use crate::sstable::{NeighborPolicy, TableBuilder, TableGet, TableReader};
 use crate::version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace, Version};
+use crate::vlog::{decode_pointer, encode_pointer, parse_vlog_name, vlog_name, Vlog};
 use crate::wal::{recover, WalWriter};
 
 const MANIFEST: &str = "MANIFEST";
@@ -124,6 +125,14 @@ pub struct DbStatsSnapshot {
     pub debt_bytes: u64,
     /// Jobs the strategy would schedule right now.
     pub pending_compaction_jobs: u64,
+    /// Bytes stored in live value-log files (0 when separation is off).
+    pub vlog_bytes: u64,
+    /// Of those, bytes belonging to dropped pointer records (GC fodder).
+    pub vlog_garbage_bytes: u64,
+    /// Block-cache hits of the storage environment (0 without a cache).
+    pub block_cache_hits: u64,
+    /// Block-cache misses of the storage environment.
+    pub block_cache_misses: u64,
 }
 
 /// The mutable write side: everything the write lock protects.
@@ -217,6 +226,11 @@ pub struct Db {
     /// Replication event sink, if one is attached (see
     /// [`Db::set_replication_sink`]).
     repl: RwLock<Option<Arc<dyn ReplicationSink>>>,
+    /// The value log (key-value separation). Present when
+    /// [`Options::vlog`] is set, or when a recovered manifest names log
+    /// files (so pointer records stay readable after separation is turned
+    /// off). New separation happens only while [`Options::vlog`] is set.
+    vlog: Option<Arc<Vlog>>,
 }
 
 impl std::fmt::Debug for Db {
@@ -245,7 +259,7 @@ impl Db {
             .in_enclave
             .then(|| env.platform().enclave_alloc(options.write_buffer_bytes * 2));
         let recovering = env.fs().open(MANIFEST).is_ok();
-        let (inner, next_file_no, last_ts) = if recovering {
+        let (inner, next_file_no, last_ts, vlog_manifest) = if recovering {
             Self::recover_parts(&env, &options)?
         } else {
             let wal_file = env.fs().create(&wal_name(1))?;
@@ -261,7 +275,18 @@ impl Db {
                 },
                 1,
                 0,
+                (1, Vec::new()),
             )
+        };
+        let (vlog_next_no, vlog_files) = vlog_manifest;
+        // Keep the log readable even when separation was turned off, as
+        // long as the manifest still names files (levels may hold pointer
+        // records into them).
+        let vlog = if options.vlog.is_some() || !vlog_files.is_empty() {
+            let config = options.vlog.unwrap_or_default();
+            Some(Arc::new(Vlog::recover(env.clone(), config, vlog_next_no, &vlog_files)?))
+        } else {
+            None
         };
         // Publish epoch 0 to the listener before any reader exists, so
         // every epoch a trace can name has listener-side state.
@@ -281,6 +306,7 @@ impl Db {
             memtable_region,
             stats: DbStats::default(),
             repl: RwLock::new(None),
+            vlog,
             options,
         };
         if !recovering {
@@ -290,10 +316,11 @@ impl Db {
         Ok(db)
     }
 
+    #[allow(clippy::type_complexity)]
     fn recover_parts(
         env: &Arc<StorageEnv>,
         options: &Options,
-    ) -> Result<(DbInner, u64, u64), FsError> {
+    ) -> Result<(DbInner, u64, u64, (u64, Vec<(u64, u64, u64)>)), FsError> {
         let manifest = env.fs().open(MANIFEST)?;
         let bytes = env.host_call(|| manifest.read_at(0, manifest.len()))?;
         let corrupt =
@@ -324,14 +351,30 @@ impl Db {
             }
             *slot = Some(Arc::new(Run::new(tables)));
         }
+        // The value-log section follows the levels. Older manifests (no
+        // section) decode as an empty log.
+        let (vlog_next_no, vlog_files) = match crate::vlog::decode_manifest_section(&bytes[pos..]) {
+            Some((next_no, files, _)) => (next_no, files),
+            None => (1, Vec::new()),
+        };
         // A crash between writing a merge's output files and the manifest
         // that names them leaves orphaned SSTables. Remove them: they hold
         // only data still reachable through the manifest's inputs, and
         // leaving them would collide with reused file numbers (the
         // recovered `next_file_no` predates the orphans).
+        let named_vlogs: HashSet<u64> = vlog_files.iter().map(|&(no, _, _)| no).collect();
         for name in env.fs().list() {
             if let Some(no) = parse_table_name(&name) {
                 if !named.contains(&no) {
+                    let _ = env.fs().delete(&name);
+                }
+            }
+            // Likewise for value-log files the manifest never learned of:
+            // no durable pointer record can name them (pointers reach the
+            // levels only via SSTables the same manifest would name), so
+            // they hold only garbage from a crash mid-flush or mid-GC.
+            if let Some(no) = parse_vlog_name(&name) {
+                if !named_vlogs.contains(&no) {
                     let _ = env.fs().delete(&name);
                 }
             }
@@ -374,6 +417,7 @@ impl Db {
             },
             next_file_no,
             max_ts,
+            (vlog_next_no, vlog_files),
         ))
     }
 
@@ -390,6 +434,9 @@ impl Db {
     /// Operation counters plus instantaneous compaction-debt gauges.
     pub fn stats(&self) -> DbStatsSnapshot {
         let debt = self.compaction_debt();
+        let (vlog_bytes, vlog_garbage_bytes) =
+            self.vlog.as_ref().map_or((0, 0), |vlog| vlog.stats());
+        let (block_cache_hits, block_cache_misses) = self.env.cache_stats().unwrap_or((0, 0));
         DbStatsSnapshot {
             puts: self.stats.puts.load(Ordering::Relaxed),
             deletes: self.stats.deletes.load(Ordering::Relaxed),
@@ -401,7 +448,16 @@ impl Db {
             compaction_output_records: self.stats.compaction_output_records.load(Ordering::Relaxed),
             debt_bytes: debt.total_over_bytes,
             pending_compaction_jobs: debt.pending_jobs as u64,
+            vlog_bytes,
+            vlog_garbage_bytes,
+            block_cache_hits,
+            block_cache_misses,
         }
+    }
+
+    /// The value log, when key-value separation is (or was) enabled.
+    pub fn vlog(&self) -> Option<&Arc<Vlog>> {
+        self.vlog.as_ref()
     }
 
     /// How far behind compaction currently is: per-level bytes over the
@@ -566,7 +622,9 @@ impl Db {
         }
         for op in &ops {
             match op.kind {
-                ValueKind::Put => self.stats.puts.fetch_add(1, Ordering::Relaxed),
+                ValueKind::Put | ValueKind::VlogPut => {
+                    self.stats.puts.fetch_add(1, Ordering::Relaxed)
+                }
                 ValueKind::Delete => self.stats.deletes.fetch_add(1, Ordering::Relaxed),
             };
         }
@@ -713,7 +771,9 @@ impl Db {
         }
         for record in records {
             match record.kind {
-                ValueKind::Put => self.stats.puts.fetch_add(1, Ordering::Relaxed),
+                ValueKind::Put | ValueKind::VlogPut => {
+                    self.stats.puts.fetch_add(1, Ordering::Relaxed)
+                }
                 ValueKind::Delete => self.stats.deletes.fetch_add(1, Ordering::Relaxed),
             };
         }
@@ -795,7 +855,41 @@ impl Db {
         let ts_q = Timestamp::MAX >> 1;
         let (mem_hit, version) = self.read_view(key, ts_q);
         let trace = self.get_on_version(&version, mem_hit, key, ts_q, NeighborPolicy::Skip)?;
-        Ok(trace.result.filter(|r| r.kind == ValueKind::Put))
+        match trace.result.filter(|r| r.kind.is_value()) {
+            Some(r) => self.resolve_vlog_record(r).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Replaces a pointer record's value with the bytes it points at in
+    /// the value log; non-pointer records pass through. The unauthenticated
+    /// counterpart of eLSM's MAC-checked resolution: a pointer that does
+    /// not resolve (missing file, CRC mismatch, key/ts mismatch) is disk
+    /// corruption and surfaces as an IO error, never as silent garbage or
+    /// a silent miss.
+    fn resolve_vlog_record(&self, record: Record) -> Result<Record, FsError> {
+        if record.kind != ValueKind::VlogPut {
+            return Ok(record);
+        }
+        let corrupt = |name: String| FsError::OutOfBounds { name, requested_end: 0, len: 0 };
+        let vlog = self.vlog.as_ref().ok_or_else(|| corrupt("no value log".to_string()))?;
+        let entry = self
+            .listener
+            .unwrap_vlog_pointer(&record.value)
+            .and_then(|ptr_bytes| decode_pointer(&ptr_bytes))
+            .map(|(ptr, _mac)| vlog.read(ptr).map(|e| (ptr, e)))
+            .transpose()?
+            .and_then(|(ptr, entry)| entry.map(|e| (ptr, e)));
+        match entry {
+            Some((_, e)) if e.key == record.key && e.ts == record.ts => Ok(Record {
+                key: record.key,
+                value: Bytes::from(e.value),
+                ts: record.ts,
+                kind: ValueKind::Put,
+            }),
+            Some((ptr, _)) => Err(corrupt(vlog_name(ptr.file_no))),
+            None => Err(corrupt("vlog pointer".to_string())),
+        }
     }
 
     /// Point query returning the full per-level trace (the middleware
@@ -915,7 +1009,7 @@ impl Db {
         let ts_q = Timestamp::MAX >> 1;
         let (mem, version) = self.scan_view(from, to);
         let trace = self.scan_on_version(&version, mem, from, to, ts_q, NeighborPolicy::Skip)?;
-        Ok(trace.merged)
+        trace.merged.into_iter().map(|r| self.resolve_vlog_record(r)).collect()
     }
 
     /// Range query with the full per-level trace. Unlike GET, every level
@@ -1018,7 +1112,7 @@ impl Db {
                 continue;
             }
             last_key = Some(&r.key[..]);
-            if r.kind == ValueKind::Put {
+            if r.kind.is_value() {
                 merged.push(r.clone());
             }
         }
@@ -1047,6 +1141,35 @@ impl Db {
         });
         let live_epochs: Vec<u64> = inner.live.iter().map(|v| v.epoch()).collect();
         self.listener.on_versions_retired(&live_epochs);
+    }
+
+    /// Key-value separation (flush-time): records whose stored value
+    /// reaches the configured threshold move their bytes to the value log
+    /// and become pointer records ([`ValueKind::VlogPut`]). The log is
+    /// synced before returning, so by the time any SSTable (and later the
+    /// manifest) names a pointer, its entry is durable.
+    fn separate_large_values(&self, records: &mut [Record]) -> Result<(), FsError> {
+        let Some(config) = self.options.vlog else {
+            return Ok(());
+        };
+        let Some(vlog) = &self.vlog else {
+            return Ok(());
+        };
+        let mut moved = false;
+        for record in records.iter_mut() {
+            if record.kind != ValueKind::Put || record.value.len() < config.value_threshold {
+                continue;
+            }
+            let mac = self.listener.vlog_mac(record);
+            let ptr = vlog.append(&record.key, record.ts, &record.value)?;
+            record.value = self.listener.wrap_vlog_pointer(encode_pointer(ptr, &mac));
+            record.kind = ValueKind::VlogPut;
+            moved = true;
+        }
+        if moved {
+            vlog.sync();
+        }
+        Ok(())
     }
 
     fn flush_inner(&self, min_bytes: usize, chase: bool) -> Result<(), FsError> {
@@ -1088,8 +1211,13 @@ impl Db {
         };
 
         // Phase 2 (no store lock): merge the frozen records into the
-        // strategy's target level.
-        let mem_records: Vec<Record> = imm.iter_records().collect();
+        // strategy's target level. Key-value separation happens here —
+        // before the listener observes the records — so levels, proofs and
+        // commitments all cover pointer records, while the WAL and the
+        // memtable (whose replay must restore values without the log)
+        // always carry the full values.
+        let mut mem_records: Vec<Record> = imm.iter_records().collect();
+        self.separate_large_values(&mut mem_records)?;
         for r in &mem_records {
             self.listener.on_flush_record(r);
         }
@@ -1121,7 +1249,7 @@ impl Db {
         // below, so purging there would resurrect shadowed versions.
         let purge =
             self.options.compaction_enabled && merge_existing && target >= self.options.max_levels;
-        let out = self.merge_to_run(inputs, input_levels, target, purge)?;
+        let out = self.merge_to_run(inputs, input_levels, target, purge, &[])?;
 
         // Phase 3 (write lock): install the successor version with the
         // frozen memtable absorbed into its level.
@@ -1152,6 +1280,9 @@ impl Db {
         let _ = self.env.fs().delete(&old_wal);
         if chase && self.options.compaction_enabled {
             self.run_waves()?;
+        }
+        if chase && self.options.vlog.is_some_and(|c| c.gc_enabled) {
+            self.vlog_gc_locked()?;
         }
         Ok(())
     }
@@ -1192,8 +1323,23 @@ impl Db {
         jobs: &[CompactionJob],
         parallelism: usize,
     ) -> Result<(), FsError> {
+        self.execute_jobs_inner(base, jobs, parallelism, None)
+    }
+
+    /// [`Db::execute_jobs`], optionally in value-log-GC mode: `gc` names
+    /// victim files whose live entries every merge rewrites, the install
+    /// emits [`ReplicationEvent::VlogGc`] instead of per-job `Compact`
+    /// markers, and the victims are deleted once the rewrite is durable.
+    fn execute_jobs_inner(
+        &self,
+        base: &Arc<Version>,
+        jobs: &[CompactionJob],
+        parallelism: usize,
+        gc: Option<&VlogGcJob>,
+    ) -> Result<(), FsError> {
+        let rewrite: &[u64] = gc.map_or(&[], |gc| &gc.rewrite_files);
         let outputs: Vec<Result<MergeOutput, FsError>> = if parallelism <= 1 {
-            jobs.iter().map(|job| self.run_merge_job(base, job)).collect()
+            jobs.iter().map(|job| self.run_merge_job(base, job, rewrite)).collect()
         } else {
             let slots = parallelism.min(4);
             std::thread::scope(|s| {
@@ -1206,7 +1352,7 @@ impl Db {
                                 .env
                                 .platform()
                                 .serial_section(SerialClass::compaction_slot(i % slots));
-                            self.run_merge_job(base, job)
+                            self.run_merge_job(base, job, rewrite)
                         })
                     })
                     .collect();
@@ -1241,7 +1387,10 @@ impl Db {
                 // the exact job, then the epoch swaps — so a replica
                 // replaying the stream reproduces this install verbatim.
                 self.listener.on_compaction_install(&out.info);
-                self.emit(ReplicationEvent::Compact { job });
+                match gc {
+                    Some(gc) => self.emit(ReplicationEvent::VlogGc { gc }),
+                    None => self.emit(ReplicationEvent::Compact { job }),
+                }
                 self.install_locked(&mut inner, next);
             }
             self.stats.compactions.fetch_add(1, Ordering::Relaxed);
@@ -1253,17 +1402,35 @@ impl Db {
                 self.retire_run(run);
             }
         }
+        // GC epilogue: every pointer into a victim file has been rewritten
+        // and the manifest that names the rewritten tables (and drops the
+        // victims from its value-log section) is durable — the victims can
+        // go. Pinned old versions keep reading them through their retained
+        // handles; a crash right here merely redoes the deletions.
+        if let (Some(gc), Some(vlog)) = (gc, &self.vlog) {
+            for &no in &gc.rewrite_files {
+                vlog.remove_file(no);
+            }
+            self.write_manifest()?;
+        }
         Ok(())
     }
 
     /// Merges one job's input runs into an output run (no store state is
     /// touched — safe to run concurrently with other jobs of a wave).
-    fn run_merge_job(&self, base: &Version, job: &CompactionJob) -> Result<MergeOutput, FsError> {
+    /// `rewrite` names value-log files whose pointer records must be
+    /// re-homed to the active log file (GC mode; empty otherwise).
+    fn run_merge_job(
+        &self,
+        base: &Version,
+        job: &CompactionJob,
+        rewrite: &[u64],
+    ) -> Result<MergeOutput, FsError> {
         let mut inputs = Vec::new();
         for &level in &job.input_levels {
             push_run_inputs(&mut inputs, base.level(level).map(|r| r.as_ref()), level);
         }
-        self.merge_to_run(inputs, job.input_levels.clone(), job.output_level, job.purge)
+        self.merge_to_run(inputs, job.input_levels.clone(), job.output_level, job.purge, rewrite)
     }
 
     /// Replays one job from a primary's [`ReplicationEvent::Compact`]
@@ -1320,15 +1487,120 @@ impl Db {
         self.execute_jobs(&base, std::slice::from_ref(&job), 1)
     }
 
+    /// Value-log garbage collection: deletes fully-dead log files
+    /// outright, then — if any non-active file's garbage fraction reaches
+    /// [`crate::options::VlogConfig::gc_garbage_ratio`] — runs one merge
+    /// over the populated levels with the victims' live entries rewritten
+    /// to the active file, and deletes the victims once the rewrite is
+    /// durable. A no-op without a value log or without due victims.
+    /// Runs automatically after flush-chased compaction when
+    /// [`crate::options::VlogConfig::gc_enabled`] is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn vlog_gc(&self) -> Result<(), FsError> {
+        let _maint = self.maint.lock();
+        let _serial = self.env.platform().serial_section(SerialClass::Maintenance);
+        self.vlog_gc_locked()
+    }
+
+    /// [`Db::vlog_gc`] body; caller holds the maintenance mutex.
+    fn vlog_gc_locked(&self) -> Result<(), FsError> {
+        let Some(vlog) = &self.vlog else {
+            return Ok(());
+        };
+        // Files every byte of which is garbage need no rewrite, but they
+        // still ride in the victim set so replicas replaying the shipped
+        // job drop them too — removing them only locally would leave the
+        // follower's log strictly larger than the primary's.
+        let mut victims = vlog.fully_dead();
+        victims.extend(vlog.victims());
+        if victims.is_empty() {
+            return Ok(());
+        }
+        let base = self.current_version();
+        let view = LevelsView::from_version(&base);
+        // Any merge that visits every pointer record works; the strategy's
+        // major job does, and a single populated level degenerates to a
+        // self-merge of that level.
+        let job = match self.strategy.major_job(&view, &self.options) {
+            Some(job) => job,
+            None => match view.non_empty().first() {
+                Some(&level) => {
+                    CompactionJob { input_levels: vec![level], output_level: level, purge: false }
+                }
+                // No levels: no live pointer can exist, so every victim is
+                // fully dead. Ship a degenerate (empty-input) job so the
+                // replica's [`Db::apply_vlog_gc`] takes its deletion-only
+                // path.
+                None => CompactionJob { input_levels: Vec::new(), output_level: 0, purge: false },
+            },
+        };
+        let gc = VlogGcJob { job, rewrite_files: victims };
+        if gc.job.input_levels.is_empty() {
+            for &no in &gc.rewrite_files {
+                vlog.remove_file(no);
+            }
+            self.write_manifest()?;
+            self.emit(ReplicationEvent::VlogGc { gc: &gc });
+            return Ok(());
+        }
+        self.execute_jobs_inner(&base, std::slice::from_ref(&gc.job), 1, Some(&gc))
+    }
+
+    /// Replays a value-log GC from a primary's
+    /// [`ReplicationEvent::VlogGc`] marker: runs exactly the shipped merge
+    /// with the shipped victim set, then drops the victims — mirroring
+    /// [`Db::apply_compaction_job`]. The victim choice is the primary's
+    /// alone; a replica deciding locally could rewrite entries in a
+    /// different order and diverge from the primary's commitments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] on IO errors.
+    pub fn apply_vlog_gc(&self, gc: &VlogGcJob) -> Result<(), FsError> {
+        let _maint = self.maint.lock();
+        let _serial = self.env.platform().serial_section(SerialClass::Maintenance);
+        let base = self.current_version();
+        if gc.job.input_levels.iter().all(|&l| base.level(l).is_none()) {
+            // Degenerate shipped job (nothing to merge here): still honor
+            // the victim deletions so both logs' file sets match.
+            if let Some(vlog) = &self.vlog {
+                for &no in &gc.rewrite_files {
+                    vlog.remove_file(no);
+                }
+                self.write_manifest()?;
+            }
+            return Ok(());
+        }
+        self.execute_jobs_inner(&base, std::slice::from_ref(&gc.job), 1, Some(gc))
+    }
+
     /// Merges sorted inputs into one output run, chunked into files. Pure
     /// with respect to store state (only the lock-free file-number
     /// allocator advances), so wave jobs run it concurrently.
+    /// Tells the value log that a dropped pointer record's entry bytes are
+    /// now garbage (GC victim accounting). Non-pointer records are free.
+    fn note_vlog_drop(&self, record: &Record) {
+        if record.kind != ValueKind::VlogPut {
+            return;
+        }
+        if let (Some(vlog), Some((ptr, _))) = (
+            &self.vlog,
+            self.listener.unwrap_vlog_pointer(&record.value).and_then(|b| decode_pointer(&b)),
+        ) {
+            vlog.note_garbage(ptr.file_no, ptr.len);
+        }
+    }
+
     fn merge_to_run(
         &self,
         inputs: Vec<MergeInput>,
         input_levels: Vec<usize>,
         output_level: usize,
         purge: bool,
+        rewrite: &[u64],
     ) -> Result<MergeOutput, FsError> {
         // Tombstones may only be purged when a merge observes every live
         // version of its keys (bottom level, or a major pass over all
@@ -1369,6 +1641,7 @@ impl Db {
             }
             if drop_rest {
                 key_clean = false;
+                self.note_vlog_drop(&record);
                 continue;
             }
             if allow_purge && record.kind == ValueKind::Delete && !seen_version {
@@ -1380,17 +1653,59 @@ impl Db {
             }
             if seen_version && !self.options.keep_old_versions {
                 key_clean = false;
+                self.note_vlog_drop(&record);
                 continue;
             }
             seen_version = true;
             if self.listener.filter_output(&record) == FilterDecision::Drop {
                 key_clean = false;
+                self.note_vlog_drop(&record);
                 continue;
             }
             output.push(record);
         }
         let clean = key_clean && key_source.is_some_and(|l| l != 0);
         unchanged.resize(output.len(), clean);
+        // GC mode: re-home surviving pointer records out of the victim
+        // files before the listener transforms the output — the rewritten
+        // pointer value must be what gets hashed into the new leaf. The
+        // MAC is carried over verbatim: it binds key‖ts‖payload, not the
+        // entry's location.
+        if !rewrite.is_empty() {
+            let victims: HashSet<u64> = rewrite.iter().copied().collect();
+            let mut moved = false;
+            for (record, tag) in output.iter_mut().zip(unchanged.iter_mut()) {
+                if record.kind != ValueKind::VlogPut {
+                    continue;
+                }
+                let Some(vlog) = &self.vlog else { continue };
+                let Some((ptr, mac)) = self
+                    .listener
+                    .unwrap_vlog_pointer(&record.value)
+                    .and_then(|bytes| decode_pointer(&bytes))
+                else {
+                    continue;
+                };
+                if !victims.contains(&ptr.file_no) {
+                    continue;
+                }
+                let entry = vlog.read(ptr)?.ok_or_else(|| FsError::OutOfBounds {
+                    name: vlog_name(ptr.file_no),
+                    requested_end: (ptr.offset + ptr.len) as usize,
+                    len: 0,
+                })?;
+                let new_ptr = vlog.append(&entry.key, entry.ts, &entry.value)?;
+                vlog.note_garbage(ptr.file_no, ptr.len);
+                record.value = self.listener.wrap_vlog_pointer(encode_pointer(new_ptr, &mac));
+                *tag = false;
+                moved = true;
+            }
+            if moved {
+                if let Some(vlog) = &self.vlog {
+                    vlog.sync();
+                }
+            }
+        }
         self.stats.compaction_input_records.fetch_add(input_count, Ordering::Relaxed);
         let output = self.listener.transform_output_tagged(output_level, output, &unchanged);
         self.stats.compaction_output_records.fetch_add(output.len() as u64, Ordering::Relaxed);
@@ -1479,6 +1794,7 @@ impl Db {
                 }
             }
         }
+        crate::vlog::encode_manifest_section(self.vlog.as_deref(), &mut bytes);
         let _ = self.env.fs().delete(MANIFEST);
         let file = self.env.fs().create(MANIFEST)?;
         self.env.append(&file, &bytes);
@@ -2107,6 +2423,7 @@ mod tests {
         Frame(Vec<Record>),
         Flush,
         Compact(CompactionJob),
+        VlogGc(VlogGcJob),
         Install,
     }
 
@@ -2122,6 +2439,7 @@ mod tests {
                 ReplicationEvent::Frame { records } => ReplayEvent::Frame(records.to_vec()),
                 ReplicationEvent::Flush => ReplayEvent::Flush,
                 ReplicationEvent::Compact { job } => ReplayEvent::Compact(job.clone()),
+                ReplicationEvent::VlogGc { gc } => ReplayEvent::VlogGc(gc.clone()),
                 ReplicationEvent::Install { .. } => ReplayEvent::Install,
             };
             self.events.lock().push(entry);
@@ -2150,6 +2468,7 @@ mod tests {
                 ReplayEvent::Frame(records) => replica.apply_replicated_batch(records).unwrap(),
                 ReplayEvent::Flush => replica.apply_replicated_flush().unwrap(),
                 ReplayEvent::Compact(job) => replica.apply_compaction_job(job).unwrap(),
+                ReplayEvent::VlogGc(gc) => replica.apply_vlog_gc(gc).unwrap(),
                 ReplayEvent::Install => {}
             }
         }
@@ -2392,5 +2711,134 @@ mod tests {
         assert!(db.get(b"k007").unwrap().is_none());
         let recs = db.level_records();
         assert_eq!(recs.iter().sum::<u64>(), 0, "values and tombstones physically gone: {recs:?}");
+    }
+
+    fn vlog_options() -> Options {
+        Options {
+            keep_old_versions: false,
+            vlog: Some(crate::options::VlogConfig {
+                value_threshold: 128,
+                target_file_bytes: 4 * 1024,
+                gc_garbage_ratio: 0.3,
+                gc_enabled: false,
+            }),
+            ..small_options()
+        }
+    }
+
+    #[test]
+    fn large_values_separate_into_the_value_log_at_flush() {
+        let db = open_db(vlog_options());
+        db.put(b"small", b"inline").unwrap();
+        db.put(b"big", &[7u8; 1000]).unwrap();
+        db.flush().unwrap();
+        // On-disk record for `big` is a pointer, not the payload.
+        let level = (1..db.level_bytes().len())
+            .find(|&l| !db.level_record_dump(l).unwrap().is_empty())
+            .unwrap();
+        let dump = db.level_record_dump(level).unwrap();
+        let big = dump.iter().find(|r| &r.key[..] == b"big").unwrap();
+        assert_eq!(big.kind, ValueKind::VlogPut);
+        assert_eq!(big.value.len(), crate::vlog::POINTER_BYTES);
+        let small = dump.iter().find(|r| &r.key[..] == b"small").unwrap();
+        assert_eq!(small.kind, ValueKind::Put);
+        // Reads resolve through the vlog transparently.
+        assert_eq!(&db.get(b"big").unwrap().unwrap().value[..], &[7u8; 1000][..]);
+        assert_eq!(&db.get(b"small").unwrap().unwrap().value[..], b"inline");
+        let scanned = db.scan(b"a", b"z").unwrap();
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[0].value.len(), 1000);
+        let s = db.stats();
+        assert!(s.vlog_bytes > 1000, "vlog holds the payload: {}", s.vlog_bytes);
+        assert_eq!(s.vlog_garbage_bytes, 0);
+    }
+
+    #[test]
+    fn vlog_survives_restart_and_gc_rewrites_live_entries() {
+        let platform = Platform::with_defaults();
+        let fs = SimFs::new(SimDisk::new(platform.clone()));
+        let options = vlog_options();
+        let env = StorageEnv::new(platform.clone(), fs.clone(), options.env.clone(), None);
+        {
+            let db = Db::open(env.clone(), options.clone(), None).unwrap();
+            for i in 0..20u32 {
+                db.put(format!("k{i:02}").as_bytes(), &[i as u8; 600]).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = Db::open(env.clone(), options.clone(), None).unwrap();
+        for i in 0..20u32 {
+            let got = db.get(format!("k{i:02}").as_bytes()).unwrap().unwrap();
+            assert_eq!(&got.value[..], &[i as u8; 600][..], "k{i:02} across restart");
+        }
+        // Overwrite half the keys: old vlog entries become garbage once
+        // compaction drops the superseded versions.
+        for i in 0..10u32 {
+            db.put(format!("k{i:02}").as_bytes(), &[0xEE; 600]).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_major().unwrap();
+        let before = db.stats();
+        assert!(before.vlog_garbage_bytes > 0, "superseded entries counted: {before:?}");
+        db.vlog_gc().unwrap();
+        let after = db.stats();
+        assert!(
+            after.vlog_bytes - after.vlog_garbage_bytes <= before.vlog_bytes,
+            "gc never grows live bytes"
+        );
+        assert!(
+            after.vlog_garbage_bytes < before.vlog_garbage_bytes
+                || after.vlog_bytes < before.vlog_bytes,
+            "gc reclaimed something: {before:?} -> {after:?}"
+        );
+        // Every key still readable after rewrite, including across one more restart.
+        drop(db);
+        let db = Db::open(env, options, None).unwrap();
+        for i in 0..20u32 {
+            let want: &[u8] = if i < 10 { &[0xEE; 600] } else { &[i as u8; 600] };
+            let got = db.get(format!("k{i:02}").as_bytes()).unwrap().unwrap();
+            assert_eq!(&got.value[..], want, "k{i:02} after gc + restart");
+        }
+    }
+
+    #[test]
+    fn vlog_gc_is_replayable_on_a_follower() {
+        // Same stream-replay harness as
+        // replication_stream_replays_to_an_identical_store, but with value
+        // separation on and a GC cycle in the stream.
+        let probe = Arc::new(StreamProbe::default());
+        let db = open_db(vlog_options());
+        db.set_replication_sink(probe.clone());
+        for i in 0..20u32 {
+            db.put(format!("k{i:02}").as_bytes(), &[i as u8; 600]).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 0..10u32 {
+            db.put(format!("k{i:02}").as_bytes(), &[0xAB; 600]).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_major().unwrap();
+        db.vlog_gc().unwrap();
+        assert!(
+            probe.events.lock().iter().any(|e| matches!(e, ReplayEvent::VlogGc(_))),
+            "gc must ship as a replication event"
+        );
+
+        let replica = open_db(vlog_options());
+        for event in probe.events.lock().iter() {
+            match event {
+                ReplayEvent::Frame(records) => replica.apply_replicated_batch(records).unwrap(),
+                ReplayEvent::Flush => replica.apply_replicated_flush().unwrap(),
+                ReplayEvent::Compact(job) => replica.apply_compaction_job(job).unwrap(),
+                ReplayEvent::VlogGc(gc) => replica.apply_vlog_gc(gc).unwrap(),
+                ReplayEvent::Install => {}
+            }
+        }
+        for i in 0..20u32 {
+            let want: &[u8] = if i < 10 { &[0xAB; 600] } else { &[i as u8; 600] };
+            let got = replica.get(format!("k{i:02}").as_bytes()).unwrap().unwrap();
+            assert_eq!(&got.value[..], want, "replica k{i:02}");
+        }
+        assert_eq!(replica.stats().vlog_bytes, db.stats().vlog_bytes, "replayed vlog converges");
     }
 }

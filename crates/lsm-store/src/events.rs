@@ -20,8 +20,11 @@
 
 use std::fmt;
 
-use crate::compaction::CompactionJob;
+use bytes::Bytes;
+
+use crate::compaction::{CompactionJob, VlogGcJob};
 use crate::record::Record;
+use crate::vlog::MAC_BYTES;
 
 /// Identifies where a compaction input record came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -168,6 +171,36 @@ pub trait StoreListener: Send + Sync {
     fn on_versions_retired(&self, live_epochs: &[u64]) {
         let _ = live_epochs;
     }
+
+    /// MAC authenticating one value-log entry. Called at flush time (and
+    /// on GC rewrite verification) for each record whose value moves to
+    /// the value log; the returned bytes are embedded in the pointer
+    /// record, so the Merkle commitment over the pointer transitively
+    /// covers the out-of-line value. The default (vanilla store) is an
+    /// all-zero MAC — only the per-entry CRC protects the log.
+    ///
+    /// Must be a **deterministic** function of the record (replicas replay
+    /// the same flushes and must produce bit-identical pointer records,
+    /// hence bit-identical level commitments).
+    fn vlog_mac(&self, record: &Record) -> [u8; MAC_BYTES] {
+        let _ = record;
+        [0u8; MAC_BYTES]
+    }
+
+    /// Wraps encoded pointer bytes into the form the listener stores as a
+    /// record value (eLSM wraps them in its plain value envelope so
+    /// pointer records share the level's canonical-record format). The
+    /// default stores them bare.
+    fn wrap_vlog_pointer(&self, pointer: Vec<u8>) -> Bytes {
+        Bytes::from(pointer)
+    }
+
+    /// Inverse of [`StoreListener::wrap_vlog_pointer`]: recovers the
+    /// encoded pointer bytes from a `VlogPut` record's stored value.
+    /// `None` means the stored value does not parse (tampering).
+    fn unwrap_vlog_pointer(&self, stored: &[u8]) -> Option<Bytes> {
+        Some(Bytes::copy_from_slice(stored))
+    }
 }
 
 /// One replication-relevant event of the write/maintenance path.
@@ -214,6 +247,17 @@ pub enum ReplicationEvent<'a> {
     Install {
         /// The installed version's epoch.
         epoch: u64,
+    },
+    /// A value-log garbage collection installed: the carried merge job ran
+    /// with the named victim files' live entries rewritten to the active
+    /// log file, and the victims were deleted afterwards. A replica
+    /// replays it via
+    /// [`Db::apply_vlog_gc`](crate::db::Db::apply_vlog_gc) — like
+    /// [`ReplicationEvent::Compact`], the decision (victim set and job)
+    /// comes from the primary so both logs evolve identically.
+    VlogGc {
+        /// The GC description (merge job + victim file numbers).
+        gc: &'a VlogGcJob,
     },
 }
 

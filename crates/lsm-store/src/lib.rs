@@ -38,12 +38,13 @@ pub mod sstable;
 pub mod version;
 #[cfg(test)]
 mod version_tests;
+pub mod vlog;
 pub mod wal;
 
 pub use batch::WriteBatch;
 pub use compaction::{
     CompactionConfig, CompactionDebt, CompactionJob, CompactionStrategy, CompactionStrategyKind,
-    FlushPlan, Leveled, LevelsView, Tiered, TieredConfig,
+    FlushPlan, Leveled, LevelsView, Tiered, TieredConfig, VlogGcJob,
 };
 pub use db::{Db, DbStats, DbStatsSnapshot};
 pub use env::{EnvConfig, StorageEnv};
@@ -51,8 +52,9 @@ pub use events::{
     CompactionInfo, FilterDecision, NoopListener, RecordSource, ReplicationEvent, ReplicationSink,
     StoreListener,
 };
-pub use options::{Options, WalSyncPolicy};
+pub use options::{Options, VlogConfig, WalSyncPolicy};
 pub use record::{internal_cmp, InternalKey, Record, Timestamp, ValueKind};
 pub use sstable::{NeighborPolicy, TableBuilder, TableGet, TableMeta, TableOptions, TableReader};
 pub use version::{GetTrace, LevelOutcome, LevelRange, LevelSearch, Run, ScanTrace, Version};
+pub use vlog::{Vlog, VlogEntry, VlogPtr};
 pub use wal::{decode_frame, encode_frame};

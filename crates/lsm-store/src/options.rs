@@ -37,6 +37,39 @@ pub enum WalSyncPolicy {
     EveryNBytes(usize),
 }
 
+/// Key-value separation knobs (WiscKey-style authenticated value log).
+///
+/// When enabled on [`Options::vlog`], flushes divert values of at least
+/// [`VlogConfig::value_threshold`] bytes into append-only value-log files;
+/// the LSM levels keep pointer records
+/// ([`crate::record::ValueKind::VlogPut`]) of a few dozen bytes, so
+/// compaction merges and listener re-hashing no longer pay per value byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VlogConfig {
+    /// Stored values of at least this many bytes move to the value log at
+    /// flush time (smaller values stay inline in the LSM).
+    pub value_threshold: usize,
+    /// Rotate to a new value-log file once the active one reaches this
+    /// size (bounds the blast radius of one GC rewrite).
+    pub target_file_bytes: u64,
+    /// Garbage-collect a value-log file once this fraction of its bytes
+    /// belongs to dropped pointer records.
+    pub gc_garbage_ratio: f64,
+    /// Run value-log GC automatically after flush-chased compaction.
+    pub gc_enabled: bool,
+}
+
+impl Default for VlogConfig {
+    fn default() -> Self {
+        VlogConfig {
+            value_threshold: 4096,
+            target_file_bytes: 256 * 1024,
+            gc_garbage_ratio: 0.5,
+            gc_enabled: true,
+        }
+    }
+}
+
 /// Options for opening a [`crate::db::Db`].
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -80,6 +113,10 @@ pub struct Options {
     /// listener-side snapshots); 0 retires every drained version
     /// immediately.
     pub retired_epoch_floor: u64,
+    /// Key-value separation: `Some` splits large values into an
+    /// append-only value log at flush time (`None` keeps every value
+    /// inline in the LSM levels — the pre-separation behaviour).
+    pub vlog: Option<VlogConfig>,
 }
 
 impl Default for Options {
@@ -99,6 +136,7 @@ impl Default for Options {
             wal_sync: WalSyncPolicy::default(),
             max_group_commit_bytes: 1 << 20,
             retired_epoch_floor: 8,
+            vlog: None,
         }
     }
 }

@@ -17,29 +17,43 @@ use bytes::Bytes;
 
 use crate::encoding::{get_fixed_u64, get_length_prefixed, put_fixed_u64, put_length_prefixed};
 
-/// Whether a record stores a value or a tombstone.
+/// Whether a record stores a value, a value-log pointer, or a tombstone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ValueKind {
-    /// A live key-value record.
+    /// A live key-value record with its value stored inline.
     Put,
+    /// A live record whose value lives in the value log; the stored bytes
+    /// are an encoded [`crate::vlog::VlogPtr`] plus its MAC (WiscKey-style
+    /// key-value separation).
+    VlogPut,
     /// A delete marker; compaction at the bottom level drops the key.
     Delete,
 }
 
 impl ValueKind {
-    fn to_bit(self) -> u64 {
+    /// Two-bit packing. `Put` takes the largest code so that seeks built
+    /// with `Put` (the historical "newest first" convention) sort at or
+    /// before every kind at the same timestamp.
+    fn to_bits(self) -> u64 {
         match self {
-            ValueKind::Put => 1,
+            ValueKind::Put => 2,
+            ValueKind::VlogPut => 1,
             ValueKind::Delete => 0,
         }
     }
 
-    fn from_bit(bit: u64) -> Self {
-        if bit & 1 == 1 {
-            ValueKind::Put
-        } else {
-            ValueKind::Delete
+    fn from_bits(bits: u64) -> Self {
+        match bits & 3 {
+            2 | 3 => ValueKind::Put,
+            1 => ValueKind::VlogPut,
+            _ => ValueKind::Delete,
         }
+    }
+
+    /// Whether the record carries a live value (inline or via the value
+    /// log) rather than a tombstone.
+    pub fn is_value(self) -> bool {
+        self != ValueKind::Delete
     }
 }
 
@@ -78,6 +92,12 @@ impl Record {
     /// Creates a tombstone.
     pub fn tombstone(key: impl Into<Bytes>, ts: Timestamp) -> Self {
         Record { key: key.into(), ts, kind: ValueKind::Delete, value: Bytes::new() }
+    }
+
+    /// Creates a value-log pointer record: `pointer` is the encoded
+    /// [`crate::vlog::VlogPtr`] + MAC (possibly listener-wrapped).
+    pub fn vlog_put(key: impl Into<Bytes>, pointer: impl Into<Bytes>, ts: Timestamp) -> Self {
+        Record { key: key.into(), ts, kind: ValueKind::VlogPut, value: pointer.into() }
     }
 
     /// The internal key identifying this record.
@@ -138,11 +158,11 @@ impl Record {
 }
 
 fn pack(ts: Timestamp, kind: ValueKind) -> u64 {
-    (ts << 1) | kind.to_bit()
+    (ts << 2) | kind.to_bits()
 }
 
 fn unpack(packed: u64) -> (Timestamp, ValueKind) {
-    (packed >> 1, ValueKind::from_bit(packed))
+    (packed >> 2, ValueKind::from_bits(packed))
 }
 
 /// Compares two *encoded* internal keys: user key ascending, then suffix
@@ -199,7 +219,7 @@ impl InternalKey {
     /// The smallest internal key for `key`: seeks placed here find the
     /// *newest* record of `key` first.
     pub fn seek_to(key: impl AsRef<[u8]>) -> Self {
-        Self::new(key, Timestamp::MAX >> 1, ValueKind::Put)
+        Self::new(key, Timestamp::MAX >> 2, ValueKind::Put)
     }
 
     /// Reconstructs an internal key from its encoded bytes.
@@ -248,7 +268,11 @@ impl fmt::Debug for InternalKey {
             "InternalKey({:?}@{}{})",
             String::from_utf8_lossy(self.user_key()),
             self.ts(),
-            if self.kind() == ValueKind::Delete { " DEL" } else { "" }
+            match self.kind() {
+                ValueKind::Delete => " DEL",
+                ValueKind::VlogPut => " VLOG",
+                ValueKind::Put => "",
+            }
         )
     }
 }
@@ -351,6 +375,38 @@ mod tests {
             let b = InternalKey::new(kb.as_bytes(), tb, ValueKind::Put);
             assert_eq!(internal_cmp(a.encoded(), b.encoded()), want, "{ka}@{ta} vs {kb}@{tb}");
         }
+    }
+
+    #[test]
+    fn vlog_pointer_records_round_trip_and_sort_with_their_timestamp() {
+        let p = Record::vlog_put(b"k".as_slice(), b"ptr-bytes".as_slice(), 9);
+        assert_eq!(p.kind, ValueKind::VlogPut);
+        assert!(p.kind.is_value());
+        assert_eq!(Record::decode(&p.encode()).unwrap(), p);
+        // Ordering stays timestamp-major across kinds.
+        let newer_put = InternalKey::new(b"k", 10, ValueKind::Put);
+        let older_del = InternalKey::new(b"k", 8, ValueKind::Delete);
+        assert!(newer_put < p.internal_key());
+        assert!(p.internal_key() < older_del);
+    }
+
+    #[test]
+    fn put_seeks_find_every_kind_at_the_same_timestamp() {
+        // Seeks use `Put` as the "newest" sentinel; a seek at ts_q must not
+        // skip a VlogPut or Delete record whose ts equals ts_q.
+        let seek = InternalKey::new(b"k", 5, ValueKind::Put);
+        for kind in [ValueKind::Put, ValueKind::VlogPut, ValueKind::Delete] {
+            assert!(seek <= InternalKey::new(b"k", 5, kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn digest_bytes_distinguish_vlog_pointers_from_inline_puts() {
+        // A kind flip (inline value <-> pointer bytes) must change the
+        // canonical digest, or a host could swap representations silently.
+        let inline = Record::put(b"k".as_slice(), b"same".as_slice(), 1);
+        let pointer = Record::vlog_put(b"k".as_slice(), b"same".as_slice(), 1);
+        assert_ne!(inline.digest_bytes(), pointer.digest_bytes());
     }
 
     #[test]

@@ -129,6 +129,9 @@ impl ReplicationSink for Shipper {
             ReplicationEvent::Compact { job } => {
                 self.broadcast(&WireEvent::Compact(job.clone()));
             }
+            ReplicationEvent::VlogGc { gc } => {
+                self.broadcast(&WireEvent::VlogGc(gc.clone()));
+            }
             ReplicationEvent::Install { epoch } => {
                 // Sign the installing epoch's commitment snapshot — it
                 // was published just before this event fired, so it is

@@ -231,6 +231,7 @@ impl Replica {
             WireEvent::Frame(records) => self.store.db().apply_replicated_batch(&records)?,
             WireEvent::Flush => self.store.db().apply_replicated_flush()?,
             WireEvent::Compact(job) => self.store.db().apply_compaction_job(&job)?,
+            WireEvent::VlogGc(gc) => self.store.db().apply_vlog_gc(&gc)?,
             WireEvent::Announce(announcement) => {
                 self.check_announcement(&mut progress, &announcement)?;
             }

@@ -11,13 +11,14 @@
 //! unit, checksummed encoding included.
 
 use elsm::replication::Announcement;
-use lsm_store::{decode_frame, encode_frame, CompactionJob, Record};
+use lsm_store::{decode_frame, encode_frame, CompactionJob, Record, VlogGcJob};
 
 const TAG_FRAME: u8 = 1;
 const TAG_FLUSH: u8 = 2;
 const TAG_COMPACT: u8 = 3;
 const TAG_ANNOUNCE: u8 = 4;
 const TAG_PROMOTE: u8 = 5;
+const TAG_VLOG_GC: u8 = 6;
 
 /// One decoded replication shipment.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,11 @@ pub enum WireEvent {
     /// A promotion: the generation in the header is the *new* generation,
     /// which replicas accept only after checking the fencing counter.
     Promote,
+    /// "Collect these value-log files now": the primary's value-log GC —
+    /// a merge job plus the victim file set, replayed bit-identically so
+    /// both logs rewrite surviving entries in the same order and end with
+    /// the same file sets.
+    VlogGc(VlogGcJob),
 }
 
 /// Encodes an event under `generation` (see the module docs).
@@ -58,6 +64,10 @@ pub fn encode_event(generation: u64, event: &WireEvent) -> Vec<u8> {
             out.extend_from_slice(&a.encode());
         }
         WireEvent::Promote => out.push(TAG_PROMOTE),
+        WireEvent::VlogGc(gc) => {
+            out.push(TAG_VLOG_GC);
+            gc.encode(&mut out);
+        }
     }
     out
 }
@@ -75,6 +85,7 @@ pub fn decode_event(payload: &[u8]) -> Option<(u64, WireEvent)> {
         TAG_COMPACT => WireEvent::Compact(CompactionJob::decode(body)?),
         TAG_ANNOUNCE => WireEvent::Announce(Announcement::decode(body)?),
         TAG_PROMOTE if body.is_empty() => WireEvent::Promote,
+        TAG_VLOG_GC => WireEvent::VlogGc(VlogGcJob::decode(body)?),
         _ => return None,
     };
     Some((generation, event))
@@ -116,6 +127,13 @@ mod tests {
                 }),
             ),
             (7, WireEvent::Promote),
+            (
+                8,
+                WireEvent::VlogGc(VlogGcJob {
+                    job: CompactionJob { input_levels: vec![1, 2], output_level: 2, purge: false },
+                    rewrite_files: vec![3, 7],
+                }),
+            ),
         ] {
             let encoded = encode_event(generation, &event);
             assert_eq!(decode_event(&encoded), Some((generation, event)));
@@ -136,8 +154,12 @@ mod tests {
         let unknown = [&1u64.to_le_bytes()[..], &[99u8]].concat();
         assert!(decode_event(&unknown).is_none());
         let job = CompactionJob { input_levels: vec![1, 2], output_level: 2, purge: false };
-        let mut compact = encode_event(1, &WireEvent::Compact(job));
+        let mut compact = encode_event(1, &WireEvent::Compact(job.clone()));
         compact.pop();
         assert!(decode_event(&compact).is_none(), "truncated job must reject");
+        let gc = VlogGcJob { job, rewrite_files: vec![4] };
+        let mut shipped = encode_event(1, &WireEvent::VlogGc(gc));
+        shipped.pop();
+        assert!(decode_event(&shipped).is_none(), "truncated gc job must reject");
     }
 }

@@ -116,13 +116,15 @@ impl Client {
             }
             Op::Update => {
                 let k = self.chooser.next(&mut self.rng, record_count, record_count);
-                driver.put(&format_key(k), &make_value(k, workload.value_len));
+                let len = workload.draw_value_len(&mut self.rng);
+                driver.put(&format_key(k), &make_value(k, len));
                 OpOutcome { read: false, hit: false }
             }
             Op::Insert => {
                 let k = self.insert_cursor;
                 self.insert_cursor += 1;
-                driver.put(&format_key(k), &make_value(k, workload.value_len));
+                let len = workload.draw_value_len(&mut self.rng);
+                driver.put(&format_key(k), &make_value(k, len));
                 OpOutcome { read: false, hit: false }
             }
             Op::Scan => {
@@ -136,7 +138,8 @@ impl Client {
                 let k = self.chooser.next(&mut self.rng, record_count, record_count);
                 let key = format_key(k);
                 let hit = driver.get(&key);
-                driver.put(&key, &make_value(k, workload.value_len));
+                let len = workload.draw_value_len(&mut self.rng);
+                driver.put(&key, &make_value(k, len));
                 OpOutcome { read: true, hit }
             }
         }

@@ -25,4 +25,4 @@ pub use histogram::{LatencyHistogram, LatencySummary};
 pub use report::Table;
 pub use runner::{load_phase, run_phase, KvDriver, RunReport};
 pub use sharded::{run_sharded_concurrent, ShardPhase, ShardedKvDriver};
-pub use workload::{Op, Workload};
+pub use workload::{Op, ValueSizeDist, Workload};

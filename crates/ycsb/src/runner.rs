@@ -95,7 +95,8 @@ pub fn run_phase(
             }
             Op::Update => {
                 let i = chooser.next(&mut rng, insert_cursor, insert_cursor);
-                driver.put(&format_key(i), &make_value(i, workload.value_len));
+                let len = workload.draw_value_len(&mut rng);
+                driver.put(&format_key(i), &make_value(i, len));
                 let ns = sw.elapsed_ns(platform.clock());
                 overall.record_ns(ns);
                 writes.record_ns(ns);
@@ -103,7 +104,8 @@ pub fn run_phase(
             Op::Insert => {
                 let i = insert_cursor;
                 insert_cursor += 1;
-                driver.put(&format_key(i), &make_value(i, workload.value_len));
+                let len = workload.draw_value_len(&mut rng);
+                driver.put(&format_key(i), &make_value(i, len));
                 let ns = sw.elapsed_ns(platform.clock());
                 overall.record_ns(ns);
                 writes.record_ns(ns);
@@ -124,7 +126,8 @@ pub fn run_phase(
                 if driver.get(&key) {
                     read_hits += 1;
                 }
-                driver.put(&key, &make_value(i, workload.value_len));
+                let len = workload.draw_value_len(&mut rng);
+                driver.put(&key, &make_value(i, len));
                 let ns = sw.elapsed_ns(platform.clock());
                 overall.record_ns(ns);
                 writes.record_ns(ns);

@@ -131,6 +131,150 @@ fn poisoned_store_refuses_service() {
     assert!(matches!(store.scan(b"a", b"z"), Err(ElsmError::Poisoned)));
 }
 
+fn vlog_opts(cache_bytes: usize) -> P2Options {
+    P2Options {
+        vlog: Some(elsm_repro::lsm_store::VlogConfig {
+            value_threshold: 128,
+            target_file_bytes: 64 * 1024,
+            gc_garbage_ratio: 0.3,
+            gc_enabled: false,
+        }),
+        verified_cache_bytes: cache_bytes,
+        ..opts()
+    }
+}
+
+/// Splices the byte range `[src, src + len)` of `file` over
+/// `[dst, dst + len)` — the host-level "copy one entry over another"
+/// attack, built from peeks and XOR corruptions.
+fn splice(file: &elsm_repro::sim_disk::SimFile, src: usize, dst: usize, len: usize) {
+    let from = file.peek(src, len).unwrap();
+    let over = file.peek(dst, len).unwrap();
+    for i in 0..len {
+        let mask = from[i] ^ over[i];
+        if mask != 0 {
+            file.corrupt(dst + i, mask);
+        }
+    }
+}
+
+#[test]
+fn swapped_vlog_entries_are_detected() {
+    // The host copies one CRC-intact value-log entry over another: the
+    // read must fail verification, never answer with the other key's
+    // value.
+    let store = ElsmP2::open(Platform::with_defaults(), vlog_opts(0)).unwrap();
+    store.put(b"bigA", &[b'A'; 2048]).unwrap();
+    store.put(b"bigB", &[b'B'; 2048]).unwrap();
+    store.db().flush().unwrap();
+    let name = store.fs().list().into_iter().find(|n| n.ends_with(".vlg")).expect("a value log");
+    let file = store.fs().open(&name).unwrap();
+    // Same key length, same value length: two identically-sized entries
+    // back to back.
+    assert_eq!(file.len() % 2, 0, "two equal-size entries expected");
+    let half = file.len() / 2;
+    splice(&file, 0, half, half);
+    match store.get(b"bigB") {
+        Err(ElsmError::Verification(VerificationFailure::VlogEntryTampered { .. })) => {}
+        other => panic!("swapped vlog entry must be detected, got {other:?}"),
+    }
+    // The untouched entry still verifies.
+    assert_eq!(store.get(b"bigA").unwrap().expect("intact").value(), &[b'A'; 2048][..]);
+}
+
+#[test]
+fn stale_vlog_entries_are_detected() {
+    // Replay attack: after an overwrite, the host copies the *old* entry
+    // (same key, older timestamp, valid CRC) over the new one. The MAC
+    // committed in the pointer record binds the timestamp, so the stale
+    // value must never be served.
+    let store = ElsmP2::open(Platform::with_defaults(), vlog_opts(0)).unwrap();
+    store.put(b"acct", &[b'1'; 2048]).unwrap();
+    store.db().flush().unwrap();
+    store.put(b"acct", &[b'2'; 2048]).unwrap();
+    store.db().flush().unwrap();
+    assert_eq!(store.get(b"acct").unwrap().expect("present").value(), &[b'2'; 2048][..]);
+    let name = store.fs().list().into_iter().find(|n| n.ends_with(".vlg")).expect("a value log");
+    let file = store.fs().open(&name).unwrap();
+    assert_eq!(file.len() % 2, 0, "two equal-size entries expected");
+    let half = file.len() / 2;
+    splice(&file, 0, half, half);
+    match store.get(b"acct") {
+        Err(ElsmError::Verification(VerificationFailure::VlogEntryTampered { .. })) => {}
+        other => panic!("stale vlog entry must be detected, got {other:?}"),
+    }
+}
+
+#[test]
+fn poisoned_cache_entries_are_detected_not_served() {
+    // An adversary with write access to the cache memory scribbles over a
+    // cached value. The per-entry tag catches it: the poisoned entry is
+    // discarded, counted, and the query falls back to the verified disk
+    // path — the caller never sees wrong bytes.
+    let store = ElsmP2::open(Platform::with_defaults(), vlog_opts(256 * 1024)).unwrap();
+    store.put(b"hot", b"payload").unwrap();
+    store.db().flush().unwrap();
+    assert_eq!(store.get(b"hot").unwrap().expect("present").value(), b"payload");
+    let before = store.cache_stats();
+    store.get(b"hot").unwrap();
+    assert!(store.cache_stats().record_hits > before.record_hits, "second read must hit");
+    assert!(store.verified_cache().unwrap().corrupt_record(b"hot"), "entry present to poison");
+    let rec = store.get(b"hot").unwrap().expect("fallback answer");
+    assert_eq!(rec.value(), b"payload", "poisoned cache must not change answers");
+    let stats = store.cache_stats();
+    assert!(stats.tamper_detected >= 1, "tampering must be counted: {stats:?}");
+}
+
+#[test]
+fn cache_entries_from_other_epochs_are_never_served() {
+    // Epoch replay: an entry re-tagged (validly) for a different epoch
+    // must structurally miss — the cache only answers under an exact
+    // match with the store's current commitment epoch.
+    let store = ElsmP2::open(Platform::with_defaults(), vlog_opts(256 * 1024)).unwrap();
+    store.put(b"k", b"v1").unwrap();
+    store.db().flush().unwrap();
+    assert_eq!(store.get(b"k").unwrap().expect("present").value(), b"v1");
+    assert!(
+        store.verified_cache().unwrap().force_record_epoch(b"k", 999_999),
+        "entry present to re-tag"
+    );
+    let before = store.cache_stats();
+    assert_eq!(store.get(b"k").unwrap().expect("present").value(), b"v1");
+    let stats = store.cache_stats();
+    assert_eq!(stats.record_hits, before.record_hits, "mis-epoch entry must not serve");
+    assert!(stats.record_misses > before.record_misses);
+}
+
+#[test]
+fn hidden_level_detected_with_separation_on() {
+    // §5.5.2's level-hiding attack, mounted against a store whose values
+    // live in the value log: pointer records participate in the level
+    // commitments exactly like inline values, so the detection guarantee
+    // is unchanged.
+    use elsm_repro::elsm::adversary;
+    use elsm_repro::lsm_store::LevelOutcome;
+    let store = ElsmP2::open(Platform::with_defaults(), vlog_opts(0)).unwrap();
+    for i in 0..40u32 {
+        store.put(format!("key{i:04}").as_bytes(), &[i as u8; 1024]).unwrap();
+    }
+    store.db().flush().unwrap();
+    let trace = store.raw_get_trace(b"key0007").unwrap();
+    let hit_level = trace
+        .levels
+        .iter()
+        .find(|l| matches!(l.outcome, LevelOutcome::Hit(_)))
+        .expect("a hit level")
+        .level;
+    let mut hidden = trace.clone();
+    adversary::hide_level(&mut hidden, hit_level);
+    assert!(
+        store.verify_get_trace(b"key0007", &hidden).is_err(),
+        "hidden level must be detected with separation on"
+    );
+    // The honest read still resolves the separated value.
+    assert_eq!(store.get(b"key0007").unwrap().expect("present").value(), &[7u8; 1024][..]);
+}
+
 #[test]
 fn wal_corruption_truncates_but_never_fabricates() {
     let platform = Platform::with_defaults();

@@ -361,3 +361,52 @@ fn parallel_clients_across_shards_stay_verified() {
     let all = cluster.scan(b"key0000", b"key9999").unwrap();
     assert_eq!(all.len(), 200, "writes under contention must all survive, verified");
 }
+
+/// The base store's key-value-separation and verified-cache knobs flow
+/// through the shard layer unchanged: every shard separates its large
+/// values into its own authenticated value log and serves hot verified
+/// reads from its own epoch-tagged cache.
+#[test]
+fn vlog_and_cache_flow_through_every_shard() {
+    let options = P2Options {
+        vlog: Some(elsm_repro::lsm_store::VlogConfig {
+            value_threshold: 128,
+            target_file_bytes: 64 * 1024,
+            gc_garbage_ratio: 0.3,
+            gc_enabled: false,
+        }),
+        verified_cache_bytes: 256 * 1024,
+        ..small_store_options()
+    };
+    let cluster =
+        ShardedKv::open(Platform::with_defaults(), ShardedOptions::hash(3, options)).unwrap();
+    for i in 0..60u32 {
+        cluster.put(format!("key{i:04}").as_bytes(), &[i as u8; 1024]).unwrap();
+    }
+    cluster.flush().unwrap();
+    for s in 0..3 {
+        assert!(
+            cluster.shard(s).db().stats().vlog_bytes > 1024,
+            "shard {s} must hold separated values in its own log"
+        );
+    }
+    // Verified reads resolve through each shard's log, and a re-read of
+    // the same key hits that shard's cache.
+    for i in (0..60u32).step_by(7) {
+        let key = format!("key{i:04}");
+        assert_eq!(
+            cluster.get(key.as_bytes()).unwrap().expect("present").value(),
+            &[i as u8; 1024][..]
+        );
+    }
+    let hits_before: u64 = (0..3).map(|s| cluster.shard(s).cache_stats().record_hits).sum();
+    for i in (0..60u32).step_by(7) {
+        let key = format!("key{i:04}");
+        assert_eq!(
+            cluster.get(key.as_bytes()).unwrap().expect("present").value(),
+            &[i as u8; 1024][..]
+        );
+    }
+    let hits_after: u64 = (0..3).map(|s| cluster.shard(s).cache_stats().record_hits).sum();
+    assert!(hits_after > hits_before, "re-reads must hit the per-shard verified caches");
+}
