@@ -91,18 +91,24 @@ fn main() {
             for name in names {
                 let (_, figure) = figures.iter().find(|(n, _)| n == name).expect("validated above");
                 let start = elsm_bench::results::len();
+                elsm_bench::telemetry::begin_figure();
                 emit(&figure());
                 elsm_bench::results::write_results_from(
                     &format!("BENCH_results.{name}.json"),
                     mode,
                     start,
                 );
+                elsm_bench::telemetry::write_snapshot(name);
             }
         }
-        // The full sweep owns the committed baseline.
+        // The full sweep owns the committed baseline. Telemetry still
+        // rotates per figure: every bin gets its own registry and its
+        // own TELEMETRY.<figure>.json snapshot.
         None => {
-            for (_, figure) in &figures {
+            for (name, figure) in &figures {
+                elsm_bench::telemetry::begin_figure();
                 emit(&figure());
+                elsm_bench::telemetry::write_snapshot(name);
             }
             elsm_bench::results::write_results("BENCH_results.json", mode);
         }

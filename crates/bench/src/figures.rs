@@ -18,8 +18,9 @@ use elsm_shard::{PartitionSpec, ShardedKv, ShardedOptions};
 use sgx_sim::Platform;
 use sim_disk::{SimDisk, SimFs};
 use ycsb::{
-    load_phase, run_phase, run_phase_concurrent, run_sharded_concurrent,
-    run_write_batches_concurrent, BatchWritePhase, ShardPhase, Table, Workload,
+    load_phase, run_phase_concurrent, run_phase_concurrent_with_telemetry,
+    run_phase_with_telemetry, run_sharded_concurrent, run_write_batches_concurrent,
+    BatchWritePhase, ShardPhase, Table, Workload,
 };
 
 use crate::drivers::{
@@ -47,6 +48,7 @@ impl FigOpts {
 
 fn p2_options(scale: &Scale, read_mode: ReadMode, cache_paper_mb: u64) -> P2Options {
     P2Options {
+        telemetry: crate::telemetry::current(),
         read_mode,
         block_cache_bytes: scale.mb(cache_paper_mb) as usize,
         write_buffer_bytes: scale.write_buffer_bytes(),
@@ -142,7 +144,15 @@ fn measured_reads(
     dist: &str,
 ) -> f64 {
     let w = Workload::read_ratio(100).with_distribution(dist);
-    let report = run_phase(driver, platform, &w, records, ops, 0xf16);
+    let report = run_phase_with_telemetry(
+        driver,
+        platform,
+        &w,
+        records,
+        ops,
+        0xf16,
+        &crate::telemetry::current(),
+    );
     crate::results::note_run(&report);
     report.overall.mean_us
 }
@@ -154,7 +164,15 @@ fn measured_mix(
     records: u64,
     ops: u64,
 ) -> f64 {
-    let report = run_phase(driver, platform, w, records, ops, 0xf17);
+    let report = run_phase_with_telemetry(
+        driver,
+        platform,
+        w,
+        records,
+        ops,
+        0xf17,
+        &crate::telemetry::current(),
+    );
     crate::results::note_run(&report);
     report.overall.mean_us
 }
@@ -482,7 +500,15 @@ fn write_only(
     ops: u64,
 ) -> f64 {
     let w = Workload::read_ratio(0);
-    let report = run_phase(driver, platform, &w, records, ops, 0x717);
+    let report = run_phase_with_telemetry(
+        driver,
+        platform,
+        &w,
+        records,
+        ops,
+        0x717,
+        &crate::telemetry::current(),
+    );
     crate::results::note_run(&report);
     report.overall.mean_us
 }
@@ -605,7 +631,16 @@ pub fn fig7(scale: &Scale, opts: FigOpts) -> Table {
         let store = ElsmP2::open(platform.clone(), options).expect("open");
         let driver = P2Driver(store);
         load_phase(&driver, records, VALUE_BYTES);
-        let report = run_phase_concurrent(&driver, &platform, w, records, ops, 0xf07, CLIENTS);
+        let report = run_phase_concurrent_with_telemetry(
+            &driver,
+            &platform,
+            w,
+            records,
+            ops,
+            0xf07,
+            CLIENTS,
+            &crate::telemetry::current(),
+        );
         let stats = driver.0.db().stats();
         crate::results::note_concurrent_debt(
             &format!("{label}_{}", w.name),
@@ -1237,7 +1272,15 @@ pub fn fig14(scale: &Scale, opts: FigOpts) -> Table {
         load_phase(&driver, records, value_len);
         driver.0.db().flush().expect("flush");
         let w = Workload::a().with_value_len(value_len);
-        let report = run_phase(&driver, &platform, &w, records, ops, 0xf14);
+        let report = run_phase_with_telemetry(
+            &driver,
+            &platform,
+            &w,
+            records,
+            ops,
+            0xf14,
+            &crate::telemetry::current(),
+        );
         let stats = driver.0.db().stats();
         let kops = if report.writes.mean_us > 0.0 { 1_000.0 / report.writes.mean_us } else { 0.0 };
         crate::results::note_run_gauges(
@@ -1314,21 +1357,35 @@ pub fn fig14(scale: &Scale, opts: FigOpts) -> Table {
         let store =
             ElsmP2::open(platform.clone(), separated_options(cache_kb * 1024)).expect("open");
         let driver = P2Driver(store);
+        // Every config's store shares the figure's registry, so per-store
+        // cache accounting is the delta from this store's open.
+        let cache0 = driver.0.cache_stats();
         load_phase(&driver, records, value_len);
         driver.0.db().flush().expect("flush");
         let w = Workload::c().with_value_len(value_len);
-        let report = run_phase(&driver, &platform, &w, records, read_ops, 0xf14c);
+        let report = run_phase_with_telemetry(
+            &driver,
+            &platform,
+            &w,
+            records,
+            read_ops,
+            0xf14c,
+            &crate::telemetry::current(),
+        );
         let kops =
             if report.overall.mean_us > 0.0 { 1_000.0 / report.overall.mean_us } else { 0.0 };
         let stats = driver.0.cache_stats();
-        let hit_ratio = stats.record_hit_ratio();
+        let hits = stats.record_hits - cache0.record_hits;
+        let misses = stats.record_misses - cache0.record_misses;
+        let looked = hits + misses;
+        let hit_ratio = if looked > 0 { hits as f64 / looked as f64 } else { 0.0 };
         crate::results::note_run_gauges(
             &report,
             &[
                 ("read_kops_x10", (kops * 10.0) as u64),
                 ("cache_budget_bytes", (cache_kb * 1024) as u64),
-                ("cache_hits", stats.record_hits),
-                ("cache_misses", stats.record_misses),
+                ("cache_hits", hits),
+                ("cache_misses", misses),
                 ("hit_ratio_bp", (hit_ratio * 10_000.0) as u64),
             ],
         );

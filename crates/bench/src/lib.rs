@@ -10,6 +10,7 @@ pub mod drivers;
 pub mod figures;
 pub mod results;
 pub mod scale;
+pub mod telemetry;
 
 pub use figures::FigOpts;
 pub use scale::Scale;
@@ -42,4 +43,5 @@ pub fn emit_figure_to(table: &ycsb::Table, opts: FigOpts, path: &str) {
 /// a partial result set and must never clobber it.
 pub fn emit_figure(figure: &str, table: &ycsb::Table, opts: FigOpts) {
     emit_figure_to(table, opts, &format!("BENCH_results.{figure}.json"));
+    telemetry::write_snapshot(figure);
 }

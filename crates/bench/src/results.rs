@@ -29,15 +29,11 @@ pub struct ResultEntry {
     pub p50_us: f64,
     /// 99th-percentile per-operation latency (simulated µs).
     pub p99_us: f64,
-    /// Compaction debt (bytes over per-level targets) left at the end of
-    /// the measured phase, for figures that record the gauge.
-    pub debt_bytes: Option<u64>,
-    /// Compaction jobs the strategy still wanted at the end of the phase.
-    pub pending_jobs: Option<u64>,
-    /// Extra named gauges recorded with the entry (e.g. `vlog_bytes`,
-    /// `cache_hits`), rendered verbatim into the results JSON. How fig14
-    /// tracks value-log residency and verified-cache hit ratios next to
-    /// the throughput they explain.
+    /// Named gauges recorded with the entry (e.g. `debt_bytes`,
+    /// `pending_jobs`, `vlog_bytes`, `cache_hits`), rendered verbatim
+    /// and in order into the results JSON. How fig7 records compaction
+    /// debt and fig14 tracks value-log residency and verified-cache hit
+    /// ratios next to the throughput they explain.
     pub gauges: Vec<(String, u64)>,
 }
 
@@ -65,65 +61,70 @@ pub fn note_run(report: &RunReport) {
 /// [`note_run`] plus extra named gauges (value-log residency, cache
 /// hit/miss counters, …) attached to the same entry.
 pub fn note_run_gauges(report: &RunReport, gauges: &[(&str, u64)]) {
-    let mut s = SINK.lock().unwrap();
-    let config = format!("{}#{}", s.figure, s.seq);
-    s.seq += 1;
-    let figure = s.figure.clone();
-    s.entries.push(ResultEntry {
-        figure,
-        config,
-        workload: report.workload.clone(),
-        ops_per_sec: if report.overall.mean_us > 0.0 { 1e6 / report.overall.mean_us } else { 0.0 },
-        p50_us: report.overall.p50_us,
-        p99_us: report.overall.p99_us,
-        debt_bytes: None,
-        pending_jobs: None,
-        gauges: gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
-    });
+    let ops_per_sec = if report.overall.mean_us > 0.0 { 1e6 / report.overall.mean_us } else { 0.0 };
+    push_entry(None, &report.workload, ops_per_sec, &report.overall, gauges);
 }
 
 /// Records a multi-client thread-scaling measurement under the current
 /// figure, labeled with the system under test and the thread count.
 pub fn note_concurrent(system: &str, report: &ConcurrentReport) {
-    note_entry(system, report, None, None, &[]);
+    note_concurrent_gauges(system, report, &[]);
 }
 
 /// [`note_concurrent`] plus the store's compaction-debt gauge at the end
 /// of the measured phase — how the fig7 sweep records whether a
-/// configuration kept up with its own write amplification.
+/// configuration kept up with its own write amplification. The gauge
+/// rides the named-gauges vector like every other one.
 pub fn note_concurrent_debt(
     system: &str,
     report: &ConcurrentReport,
     debt_bytes: u64,
     pending_jobs: u64,
 ) {
-    note_entry(system, report, Some(debt_bytes), Some(pending_jobs), &[]);
+    note_concurrent_gauges(
+        system,
+        report,
+        &[("debt_bytes", debt_bytes), ("pending_jobs", pending_jobs)],
+    );
 }
 
 /// [`note_concurrent`] plus extra named gauges (value-log residency,
 /// cache hit/miss counters, …) attached to the same entry.
 pub fn note_concurrent_gauges(system: &str, report: &ConcurrentReport, gauges: &[(&str, u64)]) {
-    note_entry(system, report, None, None, gauges);
+    let config = format!("{system}@{}threads", report.threads);
+    push_entry(
+        Some(config),
+        &report.workload,
+        report.kops_per_sec * 1_000.0,
+        &report.overall,
+        gauges,
+    );
 }
 
-fn note_entry(
-    system: &str,
-    report: &ConcurrentReport,
-    debt_bytes: Option<u64>,
-    pending_jobs: Option<u64>,
+/// The one entry-recording path every `note_*` helper funnels through.
+/// `config` is used verbatim when given; single-threaded runs pass
+/// `None` and get the figure's sequence-numbered label.
+fn push_entry(
+    config: Option<String>,
+    workload: &str,
+    ops_per_sec: f64,
+    latency: &ycsb::LatencySummary,
     gauges: &[(&str, u64)],
 ) {
     let mut s = SINK.lock().unwrap();
+    let config = config.unwrap_or_else(|| {
+        let c = format!("{}#{}", s.figure, s.seq);
+        s.seq += 1;
+        c
+    });
     let figure = s.figure.clone();
     s.entries.push(ResultEntry {
         figure,
-        config: format!("{system}@{}threads", report.threads),
-        workload: report.workload.clone(),
-        ops_per_sec: report.kops_per_sec * 1_000.0,
-        p50_us: report.overall.p50_us,
-        p99_us: report.overall.p99_us,
-        debt_bytes,
-        pending_jobs,
+        config,
+        workload: workload.to_string(),
+        ops_per_sec,
+        p50_us: latency.p50_us,
+        p99_us: latency.p99_us,
         gauges: gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
     });
 }
@@ -143,12 +144,6 @@ fn render_json(mode: &str, start: usize) -> String {
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         let mut gauges = String::new();
-        if let Some(debt) = e.debt_bytes {
-            let _ = write!(gauges, ", \"debt_bytes\": {debt}");
-        }
-        if let Some(jobs) = e.pending_jobs {
-            let _ = write!(gauges, ", \"pending_jobs\": {jobs}");
-        }
         for (name, value) in &e.gauges {
             let _ = write!(gauges, ", \"{}\": {value}", json_escape(name));
         }

@@ -1,0 +1,65 @@
+//! Per-figure telemetry registries.
+//!
+//! Every store a figure builds reports into the **current** registry
+//! ([`current`], handed out by `p2_options`), and `run_all` rotates it
+//! with [`begin_figure`] before each figure bin so the bins don't bleed
+//! into each other. After a figure runs, [`write_snapshot`] dumps the
+//! registry — the enclave/host virtual-time split and ecall/ocall
+//! transition counts of every platform the figure's stores attached,
+//! plus all `db.*` / `cache.*` / `commit.*` / `ycsb.*` series — to
+//! `TELEMETRY.<figure>.json`, next to the figure's
+//! `BENCH_results*.json`.
+//!
+//! The registry is process-global for the same reason the results sink
+//! is: figure functions build stores many layers below the binary that
+//! knows which figure is running, and threading a handle through every
+//! build helper would couple every figure signature to observability.
+
+use std::sync::Mutex;
+
+use telemetry::Telemetry;
+
+static CURRENT: Mutex<Option<Telemetry>> = Mutex::new(None);
+
+/// Starts a fresh enabled registry; subsequent [`current`] callers (all
+/// stores built after this) report into it. Returns the new registry.
+pub fn begin_figure() -> Telemetry {
+    let tel = Telemetry::new();
+    *CURRENT.lock().unwrap() = Some(tel.clone());
+    tel
+}
+
+/// The registry of the figure currently running, lazily created enabled
+/// on first use — a standalone figure binary gets instrumented stores
+/// without calling [`begin_figure`] itself.
+pub fn current() -> Telemetry {
+    CURRENT.lock().unwrap().get_or_insert_with(Telemetry::new).clone()
+}
+
+/// Writes the current registry's JSON snapshot to
+/// `TELEMETRY.<figure>.json`. Errors are reported, not fatal — like the
+/// results sink, observability must never fail a benchmark run.
+pub fn write_snapshot(figure: &str) {
+    let path = format!("TELEMETRY.{figure}.json");
+    if let Err(e) = std::fs::write(&path, current().to_json()) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("(telemetry snapshot written to {path})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_rotates_the_current_registry() {
+        let a = begin_figure();
+        a.counter("x").inc();
+        assert_eq!(current().counter_value("x"), 1);
+        let b = begin_figure();
+        assert_eq!(b.counter_value("x"), 0, "fresh registry per figure");
+        assert_eq!(current().counter_value("x"), 0);
+        assert_eq!(a.counter_value("x"), 1, "old bin keeps its data");
+    }
+}

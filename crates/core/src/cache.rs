@@ -42,6 +42,7 @@ use elsm_crypto::Digest;
 use lsm_store::Timestamp;
 use parking_lot::Mutex;
 use sgx_sim::Platform;
+use telemetry::{AuditEvent, Counter, Telemetry};
 
 use crate::error::VerificationFailure;
 
@@ -107,7 +108,34 @@ struct Inner {
     vlog_lru: BTreeMap<u64, (u64, u64)>,
     bytes: usize,
     tick: u64,
-    stats: CacheStats,
+}
+
+/// The cache's counters, living in the telemetry registry (the
+/// `cache.*` series). [`VerifiedCache::stats`] snapshots them back into
+/// the original [`CacheStats`] shape for existing callers.
+#[derive(Debug)]
+struct CacheMetrics {
+    record_hits: Counter,
+    record_misses: Counter,
+    vlog_hits: Counter,
+    vlog_misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+    tamper_detected: Counter,
+}
+
+impl CacheMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        CacheMetrics {
+            record_hits: telemetry.counter("cache.record_hits"),
+            record_misses: telemetry.counter("cache.record_misses"),
+            vlog_hits: telemetry.counter("cache.vlog_hits"),
+            vlog_misses: telemetry.counter("cache.vlog_misses"),
+            evictions: telemetry.counter("cache.evictions"),
+            invalidations: telemetry.counter("cache.invalidations"),
+            tamper_detected: telemetry.counter("cache.tamper_detected"),
+        }
+    }
 }
 
 /// Fixed per-entry overhead charged against the byte budget.
@@ -120,15 +148,35 @@ pub struct VerifiedCache {
     mac_key: Digest,
     capacity: usize,
     inner: Mutex<Inner>,
+    metrics: CacheMetrics,
+    telemetry: Telemetry,
 }
 
 impl VerifiedCache {
-    /// Builds a cache bounded to `capacity` bytes of entry payload.
+    /// Builds a cache bounded to `capacity` bytes of entry payload, with
+    /// counters on a private disabled registry.
     pub fn new(platform: Arc<Platform>, capacity: usize) -> Arc<Self> {
+        Self::with_telemetry(platform, capacity, &Telemetry::default())
+    }
+
+    /// Builds a cache whose `cache.*` counters live in `telemetry` and
+    /// whose tamper detections feed its audit stream.
+    pub fn with_telemetry(
+        platform: Arc<Platform>,
+        capacity: usize,
+        telemetry: &Telemetry,
+    ) -> Arc<Self> {
         // Stands in for a key derived inside the enclave at startup; the
         // host never holds it, so it cannot forge entry tags.
         let mac_key = elsm_crypto::sha256(b"elsm/verified-cache key v1");
-        Arc::new(VerifiedCache { platform, mac_key, capacity, inner: Mutex::new(Inner::default()) })
+        Arc::new(VerifiedCache {
+            platform,
+            mac_key,
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            metrics: CacheMetrics::new(telemetry),
+            telemetry: telemetry.clone(),
+        })
     }
 
     fn record_tag(&self, key: &[u8], epoch: u64, ts: Timestamp, value: &[u8]) -> Digest {
@@ -170,13 +218,13 @@ impl VerifiedCache {
         key: &[u8],
         epoch: u64,
     ) -> Result<Option<(Timestamp, Bytes)>, VerificationFailure> {
-        let mut inner = self.inner.lock();
+        let inner = self.inner.lock();
         let Some(entry) = inner.records.get(key) else {
-            inner.stats.record_misses += 1;
+            self.metrics.record_misses.inc();
             return Ok(None);
         };
         if entry.epoch != epoch {
-            inner.stats.record_misses += 1;
+            self.metrics.record_misses.inc();
             return Ok(None);
         }
         let (epoch, ts, value) = (entry.epoch, entry.ts, entry.value.clone());
@@ -184,7 +232,7 @@ impl VerifiedCache {
         let expect = self.record_tag(key, epoch, ts, &value);
         let mut inner = self.inner.lock();
         let Some(entry) = inner.records.get(key) else {
-            inner.stats.record_misses += 1;
+            self.metrics.record_misses.inc();
             return Ok(None);
         };
         if entry.tag != expect {
@@ -193,8 +241,16 @@ impl VerifiedCache {
             inner.records.remove(key);
             inner.record_lru.remove(&tick);
             inner.bytes -= bytes;
-            inner.stats.tamper_detected += 1;
-            return Err(VerificationFailure::CacheTampered { epoch });
+            drop(inner);
+            self.metrics.tamper_detected.inc();
+            let failure = VerificationFailure::CacheTampered { epoch };
+            self.telemetry.audit(
+                AuditEvent::new(failure.kind(), "cache")
+                    .detail(failure.to_string())
+                    .epoch(epoch)
+                    .at_ns(self.platform.clock().now_ns()),
+            );
+            return Err(failure);
         }
         let old_tick = entry.tick;
         inner.tick += 1;
@@ -202,7 +258,7 @@ impl VerifiedCache {
         inner.record_lru.remove(&old_tick);
         inner.record_lru.insert(tick, key.to_vec());
         inner.records.get_mut(key).expect("checked above").tick = tick;
-        inner.stats.record_hits += 1;
+        self.metrics.record_hits.inc();
         Ok(Some((ts, value)))
     }
 
@@ -227,13 +283,13 @@ impl VerifiedCache {
     /// authenticated against `mac` (the pointer MAC from an
     /// already-verified pointer record).
     pub fn lookup_vlog(&self, file_no: u64, offset: u64, mac: &[u8; 32]) -> Option<Bytes> {
-        let mut inner = self.inner.lock();
+        let inner = self.inner.lock();
         let Some(slot) = inner.vlog.get(&(file_no, offset)) else {
-            inner.stats.vlog_misses += 1;
+            self.metrics.vlog_misses.inc();
             return None;
         };
         if &slot.mac != mac {
-            inner.stats.vlog_misses += 1;
+            self.metrics.vlog_misses.inc();
             return None;
         }
         let payload = slot.payload.clone();
@@ -241,7 +297,7 @@ impl VerifiedCache {
         let expect = self.vlog_tag(file_no, offset, mac, &payload);
         let mut inner = self.inner.lock();
         let Some(slot) = inner.vlog.get(&(file_no, offset)) else {
-            inner.stats.vlog_misses += 1;
+            self.metrics.vlog_misses.inc();
             return None;
         };
         if slot.tag != expect {
@@ -249,7 +305,16 @@ impl VerifiedCache {
             inner.vlog.remove(&(file_no, offset));
             inner.vlog_lru.remove(&tick);
             inner.bytes -= bytes;
-            inner.stats.tamper_detected += 1;
+            drop(inner);
+            self.metrics.tamper_detected.inc();
+            let epoch = self.inner.lock().epoch;
+            let failure = VerificationFailure::CacheTampered { epoch };
+            self.telemetry.audit(
+                AuditEvent::new(failure.kind(), "cache")
+                    .detail(format!("value-log slot ({file_no}, {offset}) failed its tag"))
+                    .epoch(epoch)
+                    .at_ns(self.platform.clock().now_ns()),
+            );
             return None;
         }
         let old_tick = slot.tick;
@@ -258,7 +323,7 @@ impl VerifiedCache {
         inner.vlog_lru.remove(&old_tick);
         inner.vlog_lru.insert(tick, (file_no, offset));
         inner.vlog.get_mut(&(file_no, offset)).expect("checked above").tick = tick;
-        inner.stats.vlog_hits += 1;
+        self.metrics.vlog_hits.inc();
         Some(payload)
     }
 
@@ -286,7 +351,7 @@ impl VerifiedCache {
     pub fn invalidate_key(&self, key: &[u8]) {
         let mut inner = self.inner.lock();
         if self.remove_record_locked(&mut inner, key) {
-            inner.stats.invalidations += 1;
+            self.metrics.invalidations.inc();
         }
     }
 
@@ -303,7 +368,7 @@ impl VerifiedCache {
             .collect();
         for key in stale {
             if self.remove_record_locked(&mut inner, &key) {
-                inner.stats.invalidations += 1;
+                self.metrics.invalidations.inc();
             }
         }
     }
@@ -319,14 +384,23 @@ impl VerifiedCache {
             .collect();
         for key in stale {
             if self.remove_record_locked(&mut inner, &key) {
-                inner.stats.invalidations += 1;
+                self.metrics.invalidations.inc();
             }
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, reconstructed from the registry-backed
+    /// `cache.*` counters (the pre-telemetry accessor shape).
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        CacheStats {
+            record_hits: self.metrics.record_hits.value(),
+            record_misses: self.metrics.record_misses.value(),
+            vlog_hits: self.metrics.vlog_hits.value(),
+            vlog_misses: self.metrics.vlog_misses.value(),
+            evictions: self.metrics.evictions.value(),
+            invalidations: self.metrics.invalidations.value(),
+            tamper_detected: self.metrics.tamper_detected.value(),
+        }
     }
 
     /// Bytes currently held (tests / gauges).
@@ -399,13 +473,13 @@ impl VerifiedCache {
                     let key = inner.record_lru.remove(&r).expect("present");
                     let entry = inner.records.remove(&key).expect("maps in sync");
                     inner.bytes -= entry.bytes;
-                    inner.stats.evictions += 1;
+                    self.metrics.evictions.inc();
                 }
                 (_, Some(s)) => {
                     let loc = inner.vlog_lru.remove(&s).expect("present");
                     let entry = inner.vlog.remove(&loc).expect("maps in sync");
                     inner.bytes -= entry.bytes;
-                    inner.stats.evictions += 1;
+                    self.metrics.evictions.inc();
                 }
                 (None, None) => break,
                 _ => unreachable!("first arm covers rec=Some, slot=None"),

@@ -147,6 +147,52 @@ pub enum VerificationFailure {
 /// with no shard binding at all (an unsharded enclave domain).
 pub const WRONG_SHARD_UNSHARDED: u32 = u32::MAX;
 
+impl VerificationFailure {
+    /// The variant name as a static string — the audit stream's event
+    /// kind, so auditors can aggregate detections per attack class
+    /// without parsing display strings.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VerificationFailure::ForgedRecord { .. } => "ForgedRecord",
+            VerificationFailure::StaleRecord { .. } => "StaleRecord",
+            VerificationFailure::MissingProof { .. } => "MissingProof",
+            VerificationFailure::BadNonMembership { .. } => "BadNonMembership",
+            VerificationFailure::IncompleteRange { .. } => "IncompleteRange",
+            VerificationFailure::LevelSkipped { .. } => "LevelSkipped",
+            VerificationFailure::HiddenLevel { .. } => "HiddenLevel",
+            VerificationFailure::RolledBack => "RolledBack",
+            VerificationFailure::CompactionInputMismatch { .. } => "CompactionInputMismatch",
+            VerificationFailure::SealBroken => "SealBroken",
+            VerificationFailure::UnknownEpoch { .. } => "UnknownEpoch",
+            VerificationFailure::WrongShard { .. } => "WrongShard",
+            VerificationFailure::ChannelTampered { .. } => "ChannelTampered",
+            VerificationFailure::ReplicaStale { .. } => "ReplicaStale",
+            VerificationFailure::ForkedPrimary { .. } => "ForkedPrimary",
+            VerificationFailure::VlogEntryTampered { .. } => "VlogEntryTampered",
+            VerificationFailure::CacheTampered { .. } => "CacheTampered",
+            VerificationFailure::FencedOut { .. } => "FencedOut",
+        }
+    }
+
+    /// The shard context a failure carries, when its variant names one.
+    pub(crate) fn shard_context(&self) -> Option<u32> {
+        match self {
+            VerificationFailure::WrongShard { expected, .. } => Some(*expected),
+            _ => None,
+        }
+    }
+
+    /// The epoch context a failure carries, when its variant names one.
+    pub(crate) fn epoch_context(&self) -> Option<u64> {
+        match self {
+            VerificationFailure::UnknownEpoch { epoch }
+            | VerificationFailure::ForkedPrimary { epoch }
+            | VerificationFailure::CacheTampered { epoch } => Some(*epoch),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for VerificationFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -295,5 +341,12 @@ mod tests {
         use std::error::Error;
         let e = ElsmError::Verification(VerificationFailure::RolledBack);
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn kinds_name_their_variants() {
+        assert_eq!(VerificationFailure::RolledBack.kind(), "RolledBack");
+        assert_eq!(VerificationFailure::CacheTampered { epoch: 1 }.kind(), "CacheTampered");
+        assert_eq!(VerificationFailure::WrongShard { expected: 0, got: 1 }.kind(), "WrongShard");
     }
 }

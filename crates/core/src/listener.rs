@@ -133,6 +133,9 @@ impl AuthListener {
         records: Vec<Record>,
         unchanged: &[bool],
     ) -> Vec<Record> {
+        // Trusted-side work on a flush/compaction worker thread: attribute
+        // the hashing to the enclave in the platform's time split.
+        let _world = sgx_sim::enclave_scope();
         // 1. Build the output level's digest over canonical record bytes.
         //    Unchanged records (incremental mode) reuse their stored leaf
         //    work: the enclave pays a digest move, not a rehash.
@@ -232,6 +235,7 @@ impl StoreListener for AuthListener {
     fn on_compaction_input(&self, source: RecordSource, record: &Record) {
         // Rebuild the source level's tree from the streamed records
         // (Figure 4, auth_filter → MHT_add on the input trees).
+        let _world = sgx_sim::enclave_scope();
         let level = source.level as u32;
         let Ok((canonical, _, _)) = open_record(record, level) else {
             // Malformed envelope in an input: the level can never match.
@@ -261,6 +265,7 @@ impl StoreListener for AuthListener {
     }
 
     fn on_compaction_end(&self, info: &CompactionInfo) {
+        let _world = sgx_sim::enclave_scope();
         let mut scratch = self.scratch.lock();
         // 1. Verify every input level's rebuilt root against the enclave
         //    commitment (Figure 4 lines 31-33). A missing builder is only
@@ -314,6 +319,7 @@ impl StoreListener for AuthListener {
     }
 
     fn on_compaction_install(&self, info: &CompactionInfo) {
+        let _world = sgx_sim::enclave_scope();
         let Some(staged) = self.scratch.lock().staged.remove(&info.output_level) else {
             return;
         };

@@ -115,6 +115,13 @@ pub struct P2Options {
     /// skipping disk reads and proof re-verification; writes and epoch
     /// installs keep it coherent. See [`crate::cache::VerifiedCache`].
     pub verified_cache_bytes: usize,
+    /// Telemetry registry the store's metrics, spans and audit events
+    /// live in. The default handle is disabled (counters still count —
+    /// they are the store's bookkeeping — but spans, histograms and
+    /// platform snapshots are no-ops). Pass a
+    /// [scoped](telemetry::Telemetry::scoped) handle to share one
+    /// registry across shards or replicas without name collisions.
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl Default for P2Options {
@@ -139,6 +146,7 @@ impl Default for P2Options {
             shard_id: None,
             vlog: None,
             verified_cache_bytes: 0,
+            telemetry: telemetry::Telemetry::default(),
         }
     }
 }
@@ -204,11 +212,17 @@ impl ElsmP2 {
         options: P2Options,
         counter: Option<Arc<MonotonicCounter>>,
     ) -> Result<Self, ElsmError> {
+        options.telemetry.attach_platform("platform", &platform);
         let trusted =
             TrustedState::new_in_domain(platform.clone(), options.max_levels, options.shard_id);
         let digests = UntrustedDigests::new(platform.clone());
-        let cache = (options.verified_cache_bytes > 0)
-            .then(|| VerifiedCache::new(platform.clone(), options.verified_cache_bytes));
+        let cache = (options.verified_cache_bytes > 0).then(|| {
+            VerifiedCache::with_telemetry(
+                platform.clone(),
+                options.verified_cache_bytes,
+                &options.telemetry,
+            )
+        });
         let listener = AuthListener::with_cache(
             platform.clone(),
             trusted.clone(),
@@ -261,6 +275,7 @@ impl ElsmP2 {
             purge_tombstones_at_bottom: true,
             keep_old_versions: true,
             vlog: options.vlog,
+            telemetry: options.telemetry.clone(),
         };
         let db = Arc::new(Db::open(env, db_options, Some(listener))?);
         let sealer = Sealer::new(elsm_crypto::sha256(b"elsm-p2 enclave v1"), b"machine-0");
@@ -273,7 +288,8 @@ impl ElsmP2 {
         store_set_stacked(&trusted, &options);
         let store = ElsmP2 { platform, fs, db, trusted, digests, sealer, counter, cache, options };
         if recovering {
-            store.recover_trusted_state()?;
+            let recovery = store.recover_trusted_state();
+            store.audited(recovery)?;
         }
         Ok(store)
     }
@@ -401,6 +417,36 @@ impl ElsmP2 {
     /// Options this store was opened with.
     pub fn options(&self) -> &P2Options {
         &self.options
+    }
+
+    /// Telemetry handle this store's metrics and audit events report
+    /// into (the one passed via [`P2Options::telemetry`]).
+    pub fn telemetry(&self) -> &telemetry::Telemetry {
+        &self.options.telemetry
+    }
+
+    /// Records a verification failure on the audit stream, stamped with
+    /// this store's shard binding and the failure's epoch context (the
+    /// current commitment epoch when the variant carries none).
+    fn audit_failure(&self, failure: &VerificationFailure) {
+        let epoch = failure.epoch_context().unwrap_or_else(|| self.db.current_epoch());
+        let mut event = telemetry::AuditEvent::new(failure.kind(), "p2")
+            .detail(failure.to_string())
+            .epoch(epoch)
+            .at_ns(self.platform.clock().now_ns());
+        if let Some(shard) = failure.shard_context().or(self.options.shard_id) {
+            event = event.shard(shard);
+        }
+        self.options.telemetry.audit(event);
+    }
+
+    /// Passes `result` through, recording any verification failure it
+    /// carries on the audit stream first.
+    fn audited<T>(&self, result: Result<T, ElsmError>) -> Result<T, ElsmError> {
+        if let Err(ElsmError::Verification(failure)) = &result {
+            self.audit_failure(failure);
+        }
+        result
     }
 
     fn ensure_healthy(&self) -> Result<(), ElsmError> {
@@ -570,6 +616,19 @@ impl AuthenticatedKv for ElsmP2 {
 
     fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
         self.ensure_healthy()?;
+        let result = self.get_inner(key);
+        self.audited(result)
+    }
+
+    fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
+        self.ensure_healthy()?;
+        let result = self.scan_inner(from, to);
+        self.audited(result)
+    }
+}
+
+impl ElsmP2 {
+    fn get_inner(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
         // The trace is collected against a pinned version snapshot and
         // verified against the commitment set published for that
         // snapshot's epoch. Concurrent flush/compaction installs replace
@@ -610,8 +669,7 @@ impl AuthenticatedKv for ElsmP2 {
         })
     }
 
-    fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
-        self.ensure_healthy()?;
+    fn scan_inner(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
         let (trace, verdict) = self.platform.ecall(|| {
             self.db.scan_with_trace_sync(from, to, Timestamp::MAX >> 1, |trace| {
                 self.trusted.verify_scan(from, to, trace, self.digests.as_ref())
@@ -651,7 +709,11 @@ impl ElsmP2 {
         key: &[u8],
         trace: &GetTrace,
     ) -> Result<(), VerificationFailure> {
-        self.trusted.verify_get(key, trace)
+        let verdict = self.trusted.verify_get(key, trace);
+        if let Err(failure) = &verdict {
+            self.audit_failure(failure);
+        }
+        verdict
     }
 
     /// Runs the SCAN verifier on an externally supplied trace.
@@ -665,7 +727,11 @@ impl ElsmP2 {
         to: &[u8],
         trace: &ScanTrace,
     ) -> Result<(), VerificationFailure> {
-        self.trusted.verify_scan(from, to, trace, self.digests.as_ref())
+        let verdict = self.trusted.verify_scan(from, to, trace, self.digests.as_ref());
+        if let Err(failure) = &verdict {
+            self.audit_failure(failure);
+        }
+        verdict
     }
 
     /// Produces a raw (unverified) trace — adversary tests tamper with

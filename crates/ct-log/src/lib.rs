@@ -27,10 +27,12 @@ pub mod auditor;
 pub mod cert;
 pub mod fork;
 pub mod monitor;
+pub mod security;
 pub mod server;
 
 pub use auditor::{AuditVerdict, LogAuditor};
 pub use cert::{synthesize, Certificate};
 pub use fork::{ForkEvidence, ForkMonitor};
 pub use monitor::{DomainMonitor, MisissuanceAlert};
+pub use security::{SecurityAuditor, FORK_DETECTED};
 pub use server::{CtLogServer, LoggedCertificate};

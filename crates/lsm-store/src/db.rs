@@ -96,16 +96,110 @@ use crate::wal::{recover, WalWriter};
 const MANIFEST: &str = "MANIFEST";
 
 /// Cumulative operation counters.
-#[derive(Debug, Default)]
+///
+/// Expressed over the store's telemetry registry (`db.*` counters under
+/// the options' [`telemetry::Telemetry`] scope), so the snapshot a test
+/// asserts on and the counters a telemetry export reports are *the same
+/// atomics* — there is no second bookkeeping path to drift from.
+#[derive(Debug, Clone)]
 pub struct DbStats {
-    puts: AtomicU64,
-    deletes: AtomicU64,
-    gets: AtomicU64,
-    scans: AtomicU64,
-    flushes: AtomicU64,
-    compactions: AtomicU64,
-    compaction_input_records: AtomicU64,
-    compaction_output_records: AtomicU64,
+    puts: telemetry::Counter,
+    deletes: telemetry::Counter,
+    gets: telemetry::Counter,
+    scans: telemetry::Counter,
+    flushes: telemetry::Counter,
+    compactions: telemetry::Counter,
+    compaction_input_records: telemetry::Counter,
+    compaction_output_records: telemetry::Counter,
+}
+
+impl DbStats {
+    fn new(tel: &telemetry::Telemetry) -> Self {
+        DbStats {
+            puts: tel.counter("db.puts"),
+            deletes: tel.counter("db.deletes"),
+            gets: tel.counter("db.gets"),
+            scans: tel.counter("db.scans"),
+            flushes: tel.counter("db.flushes"),
+            compactions: tel.counter("db.compactions"),
+            compaction_input_records: tel.counter("db.compaction_input_records"),
+            compaction_output_records: tel.counter("db.compaction_output_records"),
+        }
+    }
+}
+
+impl Default for DbStats {
+    fn default() -> Self {
+        DbStats::new(&telemetry::Telemetry::disabled())
+    }
+}
+
+/// Spans, histograms and gauges instrumenting the store's hot paths.
+/// Registered once at open; hot-path use is handle clones and atomics.
+#[derive(Debug)]
+struct StoreMetrics {
+    /// One activation per committed group (leader-side work: WAL frames,
+    /// group sync, memtable inserts, trusted fold).
+    commit_group: telemetry::SpanHandle,
+    /// Batches committed through the group pipeline.
+    commit_batches: telemetry::Counter,
+    /// Coalescing quality: batches riding each group.
+    batches_per_group: telemetry::Histogram,
+    /// Records riding each group.
+    records_per_group: telemetry::Histogram,
+    /// WAL frames appended (one per batch).
+    wal_frames: telemetry::Counter,
+    /// Encoded WAL bytes appended.
+    wal_bytes: telemetry::Counter,
+    /// Host pushes of buffered WAL frames.
+    wal_syncs: telemetry::Counter,
+    /// Flush phase 1: freeze + WAL rotation + install (write lock).
+    flush_freeze: telemetry::SpanHandle,
+    /// Flush phase 2: separation + merge to the target level (no lock).
+    flush_merge: telemetry::SpanHandle,
+    /// Flush phase 3: successor install + manifest (write lock).
+    flush_install: telemetry::SpanHandle,
+    /// Compaction waves executed (each wave = one strategy pick).
+    compaction_waves: telemetry::Counter,
+    /// One activation per compaction job merge (worker-thread side).
+    compaction_merge: telemetry::SpanHandle,
+    /// One activation per job install (write-lock side).
+    compaction_install: telemetry::SpanHandle,
+    /// One activation per value-log GC pass that found victims.
+    vlog_gc: telemetry::SpanHandle,
+    /// Instantaneous compaction debt (bytes over per-level budgets).
+    debt_bytes: telemetry::Gauge,
+    /// Jobs the strategy would schedule right now.
+    pending_jobs: telemetry::Gauge,
+    /// Bytes in live value-log files.
+    vlog_bytes: telemetry::Gauge,
+    /// Of those, bytes belonging to dropped pointer records.
+    vlog_garbage_bytes: telemetry::Gauge,
+}
+
+impl StoreMetrics {
+    fn new(tel: &telemetry::Telemetry) -> Self {
+        StoreMetrics {
+            commit_group: tel.span("commit.group"),
+            commit_batches: tel.counter("commit.batches"),
+            batches_per_group: tel.histogram("commit.batches_per_group"),
+            records_per_group: tel.histogram("commit.records_per_group"),
+            wal_frames: tel.counter("wal.frames"),
+            wal_bytes: tel.counter("wal.appended_bytes"),
+            wal_syncs: tel.counter("wal.syncs"),
+            flush_freeze: tel.span("flush.freeze"),
+            flush_merge: tel.span("flush.merge"),
+            flush_install: tel.span("flush.install"),
+            compaction_waves: tel.counter("compaction.waves"),
+            compaction_merge: tel.span("compaction.merge"),
+            compaction_install: tel.span("compaction.install"),
+            vlog_gc: tel.span("vlog.gc"),
+            debt_bytes: tel.gauge("compaction.debt_bytes"),
+            pending_jobs: tel.gauge("compaction.pending_jobs"),
+            vlog_bytes: tel.gauge("vlog.bytes"),
+            vlog_garbage_bytes: tel.gauge("vlog.garbage_bytes"),
+        }
+    }
 }
 
 /// Snapshot of [`DbStats`].
@@ -223,6 +317,7 @@ pub struct Db {
     ts: AtomicU64,
     memtable_region: Option<EnclaveRegion>,
     stats: DbStats,
+    metrics: StoreMetrics,
     /// Replication event sink, if one is attached (see
     /// [`Db::set_replication_sink`]).
     repl: RwLock<Option<Arc<dyn ReplicationSink>>>,
@@ -304,7 +399,8 @@ impl Db {
             commit: Committer::new(),
             ts: AtomicU64::new(last_ts),
             memtable_region,
-            stats: DbStats::default(),
+            stats: DbStats::new(&options.telemetry),
+            metrics: StoreMetrics::new(&options.telemetry),
             repl: RwLock::new(None),
             vlog,
             options,
@@ -432,20 +528,29 @@ impl Db {
     }
 
     /// Operation counters plus instantaneous compaction-debt gauges.
+    ///
+    /// The counter values are read back from the telemetry registry the
+    /// store was opened with (the registry *is* the bookkeeping); the
+    /// instantaneous gauges are recomputed and mirrored into the registry
+    /// as `compaction.*`/`vlog.*` gauges.
     pub fn stats(&self) -> DbStatsSnapshot {
         let debt = self.compaction_debt();
         let (vlog_bytes, vlog_garbage_bytes) =
             self.vlog.as_ref().map_or((0, 0), |vlog| vlog.stats());
         let (block_cache_hits, block_cache_misses) = self.env.cache_stats().unwrap_or((0, 0));
+        self.metrics.debt_bytes.set(debt.total_over_bytes);
+        self.metrics.pending_jobs.set(debt.pending_jobs as u64);
+        self.metrics.vlog_bytes.set(vlog_bytes);
+        self.metrics.vlog_garbage_bytes.set(vlog_garbage_bytes);
         DbStatsSnapshot {
-            puts: self.stats.puts.load(Ordering::Relaxed),
-            deletes: self.stats.deletes.load(Ordering::Relaxed),
-            gets: self.stats.gets.load(Ordering::Relaxed),
-            scans: self.stats.scans.load(Ordering::Relaxed),
-            flushes: self.stats.flushes.load(Ordering::Relaxed),
-            compactions: self.stats.compactions.load(Ordering::Relaxed),
-            compaction_input_records: self.stats.compaction_input_records.load(Ordering::Relaxed),
-            compaction_output_records: self.stats.compaction_output_records.load(Ordering::Relaxed),
+            puts: self.stats.puts.value(),
+            deletes: self.stats.deletes.value(),
+            gets: self.stats.gets.value(),
+            scans: self.stats.scans.value(),
+            flushes: self.stats.flushes.value(),
+            compactions: self.stats.compactions.value(),
+            compaction_input_records: self.stats.compaction_input_records.value(),
+            compaction_output_records: self.stats.compaction_output_records.value(),
             debt_bytes: debt.total_over_bytes,
             pending_compaction_jobs: debt.pending_jobs as u64,
             vlog_bytes,
@@ -622,10 +727,8 @@ impl Db {
         }
         for op in &ops {
             match op.kind {
-                ValueKind::Put | ValueKind::VlogPut => {
-                    self.stats.puts.fetch_add(1, Ordering::Relaxed)
-                }
-                ValueKind::Delete => self.stats.deletes.fetch_add(1, Ordering::Relaxed),
+                ValueKind::Put | ValueKind::VlogPut => self.stats.puts.inc(),
+                ValueKind::Delete => self.stats.deletes.inc(),
             };
         }
         let mut q = self.commit.queue.lock().expect("commit queue poisoned");
@@ -681,7 +784,11 @@ impl Db {
     /// per batch, every record installed in the memtable — all under a
     /// single write-lock acquisition. Runs only on the group-commit leader.
     fn commit_group(&self, group: &[PendingBatch]) -> (Vec<Vec<Timestamp>>, bool) {
+        let _span = self.metrics.commit_group.start();
         let total_ops: usize = group.iter().map(|p| p.ops.len()).sum();
+        self.metrics.commit_batches.add(group.len() as u64);
+        self.metrics.batches_per_group.observe(group.len() as u64);
+        self.metrics.records_per_group.observe(total_ops as u64);
         let mut all_records: Vec<Record> = Vec::with_capacity(total_ops);
         let mut results = Vec::with_capacity(group.len());
         let flush_needed = {
@@ -705,7 +812,9 @@ impl Db {
                         kind: op.kind,
                     });
                 }
-                inner.wal.append_batch(&all_records[frame_start..]);
+                let frame_bytes = inner.wal.append_batch(&all_records[frame_start..]);
+                self.metrics.wal_frames.inc();
+                self.metrics.wal_bytes.add(frame_bytes as u64);
                 // Ship the frame while the write lock still orders the
                 // stream: a concurrent flush can then never slip its
                 // marker between a committed frame and its shipment.
@@ -714,7 +823,9 @@ impl Db {
             }
             if self.options.wal_sync == WalSyncPolicy::EveryBatch {
                 // One host exit carries the whole group's frames.
-                inner.wal.sync();
+                if inner.wal.sync() > 0 {
+                    self.metrics.wal_syncs.inc();
+                }
             }
             for record in &all_records {
                 // Model the in-enclave memtable write: touch the insertion
@@ -771,10 +882,8 @@ impl Db {
         }
         for record in records {
             match record.kind {
-                ValueKind::Put | ValueKind::VlogPut => {
-                    self.stats.puts.fetch_add(1, Ordering::Relaxed)
-                }
-                ValueKind::Delete => self.stats.deletes.fetch_add(1, Ordering::Relaxed),
+                ValueKind::Put | ValueKind::VlogPut => self.stats.puts.inc(),
+                ValueKind::Delete => self.stats.deletes.inc(),
             };
         }
         {
@@ -783,9 +892,11 @@ impl Db {
             let mut inner = self.inner.write();
             let max_ts = records.iter().map(|r| r.ts).max().unwrap_or(0);
             self.ts.fetch_max(max_ts, Ordering::SeqCst);
-            inner.wal.append_batch(records);
-            if self.options.wal_sync == WalSyncPolicy::EveryBatch {
-                inner.wal.sync();
+            let frame_bytes = inner.wal.append_batch(records);
+            self.metrics.wal_frames.inc();
+            self.metrics.wal_bytes.add(frame_bytes as u64);
+            if self.options.wal_sync == WalSyncPolicy::EveryBatch && inner.wal.sync() > 0 {
+                self.metrics.wal_syncs.inc();
             }
             for record in records {
                 if let Some(region) = &self.memtable_region {
@@ -936,7 +1047,7 @@ impl Db {
     /// Probes the live memtable and pins the current version: the only
     /// part of a read that takes (the shared side of) the store lock.
     fn read_view(&self, key: &[u8], ts_q: Timestamp) -> (Option<Record>, Arc<Version>) {
-        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats.gets.inc();
         self.env.platform().charge_op_base();
         // Model the in-enclave memtable probe.
         if let Some(region) = &self.memtable_region {
@@ -1053,7 +1164,7 @@ impl Db {
     }
 
     fn scan_view(&self, from: &[u8], to: &[u8]) -> (Vec<Record>, Arc<Version>) {
-        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        self.stats.scans.inc();
         self.env.platform().charge_op_base();
         let inner = self.inner.read();
         (inner.memtable.range_records(from, to), inner.current.clone())
@@ -1178,6 +1289,7 @@ impl Db {
         // finding the frozen records in trusted memory while the merge
         // writes them to their level.
         let (imm, base, old_wal) = {
+            let _span = self.metrics.flush_freeze.start();
             let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
             let mut inner = self.inner.write();
             if inner.memtable.is_empty() || inner.memtable.approximate_bytes() < min_bytes {
@@ -1191,7 +1303,7 @@ impl Db {
             // the frame stream. Emitted after the fallible WAL creation,
             // so an IO error here aborts the flush on both sides alike.
             self.emit(ReplicationEvent::Flush);
-            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+            self.stats.flushes.inc();
             // Any frames still buffered under a lazy sync policy must reach
             // the host before the log rotates out from under them.
             inner.wal.sync();
@@ -1216,6 +1328,7 @@ impl Db {
         // commitments all cover pointer records, while the WAL and the
         // memtable (whose replay must restore values without the log)
         // always carry the full values.
+        let merge_span = self.metrics.flush_merge.start();
         let mut mem_records: Vec<Record> = imm.iter_records().collect();
         self.separate_large_values(&mut mem_records)?;
         for r in &mem_records {
@@ -1250,9 +1363,11 @@ impl Db {
         let purge =
             self.options.compaction_enabled && merge_existing && target >= self.options.max_levels;
         let out = self.merge_to_run(inputs, input_levels, target, purge, &[])?;
+        drop(merge_span);
 
         // Phase 3 (write lock): install the successor version with the
         // frozen memtable absorbed into its level.
+        let install_span = self.metrics.flush_install.start();
         let mut replaced = Vec::new();
         {
             let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
@@ -1278,6 +1393,20 @@ impl Db {
             self.retire_run(run);
         }
         let _ = self.env.fs().delete(&old_wal);
+        drop(install_span);
+        if self.options.telemetry.is_enabled() {
+            // Refresh the registry's debt gauges at every version boundary
+            // so a telemetry snapshot is current even if nobody polls
+            // [`Db::stats`].
+            let debt = self.compaction_debt();
+            self.metrics.debt_bytes.set(debt.total_over_bytes);
+            self.metrics.pending_jobs.set(debt.pending_jobs as u64);
+            if let Some(vlog) = &self.vlog {
+                let (bytes, garbage) = vlog.stats();
+                self.metrics.vlog_bytes.set(bytes);
+                self.metrics.vlog_garbage_bytes.set(garbage);
+            }
+        }
         if chase && self.options.compaction_enabled {
             self.run_waves()?;
         }
@@ -1301,6 +1430,7 @@ impl Db {
             if jobs.is_empty() {
                 return Ok(());
             }
+            self.metrics.compaction_waves.inc();
             self.execute_jobs(&base, &jobs, self.options.compaction.parallelism.max(1))?;
         }
         Ok(())
@@ -1361,6 +1491,7 @@ impl Db {
         };
         for (job, out) in jobs.iter().zip(outputs) {
             let out = out?;
+            let _install_span = self.metrics.compaction_install.start();
             let mut replaced: Vec<Arc<Run>> = Vec::new();
             {
                 let _serial = self.env.platform().serial_section(SerialClass::StoreWrite);
@@ -1393,7 +1524,7 @@ impl Db {
                 }
                 self.install_locked(&mut inner, next);
             }
-            self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+            self.stats.compactions.inc();
             self.write_manifest()?;
             // Retire-after-manifest: a crash before this point recovers
             // the pre- or post-compaction manifest, both of whose inputs
@@ -1426,6 +1557,7 @@ impl Db {
         job: &CompactionJob,
         rewrite: &[u64],
     ) -> Result<MergeOutput, FsError> {
+        let _span = self.metrics.compaction_merge.start();
         let mut inputs = Vec::new();
         for &level in &job.input_levels {
             push_run_inputs(&mut inputs, base.level(level).map(|r| r.as_ref()), level);
@@ -1519,6 +1651,7 @@ impl Db {
         if victims.is_empty() {
             return Ok(());
         }
+        let _span = self.metrics.vlog_gc.start();
         let base = self.current_version();
         let view = LevelsView::from_version(&base);
         // Any merge that visits every pointer record works; the strategy's
@@ -1706,9 +1839,9 @@ impl Db {
                 }
             }
         }
-        self.stats.compaction_input_records.fetch_add(input_count, Ordering::Relaxed);
+        self.stats.compaction_input_records.add(input_count);
         let output = self.listener.transform_output_tagged(output_level, output, &unchanged);
-        self.stats.compaction_output_records.fetch_add(output.len() as u64, Ordering::Relaxed);
+        self.stats.compaction_output_records.add(output.len() as u64);
 
         // Write the output run, chunked into files.
         let mut output_files = Vec::new();

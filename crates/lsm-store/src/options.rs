@@ -117,6 +117,13 @@ pub struct Options {
     /// append-only value log at flush time (`None` keeps every value
     /// inline in the LSM levels — the pre-separation behaviour).
     pub vlog: Option<VlogConfig>,
+    /// Telemetry registry the store's counters, spans and gauges live in.
+    /// The default handle is disabled (counters still count — they *are*
+    /// the store's bookkeeping — but spans/histograms are no-ops); pass
+    /// [`telemetry::Telemetry::new`] to trace, or a
+    /// [scoped](telemetry::Telemetry::scoped) handle to share one registry
+    /// across shards or replicas without name collisions.
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl Default for Options {
@@ -137,6 +144,7 @@ impl Default for Options {
             max_group_commit_bytes: 1 << 20,
             retired_epoch_floor: 8,
             vlog: None,
+            telemetry: telemetry::Telemetry::default(),
         }
     }
 }

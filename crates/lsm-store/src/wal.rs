@@ -85,14 +85,15 @@ impl WalWriter {
         self.append_batch(std::slice::from_ref(record));
     }
 
-    /// Appends one batch as a single atomic frame.
+    /// Appends one batch as a single atomic frame; returns the frame's
+    /// encoded size in bytes (how the store meters WAL traffic).
     ///
     /// Under [`WalSyncPolicy::EveryNBytes`] the frame may be buffered in
     /// enclave memory; call [`WalWriter::sync`] to force it out (the store
     /// does this before every WAL rotation).
-    pub fn append_batch(&mut self, records: &[Record]) {
+    pub fn append_batch(&mut self, records: &[Record]) -> usize {
         if records.is_empty() {
-            return;
+            return 0;
         }
         let frame = encode_frame(records);
         match self.policy {
@@ -106,15 +107,19 @@ impl WalWriter {
             }
         }
         self.records += records.len() as u64;
+        frame.len()
     }
 
     /// Pushes buffered frames to the host in one append (one OCall in
-    /// enclave mode). A no-op when nothing is pending.
-    pub fn sync(&mut self) {
-        if !self.pending.is_empty() {
+    /// enclave mode); returns the bytes pushed. A no-op (returning 0) when
+    /// nothing is pending.
+    pub fn sync(&mut self) -> usize {
+        let pushed = self.pending.len();
+        if pushed > 0 {
             self.env.append(&self.file, &self.pending);
             self.pending.clear();
         }
+        pushed
     }
 
     /// Bytes buffered in enclave memory, not yet visible to the host.

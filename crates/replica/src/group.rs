@@ -65,9 +65,16 @@ impl ReplicationGroup {
         let key =
             SessionKey::derive(&[b"replication group/", &shard_tag[..], &instance[..]].concat());
         let channels: Vec<Arc<Channel>> = (0..options.replicas).map(|_| Channel::new()).collect();
+        // Every node reports into the caller's registry under its own
+        // scope, so per-store series ("db.puts", "replica.lag_epochs")
+        // never collide across the group's nodes.
+        let primary_options = P2Options {
+            telemetry: store_options.telemetry.scoped("primary"),
+            ..store_options.clone()
+        };
         let primary = Primary::open(
             platform.clone(),
-            store_options.clone(),
+            primary_options,
             &options,
             fencing.clone(),
             key.clone(),
@@ -78,9 +85,13 @@ impl ReplicationGroup {
             .iter()
             .enumerate()
             .map(|(i, channel)| {
+                let replica_options = P2Options {
+                    telemetry: store_options.telemetry.scoped(&format!("replica{}", i + 1)),
+                    ..store_options.clone()
+                };
                 Replica::open(
                     Platform::new(platform.cost().clone()),
-                    store_options.clone(),
+                    replica_options,
                     channel.clone(),
                     Membership {
                         fencing: fencing.clone(),

@@ -87,6 +87,33 @@ struct Progress {
     fenced_drops: u64,
 }
 
+/// Registry-backed replication health metrics (the `replica.*` series of
+/// the store's telemetry handle, so a group-scoped handle isolates them
+/// per node).
+#[derive(Debug)]
+struct ReplicaMetrics {
+    /// Epochs this node lags the newest announced primary head
+    /// (refreshed on every freshness check).
+    lag_epochs: telemetry::Gauge,
+    /// Reads refused because the lag exceeded the freshness bound.
+    freshness_refusals: telemetry::Counter,
+    /// Shipments dropped for carrying a deposed generation.
+    fenced_drops: telemetry::Counter,
+    /// Replicated events applied.
+    applied_events: telemetry::Counter,
+}
+
+impl ReplicaMetrics {
+    fn new(telemetry: &telemetry::Telemetry) -> Self {
+        ReplicaMetrics {
+            lag_epochs: telemetry.gauge("replica.lag_epochs"),
+            freshness_refusals: telemetry.counter("replica.freshness_refusals"),
+            fenced_drops: telemetry.counter("replica.fenced_drops"),
+            applied_events: telemetry.counter("replica.applied_events"),
+        }
+    }
+}
+
 /// One replica node (see the module docs).
 #[derive(Debug)]
 pub struct Replica {
@@ -97,6 +124,7 @@ pub struct Replica {
     node: u32,
     max_lag_epochs: u64,
     progress: Mutex<Progress>,
+    metrics: ReplicaMetrics,
     /// Sticky detection verdict: once the stream failed verification the
     /// replica refuses service (its state can no longer be trusted to
     /// track the primary).
@@ -118,9 +146,11 @@ impl Replica {
         membership: Membership,
     ) -> Result<Self, ElsmError> {
         let store = Arc::new(ElsmP2::open(platform, options)?);
+        let metrics = ReplicaMetrics::new(store.telemetry());
         Ok(Replica {
             store,
             channel,
+            metrics,
             fencing: membership.fencing,
             key: membership.key,
             node: membership.node,
@@ -171,6 +201,18 @@ impl Replica {
         }
     }
 
+    /// Records a replication-layer verification failure on the audit
+    /// stream, stamped with this node's id and replayed epoch.
+    fn audit_failure(&self, failure: &VerificationFailure) {
+        self.store.telemetry().audit(
+            telemetry::AuditEvent::new(failure.kind(), "replica")
+                .detail(failure.to_string())
+                .epoch(self.store.db().current_epoch())
+                .replica(self.node)
+                .at_ns(self.store.platform().clock().now_ns()),
+        );
+    }
+
     /// Drains the channel and applies everything, in order. Returns the
     /// number of envelopes processed.
     ///
@@ -187,6 +229,7 @@ impl Replica {
             if let Err(error) = self.apply(&envelopes[i]) {
                 match &error {
                     ElsmError::Verification(failure) => {
+                        self.audit_failure(failure);
                         *self.failed.lock() = Some(failure.clone());
                     }
                     // A transient replay IO error must not eat the
@@ -212,6 +255,10 @@ impl Replica {
             // and fenced. Skip, count, keep serving the live stream.
             progress.expected_seq += 1;
             progress.fenced_drops += 1;
+            self.metrics.fenced_drops.inc();
+            let fenced = VerificationFailure::FencedOut { generation, active: progress.generation };
+            drop(progress);
+            self.audit_failure(&fenced);
             return Ok(());
         }
         if generation > progress.generation {
@@ -242,6 +289,7 @@ impl Replica {
         // a retried sync resumes exactly here.
         progress.expected_seq += 1;
         progress.applied_events += 1;
+        self.metrics.applied_events.inc();
         Ok(())
     }
 
@@ -281,12 +329,15 @@ impl Replica {
     pub fn observe_announcement(&self, announcement: &Announcement) -> Result<(), ElsmError> {
         self.check_failed()?;
         if !announcement.verify(self.store.platform(), &self.key) {
-            return Err(VerificationFailure::ChannelTampered { seq: 0 }.into());
+            let failure = VerificationFailure::ChannelTampered { seq: 0 };
+            self.audit_failure(&failure);
+            return Err(failure.into());
         }
         let mut progress = self.progress.lock();
         if let Some(own) = self.store.trusted().snapshot_digest(announcement.epoch) {
             if own != announcement.commitments {
                 let failure = VerificationFailure::ForkedPrimary { epoch: announcement.epoch };
+                self.audit_failure(&failure);
                 *self.failed.lock() = Some(failure.clone());
                 return Err(failure.into());
             }
@@ -317,12 +368,16 @@ impl Replica {
             replica_epoch: self.store.db().current_epoch(),
             bound: self.max_lag_epochs,
         };
+        drop(progress);
+        self.metrics.lag_epochs.set(token.lag_epochs());
         if token.lag_epochs() > self.max_lag_epochs {
-            return Err(VerificationFailure::ReplicaStale {
+            self.metrics.freshness_refusals.inc();
+            let failure = VerificationFailure::ReplicaStale {
                 lag_epochs: token.lag_epochs(),
                 bound: self.max_lag_epochs,
-            }
-            .into());
+            };
+            self.audit_failure(&failure);
+            return Err(failure.into());
         }
         Ok(token)
     }
@@ -391,18 +446,23 @@ impl Replica {
         };
         let fenced = self.fencing.read();
         if applied < fenced.progress {
-            return Err(VerificationFailure::RolledBack.into());
+            let failure = VerificationFailure::RolledBack;
+            self.audit_failure(&failure);
+            return Err(failure.into());
         }
         let digest = self.store.trusted().dataset_digest();
         if applied == fenced.progress && fenced.digest != Digest::ZERO && digest != fenced.digest {
-            return Err(VerificationFailure::ForkedPrimary {
-                epoch: self.store.db().current_epoch(),
-            }
-            .into());
+            let failure =
+                VerificationFailure::ForkedPrimary { epoch: self.store.db().current_epoch() };
+            self.audit_failure(&failure);
+            return Err(failure.into());
         }
         let new_generation =
             self.fencing.advance(fenced.generation, applied, digest).map_err(|current| {
-                VerificationFailure::FencedOut { generation, active: current.generation }
+                let failure =
+                    VerificationFailure::FencedOut { generation, active: current.generation };
+                self.audit_failure(&failure);
+                failure
             })?;
         let primary = Primary::adopt(
             self.store,

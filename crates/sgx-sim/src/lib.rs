@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod clock;
 pub mod cost;
 pub mod counter;
@@ -52,6 +53,10 @@ pub mod seal;
 pub mod serial;
 pub mod stats;
 
+pub use attrib::{
+    current_world, enclave_scope, host_scope, thread_charges, ThreadCharges, TimeSplit, World,
+    WorldScope,
+};
 pub use clock::{Clock, Stopwatch};
 pub use cost::{CostModel, PAGE_SIZE};
 pub use counter::{BufferedCounter, FencedState, FencingCounter, MonotonicCounter};

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::attrib::{self, Attribution, TimeSplit};
 use crate::clock::Clock;
 use crate::cost::{CostModel, PAGE_SIZE};
 use crate::epc::{EpcState, PageId};
@@ -67,6 +68,9 @@ pub struct Platform {
     next_region: AtomicU64,
     enclave_alloc_bytes: AtomicU64,
     serial_ns: [AtomicU64; SERIAL_CLASSES],
+    /// Virtual time by world: `[enclave, host, boundary]` (see
+    /// [`TimeSplit`]).
+    world_ns: [AtomicU64; 3],
 }
 
 impl Platform {
@@ -81,6 +85,7 @@ impl Platform {
             next_region: AtomicU64::new(1),
             enclave_alloc_bytes: AtomicU64::new(0),
             serial_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            world_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         })
     }
 
@@ -111,8 +116,14 @@ impl Platform {
     }
 
     /// Advances the clock, attributing the time to any serial sections open
-    /// on the calling thread. Every charge method funnels through here.
+    /// on the calling thread and to the thread's current world.
     fn tick(&self, ns: u64) {
+        self.tick_attr(ns, Attribution::CurrentWorld);
+    }
+
+    /// [`Self::tick`] with an explicit world attribution. Every charge
+    /// method funnels through here.
+    fn tick_attr(&self, ns: u64, attr: Attribution) {
         self.clock.advance_ns(ns);
         let mask = crate::serial::active_mask();
         if mask != 0 {
@@ -121,6 +132,19 @@ impl Platform {
                     slot.fetch_add(ns, Ordering::Relaxed);
                 }
             }
+        }
+        let bucket = attrib::note_time(ns, attr);
+        self.world_ns[bucket].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// The platform's virtual time split into enclave / host / boundary
+    /// buckets. The three buckets sum to the total time this platform has
+    /// charged.
+    pub fn time_split(&self) -> TimeSplit {
+        TimeSplit {
+            enclave_ns: self.world_ns[0].load(Ordering::Relaxed),
+            host_ns: self.world_ns[1].load(Ordering::Relaxed),
+            boundary_ns: self.world_ns[2].load(Ordering::Relaxed),
         }
     }
 
@@ -143,10 +167,14 @@ impl Platform {
 
     // ----- world switches ---------------------------------------------
 
-    /// Charges one ECall (host → enclave switch) and runs `f` "inside".
+    /// Charges one ECall (host → enclave switch) and runs `f` "inside":
+    /// virtual time charged by `f` on this thread is attributed to the
+    /// enclave until it returns.
     pub fn ecall<T>(&self, f: impl FnOnce() -> T) -> T {
         PlatformStats::add(&self.stats.ecalls, 1);
-        self.tick(self.cost.ecall_ns);
+        attrib::note_transition(1, 0);
+        self.tick_attr(self.cost.ecall_ns, Attribution::Boundary);
+        let _world = attrib::enclave_scope();
         f()
     }
 
@@ -160,17 +188,23 @@ impl Platform {
     /// batch as cheap to pass as a 1-record one.
     pub fn ecall_with_payload<T>(&self, payload_bytes: usize, f: impl FnOnce() -> T) -> T {
         PlatformStats::add(&self.stats.ecalls, 1);
-        self.tick(self.cost.ecall_ns);
+        attrib::note_transition(1, 0);
+        self.tick_attr(self.cost.ecall_ns, Attribution::Boundary);
         if payload_bytes > 0 {
             self.cross_copy(payload_bytes);
         }
+        let _world = attrib::enclave_scope();
         f()
     }
 
-    /// Charges one OCall (enclave → host switch) and runs `f` "outside".
+    /// Charges one OCall (enclave → host switch) and runs `f` "outside":
+    /// virtual time charged by `f` on this thread is attributed to the
+    /// host until it returns.
     pub fn ocall<T>(&self, f: impl FnOnce() -> T) -> T {
         PlatformStats::add(&self.stats.ocalls, 1);
-        self.tick(self.cost.ocall_ns);
+        attrib::note_transition(0, 1);
+        self.tick_attr(self.cost.ocall_ns, Attribution::Boundary);
+        let _world = attrib::host_scope();
         f()
     }
 
@@ -179,7 +213,11 @@ impl Platform {
     /// Charges a copy of `len` bytes across the enclave boundary.
     pub fn cross_copy(&self, len: usize) {
         PlatformStats::add(&self.stats.cross_copy_bytes, len as u64);
-        self.tick(CostModel::copy_cost(self.cost.cross_copy_ns_per_kb, len));
+        attrib::note_cross_bytes(len as u64);
+        self.tick_attr(
+            CostModel::copy_cost(self.cost.cross_copy_ns_per_kb, len),
+            Attribution::Boundary,
+        );
     }
 
     /// Charges an access of `len` bytes in ordinary untrusted DRAM.
@@ -280,14 +318,17 @@ impl Platform {
         }
         if page_ins > 0 {
             PlatformStats::add(&self.stats.epc_page_ins, page_ins);
-            self.tick(page_ins * self.cost.epc_page_in_ns);
+            self.tick_attr(page_ins * self.cost.epc_page_in_ns, Attribution::Enclave);
         }
         if page_outs > 0 {
             PlatformStats::add(&self.stats.epc_page_outs, page_outs);
-            self.tick(page_outs * self.cost.epc_page_out_ns);
+            self.tick_attr(page_outs * self.cost.epc_page_out_ns, Attribution::Enclave);
         }
         PlatformStats::add(&self.stats.enclave_copy_bytes, len as u64);
-        self.tick(CostModel::copy_cost(self.cost.enclave_copy_ns_per_kb, len));
+        self.tick_attr(
+            CostModel::copy_cost(self.cost.enclave_copy_ns_per_kb, len),
+            Attribution::Enclave,
+        );
     }
 
     /// Current EPC residency, in pages (for assertions and debugging).
@@ -339,6 +380,39 @@ mod tests {
             2 * (p.cost().ecall_ns + CostModel::copy_cost(p.cost().cross_copy_ns_per_kb, 116));
         let batched = p.cost().ecall_ns + CostModel::copy_cost(p.cost().cross_copy_ns_per_kb, 232);
         assert!(batched < singleton);
+    }
+
+    #[test]
+    fn time_split_accounts_every_nanosecond() {
+        let p = Platform::with_defaults();
+        // Host-side work, a transition, enclave-side work inside the call.
+        p.dram_access(4096);
+        let r = p.enclave_alloc(PAGE_SIZE);
+        p.ecall_with_payload(1024, || {
+            p.enclave_touch(&r, 0, PAGE_SIZE);
+            p.charge_hash(256);
+        });
+        let split = p.time_split();
+        assert_eq!(split.total_ns(), p.clock().now_ns(), "buckets must sum to the clock");
+        assert!(split.host_ns > 0, "dram access is host time");
+        assert!(split.boundary_ns >= p.cost().ecall_ns, "transition + marshalling");
+        assert!(split.enclave_ns > 0, "paging and in-call hashing are enclave time");
+        // The in-call hash was attributed to the enclave, not the host.
+        let hash_ns = p.cost().hash_cost(256);
+        assert!(split.enclave_ns >= hash_ns);
+    }
+
+    #[test]
+    fn thread_charges_mirror_platform_charges() {
+        let p = Platform::with_defaults();
+        let before = crate::thread_charges();
+        p.ecall(|| p.charge_hash(64));
+        p.ocall(|| ());
+        let d = crate::thread_charges().since(&before);
+        assert_eq!((d.ecalls, d.ocalls), (1, 1));
+        assert_eq!(d.ns, d.enclave_ns + d.host_ns + d.boundary_ns);
+        assert_eq!(d.enclave_ns, p.cost().hash_cost(64));
+        assert_eq!(d.boundary_ns, p.cost().ecall_ns + p.cost().ocall_ns);
     }
 
     #[test]

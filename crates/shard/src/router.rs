@@ -69,11 +69,26 @@ impl ShardedOptions {
 pub struct ShardedTrustedState {
     partitioner: Partitioner,
     shards: Vec<Arc<TrustedState>>,
+    telemetry: telemetry::Telemetry,
 }
 
 impl ShardedTrustedState {
-    fn new(partitioner: Partitioner, shards: Vec<Arc<TrustedState>>) -> Arc<Self> {
-        Arc::new(ShardedTrustedState { partitioner, shards })
+    fn new(
+        partitioner: Partitioner,
+        shards: Vec<Arc<TrustedState>>,
+        telemetry: telemetry::Telemetry,
+    ) -> Arc<Self> {
+        Arc::new(ShardedTrustedState { partitioner, shards, telemetry })
+    }
+
+    /// Records a routing-layer verification failure on the audit stream,
+    /// stamped with the shard the trusted router expected.
+    fn audit_failure(&self, failure: &VerificationFailure, shard: u32) {
+        self.telemetry.audit(
+            telemetry::AuditEvent::new(failure.kind(), "router")
+                .detail(failure.to_string())
+                .shard(shard),
+        );
     }
 
     /// The deterministic partitioner (trusted configuration).
@@ -102,10 +117,12 @@ impl ShardedTrustedState {
     pub fn check_owned(&self, shard: usize, key: &[u8]) -> Result<(), VerificationFailure> {
         let owner = self.owner_of(key);
         if owner != shard {
-            return Err(VerificationFailure::WrongShard {
+            let failure = VerificationFailure::WrongShard {
                 expected: owner as u32,
                 got: shard.try_into().unwrap_or(WRONG_SHARD_UNSHARDED),
-            });
+            };
+            self.audit_failure(&failure, owner as u32);
+            return Err(failure);
         }
         Ok(())
     }
@@ -126,7 +143,11 @@ impl ShardedTrustedState {
         trace: &GetTrace,
     ) -> Result<(), VerificationFailure> {
         self.check_owned(claimed_shard, key)?;
-        self.shards[claimed_shard].verify_get(key, trace)
+        let verdict = self.shards[claimed_shard].verify_get(key, trace);
+        if let Err(failure) = &verdict {
+            self.audit_failure(failure, claimed_shard as u32);
+        }
+        verdict
     }
 }
 
@@ -149,6 +170,30 @@ impl Shard {
         match &self.group {
             Some(group) => group,
             None => self.store.as_ref(),
+        }
+    }
+}
+
+/// Registry-backed routing metrics (the `router.*` series).
+#[derive(Debug)]
+struct RouterMetrics {
+    /// Route decisions made (one per keyed operation or batched record).
+    routed_ops: telemetry::Counter,
+    /// Per-shard scan segments collected for stitching.
+    scan_segments: telemetry::Counter,
+    /// Records stitched into cross-shard scan results.
+    stitched_records: telemetry::Counter,
+    /// The trusted stitching phase (ownership checks + merge).
+    stitch_span: telemetry::SpanHandle,
+}
+
+impl RouterMetrics {
+    fn new(telemetry: &telemetry::Telemetry) -> Self {
+        RouterMetrics {
+            routed_ops: telemetry.counter("router.routed_ops"),
+            scan_segments: telemetry.counter("router.scan_segments"),
+            stitched_records: telemetry.counter("router.stitched_records"),
+            stitch_span: telemetry.span("router.stitch"),
         }
     }
 }
@@ -195,6 +240,7 @@ pub struct ShardedKv {
     router: Arc<Platform>,
     trusted: Arc<ShardedTrustedState>,
     shards: Vec<Shard>,
+    metrics: RouterMetrics,
 }
 
 impl ShardedKv {
@@ -212,7 +258,13 @@ impl ShardedKv {
         let mut stores = Vec::with_capacity(n);
         for id in 0..n {
             let platform = Platform::new(router.cost().clone());
-            let store_options = P2Options { shard_id: Some(id as u32), ..options.store.clone() };
+            // Each shard reports into the caller's registry under its own
+            // scope, keeping per-store series isolated per partition.
+            let store_options = P2Options {
+                shard_id: Some(id as u32),
+                telemetry: options.store.telemetry.scoped(&format!("shard{id}")),
+                ..options.store.clone()
+            };
             let shard = if options.replicas > 0 {
                 let group = ReplicationGroup::open(
                     platform,
@@ -225,7 +277,7 @@ impl ShardedKv {
             };
             stores.push(shard);
         }
-        Ok(Self::assemble(router, partitioner, stores))
+        Ok(Self::assemble(router, partitioner, stores, options.store.telemetry.clone()))
     }
 
     /// Re-opens a cluster on existing per-shard filesystems (one per
@@ -265,18 +317,34 @@ impl ShardedKv {
         let mut stores = Vec::with_capacity(filesystems.len());
         for (id, fs) in filesystems.into_iter().enumerate() {
             let platform = Platform::new(router.cost().clone());
-            let store_options = P2Options { shard_id: Some(id as u32), ..options.store.clone() };
+            let store_options = P2Options {
+                shard_id: Some(id as u32),
+                telemetry: options.store.telemetry.scoped(&format!("shard{id}")),
+                ..options.store.clone()
+            };
             stores.push(Shard {
                 store: Arc::new(ElsmP2::open_with(platform, fs, store_options, None)?),
                 group: None,
             });
         }
-        Ok(Self::assemble(router, partitioner, stores))
+        Ok(Self::assemble(router, partitioner, stores, options.store.telemetry.clone()))
     }
 
-    fn assemble(router: Arc<Platform>, partitioner: Partitioner, shards: Vec<Shard>) -> Self {
+    fn assemble(
+        router: Arc<Platform>,
+        partitioner: Partitioner,
+        shards: Vec<Shard>,
+        telemetry: telemetry::Telemetry,
+    ) -> Self {
+        telemetry.attach_platform("router", &router);
         let states = shards.iter().map(|s| s.store.trusted().clone()).collect();
-        ShardedKv { router, trusted: ShardedTrustedState::new(partitioner, states), shards }
+        let metrics = RouterMetrics::new(&telemetry);
+        ShardedKv {
+            router,
+            trusted: ShardedTrustedState::new(partitioner, states, telemetry),
+            shards,
+            metrics,
+        }
     }
 
     /// Number of shards.
@@ -351,6 +419,7 @@ impl ShardedKv {
     /// hash for hash partitioning; range lookup is a few comparisons and
     /// is not charged).
     fn charge_route(&self, key: &[u8]) {
+        self.metrics.routed_ops.inc();
         if !self.trusted.partitioner().is_range() {
             self.router.charge_hash(key.len());
         }
@@ -387,7 +456,10 @@ impl ShardedKv {
         &self,
         segments: Vec<(usize, Vec<VerifiedRecord>)>,
     ) -> Result<Vec<VerifiedRecord>, ElsmError> {
+        let _span = self.metrics.stitch_span.start();
+        self.metrics.scan_segments.add(segments.len() as u64);
         let total: usize = segments.iter().map(|(_, s)| s.len()).sum();
+        self.metrics.stitched_records.add(total as u64);
         let mut bytes = 0usize;
         for (shard, segment) in &segments {
             for record in segment {

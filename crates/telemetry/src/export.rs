@@ -1,0 +1,314 @@
+//! Snapshot assembly and rendering: JSON and Prometheus text format.
+//!
+//! The JSON document is what the bench harness writes as
+//! `TELEMETRY.<figure>.json`; the Prometheus rendering is the scrape
+//! surface the future network front-end will expose. Both are hand-rolled
+//! (the workspace is offline; no serde) and deterministic: maps are
+//! B-tree-ordered and histogram buckets with zero counts are elided.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use sgx_sim::{Platform, StatsSnapshot, TimeSplit};
+
+use crate::audit::AuditEvent;
+use crate::metrics::{bucket_bound, Histogram};
+use crate::span::SpanStats;
+
+/// Point-in-time capture of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn capture(name: &str, h: &Histogram) -> Self {
+        let buckets = h
+            .buckets()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_bound(i), *c))
+            .collect();
+        HistogramSnapshot { name: name.to_string(), count: h.count(), sum: h.sum(), buckets }
+    }
+}
+
+/// Point-in-time capture of one attached platform.
+#[derive(Debug, Clone)]
+pub struct PlatformSnapshot {
+    /// Label given at attach time.
+    pub label: String,
+    /// The platform's virtual clock.
+    pub clock_ns: u64,
+    /// Virtual time split by world (enclave / host / boundary).
+    pub time: TimeSplit,
+    /// The platform's event counters.
+    pub stats: StatsSnapshot,
+}
+
+impl PlatformSnapshot {
+    pub(crate) fn capture(label: &str, p: &Arc<Platform>) -> Self {
+        PlatformSnapshot {
+            label: label.to_string(),
+            clock_ns: p.clock().now_ns(),
+            time: p.time_split(),
+            stats: p.stats(),
+        }
+    }
+}
+
+/// A full registry capture (see [`crate::Telemetry::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// All counters, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// All gauges, name-ordered.
+    pub gauges: Vec<(String, u64)>,
+    /// All histograms, name-ordered.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All spans, name-ordered.
+    pub spans: Vec<(String, SpanStats)>,
+    /// All attached platforms, in attach order.
+    pub platforms: Vec<PlatformSnapshot>,
+    /// Total audit events ever recorded.
+    pub audit_total: u64,
+    /// Per-kind audit counts (unbounded).
+    pub audit_by_kind: Vec<(String, u64)>,
+    /// Recent audit events (bounded ring).
+    pub audit_events: Vec<AuditEvent>,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"generated_by\": \"elsm-telemetry\",\n");
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = write!(out, "\n    \"{}\": {v}{comma}", esc(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 < self.gauges.len() { "," } else { "" };
+            let _ = write!(out, "\n    \"{}\": {v}{comma}", esc(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < self.histograms.len() { "," } else { "" };
+            let buckets: Vec<String> =
+                h.buckets.iter().map(|(le, c)| format!("[{le}, {c}]")).collect();
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}{comma}",
+                esc(&h.name),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            );
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            let comma = if i + 1 < self.spans.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"enclave_ns\": {}, \
+                 \"host_ns\": {}, \"boundary_ns\": {}, \"ecalls\": {}, \"ocalls\": {}, \
+                 \"cross_copy_bytes\": {}}}{comma}",
+                esc(name),
+                s.count,
+                s.total_ns,
+                s.enclave_ns,
+                s.host_ns,
+                s.boundary_ns,
+                s.ecalls,
+                s.ocalls,
+                s.cross_copy_bytes
+            );
+        }
+        out.push_str("\n  },\n  \"platforms\": {");
+        for (i, p) in self.platforms.iter().enumerate() {
+            let comma = if i + 1 < self.platforms.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"clock_ns\": {}, \"enclave_ns\": {}, \"host_ns\": {}, \
+                 \"boundary_ns\": {}, \"ecalls\": {}, \"ocalls\": {}, \"epc_page_ins\": {}, \
+                 \"epc_page_outs\": {}, \"cross_copy_bytes\": {}, \"disk_seeks\": {}, \
+                 \"disk_bytes\": {}, \"hash_blocks\": {}, \"counter_writes\": {}}}{comma}",
+                esc(&p.label),
+                p.clock_ns,
+                p.time.enclave_ns,
+                p.time.host_ns,
+                p.time.boundary_ns,
+                p.stats.ecalls,
+                p.stats.ocalls,
+                p.stats.epc_page_ins,
+                p.stats.epc_page_outs,
+                p.stats.cross_copy_bytes,
+                p.stats.disk_seeks,
+                p.stats.disk_bytes,
+                p.stats.hash_blocks,
+                p.stats.counter_writes
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  }},\n  \"audit\": {{\n    \"total\": {},\n    \"by_kind\": {{",
+            self.audit_total
+        );
+        for (i, (kind, v)) in self.audit_by_kind.iter().enumerate() {
+            let comma = if i + 1 < self.audit_by_kind.len() { "," } else { "" };
+            let _ = write!(out, "\n      \"{}\": {v}{comma}", esc(kind));
+        }
+        out.push_str("\n    },\n    \"events\": [");
+        for (i, e) in self.audit_events.iter().enumerate() {
+            let comma = if i + 1 < self.audit_events.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n      {{\"seq\": {}, \"at_ns\": {}, \"kind\": \"{}\", \"component\": \
+                 \"{}\", \"detail\": \"{}\", \"epoch\": {}, \"shard\": {}, \"replica\": \
+                 {}}}{comma}",
+                e.seq,
+                e.at_ns,
+                esc(e.kind),
+                esc(e.component),
+                esc(&e.detail),
+                opt(e.epoch),
+                opt(e.shard.map(u64::from)),
+                opt(e.replica.map(u64::from))
+            );
+        }
+        out.push_str("\n    ]\n  }\n}\n");
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (`elsm_` prefix, metric names with dots mapped to underscores).
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE elsm_{n}_total counter\nelsm_{n}_total {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE elsm_{n} gauge\nelsm_{n} {v}");
+        }
+        for h in &self.histograms {
+            let n = sanitize(&h.name);
+            let _ = writeln!(out, "# TYPE elsm_{n} histogram");
+            let mut cumulative = 0u64;
+            for (le, c) in &h.buckets {
+                cumulative += c;
+                let _ = writeln!(out, "elsm_{n}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "elsm_{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "elsm_{n}_sum {}\nelsm_{n}_count {}", h.sum, h.count);
+        }
+        for (name, s) in &self.spans {
+            let label = esc(name);
+            let _ = writeln!(out, "elsm_span_count{{span=\"{label}\"}} {}", s.count);
+            let _ = writeln!(out, "elsm_span_total_ns{{span=\"{label}\"}} {}", s.total_ns);
+            let _ = writeln!(out, "elsm_span_enclave_ns{{span=\"{label}\"}} {}", s.enclave_ns);
+            let _ = writeln!(out, "elsm_span_host_ns{{span=\"{label}\"}} {}", s.host_ns);
+            let _ = writeln!(out, "elsm_span_boundary_ns{{span=\"{label}\"}} {}", s.boundary_ns);
+            let _ = writeln!(out, "elsm_span_ecalls{{span=\"{label}\"}} {}", s.ecalls);
+            let _ = writeln!(out, "elsm_span_ocalls{{span=\"{label}\"}} {}", s.ocalls);
+        }
+        for p in &self.platforms {
+            let label = esc(&p.label);
+            let _ = writeln!(out, "elsm_platform_clock_ns{{platform=\"{label}\"}} {}", p.clock_ns);
+            let _ = writeln!(
+                out,
+                "elsm_platform_enclave_ns{{platform=\"{label}\"}} {}",
+                p.time.enclave_ns
+            );
+            let _ =
+                writeln!(out, "elsm_platform_host_ns{{platform=\"{label}\"}} {}", p.time.host_ns);
+            let _ = writeln!(
+                out,
+                "elsm_platform_boundary_ns{{platform=\"{label}\"}} {}",
+                p.time.boundary_ns
+            );
+            let _ =
+                writeln!(out, "elsm_platform_ecalls{{platform=\"{label}\"}} {}", p.stats.ecalls);
+            let _ =
+                writeln!(out, "elsm_platform_ocalls{{platform=\"{label}\"}} {}", p.stats.ocalls);
+        }
+        let _ = writeln!(out, "# TYPE elsm_audit_events total counter");
+        for (kind, v) in &self.audit_by_kind {
+            let _ = writeln!(out, "elsm_audit_events_total{{kind=\"{}\"}} {v}", esc(kind));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AuditEvent, Telemetry};
+    use sgx_sim::Platform;
+
+    fn populated() -> Telemetry {
+        let tel = Telemetry::new();
+        let p = Platform::with_defaults();
+        tel.attach_platform("store", &p);
+        tel.counter("db.puts").add(7);
+        tel.gauge("compaction.debt_bytes").set(4096);
+        tel.histogram("commit.batches_per_group").observe(3);
+        let span = tel.span("flush.merge");
+        p.ecall(|| {
+            let _g = span.start();
+            p.charge_hash(64);
+        });
+        tel.audit(AuditEvent::new("HiddenLevel", "core.scan").epoch(3).detail("level 2 hidden"));
+        tel
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let json = populated().to_json();
+        for needle in [
+            "\"db.puts\": 7",
+            "\"compaction.debt_bytes\": 4096",
+            "\"commit.batches_per_group\"",
+            "\"flush.merge\"",
+            "\"enclave_ns\"",
+            "\"store\"",
+            "\"kind\": \"HiddenLevel\"",
+            "\"epoch\": 3",
+            "\"shard\": null",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn prometheus_lines_are_well_formed() {
+        let text = populated().to_prometheus();
+        assert!(text.contains("elsm_db_puts_total 7"));
+        assert!(text.contains("elsm_compaction_debt_bytes 4096"));
+        assert!(text.contains("elsm_commit_batches_per_group_bucket{le=\"3\"} 1"));
+        assert!(text.contains("elsm_commit_batches_per_group_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("elsm_span_enclave_ns{span=\"flush.merge\"}"));
+        assert!(text.contains("elsm_platform_ecalls{platform=\"store\"} 1"));
+        assert!(text.contains("elsm_audit_events_total{kind=\"HiddenLevel\"} 1"));
+    }
+}

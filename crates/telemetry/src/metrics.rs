@@ -1,0 +1,206 @@
+//! Lock-free metric primitives: counters, gauges, fixed-bucket histograms.
+//!
+//! All three are plain atomics once registered — registration takes a lock
+//! on the registry's name table, but the handles returned are `Arc`s whose
+//! hot-path methods never lock, matching the PR 2 lock-free-reader
+//! philosophy. Counters additionally stripe their cell across shards so
+//! concurrent writers on different threads do not contend on one cache
+//! line.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of stripes a [`Counter`] spreads its value over.
+pub(crate) const COUNTER_SHARDS: usize = 8;
+
+/// One cache line worth of counter, so stripes never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct PaddedAtomic(pub(crate) AtomicU64);
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The stripe this thread writes; assigned round-robin at first use.
+    static THREAD_SLOT: usize =
+        NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+}
+
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterInner {
+    pub(crate) shards: [PaddedAtomic; COUNTER_SHARDS],
+}
+
+/// A monotonically increasing, sharded-atomic counter.
+///
+/// Cheap to clone (an `Arc`); increments are one relaxed `fetch_add` on a
+/// thread-striped cache line, reads sum the stripes.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    pub(crate) inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.shards[thread_slot()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (sum over stripes).
+    pub fn value(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    pub(crate) inner: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`] (power-of-two bounds; bucket `i`
+/// counts values with bit length `i`, i.e. `v < 2^i`, cumulative).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    pub(crate) enabled: bool,
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistogramInner {
+    pub(crate) fn new(enabled: bool) -> Self {
+        HistogramInner {
+            enabled,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket value `v` falls into: its bit length, clamped.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`; the last bucket is
+/// unbounded).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed power-of-two-bucket histogram.
+///
+/// Observation is two relaxed atomic adds when the owning registry is
+/// enabled, and a branch on a cached bool when it is not — distribution
+/// tracking is part of the *tracing* layer and obeys the enabled gate,
+/// unlike [`Counter`]s which are always live.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !self.inner.enabled {
+            return;
+        }
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (not cumulative), bucket `i` covering values of
+    /// bit length `i`.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Counter::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let h = Histogram { inner: Arc::new(HistogramInner::new(true)) };
+        for v in [0, 1, 5, 5, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1011);
+        assert_eq!(h.buckets()[3], 2, "two values of bit length 3");
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let h = Histogram { inner: Arc::new(HistogramInner::new(false)) };
+        h.observe(42);
+        assert_eq!(h.count(), 0);
+    }
+}

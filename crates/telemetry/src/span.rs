@@ -1,0 +1,165 @@
+//! Span-based tracing with enclave/host virtual-time attribution.
+//!
+//! A [`SpanHandle`] names one region of interest (a flush phase, a commit
+//! group, a compaction job). Starting it snapshots the calling thread's
+//! cumulative platform charges ([`sgx_sim::thread_charges`]); when the
+//! guard drops, the delta — total virtual time split into enclave / host /
+//! boundary, plus ecall/ocall transitions and cross-boundary bytes — is
+//! folded into the span's aggregate. Because the delta rides thread-local
+//! accumulators, concurrent threads in unrelated code never pollute a
+//! span, and a disabled registry reduces `start()` to a branch on a
+//! cached bool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sgx_sim::ThreadCharges;
+
+use crate::metrics::{bucket_index, HISTOGRAM_BUCKETS};
+
+#[derive(Debug)]
+pub(crate) struct SpanAgg {
+    pub(crate) enabled: bool,
+    pub(crate) count: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) enclave_ns: AtomicU64,
+    pub(crate) host_ns: AtomicU64,
+    pub(crate) boundary_ns: AtomicU64,
+    pub(crate) ecalls: AtomicU64,
+    pub(crate) ocalls: AtomicU64,
+    pub(crate) cross_copy_bytes: AtomicU64,
+    /// Distribution of per-activation total virtual ns.
+    pub(crate) duration_buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl SpanAgg {
+    pub(crate) fn new(enabled: bool) -> Self {
+        SpanAgg {
+            enabled,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            enclave_ns: AtomicU64::new(0),
+            host_ns: AtomicU64::new(0),
+            boundary_ns: AtomicU64::new(0),
+            ecalls: AtomicU64::new(0),
+            ocalls: AtomicU64::new(0),
+            cross_copy_bytes: AtomicU64::new(0),
+            duration_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, d: ThreadCharges) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(d.ns, Ordering::Relaxed);
+        self.enclave_ns.fetch_add(d.enclave_ns, Ordering::Relaxed);
+        self.host_ns.fetch_add(d.host_ns, Ordering::Relaxed);
+        self.boundary_ns.fetch_add(d.boundary_ns, Ordering::Relaxed);
+        self.ecalls.fetch_add(d.ecalls, Ordering::Relaxed);
+        self.ocalls.fetch_add(d.ocalls, Ordering::Relaxed);
+        self.cross_copy_bytes.fetch_add(d.cross_copy_bytes, Ordering::Relaxed);
+        self.duration_buckets[bucket_index(d.ns)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A registered, named span. Cheap to clone; `start()` returns an RAII
+/// guard that attributes the enclosed work on drop.
+#[derive(Debug, Clone)]
+pub struct SpanHandle {
+    pub(crate) agg: Arc<SpanAgg>,
+}
+
+impl SpanHandle {
+    /// Opens one activation of the span on the calling thread.
+    #[inline]
+    pub fn start(&self) -> SpanGuard {
+        if !self.agg.enabled {
+            return SpanGuard { active: None };
+        }
+        SpanGuard { active: Some((self.agg.clone(), sgx_sim::thread_charges())) }
+    }
+
+    /// Point-in-time aggregate of all completed activations.
+    pub fn stats(&self) -> SpanStats {
+        SpanStats {
+            count: self.agg.count.load(Ordering::Relaxed),
+            total_ns: self.agg.total_ns.load(Ordering::Relaxed),
+            enclave_ns: self.agg.enclave_ns.load(Ordering::Relaxed),
+            host_ns: self.agg.host_ns.load(Ordering::Relaxed),
+            boundary_ns: self.agg.boundary_ns.load(Ordering::Relaxed),
+            ecalls: self.agg.ecalls.load(Ordering::Relaxed),
+            ocalls: self.agg.ocalls.load(Ordering::Relaxed),
+            cross_copy_bytes: self.agg.cross_copy_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregate over a span's completed activations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed activations.
+    pub count: u64,
+    /// Total virtual nanoseconds attributed.
+    pub total_ns: u64,
+    /// Portion spent in enclave execution.
+    pub enclave_ns: u64,
+    /// Portion spent in host execution.
+    pub host_ns: u64,
+    /// Portion spent in world switches / cross-boundary copies.
+    pub boundary_ns: u64,
+    /// ECall transitions made inside the span.
+    pub ecalls: u64,
+    /// OCall transitions made inside the span.
+    pub ocalls: u64,
+    /// Bytes copied across the enclave boundary inside the span.
+    pub cross_copy_bytes: u64,
+}
+
+/// RAII guard for one span activation (see [`SpanHandle::start`]).
+///
+/// Not `Send`: the attribution delta is computed from thread-local
+/// accumulators, so a guard must drop on the thread that started it.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(Arc<SpanAgg>, ThreadCharges)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((agg, start)) = self.active.take() {
+            agg.record(sgx_sim::thread_charges().since(&start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::Platform;
+
+    #[test]
+    fn span_attributes_thread_work() {
+        let p = Platform::with_defaults();
+        let span = SpanHandle { agg: Arc::new(SpanAgg::new(true)) };
+        {
+            let _g = span.start();
+            p.ecall(|| p.charge_hash(128));
+        }
+        let s = span.stats();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.ecalls, 1);
+        assert_eq!(s.total_ns, s.enclave_ns + s.host_ns + s.boundary_ns);
+        assert_eq!(s.enclave_ns, p.cost().hash_cost(128));
+        assert_eq!(s.boundary_ns, p.cost().ecall_ns);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let p = Platform::with_defaults();
+        let span = SpanHandle { agg: Arc::new(SpanAgg::new(false)) };
+        {
+            let _g = span.start();
+            p.charge_hash(128);
+        }
+        assert_eq!(span.stats(), SpanStats::default());
+    }
+}

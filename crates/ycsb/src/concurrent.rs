@@ -212,6 +212,34 @@ pub fn run_phase_concurrent(
     seed: u64,
     threads: usize,
 ) -> ConcurrentReport {
+    run_phase_concurrent_with_telemetry(
+        driver,
+        platform,
+        workload,
+        record_count,
+        total_ops,
+        seed,
+        threads,
+        &telemetry::Telemetry::default(),
+    )
+}
+
+/// [`run_phase_concurrent`] that also records every operation's
+/// queueing-inclusive latency into the registry's `ycsb.*` series (see
+/// [`crate::runner::OpRecorder`]); read-modify-writes count read-side
+/// here, matching [`ConcurrentReport::read_hit_rate`]'s denominator.
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase_concurrent_with_telemetry(
+    driver: &dyn KvDriver,
+    platform: &Arc<Platform>,
+    workload: &Workload,
+    record_count: u64,
+    total_ops: u64,
+    seed: u64,
+    threads: usize,
+    telemetry: &telemetry::Telemetry,
+) -> ConcurrentReport {
+    let recorder = crate::runner::OpRecorder::new(telemetry);
     let threads = threads.max(1);
     let per_client = total_ops / threads as u64;
     let total_ops = per_client * threads as u64;
@@ -242,6 +270,7 @@ pub fn run_phase_concurrent(
         let start = c.t_ns;
         let deltas = serial_deltas(&s0, &s1, total);
         let finish = scheduler.schedule(start, total, &deltas);
+        recorder.record(finish - start, outcome.read);
         overall.record_ns(finish - start);
         charged_total += total;
         charged_serial += deltas.iter().copied().max().unwrap_or(0);

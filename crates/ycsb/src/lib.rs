@@ -18,11 +18,14 @@ pub mod sharded;
 pub mod workload;
 
 pub use concurrent::{
-    run_phase_concurrent, run_write_batches_concurrent, BatchWritePhase, ConcurrentReport,
+    run_phase_concurrent, run_phase_concurrent_with_telemetry, run_write_batches_concurrent,
+    BatchWritePhase, ConcurrentReport,
 };
 pub use generator::{format_key, make_value, seeded_rng, KeyChooser, Zipfian};
 pub use histogram::{LatencyHistogram, LatencySummary};
 pub use report::Table;
-pub use runner::{load_phase, run_phase, KvDriver, RunReport};
+pub use runner::{
+    load_phase, run_phase, run_phase_with_telemetry, KvDriver, OpRecorder, RunReport,
+};
 pub use sharded::{run_sharded_concurrent, ShardPhase, ShardedKvDriver};
 pub use workload::{Op, ValueSizeDist, Workload};

@@ -37,6 +37,46 @@ pub trait KvDriver {
     }
 }
 
+/// Registry-backed per-operation recording shared by the run phases: an
+/// always-live op counter plus latency histograms (nanoseconds,
+/// power-of-two buckets) for all, read-side and write-side operations.
+///
+/// Histograms obey the registry's enabled gate and charge no virtual
+/// time, so an instrumented run and an uninstrumented run of the same
+/// workload see identical virtual clocks — the property the telemetry
+/// overhead test pins.
+#[derive(Debug, Clone)]
+pub struct OpRecorder {
+    ops: telemetry::Counter,
+    op_ns: telemetry::Histogram,
+    read_ns: telemetry::Histogram,
+    write_ns: telemetry::Histogram,
+}
+
+impl OpRecorder {
+    /// Registers the `ycsb.*` series on `telemetry`.
+    pub fn new(telemetry: &telemetry::Telemetry) -> Self {
+        OpRecorder {
+            ops: telemetry.counter("ycsb.ops"),
+            op_ns: telemetry.histogram("ycsb.op_ns"),
+            read_ns: telemetry.histogram("ycsb.read_ns"),
+            write_ns: telemetry.histogram("ycsb.write_ns"),
+        }
+    }
+
+    /// Records one operation of `ns` virtual latency; `read_side`
+    /// follows the report's read/write split (scans read, RMW writes).
+    pub(crate) fn record(&self, ns: u64, read_side: bool) {
+        self.ops.inc();
+        self.op_ns.observe(ns);
+        if read_side {
+            self.read_ns.observe(ns);
+        } else {
+            self.write_ns.observe(ns);
+        }
+    }
+}
+
 /// Outcome of a run phase.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -71,6 +111,30 @@ pub fn run_phase(
     ops: u64,
     seed: u64,
 ) -> RunReport {
+    run_phase_with_telemetry(
+        driver,
+        platform,
+        workload,
+        record_count,
+        ops,
+        seed,
+        &telemetry::Telemetry::default(),
+    )
+}
+
+/// [`run_phase`] that also records every operation's latency into the
+/// registry's `ycsb.*` series (see [`OpRecorder`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase_with_telemetry(
+    driver: &dyn KvDriver,
+    platform: &Arc<Platform>,
+    workload: &Workload,
+    record_count: u64,
+    ops: u64,
+    seed: u64,
+    telemetry: &telemetry::Telemetry,
+) -> RunReport {
+    let recorder = OpRecorder::new(telemetry);
     let mut rng = seeded_rng(seed);
     let chooser = KeyChooser::by_name(&workload.distribution, record_count.max(1));
     let mut insert_cursor = record_count;
@@ -90,6 +154,7 @@ pub fn run_phase(
                     read_hits += 1;
                 }
                 let ns = sw.elapsed_ns(platform.clock());
+                recorder.record(ns, true);
                 overall.record_ns(ns);
                 reads.record_ns(ns);
             }
@@ -98,6 +163,7 @@ pub fn run_phase(
                 let len = workload.draw_value_len(&mut rng);
                 driver.put(&format_key(i), &make_value(i, len));
                 let ns = sw.elapsed_ns(platform.clock());
+                recorder.record(ns, false);
                 overall.record_ns(ns);
                 writes.record_ns(ns);
             }
@@ -107,6 +173,7 @@ pub fn run_phase(
                 let len = workload.draw_value_len(&mut rng);
                 driver.put(&format_key(i), &make_value(i, len));
                 let ns = sw.elapsed_ns(platform.clock());
+                recorder.record(ns, false);
                 overall.record_ns(ns);
                 writes.record_ns(ns);
             }
@@ -116,6 +183,7 @@ pub fn run_phase(
                 let to = (i + len).min(insert_cursor.saturating_sub(1));
                 driver.scan(&format_key(i), &format_key(to));
                 let ns = sw.elapsed_ns(platform.clock());
+                recorder.record(ns, true);
                 overall.record_ns(ns);
                 reads.record_ns(ns);
             }
@@ -129,6 +197,7 @@ pub fn run_phase(
                 let len = workload.draw_value_len(&mut rng);
                 driver.put(&key, &make_value(i, len));
                 let ns = sw.elapsed_ns(platform.clock());
+                recorder.record(ns, false);
                 overall.record_ns(ns);
                 writes.record_ns(ns);
             }

@@ -15,6 +15,8 @@
 //! * [`lsm_store`] — the LevelDB-class LSM engine substrate,
 //! * [`merkle`] — the Merkle-forest authenticated data structures,
 //! * [`sgx_sim`] — the SGX enclave simulator with its cost model,
+//! * [`telemetry`] — unified metrics, enclave-attributed tracing and
+//!   the security audit stream,
 //! * [`ycsb`] — the YCSB-style workload harness,
 //! * [`ct_log`] — the §5.7 certificate-transparency case study.
 //!
@@ -43,4 +45,5 @@ pub use lsm_store;
 pub use merkle;
 pub use sgx_sim;
 pub use sim_disk;
+pub use telemetry;
 pub use ycsb;

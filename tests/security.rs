@@ -38,6 +38,7 @@ fn every_sstable_byte_is_load_bearing() {
         }
     }
     let mut failures = 0;
+    let mut verification_failures = 0u64;
     for i in 0..400u32 {
         let key = format!("key{i:04}");
         match store.get(key.as_bytes()) {
@@ -46,10 +47,21 @@ fn every_sstable_byte_is_load_bearing() {
                 assert_eq!(rec.value(), format!("v{i}").as_bytes(), "silent corruption on {key}");
             }
             Ok(None) => panic!("{key} verified as absent — corruption hidden"),
-            Err(_) => failures += 1,
+            Err(e) => {
+                if matches!(e, ElsmError::Verification(_)) {
+                    verification_failures += 1;
+                }
+                failures += 1;
+            }
         }
     }
     assert!(failures > 0, "tampering must be observable");
+    // Every refused read also landed on the audit stream.
+    assert!(verification_failures > 0);
+    assert!(
+        store.telemetry().audit_total() >= verification_failures,
+        "each verification failure must be audited"
+    );
 }
 
 #[test]
@@ -60,7 +72,10 @@ fn scans_refuse_corrupted_levels() {
     // A wide scan must either fail verification or return fully correct
     // data (if the corrupt block wasn't touched) — never partial garbage.
     match store.scan(b"key0000", b"key0399") {
-        Err(ElsmError::Verification(_)) | Err(ElsmError::Io(_)) => {}
+        Err(ElsmError::Verification(f)) => {
+            assert!(store.telemetry().audit_count(f.kind()) >= 1, "refused scan must be audited");
+        }
+        Err(ElsmError::Io(_)) => {}
         Ok(records) => {
             for r in records {
                 let i: u32 = std::str::from_utf8(&r.key()[3..]).unwrap().parse().unwrap();
@@ -84,10 +99,15 @@ fn sealed_state_tamper_is_rejected_at_restart() {
     }
     // Flip a bit in the sealed enclave state.
     fs.open("ENCLAVE_STATE").unwrap().corrupt(20, 0x01);
-    match ElsmP2::open_with(platform, fs, opts(), None) {
+    // The refused open leaves no store to ask, so hand in the registry
+    // explicitly: the recovery path must audit before it fails.
+    let registry = elsm_repro::telemetry::Telemetry::new();
+    let options = P2Options { telemetry: registry.clone(), ..opts() };
+    match ElsmP2::open_with(platform, fs, options, None) {
         Err(ElsmError::Verification(VerificationFailure::SealBroken)) => {}
         other => panic!("tampered seal must be rejected, got {other:?}"),
     }
+    assert_eq!(registry.audit_count("SealBroken"), 1, "rejected restart must be audited");
 }
 
 #[test]
@@ -178,6 +198,7 @@ fn swapped_vlog_entries_are_detected() {
         Err(ElsmError::Verification(VerificationFailure::VlogEntryTampered { .. })) => {}
         other => panic!("swapped vlog entry must be detected, got {other:?}"),
     }
+    assert!(store.telemetry().audit_count("VlogEntryTampered") >= 1);
     // The untouched entry still verifies.
     assert_eq!(store.get(b"bigA").unwrap().expect("intact").value(), &[b'A'; 2048][..]);
 }
@@ -203,6 +224,7 @@ fn stale_vlog_entries_are_detected() {
         Err(ElsmError::Verification(VerificationFailure::VlogEntryTampered { .. })) => {}
         other => panic!("stale vlog entry must be detected, got {other:?}"),
     }
+    assert!(store.telemetry().audit_count("VlogEntryTampered") >= 1);
 }
 
 #[test]
@@ -223,6 +245,7 @@ fn poisoned_cache_entries_are_detected_not_served() {
     assert_eq!(rec.value(), b"payload", "poisoned cache must not change answers");
     let stats = store.cache_stats();
     assert!(stats.tamper_detected >= 1, "tampering must be counted: {stats:?}");
+    assert!(store.telemetry().audit_count("CacheTampered") >= 1, "tampering must be audited");
 }
 
 #[test]
@@ -243,6 +266,8 @@ fn cache_entries_from_other_epochs_are_never_served() {
     let stats = store.cache_stats();
     assert_eq!(stats.record_hits, before.record_hits, "mis-epoch entry must not serve");
     assert!(stats.record_misses > before.record_misses);
+    // A structural miss is not tampering: the audit stream stays silent.
+    assert_eq!(store.telemetry().audit_count("CacheTampered"), 0);
 }
 
 #[test]
@@ -267,10 +292,10 @@ fn hidden_level_detected_with_separation_on() {
         .level;
     let mut hidden = trace.clone();
     adversary::hide_level(&mut hidden, hit_level);
-    assert!(
-        store.verify_get_trace(b"key0007", &hidden).is_err(),
-        "hidden level must be detected with separation on"
-    );
+    let failure = store
+        .verify_get_trace(b"key0007", &hidden)
+        .expect_err("hidden level must be detected with separation on");
+    assert!(store.telemetry().audit_count(failure.kind()) >= 1, "detection must be audited");
     // The honest read still resolves the separated value.
     assert_eq!(store.get(b"key0007").unwrap().expect("present").value(), &[7u8; 1024][..]);
 }
