@@ -99,16 +99,18 @@ fn main() {
                     start,
                 );
                 elsm_bench::telemetry::write_snapshot(name);
+                elsm_bench::telemetry::write_traces(name);
             }
         }
         // The full sweep owns the committed baseline. Telemetry still
         // rotates per figure: every bin gets its own registry and its
-        // own TELEMETRY.<figure>.json snapshot.
+        // own TELEMETRY.<figure>.json snapshot (and TRACES dump).
         None => {
             for (name, figure) in &figures {
                 elsm_bench::telemetry::begin_figure();
                 emit(&figure());
                 elsm_bench::telemetry::write_snapshot(name);
+                elsm_bench::telemetry::write_traces(name);
             }
             elsm_bench::results::write_results("BENCH_results.json", mode);
         }

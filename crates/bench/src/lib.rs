@@ -44,4 +44,5 @@ pub fn emit_figure_to(table: &ycsb::Table, opts: FigOpts, path: &str) {
 pub fn emit_figure(figure: &str, table: &ycsb::Table, opts: FigOpts) {
     emit_figure_to(table, opts, &format!("BENCH_results.{figure}.json"));
     telemetry::write_snapshot(figure);
+    telemetry::write_traces(figure);
 }

@@ -29,6 +29,8 @@ pub struct ResultEntry {
     pub p50_us: f64,
     /// 99th-percentile per-operation latency (simulated µs).
     pub p99_us: f64,
+    /// 99.9th-percentile per-operation latency (simulated µs).
+    pub p999_us: f64,
     /// Named gauges recorded with the entry (e.g. `debt_bytes`,
     /// `pending_jobs`, `vlog_bytes`, `cache_hits`), rendered verbatim
     /// and in order into the results JSON. How fig7 records compaction
@@ -125,6 +127,7 @@ fn push_entry(
         ops_per_sec,
         p50_us: latency.p50_us,
         p99_us: latency.p99_us,
+        p999_us: latency.p999_us,
         gauges: gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
     });
 }
@@ -150,13 +153,15 @@ fn render_json(mode: &str, start: usize) -> String {
         let _ = writeln!(
             out,
             "    {{\"figure\": \"{}\", \"config\": \"{}\", \"workload\": \"{}\", \
-             \"ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}{}}}{}",
+             \"ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": \
+             {:.3}{}}}{}",
             json_escape(&e.figure),
             json_escape(&e.config),
             json_escape(&e.workload),
             e.ops_per_sec,
             e.p50_us,
             e.p99_us,
+            e.p999_us,
             gauges,
             comma
         );
@@ -214,6 +219,7 @@ mod tests {
                 p50_us: 1.5,
                 p95_us: 3.0,
                 p99_us: 4.0,
+                p999_us: 4.5,
                 max_us: 5.0,
             },
             reads: LatencySummary::default(),

@@ -48,6 +48,18 @@ pub fn write_snapshot(figure: &str) {
     }
 }
 
+/// Writes the current registry's trace dump (op-class latency
+/// distributions with exemplar trace ids, the slow-op sampler, and the
+/// span ring) to `TRACES.<figure>.json`, beside the telemetry snapshot.
+pub fn write_traces(figure: &str) {
+    let path = format!("TRACES.{figure}.json");
+    if let Err(e) = std::fs::write(&path, current().traces_to_json()) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("(trace dump written to {path})");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

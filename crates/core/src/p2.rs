@@ -557,6 +557,12 @@ impl ElsmP2 {
 
 impl AuthenticatedKv for ElsmP2 {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, ElsmError> {
+        // Every public entry point opens a trace span: the root of a
+        // fresh trace tree for a direct caller, a nested child when a
+        // router or replica span is already active on this thread. The
+        // guard drops after `after_write`, so the whole request —
+        // including any flush it triggers — lands in one span window.
+        let _trace = self.options.telemetry.trace_op("op.put", "put");
         self.ensure_healthy()?;
         // The YCSB driver wraps each operation in an ECall (§6.1),
         // marshalling the record across the boundary.
@@ -568,6 +574,7 @@ impl AuthenticatedKv for ElsmP2 {
     }
 
     fn delete(&self, key: &[u8]) -> Result<Timestamp, ElsmError> {
+        let _trace = self.options.telemetry.trace_op("op.delete", "delete");
         self.ensure_healthy()?;
         let ts = self.platform.ecall_with_payload(key.len(), || self.db.delete(key))?;
         self.after_write();
@@ -575,6 +582,7 @@ impl AuthenticatedKv for ElsmP2 {
     }
 
     fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Result<Vec<Timestamp>, ElsmError> {
+        let _trace = self.options.telemetry.trace_op("op.put_batch", "put_batch");
         self.ensure_healthy()?;
         if items.is_empty() {
             return Ok(Vec::new());
@@ -599,6 +607,7 @@ impl AuthenticatedKv for ElsmP2 {
     }
 
     fn delete_batch(&self, keys: &[&[u8]]) -> Result<Vec<Timestamp>, ElsmError> {
+        let _trace = self.options.telemetry.trace_op("op.delete_batch", "delete_batch");
         self.ensure_healthy()?;
         if keys.is_empty() {
             return Ok(Vec::new());
@@ -615,12 +624,14 @@ impl AuthenticatedKv for ElsmP2 {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
+        let _trace = self.options.telemetry.trace_op("op.get", "get");
         self.ensure_healthy()?;
         let result = self.get_inner(key);
         self.audited(result)
     }
 
     fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
+        let _trace = self.options.telemetry.trace_op("op.scan", "scan");
         self.ensure_healthy()?;
         let result = self.scan_inner(from, to);
         self.audited(result)

@@ -262,8 +262,10 @@ struct PendingBatch {
 struct CommitQueue {
     next_seq: u64,
     pending: VecDeque<PendingBatch>,
-    /// Timestamps of committed batches not yet picked up by their writers.
-    done: HashMap<u64, Vec<Timestamp>>,
+    /// Timestamps of committed batches not yet picked up by their
+    /// writers, plus the trace context of the group-commit span that
+    /// served them (so follower traces can link the shared commit).
+    done: HashMap<u64, (Vec<Timestamp>, telemetry::TraceContext)>,
     leader_active: bool,
 }
 
@@ -737,7 +739,11 @@ impl Db {
         q.pending.push_back(PendingBatch { seq, ops });
         loop {
             // A previous leader may have committed us while we waited.
-            if let Some(ts) = q.done.remove(&seq) {
+            if let Some((ts, commit_ctx)) = q.done.remove(&seq) {
+                // One group commit served many writers: this follower's
+                // request tree records a span *link* to the shared commit
+                // span rather than claiming it as a child.
+                telemetry::trace::link_current(commit_ctx);
                 return Ok(ts);
             }
             if q.leader_active {
@@ -758,15 +764,17 @@ impl Db {
                 group.push(q.pending.pop_front().expect("front checked"));
             }
             drop(q);
-            let (results, flush_needed) = self.commit_group(&group);
+            let (results, commit_ctx, flush_needed) = self.commit_group(&group);
             q = self.commit.queue.lock().expect("commit queue poisoned");
             for (p, ts) in group.iter().zip(results) {
-                q.done.insert(p.seq, ts);
+                q.done.insert(p.seq, (ts, commit_ctx));
             }
             q.leader_active = false;
             self.commit.cv.notify_all();
             let mine = q.done.remove(&seq);
-            if let Some(ts) = mine {
+            if let Some((ts, _ctx)) = mine {
+                // The leader's own trace already encloses the commit span
+                // as a nested child; no link needed.
                 drop(q);
                 // Only the leader chases the flush its group triggered;
                 // followers are already unblocked.
@@ -783,7 +791,17 @@ impl Db {
     /// Commits a drained group: timestamps in arrival order, one WAL frame
     /// per batch, every record installed in the memtable — all under a
     /// single write-lock acquisition. Runs only on the group-commit leader.
-    fn commit_group(&self, group: &[PendingBatch]) -> (Vec<Vec<Timestamp>>, bool) {
+    fn commit_group(
+        &self,
+        group: &[PendingBatch],
+    ) -> (Vec<Vec<Timestamp>>, telemetry::TraceContext, bool) {
+        // The commit span nests under the leader's request trace (it runs
+        // on the leader's thread); its context is handed back through the
+        // done map so followers can link it, and it is the innermost
+        // active span when frames are shipped below — the wire envelope
+        // carries it to replicas.
+        let trace = self.options.telemetry.trace_op("commit.group", "commit");
+        let trace_ctx = trace.ctx();
         let _span = self.metrics.commit_group.start();
         let total_ops: usize = group.iter().map(|p| p.ops.len()).sum();
         self.metrics.commit_batches.add(group.len() as u64);
@@ -844,7 +862,7 @@ impl Db {
         // order — the listener folds the group into its order-sensitive
         // trusted state (eLSM's WAL digest), once per group.
         self.listener.on_wal_append_batch(&all_records);
-        (results, flush_needed)
+        (results, trace_ctx, flush_needed)
     }
 
     /// Pushes any WAL frames still buffered under a lazy

@@ -99,7 +99,13 @@ impl Shipper {
     }
 
     fn broadcast(&self, event: &WireEvent) {
-        let payload = encode_event(self.generation.load(Ordering::SeqCst), event);
+        // Stamp the sender's innermost active trace span (the group-commit
+        // span when a Frame is emitted under the write lock) so replica
+        // replay joins the primary's trace tree. Always 16 bytes — NONE
+        // when untraced — so envelope sizes and per-byte charges never
+        // depend on whether tracing is enabled.
+        let trace = telemetry::trace::current_context();
+        let payload = encode_event(self.generation.load(Ordering::SeqCst), trace, event);
         self.events.fetch_add(1, Ordering::SeqCst);
         let channels = self.channels.lock();
         // This runs under the store's write lock: clone for all but the

@@ -248,7 +248,7 @@ impl Replica {
         let mut progress = self.progress.lock();
         let seq = progress.expected_seq;
         let payload = open_envelope(self.store.platform(), &self.key, envelope, seq)?;
-        let (generation, event) =
+        let (generation, trace, event) =
             decode_event(payload).ok_or(VerificationFailure::ChannelTampered { seq })?;
         if generation < progress.generation {
             // A deposed primary still shipping: authenticated, ordered —
@@ -275,7 +275,14 @@ impl Replica {
             // replaying that exact job keeps the replica's epoch/level
             // sequence bit-identical regardless of either side's
             // scheduler parallelism.
-            WireEvent::Frame(records) => self.store.db().apply_replicated_batch(&records)?,
+            WireEvent::Frame(records) => {
+                // Replay joins the primary's trace tree as a remote child
+                // of the shipped group-commit span; the nested replay ops
+                // (and any chained re-broadcast) hang off it via the
+                // thread-local stack.
+                let _trace = self.store.telemetry().trace_child_of(trace, "replay.frame", "replay");
+                self.store.db().apply_replicated_batch(&records)?
+            }
             WireEvent::Flush => self.store.db().apply_replicated_flush()?,
             WireEvent::Compact(job) => self.store.db().apply_compaction_job(&job)?,
             WireEvent::VlogGc(gc) => self.store.db().apply_vlog_gc(&gc)?,

@@ -1,10 +1,14 @@
 //! Wire encoding of shipped replication events.
 //!
 //! Every payload starts with the sender's **leadership generation**
-//! (little-endian `u64`) followed by a one-byte tag and the event body.
-//! The generation rides in every event so a deposed primary's shipments
-//! are rejectable the moment a replica has learned of a newer one —
-//! without waiting for the deposed node to notice its own fencing.
+//! (little-endian `u64`), then the sender's [`TraceContext`] (16 bytes,
+//! all-zero when untraced — the field is always present so envelope sizes
+//! never depend on whether tracing is enabled), followed by a one-byte
+//! tag and the event body. The generation rides in every event so a
+//! deposed primary's shipments are rejectable the moment a replica has
+//! learned of a newer one — without waiting for the deposed node to
+//! notice its own fencing. The trace context lets replica-side
+//! replay/verification spans join the primary's request tree.
 //!
 //! A `Frame` body is byte-for-byte the WAL batch frame of
 //! [`lsm_store::encode_frame`]: the shipped unit *is* the crash-atomicity
@@ -12,6 +16,7 @@
 
 use elsm::replication::Announcement;
 use lsm_store::{decode_frame, encode_frame, CompactionJob, Record, VlogGcJob};
+use telemetry::TraceContext;
 
 const TAG_FRAME: u8 = 1;
 const TAG_FLUSH: u8 = 2;
@@ -45,10 +50,12 @@ pub enum WireEvent {
     VlogGc(VlogGcJob),
 }
 
-/// Encodes an event under `generation` (see the module docs).
-pub fn encode_event(generation: u64, event: &WireEvent) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16);
+/// Encodes an event under `generation`, carrying the sender's `trace`
+/// context ([`TraceContext::NONE`] when untraced; see the module docs).
+pub fn encode_event(generation: u64, trace: TraceContext, event: &WireEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
     out.extend_from_slice(&generation.to_le_bytes());
+    out.extend_from_slice(&trace.encode());
     match event {
         WireEvent::Frame(records) => {
             out.push(TAG_FRAME);
@@ -72,13 +79,14 @@ pub fn encode_event(generation: u64, event: &WireEvent) -> Vec<u8> {
     out
 }
 
-/// Decodes a payload back into `(generation, event)`. `None` means a
-/// malformed shipment (the caller treats it as channel tampering — an
-/// authenticated sender never produces one).
-pub fn decode_event(payload: &[u8]) -> Option<(u64, WireEvent)> {
+/// Decodes a payload back into `(generation, trace, event)`. `None`
+/// means a malformed shipment (the caller treats it as channel tampering
+/// — an authenticated sender never produces one).
+pub fn decode_event(payload: &[u8]) -> Option<(u64, TraceContext, WireEvent)> {
     let generation = u64::from_le_bytes(payload.get(0..8)?.try_into().ok()?);
-    let tag = *payload.get(8)?;
-    let body = &payload[9..];
+    let trace = TraceContext::decode(payload.get(8..24)?)?;
+    let tag = *payload.get(24)?;
+    let body = &payload[25..];
     let event = match tag {
         TAG_FRAME => WireEvent::Frame(decode_frame(body)?),
         TAG_FLUSH if body.is_empty() => WireEvent::Flush,
@@ -88,7 +96,7 @@ pub fn decode_event(payload: &[u8]) -> Option<(u64, WireEvent)> {
         TAG_VLOG_GC => WireEvent::VlogGc(VlogGcJob::decode(body)?),
         _ => return None,
     };
-    Some((generation, event))
+    Some((generation, trace, event))
 }
 
 #[cfg(test)]
@@ -115,50 +123,64 @@ mod tests {
     #[test]
     fn events_round_trip() {
         let records = sample();
-        for (generation, event) in [
-            (1, WireEvent::Frame(records)),
-            (2, WireEvent::Flush),
+        for (generation, trace, event) in [
+            (1, TraceContext { trace_id: 11, span_id: 13 }, WireEvent::Frame(records)),
+            (2, TraceContext::NONE, WireEvent::Flush),
             (
                 3,
+                TraceContext { trace_id: 5, span_id: 6 },
                 WireEvent::Compact(CompactionJob {
                     input_levels: vec![2, 3, 4],
                     output_level: 2,
                     purge: true,
                 }),
             ),
-            (7, WireEvent::Promote),
+            (7, TraceContext::NONE, WireEvent::Promote),
             (
                 8,
+                TraceContext::NONE,
                 WireEvent::VlogGc(VlogGcJob {
                     job: CompactionJob { input_levels: vec![1, 2], output_level: 2, purge: false },
                     rewrite_files: vec![3, 7],
                 }),
             ),
         ] {
-            let encoded = encode_event(generation, &event);
-            assert_eq!(decode_event(&encoded), Some((generation, event)));
+            let encoded = encode_event(generation, trace, &event);
+            assert_eq!(decode_event(&encoded), Some((generation, trace, event)));
         }
+    }
+
+    #[test]
+    fn trace_context_is_fixed_width() {
+        let traced = encode_event(1, TraceContext { trace_id: 9, span_id: 10 }, &WireEvent::Flush);
+        let untraced = encode_event(1, TraceContext::NONE, &WireEvent::Flush);
+        assert_eq!(
+            traced.len(),
+            untraced.len(),
+            "envelope size must not depend on tracing (per-byte charges stay identical)"
+        );
     }
 
     #[test]
     fn malformed_payloads_rejected() {
         assert!(decode_event(&[]).is_none());
-        assert!(decode_event(&[0; 8]).is_none(), "missing tag");
-        let mut bad = encode_event(1, &WireEvent::Flush);
+        assert!(decode_event(&[0; 8]).is_none(), "missing trace context");
+        assert!(decode_event(&[0; 24]).is_none(), "missing tag");
+        let mut bad = encode_event(1, TraceContext::NONE, &WireEvent::Flush);
         bad.push(0);
         assert!(decode_event(&bad).is_none(), "trailing bytes");
-        let mut frame = encode_event(1, &WireEvent::Frame(sample()));
+        let mut frame = encode_event(1, TraceContext::NONE, &WireEvent::Frame(sample()));
         let last = frame.len() - 1;
         frame[last] ^= 0x10;
         assert!(decode_event(&frame).is_none(), "frame CRC must reject");
-        let unknown = [&1u64.to_le_bytes()[..], &[99u8]].concat();
+        let unknown = [&1u64.to_le_bytes()[..], &[0u8; 16], &[99u8]].concat();
         assert!(decode_event(&unknown).is_none());
         let job = CompactionJob { input_levels: vec![1, 2], output_level: 2, purge: false };
-        let mut compact = encode_event(1, &WireEvent::Compact(job.clone()));
+        let mut compact = encode_event(1, TraceContext::NONE, &WireEvent::Compact(job.clone()));
         compact.pop();
         assert!(decode_event(&compact).is_none(), "truncated job must reject");
         let gc = VlogGcJob { job, rewrite_files: vec![4] };
-        let mut shipped = encode_event(1, &WireEvent::VlogGc(gc));
+        let mut shipped = encode_event(1, TraceContext::NONE, &WireEvent::VlogGc(gc));
         shipped.pop();
         assert!(decode_event(&shipped).is_none(), "truncated gc job must reject");
     }

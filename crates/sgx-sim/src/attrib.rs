@@ -136,6 +136,30 @@ impl ThreadCharges {
             cross_copy_bytes: self.cross_copy_bytes.saturating_sub(earlier.cross_copy_bytes),
         }
     }
+
+    /// Per-field sum `self + other`, saturating at `u64::MAX`. The fold a
+    /// trace analyzer uses to aggregate sibling spans before subtracting
+    /// them from a parent's window.
+    pub fn plus(&self, other: &ThreadCharges) -> ThreadCharges {
+        ThreadCharges {
+            ns: self.ns.saturating_add(other.ns),
+            enclave_ns: self.enclave_ns.saturating_add(other.enclave_ns),
+            host_ns: self.host_ns.saturating_add(other.host_ns),
+            boundary_ns: self.boundary_ns.saturating_add(other.boundary_ns),
+            ecalls: self.ecalls.saturating_add(other.ecalls),
+            ocalls: self.ocalls.saturating_add(other.ocalls),
+            cross_copy_bytes: self.cross_copy_bytes.saturating_add(other.cross_copy_bytes),
+        }
+    }
+
+    /// This charge set viewed as a per-world [`TimeSplit`].
+    pub fn split(&self) -> TimeSplit {
+        TimeSplit {
+            enclave_ns: self.enclave_ns,
+            host_ns: self.host_ns,
+            boundary_ns: self.boundary_ns,
+        }
+    }
 }
 
 /// Snapshot of the calling thread's cumulative charges.

@@ -241,6 +241,9 @@ pub struct ShardedKv {
     trusted: Arc<ShardedTrustedState>,
     shards: Vec<Shard>,
     metrics: RouterMetrics,
+    /// Root (unscoped) registry handle: router-level trace spans open
+    /// here so per-shard/replica op spans nest under them.
+    telemetry: telemetry::Telemetry,
 }
 
 impl ShardedKv {
@@ -341,9 +344,10 @@ impl ShardedKv {
         let metrics = RouterMetrics::new(&telemetry);
         ShardedKv {
             router,
-            trusted: ShardedTrustedState::new(partitioner, states, telemetry),
+            trusted: ShardedTrustedState::new(partitioner, states, telemetry.clone()),
             shards,
             metrics,
+            telemetry,
         }
     }
 
@@ -456,6 +460,9 @@ impl ShardedKv {
         &self,
         segments: Vec<(usize, Vec<VerifiedRecord>)>,
     ) -> Result<Vec<VerifiedRecord>, ElsmError> {
+        // Stitch-back is its own child span so a scan's critical path can
+        // distinguish shard time from router merge time.
+        let _trace = self.telemetry.trace_op("router.stitch", "stitch");
         let _span = self.metrics.stitch_span.start();
         self.metrics.scan_segments.add(segments.len() as u64);
         let total: usize = segments.iter().map(|(_, s)| s.len()).sum();
@@ -486,21 +493,31 @@ impl ShardedKv {
 
 impl AuthenticatedKv for ShardedKv {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<Timestamp, ElsmError> {
+        // The router opens the request's *root* span; the owning shard's
+        // own entry-point span (and, under replication, the replica read
+        // path) nests beneath it on this thread.
+        let _trace = self.telemetry.trace_op("router.op.put", "put");
         self.charge_route(key);
         self.shards[self.shard_of(key)].target().put(key, value)
     }
 
     fn delete(&self, key: &[u8]) -> Result<Timestamp, ElsmError> {
+        let _trace = self.telemetry.trace_op("router.op.delete", "delete");
         self.charge_route(key);
         self.shards[self.shard_of(key)].target().delete(key)
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<VerifiedRecord>, ElsmError> {
+        let _trace = self.telemetry.trace_op("router.op.get", "get");
         self.charge_route(key);
         self.shards[self.shard_of(key)].target().get(key)
     }
 
     fn scan(&self, from: &[u8], to: &[u8]) -> Result<Vec<VerifiedRecord>, ElsmError> {
+        // One root span for the fan-out; each shard's verified scan runs
+        // as its own child span (opened at the shard store's entry
+        // point), and the stitch-back is a further child below.
+        let _trace = self.telemetry.trace_op("router.op.scan", "scan");
         let partitioner = self.trusted.partitioner();
         let mut segments = Vec::new();
         for (id, shard) in self.shards.iter().enumerate() {
@@ -518,6 +535,7 @@ impl AuthenticatedKv for ShardedKv {
     }
 
     fn put_batch(&self, items: &[(&[u8], &[u8])]) -> Result<Vec<Timestamp>, ElsmError> {
+        let _trace = self.telemetry.trace_op("router.op.put_batch", "put_batch");
         if items.is_empty() {
             return Ok(Vec::new());
         }
@@ -536,6 +554,7 @@ impl AuthenticatedKv for ShardedKv {
     }
 
     fn delete_batch(&self, keys: &[&[u8]]) -> Result<Vec<Timestamp>, ElsmError> {
+        let _trace = self.telemetry.trace_op("router.op.delete_batch", "delete_batch");
         if keys.is_empty() {
             return Ok(Vec::new());
         }

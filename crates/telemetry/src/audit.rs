@@ -106,6 +106,7 @@ pub(crate) struct AuditStream {
 struct AuditState {
     next_seq: u64,
     ring: VecDeque<AuditEvent>,
+    dropped: u64,
     by_kind: BTreeMap<&'static str, u64>,
     sinks: Vec<Arc<dyn AuditSink>>,
 }
@@ -128,6 +129,7 @@ impl AuditStream {
         *s.by_kind.entry(event.kind).or_insert(0) += 1;
         if s.ring.len() == AUDIT_RING_CAPACITY {
             s.ring.pop_front();
+            s.dropped += 1;
         }
         s.ring.push_back(event.clone());
         let sinks = s.sinks.clone();
@@ -153,6 +155,10 @@ impl AuditStream {
         self.state.lock().next_seq
     }
 
+    pub(crate) fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
     pub(crate) fn by_kind(&self) -> Vec<(&'static str, u64)> {
         self.state.lock().by_kind.iter().map(|(k, v)| (*k, *v)).collect()
     }
@@ -170,6 +176,7 @@ mod tests {
             stream.record(AuditEvent::new("ForgedRecord", "test"));
         }
         assert_eq!(stream.events().len(), AUDIT_RING_CAPACITY);
+        assert_eq!(stream.dropped(), 10, "ring evictions are counted");
         assert_eq!(stream.count("ForgedRecord"), (AUDIT_RING_CAPACITY + 10) as u64);
         assert_eq!(stream.events().last().unwrap().seq, (AUDIT_RING_CAPACITY + 9) as u64);
     }

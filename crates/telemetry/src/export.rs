@@ -80,14 +80,22 @@ pub struct Snapshot {
     pub platforms: Vec<PlatformSnapshot>,
     /// Total audit events ever recorded.
     pub audit_total: u64,
+    /// Audit events evicted from the bounded ring.
+    pub audit_dropped: u64,
     /// Per-kind audit counts (unbounded).
     pub audit_by_kind: Vec<(String, u64)>,
     /// Recent audit events (bounded ring).
     pub audit_events: Vec<AuditEvent>,
+    /// Trace spans evicted from the bounded trace ring.
+    pub trace_dropped: u64,
 }
 
-fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Escapes a string for embedding in a JSON string or Prometheus label
+/// value: backslashes, double quotes, and newlines (both bare `\n` and
+/// `\r`) — per the Prometheus exposition format, which would otherwise
+/// break line-oriented parsers on a raw newline.
+pub(crate) fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\r', "\\r")
 }
 
 fn opt(v: Option<u64>) -> String {
@@ -168,8 +176,9 @@ impl Snapshot {
         }
         let _ = write!(
             out,
-            "\n  }},\n  \"audit\": {{\n    \"total\": {},\n    \"by_kind\": {{",
-            self.audit_total
+            "\n  }},\n  \"trace\": {{\"dropped_spans\": {}}},\n  \"audit\": {{\n    \"total\": \
+             {},\n    \"dropped\": {},\n    \"by_kind\": {{",
+            self.trace_dropped, self.audit_total, self.audit_dropped
         );
         for (i, (kind, v)) in self.audit_by_kind.iter().enumerate() {
             let comma = if i + 1 < self.audit_by_kind.len() { "," } else { "" };
@@ -253,10 +262,20 @@ impl Snapshot {
             let _ =
                 writeln!(out, "elsm_platform_ocalls{{platform=\"{label}\"}} {}", p.stats.ocalls);
         }
-        let _ = writeln!(out, "# TYPE elsm_audit_events total counter");
+        let _ = writeln!(out, "# TYPE elsm_audit_events_total counter");
         for (kind, v) in &self.audit_by_kind {
             let _ = writeln!(out, "elsm_audit_events_total{{kind=\"{}\"}} {v}", esc(kind));
         }
+        let _ = writeln!(
+            out,
+            "# TYPE elsm_audit_events_dropped_total counter\nelsm_audit_events_dropped_total {}",
+            self.audit_dropped
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE elsm_trace_spans_dropped_total counter\nelsm_trace_spans_dropped_total {}",
+            self.trace_dropped
+        );
         out
     }
 }
@@ -309,6 +328,22 @@ mod tests {
         assert!(text.contains("elsm_commit_batches_per_group_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("elsm_span_enclave_ns{span=\"flush.merge\"}"));
         assert!(text.contains("elsm_platform_ecalls{platform=\"store\"} 1"));
+        assert!(text.contains("# TYPE elsm_audit_events_total counter"));
         assert!(text.contains("elsm_audit_events_total{kind=\"HiddenLevel\"} 1"));
+        assert!(text.contains("elsm_audit_events_dropped_total 0"));
+        assert!(text.contains("elsm_trace_spans_dropped_total 0"));
+    }
+
+    #[test]
+    fn label_values_escape_newlines_quotes_and_backslashes() {
+        let tel = Telemetry::new();
+        tel.audit(
+            AuditEvent::new("ForgedRecord", "core.get").detail("line1\nline2 \"x\" a\\b\rend"),
+        );
+        let json = tel.to_json();
+        assert!(json.contains("line1\\nline2 \\\"x\\\" a\\\\b\\rend"));
+        assert!(!json.contains("line1\nline2"), "no raw newline inside a JSON string");
+        assert_eq!(super::esc("a\\b\"c\nd\re"), "a\\\\b\\\"c\\nd\\re");
+        assert!(tel.to_prometheus().contains("kind=\"ForgedRecord\""));
     }
 }

@@ -52,6 +52,7 @@ pub mod audit;
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -63,10 +64,15 @@ pub use audit::{AuditEvent, AuditSink, AUDIT_RING_CAPACITY};
 pub use export::{HistogramSnapshot, PlatformSnapshot, Snapshot};
 pub use metrics::{bucket_bound, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use span::{SpanGuard, SpanHandle, SpanStats};
+pub use trace::{
+    OpClassStats, SlowSample, SpanRecord, TraceContext, TraceGuard, SLOW_RESERVOIR, SLOW_TOP_K,
+    TRACE_RING_CAPACITY,
+};
 
 use audit::AuditStream;
 use metrics::HistogramInner;
 use span::SpanAgg;
+use trace::Tracer;
 
 #[derive(Debug)]
 struct Registry {
@@ -77,6 +83,7 @@ struct Registry {
     spans: Mutex<BTreeMap<String, SpanHandle>>,
     platforms: Mutex<Vec<(String, Arc<Platform>)>>,
     audit: AuditStream,
+    tracer: Arc<Tracer>,
 }
 
 impl Registry {
@@ -89,6 +96,7 @@ impl Registry {
             spans: Mutex::new(BTreeMap::new()),
             platforms: Mutex::new(Vec::new()),
             audit: AuditStream::default(),
+            tracer: Tracer::new(enabled),
         }
     }
 }
@@ -193,6 +201,63 @@ impl Telemetry {
         platforms.push((unique, platform.clone()));
     }
 
+    /// Opens a causal trace span named `name` (scope-prefixed) in
+    /// operation class `op_class`: the root of a fresh trace tree when no
+    /// span is active on the calling thread, a nested child of the
+    /// innermost active span otherwise. Returns an inert guard on a
+    /// disabled registry. Charges zero virtual time either way.
+    pub fn trace_op(&self, name: &str, op_class: &'static str) -> TraceGuard {
+        if !self.inner.enabled {
+            return TraceGuard::inert();
+        }
+        self.inner.tracer.start(self.name(name), op_class)
+    }
+
+    /// Opens a *remote* child span of `ctx` — a causal parent carried
+    /// across a wire or queue boundary (replica replay joining the
+    /// primary's tree). Inert when the registry is disabled or `ctx` is
+    /// [`TraceContext::NONE`].
+    pub fn trace_child_of(
+        &self,
+        ctx: TraceContext,
+        name: &str,
+        op_class: &'static str,
+    ) -> TraceGuard {
+        if !self.inner.enabled || ctx.is_none() {
+            return TraceGuard::inert();
+        }
+        self.inner.tracer.start_child_of(ctx, self.name(name), op_class)
+    }
+
+    /// Finished spans currently held in the bounded trace ring (oldest
+    /// first).
+    pub fn trace_records(&self) -> Vec<SpanRecord> {
+        self.inner.tracer.records()
+    }
+
+    /// Spans dropped from the trace ring since creation.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner.tracer.dropped()
+    }
+
+    /// Per-op-class latency distributions over root spans, with exemplar
+    /// trace ids.
+    pub fn op_class_stats(&self) -> Vec<OpClassStats> {
+        self.inner.tracer.op_classes()
+    }
+
+    /// The slow-op sampler's state: `(top-K by duration, reservoir)`.
+    pub fn slow_traces(&self) -> (Vec<SlowSample>, Vec<SlowSample>) {
+        self.inner.tracer.slow_samples()
+    }
+
+    /// Renders the tracer's state (op-class distributions, slow samples,
+    /// span ring) as a JSON document — what the bench harness writes to
+    /// `TRACES.<figure>.json`.
+    pub fn traces_to_json(&self) -> String {
+        trace::to_json(&self.inner.tracer)
+    }
+
     /// Records an event on the audit stream (always live; the scope prefix
     /// does not apply — the stream is registry-wide by design, so an
     /// auditor consumes one stream however many shards feed it).
@@ -255,6 +320,8 @@ impl Telemetry {
             spans,
             platforms,
             audit_total: self.inner.audit.total(),
+            audit_dropped: self.inner.audit.dropped(),
+            trace_dropped: self.inner.tracer.dropped(),
             audit_by_kind: self
                 .inner
                 .audit

@@ -158,6 +158,27 @@ impl Histogram {
     pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
         std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Estimated quantile (`0 < q <= 1`): the inclusive upper bound of
+    /// the bucket containing rank `ceil(q * count)`; zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        crate::trace::quantile_from_buckets(&self.buckets(), self.count(), q)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +216,23 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 1011);
         assert_eq!(h.buckets()[3], 2, "two values of bit length 3");
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_buckets() {
+        let h = Histogram { inner: Arc::new(HistogramInner::new(true)) };
+        assert_eq!(h.p50(), 0, "empty histogram quantiles are zero");
+        for _ in 0..997 {
+            h.observe(10);
+        }
+        for _ in 0..2 {
+            h.observe(1000);
+        }
+        h.observe(100_000);
+        assert_eq!(h.p50(), bucket_bound(bucket_index(10)));
+        assert_eq!(h.p99(), bucket_bound(bucket_index(10)));
+        assert_eq!(h.p999(), bucket_bound(bucket_index(1000)));
+        assert_eq!(h.quantile(1.0), bucket_bound(bucket_index(100_000)));
     }
 
     #[test]

@@ -1,0 +1,761 @@
+//! Causal request tracing: trace trees across group-commit, shards and
+//! replicas.
+//!
+//! A [`TraceContext`] names one request tree (`trace_id`) and one position
+//! inside it (`span_id`). Ids come from a single atomic sequence on the
+//! owning registry — deterministic under a deterministic schedule, and
+//! entirely free of wall-clock input, so tracing never perturbs the
+//! simulation's virtual time.
+//!
+//! Propagation has two flavours:
+//!
+//! * **Thread-local nesting.** [`Telemetry::trace_op`](crate::Telemetry::trace_op)
+//!   opens a span that becomes a child of whatever span is already active
+//!   on the calling thread (a shard store's `op.put` nests under the
+//!   router's `router.op.put` for free, because the router calls into the
+//!   shard on its own thread).
+//! * **Explicit causal edges.** When work crosses a thread, queue or wire
+//!   boundary, the producer captures [`current_context`] (16 bytes,
+//!   [`TraceContext::encode`]) and the consumer opens a *remote* child
+//!   with [`Telemetry::trace_child_of`](crate::Telemetry::trace_child_of).
+//!   Replica replay spans join the primary's tree this way. A batched
+//!   boundary that serves *many* requests (one group commit for N
+//!   followers) instead records **span links**: each follower's span
+//!   links to the one shared commit span via [`link_current`].
+//!
+//! Every finished span records the calling thread's platform-charge delta
+//! ([`sgx_sim::thread_charges`]), so a span's time is already split into
+//! enclave / host / boundary worlds. `parent_span` is the *causal* parent;
+//! `enclosed_by` is the span that physically enclosed this one on the same
+//! thread (zero when none) — the latter is what makes exclusive-time
+//! partitions sum exactly to the platform clock (see [`analyze`]).
+//!
+//! Storage is bounded: a fixed ring of finished spans (drops counted), a
+//! per-op-class power-of-two histogram with max-duration exemplar trace
+//! ids per bucket, and a bounded slow-op sampler (top-K by duration plus
+//! a deterministic reservoir of the rest).
+
+pub mod analyze;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sgx_sim::ThreadCharges;
+
+use crate::metrics::{bucket_bound, bucket_index, HISTOGRAM_BUCKETS};
+
+/// Capacity of the finished-span ring. Older spans are dropped (and
+/// counted) so week-long runs cannot grow registry memory without bound.
+pub const TRACE_RING_CAPACITY: usize = 8192;
+
+/// How many slowest root spans the sampler keeps exactly.
+pub const SLOW_TOP_K: usize = 16;
+
+/// Size of the deterministic reservoir sampling the remaining roots.
+pub const SLOW_RESERVOIR: usize = 64;
+
+/// A position in one trace tree: which tree (`trace_id`) and which span
+/// within it (`span_id`). Copyable, 16 bytes on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Id of the trace tree (the root span's id; zero = untraced).
+    pub trace_id: u64,
+    /// Id of the span this context points at.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The absent context: carried on the wire when tracing is off so
+    /// envelope sizes (and therefore per-byte charges) never depend on
+    /// whether tracing is enabled.
+    pub const NONE: TraceContext = TraceContext { trace_id: 0, span_id: 0 };
+
+    /// Whether this is the absent context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// Fixed-width wire encoding: `trace_id` then `span_id`, little
+    /// endian. Always 16 bytes, even for [`TraceContext::NONE`].
+    pub fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..].copy_from_slice(&self.span_id.to_le_bytes());
+        out
+    }
+
+    /// Decodes a context from exactly 16 bytes (`None` otherwise).
+    pub fn decode(bytes: &[u8]) -> Option<TraceContext> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u64::from_le_bytes(bytes[..8].try_into().ok()?),
+            span_id: u64::from_le_bytes(bytes[8..].try_into().ok()?),
+        })
+    }
+}
+
+/// One finished span, as stored in the trace ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace tree this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique across the registry; greater than its
+    /// causal parent's id, which makes trees acyclic by construction).
+    pub span_id: u64,
+    /// Causal parent span id (zero for a root).
+    pub parent_span: u64,
+    /// Span that physically enclosed this one on the same thread when it
+    /// started (zero when none). Equal to `parent_span` for nested
+    /// children; may differ for remote children that happen to run inside
+    /// an unrelated active span.
+    pub enclosed_by: u64,
+    /// Scope-prefixed span name (e.g. `shard0.replica1.op.scan`).
+    pub name: String,
+    /// Operation class for latency aggregation (e.g. `"put"`, `"scan"`).
+    pub op_class: &'static str,
+    /// Whether the causal parent lives on the far side of a wire or
+    /// queue boundary (replica replay joining the primary's tree).
+    pub remote: bool,
+    /// Platform charges attributed to this span's thread while it was
+    /// open (total plus enclave/host/boundary split, ecalls, ocalls,
+    /// cross-boundary bytes).
+    pub charges: ThreadCharges,
+    /// Span links: shared work this span waited on without owning it
+    /// (a follower write links the leader's group-commit span).
+    pub links: Vec<TraceContext>,
+}
+
+impl SpanRecord {
+    /// This span's position as a [`TraceContext`].
+    pub fn ctx(&self) -> TraceContext {
+        TraceContext { trace_id: self.trace_id, span_id: self.span_id }
+    }
+
+    /// Whether this span is the root of its trace tree.
+    pub fn is_root(&self) -> bool {
+        self.parent_span == 0
+    }
+}
+
+/// One entry in the slow-op sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowSample {
+    /// Trace id of the sampled root span.
+    pub trace_id: u64,
+    /// Operation class of the root.
+    pub op_class: &'static str,
+    /// Total virtual nanoseconds the root span charged.
+    pub duration_ns: u64,
+}
+
+/// An exemplar trace id attached to one histogram bucket: the slowest
+/// root observed in that bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Trace id of the exemplar root span.
+    pub trace_id: u64,
+    /// Its duration in virtual nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Latency distribution of one operation class over root spans, with
+/// per-bucket exemplar trace ids.
+#[derive(Debug, Clone)]
+pub struct OpClassStats {
+    /// The operation class (`"put"`, `"get"`, `"scan"`, ...).
+    pub op_class: &'static str,
+    /// Root spans observed.
+    pub count: u64,
+    /// Sum of root durations (virtual ns).
+    pub sum_ns: u64,
+    /// Power-of-two duration buckets (same geometry as
+    /// [`crate::Histogram`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Per-bucket exemplar: the slowest root that landed in the bucket.
+    pub exemplars: [Option<Exemplar>; HISTOGRAM_BUCKETS],
+}
+
+impl Default for OpClassStats {
+    fn default() -> Self {
+        OpClassStats {
+            op_class: "",
+            count: 0,
+            sum_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            exemplars: [None; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl OpClassStats {
+    fn observe(&mut self, duration_ns: u64, trace_id: u64) {
+        self.count += 1;
+        self.sum_ns += duration_ns;
+        let i = bucket_index(duration_ns);
+        self.buckets[i] += 1;
+        let keep = match self.exemplars[i] {
+            Some(e) => duration_ns > e.duration_ns,
+            None => true,
+        };
+        if keep {
+            self.exemplars[i] = Some(Exemplar { trace_id, duration_ns });
+        }
+    }
+
+    /// Estimated quantile (`0 < q <= 1`) as the inclusive upper bound of
+    /// the bucket containing the rank, zero when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.buckets, self.count, q)
+    }
+
+    /// Median duration estimate.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th percentile duration estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th percentile duration estimate.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+
+    /// The exemplar attached to the bucket at or above quantile `q` — the
+    /// trace id an operator drills into for an outlier bucket.
+    pub fn exemplar_at(&self, q: f64) -> Option<Exemplar> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = quantile_from_buckets(&self.buckets, self.count, q);
+        (0..HISTOGRAM_BUCKETS)
+            .filter(|&i| bucket_bound(i) >= target)
+            .filter_map(|i| self.exemplars[i])
+            .next()
+    }
+}
+
+/// Shared bucket-walk used by [`OpClassStats`] and the registry
+/// histograms: returns the inclusive upper bound of the bucket holding
+/// rank `ceil(q * count)`.
+pub(crate) fn quantile_from_buckets(buckets: &[u64; HISTOGRAM_BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, n) in buckets.iter().enumerate() {
+        cumulative += n;
+        if cumulative >= rank {
+            return bucket_bound(i);
+        }
+    }
+    bucket_bound(HISTOGRAM_BUCKETS - 1)
+}
+
+#[derive(Debug, Default)]
+struct TracerState {
+    ring: VecDeque<SpanRecord>,
+    dropped: u64,
+    classes: BTreeMap<&'static str, OpClassStats>,
+    top: Vec<SlowSample>,
+    reservoir: Vec<SlowSample>,
+    roots_seen: u64,
+    rng: u64,
+}
+
+impl TracerState {
+    fn note_root(&mut self, sample: SlowSample) {
+        // Exact top-K by duration (stable: earlier trace wins ties).
+        if self.top.len() < SLOW_TOP_K {
+            self.top.push(sample);
+            self.top.sort_by_key(|s| std::cmp::Reverse(s.duration_ns));
+        } else if sample.duration_ns > self.top[SLOW_TOP_K - 1].duration_ns {
+            self.top[SLOW_TOP_K - 1] = sample;
+            self.top.sort_by_key(|s| std::cmp::Reverse(s.duration_ns));
+        }
+        // Deterministic reservoir over *all* roots (LCG, no wall clock).
+        self.roots_seen += 1;
+        if self.reservoir.len() < SLOW_RESERVOIR {
+            self.reservoir.push(sample);
+        } else {
+            self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (self.rng >> 33) % self.roots_seen;
+            if (j as usize) < SLOW_RESERVOIR {
+                self.reservoir[j as usize] = sample;
+            }
+        }
+    }
+}
+
+/// The per-registry trace collector. Private to the crate; reached
+/// through [`crate::Telemetry`] methods and the free functions here.
+#[derive(Debug)]
+pub(crate) struct Tracer {
+    enabled: bool,
+    next_id: AtomicU64,
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    pub(crate) fn new(enabled: bool) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            enabled,
+            // Id 0 is reserved for "no trace".
+            next_id: AtomicU64::new(1),
+            state: Mutex::new(TracerState { rng: 0x9E3779B97F4A7C15, ..Default::default() }),
+        })
+    }
+
+    fn next(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Opens a span: a root when no span of this registry is active on
+    /// the calling thread, a nested child otherwise.
+    pub(crate) fn start(self: &Arc<Self>, name: String, op_class: &'static str) -> TraceGuard {
+        if !self.enabled {
+            return TraceGuard::inert();
+        }
+        let top = ACTIVE.with(|stack| {
+            stack
+                .borrow()
+                .last()
+                .filter(|f| Arc::ptr_eq(&f.tracer, self))
+                .map(|f| (f.trace_id, f.span_id))
+        });
+        let span_id = self.next();
+        let (trace_id, parent_span, enclosed_by) = match top {
+            Some((t, p)) => (t, p, p),
+            None => (span_id, 0, 0),
+        };
+        self.open(trace_id, span_id, parent_span, enclosed_by, name, op_class, false)
+    }
+
+    /// Opens a *remote* child of an explicit causal parent carried across
+    /// a wire/queue boundary. Inert when `ctx` is absent.
+    pub(crate) fn start_child_of(
+        self: &Arc<Self>,
+        ctx: TraceContext,
+        name: String,
+        op_class: &'static str,
+    ) -> TraceGuard {
+        if !self.enabled || ctx.is_none() {
+            return TraceGuard::inert();
+        }
+        let enclosed_by = ACTIVE.with(|stack| {
+            stack.borrow().last().filter(|f| Arc::ptr_eq(&f.tracer, self)).map_or(0, |f| f.span_id)
+        });
+        let span_id = self.next();
+        self.open(ctx.trace_id, span_id, ctx.span_id, enclosed_by, name, op_class, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn open(
+        self: &Arc<Self>,
+        trace_id: u64,
+        span_id: u64,
+        parent_span: u64,
+        enclosed_by: u64,
+        name: String,
+        op_class: &'static str,
+        remote: bool,
+    ) -> TraceGuard {
+        ACTIVE.with(|stack| {
+            stack.borrow_mut().push(ActiveFrame {
+                tracer: self.clone(),
+                trace_id,
+                span_id,
+                links: Vec::new(),
+            });
+        });
+        TraceGuard {
+            active: Some(Pending {
+                tracer: self.clone(),
+                trace_id,
+                span_id,
+                parent_span,
+                enclosed_by,
+                name,
+                op_class,
+                remote,
+                start: sgx_sim::thread_charges(),
+            }),
+            _not_send: PhantomData,
+        }
+    }
+
+    fn record(&self, rec: SpanRecord) {
+        let mut s = self.state.lock();
+        if rec.is_root() {
+            s.classes
+                .entry(rec.op_class)
+                .or_insert_with(|| OpClassStats { op_class: rec.op_class, ..Default::default() });
+            // Split borrow: observe needs the class entry, note_root the rest.
+            if let Some(agg) = s.classes.get_mut(rec.op_class) {
+                agg.observe(rec.charges.ns, rec.trace_id);
+            }
+            s.note_root(SlowSample {
+                trace_id: rec.trace_id,
+                op_class: rec.op_class,
+                duration_ns: rec.charges.ns,
+            });
+        }
+        if s.ring.len() >= TRACE_RING_CAPACITY {
+            s.ring.pop_front();
+            s.dropped += 1;
+        }
+        s.ring.push_back(rec);
+    }
+
+    pub(crate) fn records(&self) -> Vec<SpanRecord> {
+        self.state.lock().ring.iter().cloned().collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    pub(crate) fn op_classes(&self) -> Vec<OpClassStats> {
+        self.state.lock().classes.values().cloned().collect()
+    }
+
+    pub(crate) fn slow_samples(&self) -> (Vec<SlowSample>, Vec<SlowSample>) {
+        let s = self.state.lock();
+        (s.top.clone(), s.reservoir.clone())
+    }
+}
+
+struct ActiveFrame {
+    tracer: Arc<Tracer>,
+    trace_id: u64,
+    span_id: u64,
+    links: Vec<TraceContext>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Vec<ActiveFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The [`TraceContext`] of the innermost span active on the calling
+/// thread, or [`TraceContext::NONE`]. This is what producers stamp onto
+/// wire envelopes and queue entries.
+pub fn current_context() -> TraceContext {
+    ACTIVE.with(|stack| {
+        stack.borrow().last().map_or(TraceContext::NONE, |f| TraceContext {
+            trace_id: f.trace_id,
+            span_id: f.span_id,
+        })
+    })
+}
+
+/// Records a span link from the innermost active span to `ctx`: shared
+/// work (one group commit serving many requests) the current request
+/// waited on. No-op when `ctx` is absent or no span is active.
+pub fn link_current(ctx: TraceContext) {
+    if ctx.is_none() {
+        return;
+    }
+    ACTIVE.with(|stack| {
+        if let Some(f) = stack.borrow_mut().last_mut() {
+            if f.span_id != ctx.span_id && !f.links.contains(&ctx) {
+                f.links.push(ctx);
+            }
+        }
+    });
+}
+
+#[derive(Debug)]
+struct Pending {
+    tracer: Arc<Tracer>,
+    trace_id: u64,
+    span_id: u64,
+    parent_span: u64,
+    enclosed_by: u64,
+    name: String,
+    op_class: &'static str,
+    remote: bool,
+    start: ThreadCharges,
+}
+
+/// RAII guard for one trace span (see
+/// [`Telemetry::trace_op`](crate::Telemetry::trace_op)).
+///
+/// Not `Send`: the charge delta and the propagation stack are
+/// thread-local, so a guard must drop on the thread that opened it.
+#[derive(Debug)]
+pub struct TraceGuard {
+    active: Option<Pending>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl TraceGuard {
+    /// An inert guard (disabled registry or absent parent context).
+    pub(crate) fn inert() -> TraceGuard {
+        TraceGuard { active: None, _not_send: PhantomData }
+    }
+
+    /// This span's context, for stamping onto queue entries or wire
+    /// envelopes. [`TraceContext::NONE`] when inert.
+    pub fn ctx(&self) -> TraceContext {
+        self.active.as_ref().map_or(TraceContext::NONE, |p| TraceContext {
+            trace_id: p.trace_id,
+            span_id: p.span_id,
+        })
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let Some(p) = self.active.take() else {
+            return;
+        };
+        let links = ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normally ours is the top frame; search defensively so an
+            // out-of-order drop cannot corrupt unrelated frames.
+            let idx = stack.iter().rposition(|f| f.span_id == p.span_id);
+            idx.map(|i| stack.remove(i).links).unwrap_or_default()
+        });
+        let charges = sgx_sim::thread_charges().since(&p.start);
+        p.tracer.record(SpanRecord {
+            trace_id: p.trace_id,
+            span_id: p.span_id,
+            parent_span: p.parent_span,
+            enclosed_by: p.enclosed_by,
+            name: p.name,
+            op_class: p.op_class,
+            remote: p.remote,
+            charges,
+            links,
+        });
+    }
+}
+
+/// Renders the tracer's state as a JSON document (what the bench harness
+/// writes to `TRACES.<figure>.json`).
+pub(crate) fn to_json(tracer: &Tracer) -> String {
+    use std::fmt::Write as _;
+    let records = tracer.records();
+    let classes = tracer.op_classes();
+    let (top, reservoir) = tracer.slow_samples();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"dropped_spans\": {},", tracer.dropped());
+    out.push_str("  \"op_classes\": {\n");
+    for (ci, c) in classes.iter().enumerate() {
+        let comma = if ci + 1 == classes.len() { "" } else { "," };
+        let _ = write!(
+            out,
+            "    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"buckets\": [",
+            c.op_class,
+            c.count,
+            c.sum_ns,
+            c.p50_ns(),
+            c.p99_ns(),
+            c.p999_ns(),
+        );
+        let mut first = true;
+        for i in 0..HISTOGRAM_BUCKETS {
+            if c.buckets[i] == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            match c.exemplars[i] {
+                Some(e) => {
+                    let _ = write!(
+                        out,
+                        "{{\"le\": {}, \"count\": {}, \"exemplar_trace\": {}}}",
+                        bucket_bound(i),
+                        c.buckets[i],
+                        e.trace_id
+                    );
+                }
+                None => {
+                    let _ =
+                        write!(out, "{{\"le\": {}, \"count\": {}}}", bucket_bound(i), c.buckets[i]);
+                }
+            }
+        }
+        let _ = writeln!(out, "]}}{comma}");
+    }
+    out.push_str("  },\n");
+    let render_samples = |out: &mut String, samples: &[SlowSample]| {
+        for (i, s) in samples.iter().enumerate() {
+            let comma = if i + 1 == samples.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "      {{\"trace_id\": {}, \"op_class\": \"{}\", \"duration_ns\": {}}}{comma}",
+                s.trace_id, s.op_class, s.duration_ns
+            );
+        }
+    };
+    out.push_str("  \"slow\": {\n    \"top\": [\n");
+    render_samples(&mut out, &top);
+    out.push_str("    ],\n    \"reservoir\": [\n");
+    render_samples(&mut out, &reservoir);
+    out.push_str("    ]\n  },\n");
+    out.push_str("  \"spans\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let links: Vec<String> =
+            r.links.iter().map(|l| format!("[{}, {}]", l.trace_id, l.span_id)).collect();
+        let _ = writeln!(
+            out,
+            "    {{\"trace_id\": {}, \"span_id\": {}, \"parent_span\": {}, \"enclosed_by\": {}, \"name\": \"{}\", \"op_class\": \"{}\", \"remote\": {}, \"total_ns\": {}, \"enclave_ns\": {}, \"host_ns\": {}, \"boundary_ns\": {}, \"ecalls\": {}, \"ocalls\": {}, \"cross_copy_bytes\": {}, \"links\": [{}]}}{comma}",
+            r.trace_id,
+            r.span_id,
+            r.parent_span,
+            r.enclosed_by,
+            crate::export::esc(&r.name),
+            r.op_class,
+            r.remote,
+            r.charges.ns,
+            r.charges.enclave_ns,
+            r.charges.host_ns,
+            r.charges.boundary_ns,
+            r.charges.ecalls,
+            r.charges.ocalls,
+            r.charges.cross_copy_bytes,
+            links.join(", ")
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> Arc<Tracer> {
+        Tracer::new(true)
+    }
+
+    #[test]
+    fn context_round_trips_and_none_is_zero() {
+        let ctx = TraceContext { trace_id: 7, span_id: 9 };
+        assert_eq!(TraceContext::decode(&ctx.encode()), Some(ctx));
+        assert_eq!(TraceContext::decode(&TraceContext::NONE.encode()), Some(TraceContext::NONE));
+        assert!(TraceContext::NONE.is_none());
+        assert!(TraceContext::decode(&[0u8; 15]).is_none());
+    }
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        let t = tracer();
+        {
+            let root = t.start("op.put".into(), "put");
+            let root_ctx = root.ctx();
+            {
+                let child = t.start("commit.group".into(), "commit");
+                assert_eq!(child.ctx().trace_id, root_ctx.trace_id);
+            }
+        }
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        let child = &recs[0];
+        let root = &recs[1];
+        assert_eq!(root.parent_span, 0);
+        assert_eq!(child.parent_span, root.span_id);
+        assert_eq!(child.enclosed_by, root.span_id);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert!(child.span_id > root.span_id, "child ids exceed parents: acyclic");
+    }
+
+    #[test]
+    fn remote_children_join_the_parents_tree() {
+        let t = tracer();
+        let ctx = {
+            let root = t.start("op.put".into(), "put");
+            root.ctx()
+        };
+        drop(t.start_child_of(ctx, "replay.frame".into(), "replay"));
+        let recs = t.records();
+        let replay = recs.iter().find(|r| r.name == "replay.frame").unwrap();
+        assert_eq!(replay.trace_id, ctx.trace_id);
+        assert_eq!(replay.parent_span, ctx.span_id);
+        assert_eq!(replay.enclosed_by, 0, "no physical enclosure");
+        assert!(replay.remote);
+    }
+
+    #[test]
+    fn links_record_on_the_active_frame() {
+        let t = tracer();
+        let commit_ctx = TraceContext { trace_id: 42, span_id: 42 };
+        {
+            let _g = t.start("op.put".into(), "put");
+            link_current(commit_ctx);
+            link_current(commit_ctx); // deduplicated
+        }
+        let recs = t.records();
+        assert_eq!(recs[0].links, vec![commit_ctx]);
+    }
+
+    #[test]
+    fn current_context_tracks_the_stack() {
+        let t = tracer();
+        assert!(current_context().is_none());
+        {
+            let g = t.start("op.put".into(), "put");
+            assert_eq!(current_context(), g.ctx());
+        }
+        assert!(current_context().is_none());
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let t = tracer();
+        for _ in 0..(TRACE_RING_CAPACITY + 10) {
+            drop(t.start("op.get".into(), "get"));
+        }
+        assert_eq!(t.records().len(), TRACE_RING_CAPACITY);
+        assert_eq!(t.dropped(), 10);
+    }
+
+    #[test]
+    fn op_class_quantiles_and_exemplars() {
+        let mut agg = OpClassStats { op_class: "get", ..Default::default() };
+        for (d, id) in [(1u64, 1u64), (1, 2), (1, 3), (1000, 9)] {
+            agg.observe(d, id);
+        }
+        assert_eq!(agg.count, 4);
+        assert_eq!(agg.p50_ns(), bucket_bound(bucket_index(1)));
+        assert_eq!(agg.p999_ns(), bucket_bound(bucket_index(1000)));
+        let ex = agg.exemplar_at(0.999).unwrap();
+        assert_eq!(ex.trace_id, 9, "outlier bucket carries its exemplar trace id");
+    }
+
+    #[test]
+    fn slow_sampler_keeps_top_k_exactly() {
+        let t = tracer();
+        let mut s = t.state.lock();
+        for i in 0..200u64 {
+            s.note_root(SlowSample { trace_id: i, op_class: "put", duration_ns: i });
+        }
+        assert_eq!(s.top.len(), SLOW_TOP_K);
+        assert_eq!(s.top[0].duration_ns, 199);
+        assert_eq!(s.top[SLOW_TOP_K - 1].duration_ns, 199 - (SLOW_TOP_K as u64 - 1));
+        assert_eq!(s.reservoir.len(), SLOW_RESERVOIR);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(false);
+        let g = t.start("op.put".into(), "put");
+        assert!(g.ctx().is_none());
+        drop(g);
+        assert!(t.records().is_empty());
+    }
+}

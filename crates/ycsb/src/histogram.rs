@@ -70,6 +70,7 @@ impl LatencyHistogram {
             p50_us: self.percentile_us(50.0),
             p95_us: self.percentile_us(95.0),
             p99_us: self.percentile_us(99.0),
+            p999_us: self.percentile_us(99.9),
             max_us: self.max_us(),
         }
     }
@@ -84,6 +85,7 @@ pub struct LatencySummary {
     pub p50_us: f64,
     pub p95_us: f64,
     pub p99_us: f64,
+    pub p999_us: f64,
     pub max_us: f64,
 }
 
@@ -91,8 +93,14 @@ impl std::fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} mean={:.1}µs p50={:.1}µs p95={:.1}µs p99={:.1}µs max={:.1}µs",
-            self.count, self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.max_us
+            "n={} mean={:.1}µs p50={:.1}µs p95={:.1}µs p99={:.1}µs p999={:.1}µs max={:.1}µs",
+            self.count,
+            self.mean_us,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us
         )
     }
 }
